@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small shared helpers for the figure/table bench binaries: input-size
+ * flag parsing and progress reporting.
+ */
+
+#ifndef SCD_BENCH_BENCH_UTIL_HH
+#define SCD_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/workloads.hh"
+
+namespace scd::bench
+{
+
+/**
+ * Parse --size=test|sim|fpga (default @p fallback). The quick "test"
+ * size exists so `ctest`-adjacent smoke runs stay cheap.
+ */
+inline harness::InputSize
+parseSize(int argc, char **argv, harness::InputSize fallback)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], "--size=", 7) == 0) {
+            std::string v = argv[n] + 7;
+            if (v == "test")
+                return harness::InputSize::Test;
+            if (v == "sim")
+                return harness::InputSize::Sim;
+            if (v == "fpga")
+                return harness::InputSize::Fpga;
+            std::fprintf(stderr, "unknown --size value '%s'\n", v.c_str());
+        }
+    }
+    return fallback;
+}
+
+inline const char *
+sizeName(harness::InputSize size)
+{
+    switch (size) {
+      case harness::InputSize::Test:
+        return "test";
+      case harness::InputSize::Sim:
+        return "sim";
+      case harness::InputSize::Fpga:
+        return "fpga";
+    }
+    return "?";
+}
+
+} // namespace scd::bench
+
+#endif // SCD_BENCH_BENCH_UTIL_HH

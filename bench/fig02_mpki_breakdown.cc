@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Regenerates Figure 2: the branch-misprediction MPKI breakdown of the
+ * baseline Lua-style interpreter, split by branch class. The paper's
+ * claim: the dispatch indirect jump dominates.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "harness/figures.hh"
+#include "harness/machines.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace scd;
+    using namespace scd::harness;
+
+    InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
+    std::fprintf(stderr, "fig02: running 11 baseline simulations (%s)\n",
+                 bench::sizeName(size));
+    Grid grid = runGrid(minorConfig(), size, {VmKind::Rlua},
+                        {core::Scheme::Baseline});
+    std::printf("%s\n", renderFig2(grid).c_str());
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Regenerates Figure 3: the fraction of retired instructions spent in the
+ * dispatcher code of the baseline Lua-style interpreter (paper: >25%).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "harness/figures.hh"
+#include "harness/machines.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace scd;
+    using namespace scd::harness;
+
+    InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
+    std::fprintf(stderr, "fig03: running 11 baseline simulations (%s)\n",
+                 bench::sizeName(size));
+    Grid grid = runGrid(minorConfig(), size, {VmKind::Rlua},
+                        {core::Scheme::Baseline});
+    std::printf("%s\n", renderFig3(grid).c_str());
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Regenerates Figures 7-10 from one (2 VMs x 11 scripts x 4 schemes)
+ * simulation grid on the minor (Cortex-A5-like) configuration:
+ *   Fig. 7  overall speedups          Fig. 8  normalized instruction count
+ *   Fig. 9  branch misprediction MPKI Fig. 10 I-cache miss MPKI
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "harness/figures.hh"
+#include "harness/machines.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace scd;
+    using namespace scd::harness;
+
+    InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
+    std::fprintf(stderr,
+                 "fig07-10: running the 2x11x4 simulation grid (%s)...\n",
+                 bench::sizeName(size));
+    Grid grid = runGrid(minorConfig(), size, {VmKind::Rlua, VmKind::Sjs},
+                        {core::Scheme::Baseline,
+                         core::Scheme::JumpThreading, core::Scheme::Vbbi,
+                         core::Scheme::Scd},
+                        /*verbose=*/true);
+    std::printf("%s\n", renderFig7(grid).c_str());
+    std::printf("%s\n", renderFig8(grid).c_str());
+    std::printf("%s\n", renderFig9(grid).c_str());
+    std::printf("%s\n", renderFig10(grid).c_str());
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate components: BTB and
+ * JTE operations, direction predictors, cache model, guest memory, the
+ * assembler, the host VMs, and whole-simulation throughput (MIPS).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/btb.hh"
+#include "branch/direction.hh"
+#include "cache/cache.hh"
+#include "cpu/core.hh"
+#include "guest/rlua_guest.hh"
+#include "harness/machines.hh"
+#include "harness/runner.hh"
+#include "harness/workloads.hh"
+#include "isa/assembler.hh"
+#include "mem/memory.hh"
+#include "vm/rlua_compiler.hh"
+#include "vm/rlua_interp.hh"
+#include "vm/sjs_compiler.hh"
+#include "vm/sjs_interp.hh"
+
+namespace
+{
+
+using namespace scd;
+
+void
+BM_BtbLookupPc(benchmark::State &state)
+{
+    branch::Btb btb({256, 2, false, 0});
+    for (uint64_t pc = 0; pc < 512; pc += 4)
+        btb.insertPc(0x1000 + pc, 0x2000 + pc);
+    uint64_t pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(btb.lookupPc(pc));
+        pc = 0x1000 + ((pc + 4) & 0x1FF);
+    }
+}
+BENCHMARK(BM_BtbLookupPc);
+
+void
+BM_BtbJteLookup(benchmark::State &state)
+{
+    branch::Btb btb({256, 2, false, 0});
+    for (uint64_t op = 0; op < 47; ++op)
+        btb.insertJte(0, op, 0x4000 + op * 64);
+    uint64_t op = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(btb.lookupJte(0, op));
+        op = (op + 1) % 47;
+    }
+}
+BENCHMARK(BM_BtbJteLookup);
+
+void
+BM_TournamentPredictor(benchmark::State &state)
+{
+    branch::TournamentPredictor pred(512, 128);
+    uint64_t pc = 0x1000;
+    uint64_t n = 0;
+    for (auto _ : state) {
+        bool taken = (n++ % 7) != 0;
+        benchmark::DoNotOptimize(pred.predict(pc));
+        pred.update(pc, taken);
+        pc = 0x1000 + (n % 64) * 4;
+    }
+}
+BENCHMARK(BM_TournamentPredictor);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::Cache cache({"bench", 16 * 1024, 2, 64});
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        addr = (addr + 64) & 0xFFFF;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_GuestMemoryRead64(benchmark::State &state)
+{
+    mem::GuestMemory memory;
+    memory.write64(0x100000, 42);
+    uint64_t addr = 0x100000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(memory.read64(addr));
+        addr = 0x100000 + ((addr + 8) & 0xFFF);
+    }
+}
+BENCHMARK(BM_GuestMemoryRead64);
+
+void
+BM_AssembleInterpreter(benchmark::State &state)
+{
+    auto module = vm::rlua::compileSource("print(1)");
+    for (auto _ : state) {
+        auto guest =
+            guest::buildRluaGuest(module, guest::DispatchKind::Scd);
+        benchmark::DoNotOptimize(guest.text.words.size());
+    }
+}
+BENCHMARK(BM_AssembleInterpreter);
+
+void
+BM_CompileScript(benchmark::State &state)
+{
+    std::string src = harness::workload("fannkuch-redux")
+                          .text(harness::InputSize::Test);
+    for (auto _ : state) {
+        auto module = vm::rlua::compileSource(src);
+        benchmark::DoNotOptimize(module.protos.size());
+    }
+}
+BENCHMARK(BM_CompileScript);
+
+void
+BM_HostRluaInterp(benchmark::State &state)
+{
+    auto module = vm::rlua::compileSource(
+        "function fib(n) if n < 2 then return n end "
+        "return fib(n-1) + fib(n-2) end print(fib(18))");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(vm::rlua::run(module));
+}
+BENCHMARK(BM_HostRluaInterp);
+
+void
+BM_HostSjsInterp(benchmark::State &state)
+{
+    auto module = vm::sjs::compileSource(
+        "function fib(n) if n < 2 then return n end "
+        "return fib(n-1) + fib(n-2) end print(fib(18))");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(vm::sjs::run(module));
+}
+BENCHMARK(BM_HostSjsInterp);
+
+/** Whole-stack simulation throughput in guest instructions/second. */
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    auto scheme = state.range(0) ? core::Scheme::Scd
+                                 : core::Scheme::Baseline;
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        auto r = harness::runWorkload(
+            harness::VmKind::Rlua, harness::workload("fibo"),
+            harness::InputSize::Test, scheme, harness::minorConfig());
+        instructions += r.run.instructions;
+    }
+    state.counters["guest_mips"] = benchmark::Counter(
+        double(instructions) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

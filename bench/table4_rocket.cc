@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Regenerates Table IV: instruction and cycle counts of the Lua-style
+ * interpreter (baseline / jump threading / SCD) on the 5-stage Rocket-like
+ * configuration with the larger "FPGA" inputs.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "harness/figures.hh"
+#include "harness/machines.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace scd;
+    using namespace scd::harness;
+
+    // The paper ran these with large inputs on FPGA; pass --size=sim for
+    // a faster approximation.
+    InputSize size = bench::parseSize(argc, argv, InputSize::Fpga);
+    std::fprintf(stderr,
+                 "table4: running 11x3 rocket-config simulations (%s)...\n",
+                 bench::sizeName(size));
+    Grid grid = runGrid(rocketConfig(), size, {VmKind::Rlua},
+                        {core::Scheme::Baseline,
+                         core::Scheme::JumpThreading, core::Scheme::Scd},
+                        /*verbose=*/true);
+    std::printf("%s\n", renderTable4(grid).c_str());
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Quickstart: the library in ~60 lines.
+ *
+ * 1. Assemble a small SRV64 program that uses the SCD extension directly
+ *    (setmask / lbu.op / bop / jru).
+ * 2. Run it on the simulated embedded core with SCD enabled and disabled.
+ * 3. Compare cycle counts: the JTE fast path skips the dispatch chain.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "cpu/core.hh"
+#include "isa/text_assembler.hh"
+#include "mem/memory.hh"
+
+using namespace scd;
+
+namespace
+{
+
+// A miniature interpreter: walk 8 "bytecodes" {0,1,2,1,0,2,1,3} ten
+// thousand times, dispatching through a jump table. The SCD instructions
+// are on the hot path; on non-SCD hardware they degrade gracefully to the
+// slow path.
+const char *kProgram = R"(
+    li t0, 63
+    setmask t0              # Rmask = 0x3F (opcode field)
+    li s3, 0x100000         # bytecode buffer
+    li s2, 0x110000         # jump table
+    li s4, 0                # accumulator
+    li s0, 10000            # outer iterations
+
+    # write the bytecode program {0,1,2,1,0,2,1,3}
+    li t0, 0
+    sb t0, 0(s3)
+    li t0, 1
+    sb t0, 1(s3)
+    li t0, 2
+    sb t0, 2(s3)
+    li t0, 1
+    sb t0, 3(s3)
+    li t0, 0
+    sb t0, 4(s3)
+    li t0, 2
+    sb t0, 5(s3)
+    li t0, 1
+    sb t0, 6(s3)
+    li t0, 3
+    sb t0, 7(s3)
+    # fill the jump table
+    la t0, op_inc
+    sd t0, 0(s2)
+    la t0, op_dec
+    sd t0, 8(s2)
+    la t0, op_dbl
+    sd t0, 16(s2)
+    la t0, op_halt
+    sd t0, 24(s2)
+
+outer:
+    mv s1, s3               # restart the bytecode pc
+dispatch:
+    lbu.op t0, 0(s1)        # fetch bytecode; latch opcode into Rop
+    addi s1, s1, 1
+    bop                     # fast path: BTB jump-table hit redirects here
+    andi t0, t0, 63         # slow path: decode ...
+    li t1, 3
+    bgtu t0, t1, bad        # ... bound check ...
+    slli t2, t0, 3
+    add t2, t2, s2
+    ld t3, 0(t2)            # ... jump table load ...
+    jru t3                  # ... dispatch + insert the JTE
+
+op_inc:
+    addi s4, s4, 1
+    j dispatch
+op_dec:
+    addi s4, s4, -1
+    j dispatch
+op_dbl:
+    slli s4, s4, 1
+    j dispatch
+op_halt:
+    addi s0, s0, -1
+    bnez s0, outer
+    jte.flush               # leaving the interpreter loop
+    mv a0, s4
+    li a7, 2
+    ecall                   # print the accumulator
+    li a0, 0
+    li a7, 0
+    ecall                   # exit
+bad:
+    ebreak
+)";
+
+cpu::RunResult
+simulate(bool scdEnabled)
+{
+    mem::GuestMemory memory;
+    cpu::CoreConfig config;
+    config.scdEnabled = scdEnabled;
+    cpu::Core core(config, memory);
+    core.loadProgram(isa::assembleText(kProgram));
+    auto result = core.run();
+    std::printf("  guest printed: %s\n", core.output().c_str());
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Without SCD (bop always falls through):\n");
+    auto base = simulate(false);
+    std::printf("  %llu instructions, %llu cycles\n\n",
+                (unsigned long long)base.instructions,
+                (unsigned long long)base.cycles);
+
+    std::printf("With SCD (jump table overlaid on the BTB):\n");
+    auto scd = simulate(true);
+    std::printf("  %llu instructions, %llu cycles\n\n",
+                (unsigned long long)scd.instructions,
+                (unsigned long long)scd.cycles);
+
+    std::printf("SCD speedup: %.1f%% fewer cycles, %.1f%% fewer "
+                "instructions\n",
+                100.0 * (1.0 - double(scd.cycles) / double(base.cycles)),
+                100.0 * (1.0 - double(scd.instructions) /
+                                   double(base.instructions)));
+    return 0;
+}

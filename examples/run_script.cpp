@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Run a script (one of the built-in Table III workloads, or a file) on a
+ * chosen VM / dispatch scheme / machine configuration, and report both the
+ * program output and the microarchitectural statistics.
+ *
+ * Usage:
+ *   run_script [--vm=rlua|sjs] [--scheme=baseline|jump-threading|vbbi|scd]
+ *              [--machine=minor|rocket|a8] [--size=test|sim|fpga]
+ *              [--host] [--stats-full] <workload-name | script-file>
+ *
+ * Examples:
+ *   run_script fibo
+ *   run_script --vm=sjs --scheme=scd mandelbrot
+ *   run_script --host my_script.lua
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "harness/figures.hh"
+#include "harness/machines.hh"
+#include "vm/rlua_compiler.hh"
+#include "vm/rlua_interp.hh"
+#include "vm/sjs_compiler.hh"
+#include "vm/sjs_interp.hh"
+
+using namespace scd;
+using namespace scd::harness;
+
+namespace
+{
+
+bool
+flagValue(int argc, char **argv, const char *name, std::string &out)
+{
+    std::string prefix = std::string("--") + name + "=";
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], prefix.c_str(), prefix.size()) == 0) {
+            out = argv[n] + prefix.size();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    std::string full = std::string("--") + name;
+    for (int n = 1; n < argc; ++n)
+        if (full == argv[n])
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string vmFlag = "rlua", schemeFlag = "scd", machineFlag = "minor",
+                sizeFlag = "sim";
+    flagValue(argc, argv, "vm", vmFlag);
+    flagValue(argc, argv, "scheme", schemeFlag);
+    flagValue(argc, argv, "machine", machineFlag);
+    flagValue(argc, argv, "size", sizeFlag);
+    bool hostOnly = hasFlag(argc, argv, "host");
+
+    std::string target;
+    for (int n = 1; n < argc; ++n)
+        if (argv[n][0] != '-')
+            target = argv[n];
+    if (target.empty()) {
+        std::fprintf(stderr, "usage: run_script [options] <workload|file>\n"
+                             "workloads:");
+        for (const auto &w : workloads())
+            std::fprintf(stderr, " %s", w.name.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+
+    // Resolve the script source.
+    std::string source;
+    bool isWorkload = false;
+    for (const auto &w : workloads())
+        isWorkload = isWorkload || w.name == target;
+    InputSize size = sizeFlag == "test"   ? InputSize::Test
+                     : sizeFlag == "fpga" ? InputSize::Fpga
+                                          : InputSize::Sim;
+    if (isWorkload) {
+        source = workload(target).text(size);
+    } else {
+        std::ifstream in(target);
+        if (!in) {
+            std::fprintf(stderr, "cannot open '%s'\n", target.c_str());
+            return 1;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        source = ss.str();
+    }
+
+    VmKind vm = vmFlag == "sjs" ? VmKind::Sjs : VmKind::Rlua;
+
+    if (hostOnly) {
+        std::string out = vm == VmKind::Rlua
+                              ? vm::rlua::run(vm::rlua::compileSource(source))
+                              : vm::sjs::run(vm::sjs::compileSource(source));
+        std::printf("%s", out.c_str());
+        return 0;
+    }
+
+    core::Scheme scheme = core::Scheme::Scd;
+    if (schemeFlag == "baseline")
+        scheme = core::Scheme::Baseline;
+    else if (schemeFlag == "jump-threading")
+        scheme = core::Scheme::JumpThreading;
+    else if (schemeFlag == "vbbi")
+        scheme = core::Scheme::Vbbi;
+
+    cpu::CoreConfig machine = machineFlag == "rocket" ? rocketConfig()
+                              : machineFlag == "a8"   ? cortexA8Config()
+                                                      : minorConfig();
+
+    std::fprintf(stderr, "simulating %s on %s/%s (%s)...\n", target.c_str(),
+                 vmName(vm), core::schemeName(scheme),
+                 machine.name.c_str());
+    ExperimentResult r = runExperiment(vm, source, scheme, machine);
+
+    std::printf("---- guest output "
+                "------------------------------------------\n");
+    std::printf("%s", r.output.c_str());
+    std::printf("---- statistics "
+                "--------------------------------------------\n");
+    std::printf("instructions        : %llu\n",
+                (unsigned long long)r.run.instructions);
+    std::printf("cycles              : %llu (CPI %.2f)\n",
+                (unsigned long long)r.run.cycles,
+                double(r.run.cycles) / double(r.run.instructions));
+    std::printf("dispatch fraction   : %.1f%%\n",
+                100.0 * r.dispatchFraction());
+    std::printf("branch MPKI         : %.2f\n", r.branchMpki());
+    std::printf("I-cache MPKI        : %.2f\n", r.icacheMpki());
+    std::printf("interpreter text    : %llu bytes\n",
+                (unsigned long long)r.interpreterTextBytes);
+    if (hasFlag(argc, argv, "stats-full")) {
+        std::printf("---- all counters "
+                    "-----------------------------------------\n");
+        for (const auto &kv : r.stats.all()) {
+            std::printf("%-40s %llu\n", kv.first.c_str(),
+                        (unsigned long long)kv.second);
+        }
+    }
+    if (scheme == core::Scheme::Scd) {
+        std::printf("bop fast-path hits  : %llu\n",
+                    (unsigned long long)r.stats.get("scd.bopFastHits"));
+        std::printf("bop misses          : %llu\n",
+                    (unsigned long long)r.stats.get("scd.bopMisses"));
+        std::printf("JTE inserts         : %llu\n",
+                    (unsigned long long)r.stats.get("scd.jteInserts"));
+        std::printf("JTE high-water      : %llu\n",
+                    (unsigned long long)r.stats.get("btb.jteHighWater"));
+        std::printf("Rop stall cycles    : %llu\n",
+                    (unsigned long long)r.stats.get("scd.ropStallCycles"));
+    }
+    return 0;
+}

@@ -1,0 +1,255 @@
+#include "btb.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace scd::branch
+{
+
+Btb::Btb(const BtbConfig &config) : config_(config)
+{
+    SCD_ASSERT(config.associativity > 0 &&
+               config.entries % config.associativity == 0,
+               "bad BTB geometry");
+    numSets_ = config.entries / config.associativity;
+    // A fully-associative BTB (rocket config) has one set; otherwise the
+    // set count must be a power of two for index extraction.
+    SCD_ASSERT(numSets_ == 1 || isPowerOf2(numSets_),
+               "BTB set count must be a power of two");
+    entries_.resize(config.entries);
+    rrNext_.resize(numSets_, 0);
+}
+
+unsigned
+Btb::setOf(EntryKind kind, uint64_t key) const
+{
+    if (numSets_ == 1)
+        return 0;
+    // B entries index with the word-aligned PC; VBBI keys are pre-hashed.
+    // JTEs index with the opcode, XOR-folded with the branch-ID (bank) so
+    // the multi-table extension's entries spread across sets instead of
+    // aliasing (a few XOR gates on the index path).
+    uint64_t idx;
+    if (kind == EntryKind::Branch) {
+        idx = key >> 2;
+    } else {
+        uint64_t bank = key >> 40;
+        idx = (key & 0xFF) ^ (bank * 29);
+    }
+    return static_cast<unsigned>(idx & (numSets_ - 1));
+}
+
+Btb::Entry *
+Btb::find(EntryKind kind, uint64_t key, unsigned set)
+{
+    Entry *base = &entries_[set * config_.associativity];
+    for (unsigned w = 0; w < config_.associativity; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.kind == kind && e.key == key)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::optional<uint64_t>
+Btb::lookup(EntryKind kind, uint64_t key)
+{
+    ++useClock_;
+    unsigned set = setOf(kind, key);
+    if (Entry *e = find(kind, key, set)) {
+        e->lastUse = useClock_;
+        return e->target;
+    }
+    return std::nullopt;
+}
+
+std::optional<uint64_t>
+Btb::lookupPc(uint64_t pc)
+{
+    if (config_.adaptiveJteCap)
+        adaptTick();
+    return lookup(EntryKind::Branch, pc);
+}
+
+unsigned
+Btb::effectiveJteCap() const
+{
+    if (config_.adaptiveJteCap)
+        return adaptiveCap_;
+    return config_.jteCap;
+}
+
+void
+Btb::adaptTick()
+{
+    if (++epochLookups_ < config_.adaptEpoch)
+        return;
+    epochLookups_ = 0;
+    uint64_t pressure =
+        (jteEvictedBranch_ + branchInsertDropped_) - epochPressureBase_;
+    epochPressureBase_ = jteEvictedBranch_ + branchInsertDropped_;
+    if (pressure > config_.adaptEpoch / 512) {
+        // JTEs are displacing live branch entries: tighten the cap.
+        unsigned current = adaptiveCap_ ? adaptiveCap_ : jteCount_;
+        adaptiveCap_ = std::max(8u, current / 2);
+    } else if (pressure == 0 && adaptiveCap_ != 0) {
+        // Contention subsided: relax toward unlimited.
+        adaptiveCap_ *= 2;
+        if (adaptiveCap_ >= config_.entries)
+            adaptiveCap_ = 0;
+    }
+}
+
+std::optional<uint64_t>
+Btb::lookupJte(uint8_t bank, uint64_t opcode)
+{
+    return lookup(EntryKind::Jte, jteKey(bank, opcode));
+}
+
+std::optional<uint64_t>
+Btb::lookupHashed(uint64_t hashKey)
+{
+    return lookup(EntryKind::Branch, hashKey);
+}
+
+void
+Btb::insert(EntryKind kind, uint64_t key, uint64_t target)
+{
+    ++useClock_;
+    unsigned set = setOf(kind, key);
+    if (Entry *e = find(kind, key, set)) {
+        e->target = target;
+        e->lastUse = useClock_;
+        return;
+    }
+
+    Entry *base = &entries_[set * config_.associativity];
+
+    unsigned cap = effectiveJteCap();
+    if (kind == EntryKind::Jte && cap != 0 && jteCount_ >= cap) {
+        // At the cap a new JTE may only displace another JTE; prefer the
+        // least recently used JTE in its set, else drop the insertion.
+        Entry *victim = nullptr;
+        for (unsigned w = 0; w < config_.associativity; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.kind == EntryKind::Jte &&
+                (!victim || e.lastUse < victim->lastUse)) {
+                victim = &e;
+            }
+        }
+        if (!victim)
+            return;
+        victim->key = key;
+        victim->target = target;
+        victim->lastUse = useClock_;
+        return;
+    }
+
+    // Invalid way first.
+    for (unsigned w = 0; w < config_.associativity; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            e.valid = true;
+            e.kind = kind;
+            e.key = key;
+            e.target = target;
+            e.lastUse = useClock_;
+            if (kind == EntryKind::Jte) {
+                ++jteCount_;
+                jteHighWater_ = std::max(jteHighWater_, jteCount_);
+            }
+            return;
+        }
+    }
+
+    // Pick a victim respecting JTE priority: a B entry may never evict a
+    // JTE (paper Section III-B replacement policy).
+    Entry *victim = nullptr;
+    if (config_.lruReplacement) {
+        for (unsigned w = 0; w < config_.associativity; ++w) {
+            Entry &e = base[w];
+            if (kind == EntryKind::Branch && e.kind == EntryKind::Jte)
+                continue;
+            if (!victim || e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+    } else {
+        unsigned start = rrNext_[set];
+        for (unsigned n = 0; n < config_.associativity; ++n) {
+            unsigned w = (start + n) % config_.associativity;
+            Entry &e = base[w];
+            if (kind == EntryKind::Branch && e.kind == EntryKind::Jte)
+                continue;
+            victim = &e;
+            rrNext_[set] = (w + 1) % config_.associativity;
+            break;
+        }
+    }
+
+    if (!victim) {
+        // All ways hold JTEs and a B entry wanted in: drop it.
+        ++branchInsertDropped_;
+        return;
+    }
+
+    if (kind == EntryKind::Jte) {
+        if (victim->kind == EntryKind::Branch) {
+            ++jteEvictedBranch_;
+            ++jteCount_;
+            jteHighWater_ = std::max(jteHighWater_, jteCount_);
+        }
+    } else if (victim->kind == EntryKind::Jte) {
+        panic("B entry evicting a JTE");
+    }
+    victim->valid = true;
+    victim->kind = kind;
+    victim->key = key;
+    victim->target = target;
+    victim->lastUse = useClock_;
+}
+
+void
+Btb::insertPc(uint64_t pc, uint64_t target)
+{
+    insert(EntryKind::Branch, pc, target);
+}
+
+void
+Btb::insertJte(uint8_t bank, uint64_t opcode, uint64_t target)
+{
+    insert(EntryKind::Jte, jteKey(bank, opcode), target);
+}
+
+void
+Btb::insertHashed(uint64_t hashKey, uint64_t target)
+{
+    insert(EntryKind::Branch, hashKey, target);
+}
+
+void
+Btb::flushJtes()
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.kind == EntryKind::Jte)
+            e.valid = false;
+    }
+    jteCount_ = 0;
+}
+
+void
+Btb::flushAll()
+{
+    for (Entry &e : entries_)
+        e.valid = false;
+    jteCount_ = 0;
+}
+
+void
+Btb::exportStats(StatGroup &group, const std::string &prefix) const
+{
+    group.counter(prefix + ".jteHighWater") = jteHighWater_;
+    group.counter(prefix + ".jteEvictedBranch") = jteEvictedBranch_;
+    group.counter(prefix + ".branchInsertDropped") = branchInsertDropped_;
+}
+
+} // namespace scd::branch

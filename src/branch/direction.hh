@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Conditional-branch direction predictors: a gshare predictor (used by the
+ * rocket-style configuration) and a tournament predictor combining local
+ * and global components (used by the minor-style configuration, as in the
+ * paper's Table II).
+ */
+
+#ifndef SCD_BRANCH_DIRECTION_HH
+#define SCD_BRANCH_DIRECTION_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace scd::branch
+{
+
+/** Interface for taken/not-taken predictors. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(uint64_t pc) = 0;
+
+    /** Train with the resolved direction and advance history. */
+    virtual void update(uint64_t pc, bool taken) = 0;
+};
+
+/** Global-history XOR PC indexed 2-bit counter predictor. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned entries);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    unsigned index(uint64_t pc) const;
+
+    std::vector<uint8_t> table_;
+    uint64_t history_ = 0;
+    unsigned histBits_;
+};
+
+/** Local + global + chooser tournament predictor (gem5-style). */
+class TournamentPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param globalEntries size of global and chooser counter tables
+     * @param localEntries size of the local history / counter tables
+     */
+    TournamentPredictor(unsigned globalEntries, unsigned localEntries);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    unsigned localIndex(uint64_t pc) const;
+    unsigned globalIndex() const;
+
+    std::vector<uint16_t> localHistory_;
+    std::vector<uint8_t> localCounters_;
+    std::vector<uint8_t> globalCounters_;
+    std::vector<uint8_t> chooser_;
+    uint64_t globalHistory_ = 0;
+    unsigned globalBits_;
+    unsigned localHistBits_;
+};
+
+/** Fixed-depth return address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth) : stack_(depth) {}
+
+    void
+    push(uint64_t addr)
+    {
+        top_ = (top_ + 1) % stack_.size();
+        stack_[top_] = addr;
+        if (size_ < stack_.size())
+            ++size_;
+    }
+
+    /** Predicted return target; 0 when empty. */
+    uint64_t
+    pop()
+    {
+        if (size_ == 0)
+            return 0;
+        uint64_t addr = stack_[top_];
+        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        --size_;
+        return addr;
+    }
+
+    unsigned depth() const { return unsigned(stack_.size()); }
+
+  private:
+    std::vector<uint64_t> stack_;
+    size_t top_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace scd::branch
+
+#endif // SCD_BRANCH_DIRECTION_HH

@@ -1,0 +1,127 @@
+#include "ittage.hh"
+
+namespace scd::branch
+{
+
+Ittage::Ittage() : Ittage(Config()) {}
+
+Ittage::Ittage(const Config &config) : config_(config)
+{
+    tables_.resize(config.numTables);
+    for (auto &t : tables_)
+        t.resize(config.tableEntries);
+    base_.resize(config.tableEntries);
+    unsigned bits = config.minHistory;
+    for (unsigned n = 0; n < config.numTables; ++n) {
+        historyBits_.push_back(bits);
+        bits *= 2; // geometric series
+    }
+}
+
+uint64_t
+Ittage::foldedHistory(unsigned bits) const
+{
+    uint64_t hist = pathHistory_ & ((bits >= 64) ? ~uint64_t(0)
+                                                 : ((uint64_t(1) << bits) -
+                                                    1));
+    // Fold into 16 bits for indexing/tagging.
+    uint64_t folded = 0;
+    while (hist != 0) {
+        folded ^= hist & 0xFFFF;
+        hist >>= 16;
+    }
+    return folded;
+}
+
+unsigned
+Ittage::index(unsigned table, uint64_t pc) const
+{
+    uint64_t h = mixHash((pc >> 2) ^ (foldedHistory(historyBits_[table])
+                                      << 1) ^
+                         (uint64_t(table) << 24));
+    return static_cast<unsigned>(h & (config_.tableEntries - 1));
+}
+
+uint64_t
+Ittage::tagOf(unsigned table, uint64_t pc) const
+{
+    return mixHash((pc >> 2) * 31 ^ foldedHistory(historyBits_[table]) ^
+                   table) &
+           0xFFF;
+}
+
+std::optional<uint64_t>
+Ittage::predict(uint64_t pc) const
+{
+    for (int t = int(config_.numTables) - 1; t >= 0; --t) {
+        const Entry &e = tables_[t][index(t, pc)];
+        if (e.valid && e.tag == tagOf(t, pc))
+            return e.target;
+    }
+    const Entry &b = base_[(pc >> 2) & (config_.tableEntries - 1)];
+    if (b.valid)
+        return b.target;
+    return std::nullopt;
+}
+
+void
+Ittage::update(uint64_t pc, uint64_t target)
+{
+    // Find the providing component.
+    int provider = -1;
+    for (int t = int(config_.numTables) - 1; t >= 0; --t) {
+        Entry &e = tables_[t][index(t, pc)];
+        if (e.valid && e.tag == tagOf(t, pc)) {
+            provider = t;
+            break;
+        }
+    }
+
+    bool correct;
+    if (provider >= 0) {
+        Entry &e = tables_[provider][index(provider, pc)];
+        correct = e.target == target;
+        if (correct) {
+            if (e.confidence < 3)
+                ++e.confidence;
+        } else if (e.confidence > 0) {
+            --e.confidence;
+        } else {
+            e.target = target;
+        }
+    } else {
+        Entry &b = base_[(pc >> 2) & (config_.tableEntries - 1)];
+        correct = b.valid && b.target == target;
+        b.valid = true;
+        if (!correct)
+            b.target = target;
+    }
+
+    // On a mispredict, allocate into one longer-history table.
+    if (!correct) {
+        unsigned start = provider + 1;
+        for (unsigned t = start; t < config_.numTables; ++t) {
+            Entry &e = tables_[t][index(t, pc)];
+            if (!e.valid || e.confidence == 0) {
+                e.valid = true;
+                e.tag = tagOf(t, pc);
+                e.target = target;
+                e.confidence = 1;
+                break;
+            }
+            // Decay so entries eventually free up.
+            --e.confidence;
+        }
+    }
+
+    // Path history: shift in two XOR-folded bits of the target so that
+    // targets differing anywhere (not just in the low bits) perturb it.
+    uint64_t folded = target;
+    folded ^= folded >> 16;
+    folded ^= folded >> 8;
+    folded ^= folded >> 4;
+    folded ^= folded >> 2;
+    pathHistory_ = (pathHistory_ << 2) ^ (folded & 3);
+}
+
+} // namespace scd::branch

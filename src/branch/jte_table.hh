@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A dedicated (auxiliary) jump-table-entry store, in the spirit of Kaeli
+ * & Emma's Case Block Table — the prior work the paper calls closest to
+ * SCD. Functionally equivalent to the BTB overlay from the dispatcher's
+ * point of view, but it costs its own storage and leaves the BTB alone.
+ * Used by the overlay-vs-auxiliary-table ablation.
+ */
+
+#ifndef SCD_BRANCH_JTE_TABLE_HH
+#define SCD_BRANCH_JTE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace scd::branch
+{
+
+/** Fully-associative LRU (bank, opcode) -> target store. */
+class JteTable
+{
+  public:
+    explicit JteTable(unsigned entries) : slots_(entries) {}
+
+    std::optional<uint64_t>
+    lookup(uint8_t bank, uint64_t opcode)
+    {
+        ++clock_;
+        for (auto &s : slots_) {
+            if (s.valid && s.bank == bank && s.opcode == opcode) {
+                s.lastUse = clock_;
+                return s.target;
+            }
+        }
+        return std::nullopt;
+    }
+
+    void
+    insert(uint8_t bank, uint64_t opcode, uint64_t target)
+    {
+        ++clock_;
+        for (auto &s : slots_) {
+            if (s.valid && s.bank == bank && s.opcode == opcode) {
+                s.target = target;
+                s.lastUse = clock_;
+                return;
+            }
+        }
+        Slot *victim = nullptr;
+        for (auto &s : slots_) {
+            if (!s.valid) {
+                victim = &s;
+                break;
+            }
+        }
+        if (!victim) {
+            for (auto &s : slots_) {
+                if (!victim || s.lastUse < victim->lastUse)
+                    victim = &s;
+            }
+        }
+        victim->valid = true;
+        victim->bank = bank;
+        victim->opcode = opcode;
+        victim->target = target;
+        victim->lastUse = clock_;
+    }
+
+    void
+    flush()
+    {
+        for (auto &s : slots_)
+            s.valid = false;
+    }
+
+    unsigned
+    count() const
+    {
+        unsigned n = 0;
+        for (const auto &s : slots_)
+            n += s.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    struct Slot
+    {
+        uint64_t opcode = 0;
+        uint64_t target = 0;
+        uint64_t lastUse = 0;
+        uint8_t bank = 0;
+        bool valid = false;
+    };
+
+    std::vector<Slot> slots_;
+    uint64_t clock_ = 0;
+};
+
+} // namespace scd::branch
+
+#endif // SCD_BRANCH_JTE_TABLE_HH

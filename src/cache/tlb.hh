@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A tiny fully-associative TLB model (identity mapping; only hit/miss
+ * timing matters). The evaluated platforms use 8-10 entry L1 TLBs.
+ */
+
+#ifndef SCD_CACHE_TLB_HH
+#define SCD_CACHE_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace scd::cache
+{
+
+/** Fully-associative LRU TLB over 4 KiB pages. */
+class Tlb
+{
+  public:
+    explicit Tlb(unsigned entries) : entries_(entries), slots_(entries) {}
+
+    /** Touch the page containing @p addr; returns true on hit. */
+    bool
+    access(uint64_t addr)
+    {
+        ++accesses_;
+        ++clock_;
+        uint64_t vpn = addr >> 12;
+        for (auto &s : slots_) {
+            if (s.valid && s.vpn == vpn) {
+                s.lastUse = clock_;
+                return true;
+            }
+        }
+        ++misses_;
+        Slot *victim = &slots_[0];
+        for (auto &s : slots_) {
+            if (!s.valid) {
+                victim = &s;
+                break;
+            }
+            if (s.lastUse < victim->lastUse)
+                victim = &s;
+        }
+        victim->valid = true;
+        victim->vpn = vpn;
+        victim->lastUse = clock_;
+        return false;
+    }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    unsigned entries() const { return entries_; }
+
+  private:
+    struct Slot
+    {
+        uint64_t vpn = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned entries_;
+    std::vector<Slot> slots_;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t clock_ = 0;
+};
+
+} // namespace scd::cache
+
+#endif // SCD_CACHE_TLB_HH

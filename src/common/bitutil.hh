@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef SCD_COMMON_BITUTIL_HH
+#define SCD_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+namespace scd
+{
+
+/** Extract bits [hi:lo] (inclusive) of a 64-bit value. */
+constexpr uint64_t
+bits(uint64_t value, unsigned hi, unsigned lo)
+{
+    unsigned width = hi - lo + 1;
+    uint64_t mask = width >= 64 ? ~uint64_t(0) : ((uint64_t(1) << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    unsigned shift = 64 - width;
+    return static_cast<int64_t>(value << shift) >> shift;
+}
+
+/** True if @p value fits in a signed field of @p width bits. */
+constexpr bool
+fitsSigned(int64_t value, unsigned width)
+{
+    int64_t lo = -(int64_t(1) << (width - 1));
+    int64_t hi = (int64_t(1) << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** True if @p value is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); value must be nonzero. */
+constexpr unsigned
+floorLog2(uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Mix a 64-bit value into a well-distributed hash (xorshift-multiply). */
+constexpr uint64_t
+mixHash(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace scd
+
+#endif // SCD_COMMON_BITUTIL_HH

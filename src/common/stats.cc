@@ -1,0 +1,19 @@
+#include "stats.hh"
+
+#include <cmath>
+
+namespace scd
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace scd

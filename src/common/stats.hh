@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A tiny named-counter statistics registry, loosely modelled on gem5's
+ * stats package. Components register scalar counters under hierarchical
+ * dotted names; the harness snapshots and diffs them between regions of
+ * interest (e.g. the interpreter loop body).
+ */
+
+#ifndef SCD_COMMON_STATS_HH
+#define SCD_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scd
+{
+
+/** A group of named 64-bit counters. */
+class StatGroup
+{
+  public:
+    /** Return a reference to the counter @p name, creating it at zero. */
+    uint64_t &
+    counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    /** Read a counter; returns 0 if it was never touched. */
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** All counters in name order. */
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+    /** Reset every counter to zero. */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second = 0;
+    }
+
+    /** Snapshot the current counter values. */
+    std::map<std::string, uint64_t>
+    snapshot() const
+    {
+        return counters_;
+    }
+
+    /**
+     * Difference between the current values and an earlier snapshot.
+     * Counters created after the snapshot diff against zero.
+     */
+    std::map<std::string, uint64_t>
+    since(const std::map<std::string, uint64_t> &snap) const
+    {
+        std::map<std::string, uint64_t> out;
+        for (const auto &kv : counters_) {
+            auto it = snap.find(kv.first);
+            uint64_t base = it == snap.end() ? 0 : it->second;
+            out[kv.first] = kv.second - base;
+        }
+        return out;
+    }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+/** Geometric mean of a list of ratios. Empty input yields 1.0. */
+double geomean(const std::vector<double> &values);
+
+} // namespace scd
+
+#endif // SCD_COMMON_STATS_HH

@@ -1,0 +1,80 @@
+#include "table.hh"
+
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace scd
+{
+
+void
+TextTable::header(std::vector<std::string> columns)
+{
+    SCD_ASSERT(rows_.empty(), "header must precede rows");
+    header_ = std::move(columns);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    SCD_ASSERT(cells.size() == header_.size(),
+               "row width ", cells.size(), " != header width ",
+               header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &r) {
+        std::string line;
+        for (size_t c = 0; c < r.size(); ++c) {
+            std::string cell = r[c];
+            // Left-align the first column, right-align the rest.
+            if (c == 0) {
+                cell.resize(width[c], ' ');
+            } else {
+                cell.insert(0, width[c] - cell.size(), ' ');
+            }
+            line += cell;
+            if (c + 1 < r.size())
+                line += "  ";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = renderRow(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out += std::string(total, '-') + '\n';
+    for (const auto &r : rows_)
+        out += renderRow(r);
+    return out;
+}
+
+std::string
+TextTable::fixed(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::percent(double ratio, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+    return buf;
+}
+
+} // namespace scd

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harness to print
+ * paper-style result tables (aligned columns, optional geomean row).
+ */
+
+#ifndef SCD_COMMON_TABLE_HH
+#define SCD_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace scd
+{
+
+/** Builds and renders a fixed-column text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. Must be called before adding rows. */
+    void header(std::vector<std::string> columns);
+
+    /** Append a data row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns and a separator line. */
+    std::string render() const;
+
+    /** Format helpers. */
+    static std::string fixed(double v, int precision);
+    static std::string percent(double ratio, int precision = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace scd
+
+#endif // SCD_COMMON_TABLE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analytical area/power model standing in for the paper's TSMC 40 nm
+ * Design Compiler synthesis (Table V).
+ *
+ * The paper's synthesis flow is unavailable, so we model each module as a
+ * bit-count budget (SRAM bits, flop bits, gate equivalents) priced with
+ * per-bit constants calibrated against the paper's *baseline* column of
+ * Table V. The SCD delta is then derived structurally from the extension's
+ * actual storage: one J/B flag per BTB entry, the per-bank Rop / Rmask /
+ * Rbop-pc registers, the masking AND, and the fetch-stage comparators.
+ * This preserves the paper's conclusion that the overhead is a fraction of
+ * a percent and that EDP follows the speedup.
+ */
+
+#ifndef SCD_CORE_HWCOST_HH
+#define SCD_CORE_HWCOST_HH
+
+#include <string>
+#include <vector>
+
+namespace scd::core
+{
+
+/** Cost of one module in the hierarchy. */
+struct ModuleCost
+{
+    std::string name;   ///< hierarchical name, e.g. "Tile/ICache/BTB"
+    double areaMm2 = 0;
+    double powerMw = 0;
+};
+
+/** Parameters of the modelled SCD hardware. */
+struct ScdHardwareParams
+{
+    unsigned btbEntries = 62;
+    unsigned btbTagBits = 38;    ///< PC tag bits per entry
+    unsigned btbTargetBits = 39; ///< target address bits per entry
+    unsigned scdBanks = 1;       ///< replicated {Rop,Rmask,Rbop-pc} sets
+};
+
+/** Full chip cost report. */
+struct CostReport
+{
+    std::vector<ModuleCost> modules; ///< leaf + aggregate rows, in order
+    double totalAreaMm2 = 0;
+    double totalPowerMw = 0;
+};
+
+/** Area/power model for the baseline Rocket-like core and its SCD variant. */
+class HwCostModel
+{
+  public:
+    explicit HwCostModel(const ScdHardwareParams &params = {});
+
+    /** Baseline module breakdown (calibrated to Table V, baseline). */
+    CostReport baseline() const;
+
+    /** Breakdown with SCD integrated. */
+    CostReport withScd() const;
+
+    /** Structural area added by SCD, in mm^2. */
+    double scdAreaDeltaMm2() const;
+
+    /** Structural power added by SCD, in mW. */
+    double scdPowerDeltaMw() const;
+
+    /**
+     * Energy-delay-product improvement when SCD yields @p speedup
+     * (execution-time ratio baseline/new). EDP = P * T^2.
+     * @return fractional improvement, e.g. 0.24 = 24% better.
+     */
+    double edpImprovement(double speedup) const;
+
+  private:
+    ScdHardwareParams params_;
+};
+
+} // namespace scd::core
+
+#endif // SCD_CORE_HWCOST_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The four dispatch-acceleration schemes compared throughout the paper's
+ * evaluation. Baseline / VBBI / SCD share the same interpreter binary
+ * shape (VBBI and SCD differ in hardware); jump threading is a software
+ * transformation producing a different binary.
+ */
+
+#ifndef SCD_CORE_SCHEME_HH
+#define SCD_CORE_SCHEME_HH
+
+#include "cpu/config.hh"
+
+namespace scd::core
+{
+
+/** Dispatch scheme under evaluation. */
+enum class Scheme
+{
+    Baseline,      ///< canonical switch dispatch, plain hardware
+    JumpThreading, ///< software: dispatcher replicated per handler
+    Vbbi,          ///< hardware: value-based BTB indexing predictor
+    Scd,           ///< hardware: short-circuit dispatch (this paper)
+};
+
+inline const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Baseline:
+        return "baseline";
+      case Scheme::JumpThreading:
+        return "jump-threading";
+      case Scheme::Vbbi:
+        return "vbbi";
+      case Scheme::Scd:
+        return "scd";
+    }
+    return "?";
+}
+
+/** Enable the hardware side of @p scheme on a core configuration. */
+inline cpu::CoreConfig
+withScheme(cpu::CoreConfig config, Scheme scheme)
+{
+    config.scdEnabled = scheme == Scheme::Scd;
+    config.vbbiEnabled = scheme == Scheme::Vbbi;
+    return config;
+}
+
+} // namespace scd::core
+
+#endif // SCD_CORE_SCHEME_HH

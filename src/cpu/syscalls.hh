@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Guest/host system-call ABI. The ecall instruction reads the call number
+ * from a7 and arguments from a0/a1; results return in a0. Guest programs
+ * use these for I/O so host and guest interpreter outputs can be compared
+ * byte-for-byte.
+ */
+
+#ifndef SCD_CPU_SYSCALLS_HH
+#define SCD_CPU_SYSCALLS_HH
+
+#include <cstdint>
+
+namespace scd::cpu
+{
+
+enum class Syscall : uint64_t
+{
+    Exit = 0,        ///< a0 = exit code
+    PutChar = 1,     ///< a0 = character
+    PrintInt = 2,    ///< a0 = signed 64-bit integer, printed in decimal
+    PrintDouble = 3, ///< a0 = IEEE-754 bits, printed with %.9g
+    PrintStr = 4,    ///< a0 = pointer, a1 = length
+};
+
+} // namespace scd::cpu
+
+#endif // SCD_CPU_SYSCALLS_HH

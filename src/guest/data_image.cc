@@ -1,0 +1,86 @@
+#include "data_image.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace scd::guest
+{
+
+DataImage::DataImage(uint64_t base) : base_(base)
+{
+    internTable_ = allocate(uint64_t(kInternCapacity) * 8);
+}
+
+uint64_t
+DataImage::allocate(uint64_t size, uint64_t align)
+{
+    uint64_t cur = base_ + bytes_.size();
+    uint64_t aligned = (cur + align - 1) & ~(align - 1);
+    bytes_.resize(aligned - base_ + size, 0);
+    return aligned;
+}
+
+void
+DataImage::write8(uint64_t addr, uint8_t v)
+{
+    SCD_ASSERT(addr >= base_ && addr < end(), "data write out of range");
+    bytes_[addr - base_] = v;
+}
+
+void
+DataImage::write32(uint64_t addr, uint32_t v)
+{
+    SCD_ASSERT(addr >= base_ && addr + 4 <= end(),
+               "data write out of range");
+    std::memcpy(&bytes_[addr - base_], &v, 4);
+}
+
+void
+DataImage::write64(uint64_t addr, uint64_t v)
+{
+    SCD_ASSERT(addr >= base_ && addr + 8 <= end(),
+               "data write out of range");
+    std::memcpy(&bytes_[addr - base_], &v, 8);
+}
+
+void
+DataImage::writeTValue(uint64_t addr, int64_t tag, uint64_t payload)
+{
+    write64(addr, static_cast<uint64_t>(tag));
+    write64(addr + 8, payload);
+}
+
+uint64_t
+DataImage::internString(const std::string &s)
+{
+    auto it = internMap_.find(s);
+    if (it != internMap_.end())
+        return it->second;
+
+    uint64_t obj = allocate(kStrBytes + s.size());
+    uint64_t hash = fnv1a(s.data(), s.size());
+    write64(obj + kStrLen, s.size());
+    write64(obj + kStrHash, hash);
+    for (size_t n = 0; n < s.size(); ++n)
+        write8(obj + kStrBytes + n, static_cast<uint8_t>(s[n]));
+
+    // Insert into the open-addressed intern table (linear probing), the
+    // same probe sequence the guest runtime walks.
+    uint64_t mask = kInternCapacity - 1;
+    uint64_t idx = hash & mask;
+    for (unsigned probes = 0; probes < kInternCapacity; ++probes) {
+        uint64_t slot = internTable_ + idx * 8;
+        uint64_t cur;
+        std::memcpy(&cur, &bytes_[slot - base_], 8);
+        if (cur == 0) {
+            write64(slot, obj);
+            internMap_.emplace(s, obj);
+            return obj;
+        }
+        idx = (idx + 1) & mask;
+    }
+    panic("intern table full at build time");
+}
+
+} // namespace scd::guest

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Builder for the guest's static data segment: bytecode images, constant
+ * TValue arrays, interned string objects, proto descriptors, the intern
+ * table, and the globals table — serialized host-side so the guest
+ * interpreter starts with a fully-formed world.
+ */
+
+#ifndef SCD_GUEST_DATA_IMAGE_HH
+#define SCD_GUEST_DATA_IMAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "layout.hh"
+
+namespace scd::guest
+{
+
+/** Grows-downward-free bump view of the guest data segment. */
+class DataImage
+{
+  public:
+    explicit DataImage(uint64_t base = kDataBase);
+
+    /** Reserve @p size zeroed bytes; returns the guest address. */
+    uint64_t allocate(uint64_t size, uint64_t align = 8);
+
+    void write8(uint64_t addr, uint8_t v);
+    void write32(uint64_t addr, uint32_t v);
+    void write64(uint64_t addr, uint64_t v);
+    void writeTValue(uint64_t addr, int64_t tag, uint64_t payload);
+
+    /**
+     * Create (or reuse) the interned string object for @p s and register
+     * it in the guest intern table. Returns the object address.
+     */
+    uint64_t internString(const std::string &s);
+
+    /** Guest address of the intern table (pointer array). */
+    uint64_t internTable() const { return internTable_; }
+
+    uint64_t base() const { return base_; }
+    uint64_t end() const { return base_ + bytes_.size(); }
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    uint64_t base_;
+    std::vector<uint8_t> bytes_;
+    uint64_t internTable_;
+    std::map<std::string, uint64_t> internMap_;
+};
+
+} // namespace scd::guest
+
+#endif // SCD_GUEST_DATA_IMAGE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Guest address-space layout and object layouts shared by the guest
+ * interpreter builders and the data-image serializer.
+ *
+ * All guest heap objects use 8-byte fields. A dynamically-typed value
+ * (TValue) is 16 bytes: { tag, payload }. Tag numbering matches the host
+ * vm::Type enum so serialized constants and runtime checks agree.
+ *
+ * Memory map:
+ *   0x0000'1000  text (interpreter code)
+ *   0x0010'0000  static data (bytecode images, constants, intern table,
+ *                globals, the VM state struct)
+ *   0x0400'0000  heap (bump allocator; never freed — the paper measures
+ *                with GC off)
+ *   0x3000'0000  VM value stack (TValue slots, grows up)
+ *   0x3800'0000  CallInfo stack (grows up)
+ *   0x3F00'0000  native stack (grows down, for runtime subroutines)
+ */
+
+#ifndef SCD_GUEST_LAYOUT_HH
+#define SCD_GUEST_LAYOUT_HH
+
+#include <cstdint>
+
+namespace scd::guest
+{
+
+// Address map.
+constexpr uint64_t kTextBase = 0x1000;
+constexpr uint64_t kDataBase = 0x100000;
+constexpr uint64_t kHeapBase = 0x4000000;
+constexpr uint64_t kValueStackBase = 0x30000000;
+constexpr uint64_t kCallInfoBase = 0x38000000;
+constexpr uint64_t kNativeStackTop = 0x3F000000;
+
+// TValue tags (== host vm::Type).
+constexpr int64_t kTagNil = 0;
+constexpr int64_t kTagFalse = 1;
+constexpr int64_t kTagTrue = 2;
+constexpr int64_t kTagInt = 3;
+constexpr int64_t kTagFloat = 4;
+constexpr int64_t kTagStr = 5;
+constexpr int64_t kTagTab = 6;
+constexpr int64_t kTagFun = 7;
+
+constexpr unsigned kTValueSize = 16;
+
+// String object: { len, hash, bytes... }.
+constexpr unsigned kStrLen = 0;
+constexpr unsigned kStrHash = 8;
+constexpr unsigned kStrBytes = 16;
+
+// Table object.
+constexpr unsigned kTabArrPtr = 0;
+constexpr unsigned kTabArrSize = 8;
+constexpr unsigned kTabArrCap = 16;
+constexpr unsigned kTabHashPtr = 24;
+constexpr unsigned kTabHashMask = 32;  ///< capacity - 1 (power of two)
+constexpr unsigned kTabHashCount = 40;
+constexpr unsigned kTabSize = 48;
+
+// Hash node: { keyTag, keyPayload, valTag, valPayload }.
+constexpr unsigned kNodeSize = 32;
+constexpr unsigned kTabInitHashCap = 8;
+
+// Function proto descriptor.
+constexpr unsigned kProtoCode = 0;
+constexpr unsigned kProtoNumParams = 8;
+constexpr unsigned kProtoFrameSize = 16; ///< RLua maxStack / SJS numLocals
+constexpr unsigned kProtoConsts = 24;
+constexpr unsigned kProtoKind = 32;      ///< 0 = bytecode, 1 = builtin
+constexpr unsigned kProtoBuiltinId = 40;
+constexpr unsigned kProtoOperandStack = 48; ///< SJS: operand stack slots
+constexpr unsigned kProtoDescSize = 56;
+
+// CallInfo record.
+constexpr unsigned kCiSavedVpc = 0;
+constexpr unsigned kCiSavedBase = 8;
+constexpr unsigned kCiSavedProto = 16;
+constexpr unsigned kCiRetInfo = 24;  ///< retReg | (wantResult << 8)
+constexpr unsigned kCiSize = 32;
+
+// VM state struct (memory-held interpreter state, as in Figure 1(b)).
+constexpr unsigned kVmVpc = 0;
+constexpr unsigned kVmHookMask = 8;
+constexpr unsigned kVmOpSp = 16;     ///< SJS operand stack pointer spill
+constexpr unsigned kVmSavedPc = 24;  ///< Lua-style ci->u.l.savedpc mirror
+constexpr unsigned kVmSize = 32;
+
+// Intern table: open-addressed array of string-object pointers.
+constexpr unsigned kInternCapacity = 1 << 16;
+
+/** FNV-1a hash, the string hash used on both sides of the boundary. */
+constexpr uint64_t
+fnv1a(const char *data, uint64_t len)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t n = 0; n < len; ++n) {
+        h ^= static_cast<uint8_t>(data[n]);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace scd::guest
+
+#endif // SCD_GUEST_LAYOUT_HH

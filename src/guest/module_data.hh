@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Serialization of compiled VM modules into the guest data segment:
+ * proto descriptors, constant TValue arrays, builtin function objects,
+ * the globals table, and the VM state struct.
+ */
+
+#ifndef SCD_GUEST_MODULE_DATA_HH
+#define SCD_GUEST_MODULE_DATA_HH
+
+#include <vector>
+
+#include "data_image.hh"
+#include "vm/rlua_bytecode.hh"
+#include "vm/sjs_bytecode.hh"
+
+namespace scd::guest
+{
+
+/** Guest addresses of everything the interpreter entry code needs. */
+struct SerializedModule
+{
+    std::vector<uint64_t> protoDescs; ///< per proto index
+    uint64_t protoDescTable = 0;      ///< u64[protoCount]
+    uint64_t globalsTable = 0;
+    uint64_t vmStruct = 0;
+    uint64_t jumpTable = 0;           ///< u64[numOps], patched post-link
+    uint64_t profileTable = 0;        ///< u64[numOps] execution counters
+    unsigned numOps = 0;
+};
+
+/** Serialize an RLua module (plus jump table space for 47 handlers). */
+SerializedModule serializeRluaModule(DataImage &data,
+                                     const vm::rlua::Module &module);
+
+/** Serialize an SJS module (jump table space for 229 handlers). */
+SerializedModule serializeSjsModule(DataImage &data,
+                                    const vm::sjs::Module &module);
+
+} // namespace scd::guest
+
+#endif // SCD_GUEST_MODULE_DATA_HH

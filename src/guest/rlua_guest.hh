@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Builder emitting the RLua guest interpreter (the paper's Lua stand-in)
+ * as SRV64 machine code, in three dispatch variants: canonical switch
+ * dispatch (Figure 1), jump threading, and short-circuit dispatch
+ * (Figure 4). The compiled script module is serialized into the data
+ * segment alongside the interned-string world and globals table.
+ */
+
+#ifndef SCD_GUEST_RLUA_GUEST_HH
+#define SCD_GUEST_RLUA_GUEST_HH
+
+#include "guest_program.hh"
+#include "vm/rlua_bytecode.hh"
+
+namespace scd::guest
+{
+
+/** Build the RLua guest world for @p module with dispatch @p kind. */
+GuestProgram buildRluaGuest(const vm::rlua::Module &module,
+                            DispatchKind kind);
+
+} // namespace scd::guest
+
+#endif // SCD_GUEST_RLUA_GUEST_HH

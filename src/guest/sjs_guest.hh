@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Builder emitting the SJS guest interpreter (the paper's SpiderMonkey
+ * stand-in): a stack machine with variable-length bytecodes, a 229-entry
+ * dispatch table, and — crucially — multiple dispatch sites (main loop,
+ * branch handler, call handler). The SCD variant assigns each site its
+ * own {Rop, Rmask, Rbop-pc} bank via the paper's multi-jump-table
+ * extension (Section IV).
+ */
+
+#ifndef SCD_GUEST_SJS_GUEST_HH
+#define SCD_GUEST_SJS_GUEST_HH
+
+#include "guest_program.hh"
+#include "vm/sjs_bytecode.hh"
+
+namespace scd::guest
+{
+
+/** Build the SJS guest world for @p module with dispatch @p kind. */
+GuestProgram buildSjsGuest(const vm::sjs::Module &module, DispatchKind kind);
+
+} // namespace scd::guest
+
+#endif // SCD_GUEST_SJS_GUEST_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The three evaluated machine configurations (paper Table II and
+ * Section VI-C2): the gem5 MinorCPU-like "minor" core (Cortex-A5 class),
+ * the Rocket-like "rocket" core used on FPGA, and the higher-end
+ * dual-issue "a8" core (Cortex-A8 class).
+ */
+
+#ifndef SCD_HARNESS_MACHINES_HH
+#define SCD_HARNESS_MACHINES_HH
+
+#include "cpu/config.hh"
+
+namespace scd::harness
+{
+
+/** 4-stage single-issue in-order core, Cortex-A5-like (Table II left). */
+cpu::CoreConfig minorConfig();
+
+/** 5-stage Rocket-like core, as synthesized for FPGA (Table II right). */
+cpu::CoreConfig rocketConfig();
+
+/** Dual-issue Cortex-A8-like core with an L2 (Section VI-C2). */
+cpu::CoreConfig cortexA8Config();
+
+} // namespace scd::harness
+
+#endif // SCD_HARNESS_MACHINES_HH

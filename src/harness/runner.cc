@@ -1,0 +1,88 @@
+#include "runner.hh"
+
+#include "common/logging.hh"
+#include "guest/rlua_guest.hh"
+#include "guest/sjs_guest.hh"
+#include "mem/memory.hh"
+#include "vm/rlua_compiler.hh"
+#include "vm/sjs_compiler.hh"
+
+namespace scd::harness
+{
+
+namespace
+{
+
+guest::DispatchKind
+dispatchFor(core::Scheme scheme)
+{
+    switch (scheme) {
+      case core::Scheme::JumpThreading:
+        return guest::DispatchKind::Threaded;
+      case core::Scheme::Scd:
+        return guest::DispatchKind::Scd;
+      default:
+        return guest::DispatchKind::Switch;
+    }
+}
+
+} // namespace
+
+double
+ExperimentResult::branchMpki() const
+{
+    uint64_t misses = 0;
+    for (size_t c = 0; c < size_t(cpu::BranchClass::NumClasses); ++c) {
+        misses += stats.get(std::string("branch.") +
+                            cpu::branchClassName(cpu::BranchClass(c)) +
+                            ".mispredicted");
+    }
+    return run.instructions == 0
+               ? 0.0
+               : 1000.0 * double(misses) / double(run.instructions);
+}
+
+ExperimentResult
+runExperiment(VmKind vm, const std::string &source, core::Scheme scheme,
+              const cpu::CoreConfig &machine, uint64_t maxInstructions)
+{
+    guest::GuestProgram program;
+    if (vm == VmKind::Rlua) {
+        program = guest::buildRluaGuest(vm::rlua::compileSource(source),
+                                        dispatchFor(scheme));
+    } else {
+        program = guest::buildSjsGuest(vm::sjs::compileSource(source),
+                                       dispatchFor(scheme));
+    }
+
+    mem::GuestMemory memory;
+    program.loadInto(memory);
+    cpu::Core core(core::withScheme(machine, scheme), memory);
+    core.loadProgram(program.text);
+    core.setDispatchMeta(program.meta);
+
+    ExperimentResult result;
+    result.run = core.run(maxInstructions);
+    if (!result.run.exited) {
+        warn("experiment hit the instruction limit (", maxInstructions,
+             ") before completing");
+    }
+    if (result.run.exitCode != 0)
+        fatal("guest exited with code ", result.run.exitCode, ": ",
+              core.output());
+    result.stats = core.collectStats();
+    result.output = core.output();
+    result.interpreterTextBytes = program.textBytes();
+    return result;
+}
+
+ExperimentResult
+runWorkload(VmKind vm, const Workload &workload, InputSize size,
+            core::Scheme scheme, const cpu::CoreConfig &machine,
+            uint64_t maxInstructions)
+{
+    return runExperiment(vm, workload.text(size), scheme, machine,
+                         maxInstructions);
+}
+
+} // namespace scd::harness

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Experiment runner: compiles a script for one of the two VMs, builds the
+ * guest world for the scheme's dispatch variant, runs it on a configured
+ * core, and returns the statistics the paper's figures are built from.
+ */
+
+#ifndef SCD_HARNESS_RUNNER_HH
+#define SCD_HARNESS_RUNNER_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "core/scheme.hh"
+#include "cpu/config.hh"
+#include "cpu/core.hh"
+#include "workloads.hh"
+
+namespace scd::harness
+{
+
+/** Which VM interprets the script. */
+enum class VmKind
+{
+    Rlua, ///< register-based, Lua-like
+    Sjs,  ///< stack-based, SpiderMonkey-like
+};
+
+inline const char *
+vmName(VmKind vm)
+{
+    return vm == VmKind::Rlua ? "rlua" : "sjs";
+}
+
+/** Everything a figure needs from one simulation. */
+struct ExperimentResult
+{
+    cpu::RunResult run;
+    StatGroup stats;
+    std::string output;
+    uint64_t interpreterTextBytes = 0;
+
+    double
+    mpki(const std::string &counter) const
+    {
+        return run.instructions == 0
+                   ? 0.0
+                   : 1000.0 * double(stats.get(counter)) /
+                         double(run.instructions);
+    }
+
+    /** Total branch mispredictions per kilo-instruction. */
+    double branchMpki() const;
+
+    /** I-cache misses per kilo-instruction. */
+    double
+    icacheMpki() const
+    {
+        return mpki("icache.misses");
+    }
+
+    /** Fraction of retired instructions inside dispatcher code. */
+    double
+    dispatchFraction() const
+    {
+        return run.instructions == 0
+                   ? 0.0
+                   : double(stats.get("dispatchInstructions")) /
+                         double(run.instructions);
+    }
+};
+
+/**
+ * Run @p source under @p vm with @p scheme on a core derived from
+ * @p machine. The scheme picks both the interpreter binary (jump
+ * threading is a software variant) and the hardware knobs (SCD / VBBI).
+ */
+ExperimentResult runExperiment(VmKind vm, const std::string &source,
+                               core::Scheme scheme,
+                               const cpu::CoreConfig &machine,
+                               uint64_t maxInstructions = 0);
+
+/** Convenience: run a Table III workload at the given input size. */
+ExperimentResult runWorkload(VmKind vm, const Workload &workload,
+                             InputSize size, core::Scheme scheme,
+                             const cpu::CoreConfig &machine,
+                             uint64_t maxInstructions = 0);
+
+} // namespace scd::harness
+
+#endif // SCD_HARNESS_RUNNER_HH

@@ -1,0 +1,498 @@
+#include "workloads.hh"
+
+#include "common/logging.hh"
+
+namespace scd::harness
+{
+
+namespace
+{
+
+const char *kBinaryTrees = R"SCRIPT(
+-- binary-trees: allocate and walk many binary trees (GC disabled, so the
+-- guest's bump allocator matches the paper's measurement setup).
+function make(d)
+  if d > 0 then
+    return { make(d - 1), make(d - 1) }
+  end
+  return { 0, 0 }
+end
+function check(t)
+  local l = t[1]
+  if l == 0 then return 1 end
+  return 1 + check(l) + check(t[2])
+end
+local maxdepth = @N@
+local stretch = maxdepth + 1
+print(check(make(stretch)))
+local longlived = make(maxdepth)
+local d = 4
+while d <= maxdepth do
+  local iters = 1
+  for i = 1, maxdepth - d + 4 do iters = iters * 2 end
+  local c = 0
+  for i = 1, iters do c = c + check(make(d)) end
+  print(c)
+  d = d + 2
+end
+print(check(longlived))
+)SCRIPT";
+
+const char *kFannkuchRedux = R"SCRIPT(
+-- fannkuch-redux: indexed access to a tiny integer sequence.
+function fannkuch(n)
+  local p = {}
+  local q = {}
+  local s = {}
+  for i = 1, n do
+    p[i] = i
+    q[i] = i
+    s[i] = i
+  end
+  local sign = 1
+  local maxflips = 0
+  local sum = 0
+  while true do
+    local q1 = p[1]
+    if q1 ~= 1 then
+      for i = 2, n do q[i] = p[i] end
+      local flips = 1
+      while true do
+        local qq = q[q1]
+        if qq == 1 then
+          sum = sum + sign * flips
+          if flips > maxflips then maxflips = flips end
+          break
+        end
+        q[q1] = q1
+        if q1 >= 4 then
+          local i = 2
+          local j = q1 - 1
+          while i < j do
+            local t = q[i]
+            q[i] = q[j]
+            q[j] = t
+            i = i + 1
+            j = j - 1
+          end
+        end
+        q1 = qq
+        flips = flips + 1
+      end
+    end
+    if sign == 1 then
+      local t = p[2]
+      p[2] = p[1]
+      p[1] = t
+      sign = -1
+    else
+      local t = p[2]
+      p[2] = p[3]
+      p[3] = t
+      sign = 1
+      local i = 3
+      while i <= n do
+        local sx = s[i]
+        if sx ~= 1 then
+          s[i] = sx - 1
+          break
+        end
+        if i == n then
+          print(sum)
+          print(maxflips)
+          return 0
+        end
+        s[i] = i
+        local t1 = p[1]
+        for j = 1, i do p[j] = p[j + 1] end
+        p[i + 1] = t1
+        i = i + 1
+      end
+    end
+  end
+end
+fannkuch(@N@)
+)SCRIPT";
+
+const char *kKNucleotide = R"SCRIPT(
+-- k-nucleotide: hashtable updates keyed by short nucleotide strings.
+-- Substitution: the CLBG original reads a FASTA file; we synthesize the
+-- sequence with the CLBG pseudo-random generator instead.
+local chars = { "a", "c", "g", "t" }
+local n = @N@
+local seq = {}
+local seed = 42
+for i = 1, n do
+  seed = (seed * 3877 + 29573) % 139968
+  seq[i] = chars[seed * 4 // 139968 + 1]
+end
+local counts = {}
+for i = 1, n - 1 do
+  local key = seq[i] .. seq[i + 1]
+  local c = counts[key]
+  if c == nil then counts[key] = 1 else counts[key] = c + 1 end
+end
+for i = 1, 4 do
+  for j = 1, 4 do
+    local k = chars[i] .. chars[j]
+    local c = counts[k]
+    if c == nil then c = 0 end
+    print(c)
+  end
+end
+)SCRIPT";
+
+const char *kMandelbrot = R"SCRIPT(
+-- mandelbrot: generate the Mandelbrot set over an N x N grid.
+-- Substitution: prints the in-set count rather than a PBM bitmap.
+local w = @N@
+local h = w
+local count = 0
+for y = 0, h - 1 do
+  local ci = 2.0 * y / h - 1.0
+  for x = 0, w - 1 do
+    local cr = 2.0 * x / w - 1.5
+    local zr = 0.0
+    local zi = 0.0
+    local inside = true
+    for i = 1, 50 do
+      local nzr = zr * zr - zi * zi + cr
+      zi = 2.0 * zr * zi + ci
+      zr = nzr
+      if zr * zr + zi * zi > 4.0 then
+        inside = false
+        break
+      end
+    end
+    if inside then count = count + 1 end
+  end
+end
+print(count)
+)SCRIPT";
+
+const char *kNBody = R"SCRIPT(
+-- n-body: double-precision simulation of the Jovian planets.
+PI = 3.141592653589793
+SOLAR_MASS = 4.0 * PI * PI
+DAYS = 365.24
+function body(x, y, z, vx, vy, vz, mass)
+  local b = {}
+  b.x = x
+  b.y = y
+  b.z = z
+  b.vx = vx * DAYS
+  b.vy = vy * DAYS
+  b.vz = vz * DAYS
+  b.mass = mass * SOLAR_MASS
+  return b
+end
+bodies = {
+  body(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0),
+  body(4.84143144246472090, -1.16032004402742839, -0.103622044471123109,
+       0.00166007664274403694, 0.00769901118419740425,
+       -0.0000690460016972063023, 0.000954791938424326609),
+  body(8.34336671824457987, 4.12479856412430479, -0.403523417114321381,
+       -0.00276742510726862411, 0.00499852801234917238,
+       0.0000230417297573763929, 0.000285885980666130812),
+  body(12.8943695621391310, -15.1111514016986312, -0.223307578892655734,
+       0.00296460137564761618, 0.00237847173959480950,
+       -0.0000296589568540237556, 0.0000436624404335156298),
+  body(15.3796971148509165, -25.9193146099879641, 0.179258772950371181,
+       0.00268067772490389322, 0.00162824170038242295,
+       -0.0000951592254519715870, 0.0000515138902046611451),
+}
+N_BODIES = 5
+function offset_momentum()
+  local px = 0.0
+  local py = 0.0
+  local pz = 0.0
+  for i = 1, N_BODIES do
+    local b = bodies[i]
+    px = px + b.vx * b.mass
+    py = py + b.vy * b.mass
+    pz = pz + b.vz * b.mass
+  end
+  local sun = bodies[1]
+  sun.vx = 0.0 - px / SOLAR_MASS
+  sun.vy = 0.0 - py / SOLAR_MASS
+  sun.vz = 0.0 - pz / SOLAR_MASS
+end
+function advance(dt)
+  for i = 1, N_BODIES do
+    local bi = bodies[i]
+    local bix = bi.x
+    local biy = bi.y
+    local biz = bi.z
+    local bivx = bi.vx
+    local bivy = bi.vy
+    local bivz = bi.vz
+    local bimass = bi.mass
+    for j = i + 1, N_BODIES do
+      local bj = bodies[j]
+      local dx = bix - bj.x
+      local dy = biy - bj.y
+      local dz = biz - bj.z
+      local d2 = dx * dx + dy * dy + dz * dz
+      local mag = dt / (d2 * sqrt(d2))
+      local bjm = bj.mass * mag
+      bivx = bivx - dx * bjm
+      bivy = bivy - dy * bjm
+      bivz = bivz - dz * bjm
+      local bim = bimass * mag
+      bj.vx = bj.vx + dx * bim
+      bj.vy = bj.vy + dy * bim
+      bj.vz = bj.vz + dz * bim
+    end
+    bi.vx = bivx
+    bi.vy = bivy
+    bi.vz = bivz
+    bi.x = bix + dt * bivx
+    bi.y = biy + dt * bivy
+    bi.z = biz + dt * bivz
+  end
+end
+function energy()
+  local e = 0.0
+  for i = 1, N_BODIES do
+    local bi = bodies[i]
+    e = e + 0.5 * bi.mass *
+        (bi.vx * bi.vx + bi.vy * bi.vy + bi.vz * bi.vz)
+    for j = i + 1, N_BODIES do
+      local bj = bodies[j]
+      local dx = bi.x - bj.x
+      local dy = bi.y - bj.y
+      local dz = bi.z - bj.z
+      e = e - (bi.mass * bj.mass) / sqrt(dx * dx + dy * dy + dz * dz)
+    end
+  end
+  return e
+end
+offset_momentum()
+print(energy())
+for i = 1, @N@ do advance(0.01) end
+print(energy())
+)SCRIPT";
+
+const char *kSpectralNorm = R"SCRIPT(
+-- spectral-norm: largest eigenvalue via the power method.
+function A(i, j)
+  local ij = i + j - 2
+  return 1.0 / (ij * (ij + 1) / 2 + i)
+end
+function mulAv(n, v, av)
+  for i = 1, n do
+    local s = 0.0
+    for j = 1, n do s = s + A(i, j) * v[j] end
+    av[i] = s
+  end
+end
+function mulAtv(n, v, atv)
+  for i = 1, n do
+    local s = 0.0
+    for j = 1, n do s = s + A(j, i) * v[j] end
+    atv[i] = s
+  end
+end
+function mulAtAv(n, v, atav, u)
+  mulAv(n, v, u)
+  mulAtv(n, u, atav)
+end
+local n = @N@
+local u = {}
+local v = {}
+local w = {}
+for i = 1, n do
+  u[i] = 1.0
+  v[i] = 0.0
+  w[i] = 0.0
+end
+for i = 1, 10 do
+  mulAtAv(n, u, v, w)
+  mulAtAv(n, v, u, w)
+end
+local vBv = 0.0
+local vv = 0.0
+for i = 1, n do
+  vBv = vBv + u[i] * v[i]
+  vv = vv + v[i] * v[i]
+end
+print(sqrt(vBv / vv))
+)SCRIPT";
+
+const char *kNSieve = R"SCRIPT(
+-- n-sieve: count primes in 2..1000*2^N with the Sieve of Eratosthenes.
+local m = 1000
+for i = 1, @N@ do m = m * 2 end
+local flags = {}
+flags[1] = false
+for i = 2, m do flags[i] = true end
+local count = 0
+for i = 2, m do
+  if flags[i] then
+    count = count + 1
+    local k = i + i
+    while k <= m do
+      flags[k] = false
+      k = k + i
+    end
+  end
+end
+print(count)
+)SCRIPT";
+
+const char *kRandom = R"SCRIPT(
+-- random: the CLBG linear congruential generator.
+local IM = 139968
+local IA = 3877
+local IC = 29573
+local seed = 42
+local last = 0.0
+for i = 1, @N@ do
+  seed = (seed * IA + IC) % IM
+  last = 100.0 * seed / IM
+end
+print(last)
+)SCRIPT";
+
+const char *kFibo = R"SCRIPT(
+-- fibo: naive recursive Fibonacci.
+function fib(n)
+  if n < 2 then return n end
+  return fib(n - 1) + fib(n - 2)
+end
+print(fib(@N@))
+)SCRIPT";
+
+const char *kAckermann = R"SCRIPT(
+-- ackermann: ack(3, N), a classic call-overhead stress test.
+function ack(m, n)
+  if m == 0 then return n + 1 end
+  if n == 0 then return ack(m - 1, 1) end
+  return ack(m - 1, ack(m, n - 1))
+end
+print(ack(3, @N@))
+)SCRIPT";
+
+const char *kPidigits = R"SCRIPT(
+-- pidigits: streaming spigot for the digits of pi.
+-- Substitution: the CLBG original uses arbitrary-precision integers; this
+-- is the Rabinowitz-Wagon bounded spigot in 64-bit arithmetic, keeping
+-- the same div/mod-heavy streaming structure.
+local n = @N@
+local len = n * 10 // 3 + 1
+local a = {}
+for i = 1, len do a[i] = 2 end
+local nines = 0
+local predigit = 0
+local first = true
+for j = 1, n do
+  local q = 0
+  for i = len, 1, -1 do
+    local den = 2 * i - 1
+    local x = 10 * a[i] + q * i
+    a[i] = x % den
+    q = x // den
+  end
+  a[1] = q % 10
+  q = q // 10
+  if q == 9 then
+    nines = nines + 1
+  else
+    if q == 10 then
+      print(predigit + 1)
+      for k = 1, nines do print(0) end
+      nines = 0
+      predigit = 0
+    else
+      if first then
+        first = false
+      else
+        print(predigit)
+      end
+      predigit = q
+      if nines > 0 then
+        for k = 1, nines do print(9) end
+        nines = 0
+      end
+    end
+  end
+end
+print(predigit)
+)SCRIPT";
+
+std::vector<Workload>
+makeWorkloads()
+{
+    //                 name             description                         src            test  sim   fpga
+    return {
+        {"binary-trees", "Allocate and deallocate many binary trees",
+         kBinaryTrees, 4, 7, 10},
+        {"fannkuch-redux", "Indexed access to a tiny integer sequence",
+         kFannkuchRedux, 5, 7, 8},
+        {"k-nucleotide", "Repeatedly update hashtables keyed by strings",
+         kKNucleotide, 500, 20000, 120000},
+        {"mandelbrot", "Generate the Mandelbrot set over an N x N grid",
+         kMandelbrot, 12, 48, 120},
+        {"n-body", "Double-precision N-body simulation",
+         kNBody, 50, 1200, 25000},
+        {"spectral-norm", "Eigenvalue using the power method",
+         kSpectralNorm, 6, 20, 56},
+        {"n-sieve", "Count primes with the Sieve of Eratosthenes",
+         kNSieve, 1, 5, 7},
+        {"random", "Linear congruential random number generation",
+         kRandom, 500, 60000, 600000},
+        {"fibo", "Naive recursive Fibonacci",
+         kFibo, 10, 19, 26},
+        {"ackermann", "The Ackermann function ack(3, N)",
+         kAckermann, 2, 4, 6},
+        {"pidigits", "Streaming spigot arithmetic for pi",
+         kPidigits, 15, 60, 220},
+    };
+}
+
+} // namespace
+
+std::string
+Workload::text(InputSize size) const
+{
+    std::string out = source;
+    std::string needle = "@N@";
+    std::string value = std::to_string(input(size));
+    size_t pos;
+    while ((pos = out.find(needle)) != std::string::npos)
+        out.replace(pos, needle.size(), value);
+    return out;
+}
+
+long
+Workload::input(InputSize size) const
+{
+    switch (size) {
+      case InputSize::Test:
+        return testInput;
+      case InputSize::Sim:
+        return simInput;
+      case InputSize::Fpga:
+        return fpgaInput;
+    }
+    return simInput;
+}
+
+const std::vector<Workload> &
+workloads()
+{
+    static const std::vector<Workload> all = makeWorkloads();
+    return all;
+}
+
+const Workload &
+workload(const std::string &name)
+{
+    for (const Workload &w : workloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace scd::harness

@@ -1,0 +1,624 @@
+#include "assembler.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace scd::isa
+{
+
+Assembler::Assembler(uint64_t base) : base_(base)
+{
+    SCD_ASSERT((base & 3) == 0, "misaligned code base");
+}
+
+Label
+Assembler::newLabel(const std::string &name)
+{
+    LabelInfo info;
+    info.name = name;
+    labels_.push_back(info);
+    return Label{static_cast<uint32_t>(labels_.size() - 1)};
+}
+
+void
+Assembler::bind(Label label)
+{
+    SCD_ASSERT(label.valid() && label.id < labels_.size(), "bad label");
+    LabelInfo &info = labels_[label.id];
+    SCD_ASSERT(!info.bound, "label '", info.name, "' bound twice");
+    info.bound = true;
+    info.item = static_cast<uint32_t>(items_.size());
+}
+
+void
+Assembler::emit(const Instruction &inst)
+{
+    SCD_ASSERT(!finished_, "emit after finish");
+    Item item;
+    item.inst = inst;
+    items_.push_back(item);
+}
+
+namespace
+{
+
+Instruction
+makeR(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+Instruction
+makeI(Opcode op, uint8_t rd, uint8_t rs1, int32_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeS(Opcode op, uint8_t rs1, uint8_t rs2, int32_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = imm;
+    return i;
+}
+
+} // namespace
+
+// --- ALU --------------------------------------------------------------
+
+#define SCD_DEF_R(fn, OP)                                                   \
+    void Assembler::fn(uint8_t rd, uint8_t rs1, uint8_t rs2)                \
+    {                                                                       \
+        emit(makeR(Opcode::OP, rd, rs1, rs2));                              \
+    }
+
+SCD_DEF_R(add, ADD)
+SCD_DEF_R(sub, SUB)
+SCD_DEF_R(and_, AND)
+SCD_DEF_R(or_, OR)
+SCD_DEF_R(xor_, XOR)
+SCD_DEF_R(sll, SLL)
+SCD_DEF_R(srl, SRL)
+SCD_DEF_R(sra, SRA)
+SCD_DEF_R(slt, SLT)
+SCD_DEF_R(sltu, SLTU)
+SCD_DEF_R(mul, MUL)
+SCD_DEF_R(mulh, MULH)
+SCD_DEF_R(div, DIV)
+SCD_DEF_R(divu, DIVU)
+SCD_DEF_R(rem, REM)
+SCD_DEF_R(remu, REMU)
+#undef SCD_DEF_R
+
+#define SCD_DEF_I(fn, OP)                                                   \
+    void Assembler::fn(uint8_t rd, uint8_t rs1, int32_t imm)                \
+    {                                                                       \
+        emit(makeI(Opcode::OP, rd, rs1, imm));                              \
+    }
+
+SCD_DEF_I(addi, ADDI)
+SCD_DEF_I(andi, ANDI)
+SCD_DEF_I(ori, ORI)
+SCD_DEF_I(xori, XORI)
+SCD_DEF_I(slli, SLLI)
+SCD_DEF_I(srli, SRLI)
+SCD_DEF_I(srai, SRAI)
+SCD_DEF_I(slti, SLTI)
+SCD_DEF_I(sltiu, SLTIU)
+#undef SCD_DEF_I
+
+void
+Assembler::lui(uint8_t rd, int32_t imm19)
+{
+    Instruction i;
+    i.op = Opcode::LUI;
+    i.rd = rd;
+    i.imm = imm19;
+    emit(i);
+}
+
+// --- memory -----------------------------------------------------------
+
+#define SCD_DEF_LOAD(fn, OP)                                                \
+    void Assembler::fn(uint8_t rd, int32_t off, uint8_t rs1)                \
+    {                                                                       \
+        emit(makeI(Opcode::OP, rd, rs1, off));                              \
+    }
+
+SCD_DEF_LOAD(lb, LB)
+SCD_DEF_LOAD(lbu, LBU)
+SCD_DEF_LOAD(lh, LH)
+SCD_DEF_LOAD(lhu, LHU)
+SCD_DEF_LOAD(lw, LW)
+SCD_DEF_LOAD(lwu, LWU)
+SCD_DEF_LOAD(ld, LD)
+SCD_DEF_LOAD(fld, FLD)
+#undef SCD_DEF_LOAD
+
+#define SCD_DEF_STORE(fn, OP)                                               \
+    void Assembler::fn(uint8_t rs2, int32_t off, uint8_t rs1)               \
+    {                                                                       \
+        emit(makeS(Opcode::OP, rs1, rs2, off));                             \
+    }
+
+SCD_DEF_STORE(sb, SB)
+SCD_DEF_STORE(sh, SH)
+SCD_DEF_STORE(sw, SW)
+SCD_DEF_STORE(sd, SD)
+SCD_DEF_STORE(fsd, FSD)
+#undef SCD_DEF_STORE
+
+// --- control ----------------------------------------------------------
+
+void
+Assembler::emitBranchTo(Opcode op, uint8_t rs1, uint8_t rs2, Label target)
+{
+    SCD_ASSERT(target.valid() && target.id < labels_.size(), "bad label");
+    Item item;
+    item.inst = makeS(op, rs1, rs2, 0);
+    item.target = target.id;
+    items_.push_back(item);
+}
+
+void
+Assembler::beq(uint8_t rs1, uint8_t rs2, Label t)
+{
+    emitBranchTo(Opcode::BEQ, rs1, rs2, t);
+}
+
+void
+Assembler::bne(uint8_t rs1, uint8_t rs2, Label t)
+{
+    emitBranchTo(Opcode::BNE, rs1, rs2, t);
+}
+
+void
+Assembler::blt(uint8_t rs1, uint8_t rs2, Label t)
+{
+    emitBranchTo(Opcode::BLT, rs1, rs2, t);
+}
+
+void
+Assembler::bge(uint8_t rs1, uint8_t rs2, Label t)
+{
+    emitBranchTo(Opcode::BGE, rs1, rs2, t);
+}
+
+void
+Assembler::bltu(uint8_t rs1, uint8_t rs2, Label t)
+{
+    emitBranchTo(Opcode::BLTU, rs1, rs2, t);
+}
+
+void
+Assembler::bgeu(uint8_t rs1, uint8_t rs2, Label t)
+{
+    emitBranchTo(Opcode::BGEU, rs1, rs2, t);
+}
+
+void
+Assembler::jal(uint8_t rd, Label target)
+{
+    SCD_ASSERT(target.valid() && target.id < labels_.size(), "bad label");
+    Item item;
+    Instruction i;
+    i.op = Opcode::JAL;
+    i.rd = rd;
+    item.inst = i;
+    item.target = target.id;
+    items_.push_back(item);
+}
+
+void
+Assembler::jalr(uint8_t rd, uint8_t rs1, int32_t off)
+{
+    emit(makeI(Opcode::JALR, rd, rs1, off));
+}
+
+// --- floating point -----------------------------------------------------
+
+#define SCD_DEF_FR3(fn, OP)                                                 \
+    void Assembler::fn(uint8_t frd, uint8_t frs1, uint8_t frs2)             \
+    {                                                                       \
+        emit(makeR(Opcode::OP, frd, frs1, frs2));                           \
+    }
+
+SCD_DEF_FR3(fadd, FADD)
+SCD_DEF_FR3(fsub, FSUB)
+SCD_DEF_FR3(fmul, FMUL)
+SCD_DEF_FR3(fdiv, FDIV)
+SCD_DEF_FR3(fmin, FMIN)
+SCD_DEF_FR3(fmax, FMAX)
+SCD_DEF_FR3(feq, FEQ)
+SCD_DEF_FR3(flt, FLT)
+SCD_DEF_FR3(fle, FLE)
+#undef SCD_DEF_FR3
+
+#define SCD_DEF_FR2(fn, OP)                                                 \
+    void Assembler::fn(uint8_t rd, uint8_t rs1)                             \
+    {                                                                       \
+        emit(makeR(Opcode::OP, rd, rs1, 0));                                \
+    }
+
+SCD_DEF_FR2(fsqrt, FSQRT)
+SCD_DEF_FR2(fneg, FNEG)
+SCD_DEF_FR2(fabs_, FABS)
+SCD_DEF_FR2(fcvtDL, FCVT_D_L)
+SCD_DEF_FR2(fcvtLD, FCVT_L_D)
+SCD_DEF_FR2(fmvXD, FMV_X_D)
+SCD_DEF_FR2(fmvDX, FMV_D_X)
+#undef SCD_DEF_FR2
+
+// --- system and SCD -------------------------------------------------------
+
+void
+Assembler::ecall()
+{
+    Instruction i;
+    i.op = Opcode::ECALL;
+    emit(i);
+}
+
+void
+Assembler::ebreak()
+{
+    Instruction i;
+    i.op = Opcode::EBREAK;
+    emit(i);
+}
+
+void
+Assembler::setmask(uint8_t rs1, uint8_t bank)
+{
+    Instruction i;
+    i.op = Opcode::SETMASK;
+    i.rs1 = rs1;
+    i.bank = bank;
+    emit(i);
+}
+
+#define SCD_DEF_OPLOAD(fn, OP)                                              \
+    void Assembler::fn(uint8_t rd, int32_t off, uint8_t rs1, uint8_t bank)  \
+    {                                                                       \
+        Instruction i;                                                      \
+        i.op = Opcode::OP;                                                  \
+        i.rd = rd;                                                          \
+        i.rs1 = rs1;                                                        \
+        i.imm = off;                                                        \
+        i.bank = bank;                                                      \
+        emit(i);                                                            \
+    }
+
+SCD_DEF_OPLOAD(lbuOp, LBU_OP)
+SCD_DEF_OPLOAD(lhuOp, LHU_OP)
+SCD_DEF_OPLOAD(lwOp, LW_OP)
+SCD_DEF_OPLOAD(ldOp, LD_OP)
+#undef SCD_DEF_OPLOAD
+
+void
+Assembler::bop(uint8_t bank)
+{
+    Instruction i;
+    i.op = Opcode::BOP;
+    i.bank = bank;
+    emit(i);
+}
+
+void
+Assembler::jru(uint8_t rs1, uint8_t bank)
+{
+    Instruction i;
+    i.op = Opcode::JRU;
+    i.rs1 = rs1;
+    i.bank = bank;
+    emit(i);
+}
+
+void
+Assembler::jteFlush()
+{
+    Instruction i;
+    i.op = Opcode::JTE_FLUSH;
+    emit(i);
+}
+
+// --- pseudo instructions --------------------------------------------------
+
+void
+Assembler::nop()
+{
+    addi(reg::zero, reg::zero, 0);
+}
+
+void
+Assembler::mv(uint8_t rd, uint8_t rs)
+{
+    addi(rd, rs, 0);
+}
+
+void
+Assembler::not_(uint8_t rd, uint8_t rs)
+{
+    xori(rd, rs, -1);
+}
+
+void
+Assembler::neg(uint8_t rd, uint8_t rs)
+{
+    sub(rd, reg::zero, rs);
+}
+
+void
+Assembler::seqz(uint8_t rd, uint8_t rs)
+{
+    sltiu(rd, rs, 1);
+}
+
+void
+Assembler::snez(uint8_t rd, uint8_t rs)
+{
+    sltu(rd, reg::zero, rs);
+}
+
+void
+Assembler::li(uint8_t rd, int64_t value)
+{
+    if (fitsSigned(value, 14)) {
+        addi(rd, reg::zero, static_cast<int32_t>(value));
+        return;
+    }
+    if (value >= 0 && value < (int64_t(1) << 31)) {
+        lui(rd, static_cast<int32_t>(value >> 13));
+        int32_t lo = static_cast<int32_t>(value & 0x1FFF);
+        if (lo != 0)
+            ori(rd, rd, lo);
+        return;
+    }
+    // General 64-bit path: arithmetic top chunk, then 13-bit OR chunks.
+    int64_t top = value >> 52;
+    addi(rd, reg::zero, static_cast<int32_t>(top));
+    for (int shift = 39; shift >= 0; shift -= 13) {
+        slli(rd, rd, 13);
+        int32_t chunk = static_cast<int32_t>((value >> shift) & 0x1FFF);
+        if (chunk != 0)
+            ori(rd, rd, chunk);
+    }
+}
+
+void
+Assembler::la(uint8_t rd, Label target)
+{
+    SCD_ASSERT(target.valid() && target.id < labels_.size(), "bad label");
+    Item hi;
+    hi.inst = Instruction{};
+    hi.inst.op = Opcode::LUI;
+    hi.inst.rd = rd;
+    hi.target = target.id;
+    hi.isLa = true;
+    items_.push_back(hi);
+
+    Item lo;
+    lo.inst = makeI(Opcode::ORI, rd, rd, 0);
+    lo.target = target.id;
+    lo.isLaLo = true;
+    items_.push_back(lo);
+}
+
+void
+Assembler::j(Label target)
+{
+    jal(reg::zero, target);
+}
+
+void
+Assembler::call(Label target)
+{
+    jal(reg::ra, target);
+}
+
+void
+Assembler::ret()
+{
+    jalr(reg::zero, reg::ra, 0);
+}
+
+void
+Assembler::jr(uint8_t rs)
+{
+    jalr(reg::zero, rs, 0);
+}
+
+void
+Assembler::beqz(uint8_t rs, Label t)
+{
+    beq(rs, reg::zero, t);
+}
+
+void
+Assembler::bnez(uint8_t rs, Label t)
+{
+    bne(rs, reg::zero, t);
+}
+
+void
+Assembler::bltz(uint8_t rs, Label t)
+{
+    blt(rs, reg::zero, t);
+}
+
+void
+Assembler::bgez(uint8_t rs, Label t)
+{
+    bge(rs, reg::zero, t);
+}
+
+void
+Assembler::bgt(uint8_t rs1, uint8_t rs2, Label t)
+{
+    blt(rs2, rs1, t);
+}
+
+void
+Assembler::ble(uint8_t rs1, uint8_t rs2, Label t)
+{
+    bge(rs2, rs1, t);
+}
+
+void
+Assembler::bgtu(uint8_t rs1, uint8_t rs2, Label t)
+{
+    bltu(rs2, rs1, t);
+}
+
+void
+Assembler::bleu(uint8_t rs1, uint8_t rs2, Label t)
+{
+    bgeu(rs2, rs1, t);
+}
+
+// --- layout, relaxation, and patching --------------------------------------
+
+Opcode
+Assembler::invertBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ:
+        return Opcode::BNE;
+      case Opcode::BNE:
+        return Opcode::BEQ;
+      case Opcode::BLT:
+        return Opcode::BGE;
+      case Opcode::BGE:
+        return Opcode::BLT;
+      case Opcode::BLTU:
+        return Opcode::BGEU;
+      case Opcode::BGEU:
+        return Opcode::BLTU;
+      default:
+        panic("not an invertible branch: ", mnemonic(op));
+    }
+}
+
+Program
+Assembler::finish()
+{
+    SCD_ASSERT(!finished_, "finish called twice");
+    finished_ = true;
+
+    for (const LabelInfo &info : labels_) {
+        if (info.item != UINT32_MAX)
+            continue;
+        // Unbound labels are fine as long as nothing references them.
+        for (const Item &item : items_) {
+            SCD_ASSERT(item.target == UINT32_MAX ||
+                       labels_[item.target].bound,
+                       "reference to unbound label '",
+                       item.target == UINT32_MAX
+                           ? ""
+                           : labels_[item.target].name, "'");
+        }
+    }
+
+    // Iterate the layout until no further branch needs relaxation.
+    std::vector<uint64_t> itemAddr(items_.size() + 1, 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        uint64_t pc = base_;
+        for (size_t n = 0; n < items_.size(); ++n) {
+            itemAddr[n] = pc;
+            pc += items_[n].expanded ? 8 : 4;
+        }
+        itemAddr[items_.size()] = pc;
+        // Label addresses follow from item addresses.
+        for (LabelInfo &info : labels_) {
+            if (info.bound)
+                info.address = itemAddr[info.item];
+        }
+        for (size_t n = 0; n < items_.size(); ++n) {
+            Item &item = items_[n];
+            if (item.target == UINT32_MAX || item.expanded ||
+                !item.inst.isBranch()) {
+                continue;
+            }
+            int64_t delta = static_cast<int64_t>(
+                labels_[item.target].address - itemAddr[n]);
+            if (!fitsSigned(delta >> 2, 14)) {
+                item.expanded = true;
+                changed = true;
+            }
+        }
+    }
+
+    // Encode with final addresses.
+    Program prog;
+    prog.base = base_;
+    for (size_t n = 0; n < items_.size(); ++n) {
+        Item &item = items_[n];
+        uint64_t pc = itemAddr[n];
+        if (item.target == UINT32_MAX) {
+            prog.words.push_back(encode(item.inst));
+            continue;
+        }
+        uint64_t target = labels_[item.target].address;
+        if (item.isLa) {
+            SCD_ASSERT(target < (uint64_t(1) << 31),
+                       "la target out of range");
+            item.inst.imm = static_cast<int32_t>(target >> 13);
+            prog.words.push_back(encode(item.inst));
+        } else if (item.isLaLo) {
+            item.inst.imm = static_cast<int32_t>(target & 0x1FFF);
+            prog.words.push_back(encode(item.inst));
+        } else if (item.inst.op == Opcode::JAL) {
+            item.inst.imm = static_cast<int32_t>(target - pc);
+            prog.words.push_back(encode(item.inst));
+        } else if (item.inst.isBranch()) {
+            if (!item.expanded) {
+                item.inst.imm = static_cast<int32_t>(target - pc);
+                prog.words.push_back(encode(item.inst));
+            } else {
+                Instruction cond = item.inst;
+                cond.op = invertBranch(cond.op);
+                cond.imm = 8; // skip over the jal
+                prog.words.push_back(encode(cond));
+                Instruction far;
+                far.op = Opcode::JAL;
+                far.rd = reg::zero;
+                far.imm = static_cast<int32_t>(target - (pc + 4));
+                prog.words.push_back(encode(far));
+            }
+        } else {
+            panic("unexpected label reference on ", mnemonic(item.inst.op));
+        }
+    }
+
+    for (const LabelInfo &info : labels_) {
+        if (info.bound && !info.name.empty())
+            prog.symbols[info.name] = info.address;
+    }
+    return prog;
+}
+
+uint64_t
+Assembler::address(Label label) const
+{
+    SCD_ASSERT(finished_, "address() before finish()");
+    SCD_ASSERT(label.valid() && label.id < labels_.size() &&
+               labels_[label.id].bound, "bad or unbound label");
+    return labels_[label.id].address;
+}
+
+} // namespace scd::isa

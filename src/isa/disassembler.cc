@@ -1,0 +1,39 @@
+#include "disassembler.hh"
+
+#include <cstdio>
+#include <map>
+
+#include "instruction.hh"
+
+namespace scd::isa
+{
+
+std::string
+disassembleWord(uint64_t pc, uint32_t word)
+{
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "%8llx:  ",
+                  static_cast<unsigned long long>(pc));
+    return std::string(prefix) + toString(decode(word));
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    // Invert the symbol table so definitions can be printed inline.
+    std::multimap<uint64_t, std::string> byAddr;
+    for (const auto &kv : prog.symbols)
+        byAddr.emplace(kv.second, kv.first);
+
+    std::string out;
+    for (size_t n = 0; n < prog.words.size(); ++n) {
+        uint64_t pc = prog.base + n * 4;
+        auto range = byAddr.equal_range(pc);
+        for (auto it = range.first; it != range.second; ++it)
+            out += it->second + ":\n";
+        out += disassembleWord(pc, prog.words[n]) + "\n";
+    }
+    return out;
+}
+
+} // namespace scd::isa

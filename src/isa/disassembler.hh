@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Textual disassembly of SRV64 programs, used for tracing and debugging.
+ */
+
+#ifndef SCD_ISA_DISASSEMBLER_HH
+#define SCD_ISA_DISASSEMBLER_HH
+
+#include <string>
+
+#include "program.hh"
+
+namespace scd::isa
+{
+
+/** Disassemble one word at @p pc (address shown in the prefix). */
+std::string disassembleWord(uint64_t pc, uint32_t word);
+
+/** Disassemble a full program, annotating symbol definitions. */
+std::string disassemble(const Program &prog);
+
+} // namespace scd::isa
+
+#endif // SCD_ISA_DISASSEMBLER_HH

@@ -1,0 +1,251 @@
+#include "instruction.hh"
+
+#include <cstdio>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace scd::isa
+{
+
+namespace
+{
+
+const char *kRegNames[32] = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+};
+
+constexpr unsigned kOpShift = 24;
+constexpr unsigned kRdShift = 19;
+constexpr unsigned kRs1Shift = 14;
+constexpr unsigned kRs2Shift = 9;
+constexpr unsigned kBankShift = 12;
+
+uint32_t
+checkImm(int64_t imm, unsigned width, const Instruction &inst)
+{
+    SCD_ASSERT(fitsSigned(imm, width), "immediate ", imm,
+               " does not fit in ", width, " bits for ", mnemonic(inst.op));
+    return static_cast<uint32_t>(imm & ((uint64_t(1) << width) - 1));
+}
+
+} // namespace
+
+const char *
+regName(uint8_t r)
+{
+    SCD_ASSERT(r < 32, "bad register index ", unsigned(r));
+    return kRegNames[r];
+}
+
+std::string
+fregName(uint8_t r)
+{
+    SCD_ASSERT(r < 32, "bad fp register index ", unsigned(r));
+    return "f" + std::to_string(unsigned(r));
+}
+
+uint32_t
+encode(const Instruction &inst)
+{
+    SCD_ASSERT(inst.rd < 32 && inst.rs1 < 32 && inst.rs2 < 32 &&
+               inst.bank < 4, "bad register field");
+    uint32_t word = uint32_t(static_cast<uint8_t>(inst.op)) << kOpShift;
+    switch (opcodeInfo(inst.op).format) {
+      case Format::R:
+        word |= uint32_t(inst.rd) << kRdShift;
+        word |= uint32_t(inst.rs1) << kRs1Shift;
+        word |= uint32_t(inst.rs2) << kRs2Shift;
+        break;
+      case Format::I:
+        word |= uint32_t(inst.rd) << kRdShift;
+        word |= uint32_t(inst.rs1) << kRs1Shift;
+        word |= checkImm(inst.imm, 14, inst);
+        break;
+      case Format::S:
+      case Format::B: {
+        // Branch immediates are encoded in units of 4 bytes.
+        int64_t imm = inst.imm;
+        if (opcodeInfo(inst.op).format == Format::B) {
+            SCD_ASSERT((imm & 3) == 0, "misaligned branch offset ", imm);
+            imm >>= 2;
+        }
+        word |= uint32_t(inst.rs1) << kRdShift;
+        word |= uint32_t(inst.rs2) << kRs1Shift;
+        word |= checkImm(imm, 14, inst);
+        break;
+      }
+      case Format::U:
+        word |= uint32_t(inst.rd) << kRdShift;
+        word |= checkImm(inst.imm, 19, inst);
+        break;
+      case Format::J: {
+        int64_t imm = inst.imm;
+        SCD_ASSERT((imm & 3) == 0, "misaligned jump offset ", imm);
+        word |= uint32_t(inst.rd) << kRdShift;
+        word |= checkImm(imm >> 2, 19, inst);
+        break;
+      }
+      case Format::OPLOAD:
+        word |= uint32_t(inst.rd) << kRdShift;
+        word |= uint32_t(inst.rs1) << kRs1Shift;
+        word |= uint32_t(inst.bank) << kBankShift;
+        word |= checkImm(inst.imm, 12, inst);
+        break;
+      case Format::SCDR:
+        word |= uint32_t(inst.rs1) << kRs1Shift;
+        word |= uint32_t(inst.bank) << kBankShift;
+        break;
+      case Format::SCDB:
+        word |= uint32_t(inst.bank) << kBankShift;
+        break;
+      case Format::SYS:
+        break;
+    }
+    return word;
+}
+
+Instruction
+decode(uint32_t word)
+{
+    Instruction inst;
+    unsigned opByte = word >> kOpShift;
+    if (opByte >= kNumOpcodes) {
+        inst.op = Opcode::EBREAK;
+        return inst;
+    }
+    inst.op = static_cast<Opcode>(opByte);
+    switch (opcodeInfo(inst.op).format) {
+      case Format::R:
+        inst.rd = bits(word, 23, 19);
+        inst.rs1 = bits(word, 18, 14);
+        inst.rs2 = bits(word, 13, 9);
+        break;
+      case Format::I:
+        inst.rd = bits(word, 23, 19);
+        inst.rs1 = bits(word, 18, 14);
+        inst.imm = static_cast<int32_t>(signExtend(bits(word, 13, 0), 14));
+        break;
+      case Format::S:
+        inst.rs1 = bits(word, 23, 19);
+        inst.rs2 = bits(word, 18, 14);
+        inst.imm = static_cast<int32_t>(signExtend(bits(word, 13, 0), 14));
+        break;
+      case Format::B:
+        inst.rs1 = bits(word, 23, 19);
+        inst.rs2 = bits(word, 18, 14);
+        inst.imm =
+            static_cast<int32_t>(signExtend(bits(word, 13, 0), 14) << 2);
+        break;
+      case Format::U:
+        inst.rd = bits(word, 23, 19);
+        inst.imm = static_cast<int32_t>(signExtend(bits(word, 18, 0), 19));
+        break;
+      case Format::J:
+        inst.rd = bits(word, 23, 19);
+        inst.imm =
+            static_cast<int32_t>(signExtend(bits(word, 18, 0), 19) << 2);
+        break;
+      case Format::OPLOAD:
+        inst.rd = bits(word, 23, 19);
+        inst.rs1 = bits(word, 18, 14);
+        inst.bank = bits(word, 13, 12);
+        inst.imm = static_cast<int32_t>(signExtend(bits(word, 11, 0), 12));
+        break;
+      case Format::SCDR:
+        inst.rs1 = bits(word, 18, 14);
+        inst.bank = bits(word, 13, 12);
+        break;
+      case Format::SCDB:
+        inst.bank = bits(word, 13, 12);
+        break;
+      case Format::SYS:
+        break;
+    }
+    return inst;
+}
+
+std::string
+toString(const Instruction &inst)
+{
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+    bool fpRd = (info.flags & FlagFpWritesRd) != 0;
+    bool fpRs1 = (info.flags & FlagFpReadsRs1) != 0;
+    bool fpRs2 = (info.flags & FlagFpReadsRs2) != 0;
+    auto rdName = [&] {
+        return fpRd ? fregName(inst.rd) : std::string(regName(inst.rd));
+    };
+    auto rs1Name = [&] {
+        return fpRs1 ? fregName(inst.rs1) : std::string(regName(inst.rs1));
+    };
+    auto rs2Name = [&] {
+        return fpRs2 ? fregName(inst.rs2) : std::string(regName(inst.rs2));
+    };
+
+    char buf[96];
+    switch (info.format) {
+      case Format::R:
+        if (inst.op == Opcode::FSQRT || inst.op == Opcode::FNEG ||
+            inst.op == Opcode::FABS || inst.op == Opcode::FCVT_D_L ||
+            inst.op == Opcode::FCVT_L_D || inst.op == Opcode::FMV_X_D ||
+            inst.op == Opcode::FMV_D_X) {
+            std::snprintf(buf, sizeof(buf), "%s %s, %s", info.mnemonic,
+                          rdName().c_str(), rs1Name().c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s %s, %s, %s", info.mnemonic,
+                          rdName().c_str(), rs1Name().c_str(),
+                          rs2Name().c_str());
+        }
+        break;
+      case Format::I:
+        if (hasFlag(inst.op, FlagLoad) || inst.op == Opcode::JALR) {
+            std::snprintf(buf, sizeof(buf), "%s %s, %d(%s)", info.mnemonic,
+                          rdName().c_str(), inst.imm, rs1Name().c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s %s, %s, %d", info.mnemonic,
+                          rdName().c_str(), rs1Name().c_str(), inst.imm);
+        }
+        break;
+      case Format::S:
+        std::snprintf(buf, sizeof(buf), "%s %s, %d(%s)", info.mnemonic,
+                      rs2Name().c_str(), inst.imm, rs1Name().c_str());
+        break;
+      case Format::B:
+        std::snprintf(buf, sizeof(buf), "%s %s, %s, %d", info.mnemonic,
+                      regName(inst.rs1), regName(inst.rs2), inst.imm);
+        break;
+      case Format::U:
+        std::snprintf(buf, sizeof(buf), "%s %s, %d", info.mnemonic,
+                      regName(inst.rd), inst.imm);
+        break;
+      case Format::J:
+        std::snprintf(buf, sizeof(buf), "%s %s, %d", info.mnemonic,
+                      regName(inst.rd), inst.imm);
+        break;
+      case Format::OPLOAD:
+        std::snprintf(buf, sizeof(buf), "%s %s, %d(%s), b%u", info.mnemonic,
+                      regName(inst.rd), inst.imm, regName(inst.rs1),
+                      unsigned(inst.bank));
+        break;
+      case Format::SCDR:
+        std::snprintf(buf, sizeof(buf), "%s %s, b%u", info.mnemonic,
+                      regName(inst.rs1), unsigned(inst.bank));
+        break;
+      case Format::SCDB:
+        std::snprintf(buf, sizeof(buf), "%s b%u", info.mnemonic,
+                      unsigned(inst.bank));
+        break;
+      case Format::SYS:
+        std::snprintf(buf, sizeof(buf), "%s", info.mnemonic);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "<bad>");
+        break;
+    }
+    return buf;
+}
+
+} // namespace scd::isa

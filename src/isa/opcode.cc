@@ -1,0 +1,27 @@
+#include "opcode.hh"
+
+#include "common/logging.hh"
+
+namespace scd::isa
+{
+
+namespace
+{
+
+const OpcodeInfo kOpcodeTable[] = {
+#define SCD_INFO_ENTRY(name, mnem, fmt, flags) {mnem, Format::fmt, (flags)},
+    SCD_OPCODE_LIST(SCD_INFO_ENTRY)
+#undef SCD_INFO_ENTRY
+};
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    unsigned idx = static_cast<unsigned>(op);
+    SCD_ASSERT(idx < kNumOpcodes, "bad opcode ", idx);
+    return kOpcodeTable[idx];
+}
+
+} // namespace scd::isa

@@ -1,0 +1,17 @@
+#include "program.hh"
+
+#include "common/logging.hh"
+
+namespace scd::isa
+{
+
+uint64_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("unknown symbol '", name, "'");
+    return it->second;
+}
+
+} // namespace scd::isa

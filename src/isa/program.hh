@@ -1,0 +1,35 @@
+/**
+ * @file
+ * An assembled SRV64 text segment: code words at a base address plus the
+ * symbol table produced by the assembler.
+ */
+
+#ifndef SCD_ISA_PROGRAM_HH
+#define SCD_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scd::isa
+{
+
+/** Immutable result of assembling a program. */
+struct Program
+{
+    uint64_t base = 0;             ///< address of the first instruction
+    std::vector<uint32_t> words;   ///< encoded instructions
+    std::map<std::string, uint64_t> symbols; ///< named labels
+
+    uint64_t entry() const { return base; }
+    uint64_t end() const { return base + words.size() * 4; }
+    size_t size() const { return words.size(); }
+
+    /** Address of a named symbol; fatal() if missing. */
+    uint64_t symbol(const std::string &name) const;
+};
+
+} // namespace scd::isa
+
+#endif // SCD_ISA_PROGRAM_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * A small textual front-end over the builder Assembler, so example programs
+ * and tests can be written as conventional assembly listings.
+ *
+ * Supported syntax:
+ *   - one instruction per line; `label:` definitions; `#` or `//` comments
+ *   - all SRV64 mnemonics plus the common pseudos (li, la, mv, j, call,
+ *     ret, jr, beqz/bnez, nop, not, neg)
+ *   - loads/stores accept `off(reg)` operands
+ */
+
+#ifndef SCD_ISA_TEXT_ASSEMBLER_HH
+#define SCD_ISA_TEXT_ASSEMBLER_HH
+
+#include <string>
+
+#include "program.hh"
+
+namespace scd::isa
+{
+
+/** Assemble @p source into a Program based at @p base; fatal() on errors. */
+Program assembleText(const std::string &source, uint64_t base = 0x1000);
+
+} // namespace scd::isa
+
+#endif // SCD_ISA_TEXT_ASSEMBLER_HH

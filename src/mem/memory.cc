@@ -1,0 +1,103 @@
+#include "memory.hh"
+
+#include <cstring>
+
+namespace scd::mem
+{
+
+uint8_t *
+GuestMemory::page(uint64_t addr)
+{
+    uint64_t frame = addr >> kPageBits;
+    auto it = pages_.find(frame);
+    if (it == pages_.end()) {
+        auto fresh = std::make_unique<uint8_t[]>(kPageSize);
+        std::memset(fresh.get(), 0, kPageSize);
+        it = pages_.emplace(frame, std::move(fresh)).first;
+    }
+    return it->second.get();
+}
+
+const uint8_t *
+GuestMemory::pageIfPresent(uint64_t addr) const
+{
+    uint64_t frame = addr >> kPageBits;
+    auto it = pages_.find(frame);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+namespace
+{
+
+constexpr uint64_t
+offsetIn(uint64_t addr)
+{
+    return addr & (GuestMemory::kPageSize - 1);
+}
+
+} // namespace
+
+// Accesses from the guest interpreters are always naturally aligned and
+// never straddle a 64 KiB page, so the fast paths below just memcpy within
+// one page. A straddling access falls back to byte-at-a-time.
+
+#define SCD_DEF_READ(name, type)                                            \
+    type GuestMemory::name(uint64_t addr) const                             \
+    {                                                                       \
+        type v = 0;                                                         \
+        if (offsetIn(addr) + sizeof(type) <= kPageSize) {                   \
+            const uint8_t *p = pageIfPresent(addr);                         \
+            if (p)                                                          \
+                std::memcpy(&v, p + offsetIn(addr), sizeof(type));          \
+            return v;                                                       \
+        }                                                                   \
+        for (size_t n = 0; n < sizeof(type); ++n)                           \
+            v |= static_cast<type>(read8(addr + n)) << (8 * n);             \
+        return v;                                                           \
+    }
+
+SCD_DEF_READ(read8, uint8_t)
+SCD_DEF_READ(read16, uint16_t)
+SCD_DEF_READ(read32, uint32_t)
+SCD_DEF_READ(read64, uint64_t)
+#undef SCD_DEF_READ
+
+#define SCD_DEF_WRITE(name, type)                                           \
+    void GuestMemory::name(uint64_t addr, type value)                       \
+    {                                                                       \
+        if (offsetIn(addr) + sizeof(type) <= kPageSize) {                   \
+            std::memcpy(page(addr) + offsetIn(addr), &value, sizeof(type)); \
+            return;                                                         \
+        }                                                                   \
+        for (size_t n = 0; n < sizeof(type); ++n)                           \
+            write8(addr + n, static_cast<uint8_t>(value >> (8 * n)));       \
+    }
+
+SCD_DEF_WRITE(write8, uint8_t)
+SCD_DEF_WRITE(write16, uint16_t)
+SCD_DEF_WRITE(write32, uint32_t)
+SCD_DEF_WRITE(write64, uint64_t)
+#undef SCD_DEF_WRITE
+
+void
+GuestMemory::writeBlock(uint64_t addr, const void *bytes, size_t size)
+{
+    const uint8_t *src = static_cast<const uint8_t *>(bytes);
+    while (size > 0) {
+        uint64_t off = offsetIn(addr);
+        size_t chunk = std::min<size_t>(size, kPageSize - off);
+        std::memcpy(page(addr) + off, src, chunk);
+        addr += chunk;
+        src += chunk;
+        size -= chunk;
+    }
+}
+
+void
+GuestMemory::loadProgram(const isa::Program &prog)
+{
+    for (size_t n = 0; n < prog.words.size(); ++n)
+        write32(prog.base + n * 4, prog.words[n]);
+}
+
+} // namespace scd::mem

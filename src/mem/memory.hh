@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sparse (paged) guest physical memory. Pages are allocated on first touch
+ * so workloads with large heaps (e.g. binary-trees with garbage collection
+ * disabled, matching the paper's setup) stay cheap to host.
+ */
+
+#ifndef SCD_MEM_MEMORY_HH
+#define SCD_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace scd::mem
+{
+
+/** Byte-addressable little-endian guest memory. */
+class GuestMemory
+{
+  public:
+    static constexpr unsigned kPageBits = 16;
+    static constexpr uint64_t kPageSize = uint64_t(1) << kPageBits;
+
+    uint8_t read8(uint64_t addr) const;
+    uint16_t read16(uint64_t addr) const;
+    uint32_t read32(uint64_t addr) const;
+    uint64_t read64(uint64_t addr) const;
+
+    void write8(uint64_t addr, uint8_t value);
+    void write16(uint64_t addr, uint16_t value);
+    void write32(uint64_t addr, uint32_t value);
+    void write64(uint64_t addr, uint64_t value);
+
+    /** Copy @p bytes into memory starting at @p addr. */
+    void writeBlock(uint64_t addr, const void *bytes, size_t size);
+
+    /** Copy the encoded text segment of @p prog into memory. */
+    void loadProgram(const isa::Program &prog);
+
+    /** Number of live 64 KiB pages (for footprint reporting). */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    uint8_t *page(uint64_t addr);
+    const uint8_t *pageIfPresent(uint64_t addr) const;
+
+    mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+};
+
+} // namespace scd::mem
+
+#endif // SCD_MEM_MEMORY_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Shared Lua-5.3-style arithmetic and comparison semantics, used by both
+ * host interpreters so the two VMs (and the guest runtime, which mirrors
+ * these rules in assembly) agree on every result bit.
+ */
+
+#ifndef SCD_VM_ARITH_HH
+#define SCD_VM_ARITH_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "value.hh"
+
+namespace scd::vm
+{
+
+/** Floor-division on integers (Lua //). */
+inline int64_t
+luaIdiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        fatal("attempt to perform integer division by zero");
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+/** Floor-modulo on integers (Lua %). */
+inline int64_t
+luaImod(int64_t a, int64_t b)
+{
+    if (b == 0)
+        fatal("attempt to perform 'n%%0'");
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0)))
+        r += b;
+    return r;
+}
+
+/** Floor-modulo on floats (Lua %). */
+inline double
+luaFmod(double a, double b)
+{
+    double r = std::fmod(a, b);
+    if (r != 0.0 && ((r < 0.0) != (b < 0.0)))
+        r += b;
+    return r;
+}
+
+enum class ArithOp
+{
+    Add, Sub, Mul, Div, IDiv, Mod, Unm,
+};
+
+/** Apply a Lua arithmetic operator. */
+inline Value
+arith(ArithOp op, const Value &a, const Value &b)
+{
+    if (!a.isNumber() || (op != ArithOp::Unm && !b.isNumber()))
+        fatal("attempt to perform arithmetic on a non-number value");
+    bool bothInt = a.isInt() && (op == ArithOp::Unm || b.isInt());
+    switch (op) {
+      case ArithOp::Add:
+        if (bothInt) {
+            return Value::integer(static_cast<int64_t>(
+                static_cast<uint64_t>(a.asInt()) +
+                static_cast<uint64_t>(b.asInt())));
+        }
+        return Value::number(a.toNumber() + b.toNumber());
+      case ArithOp::Sub:
+        if (bothInt) {
+            return Value::integer(static_cast<int64_t>(
+                static_cast<uint64_t>(a.asInt()) -
+                static_cast<uint64_t>(b.asInt())));
+        }
+        return Value::number(a.toNumber() - b.toNumber());
+      case ArithOp::Mul:
+        if (bothInt) {
+            return Value::integer(static_cast<int64_t>(
+                static_cast<uint64_t>(a.asInt()) *
+                static_cast<uint64_t>(b.asInt())));
+        }
+        return Value::number(a.toNumber() * b.toNumber());
+      case ArithOp::Div:
+        return Value::number(a.toNumber() / b.toNumber());
+      case ArithOp::IDiv:
+        if (bothInt)
+            return Value::integer(luaIdiv(a.asInt(), b.asInt()));
+        return Value::number(std::floor(a.toNumber() / b.toNumber()));
+      case ArithOp::Mod:
+        if (bothInt)
+            return Value::integer(luaImod(a.asInt(), b.asInt()));
+        return Value::number(luaFmod(a.toNumber(), b.toNumber()));
+      case ArithOp::Unm:
+        if (a.isInt())
+            return Value::integer(-a.asInt());
+        return Value::number(-a.asFloat());
+    }
+    panic("bad arith op");
+}
+
+/** Lua `<` on numbers and strings. */
+inline bool
+luaLess(const Value &a, const Value &b)
+{
+    if (a.isNumber() && b.isNumber()) {
+        if (a.isInt() && b.isInt())
+            return a.asInt() < b.asInt();
+        return a.toNumber() < b.toNumber();
+    }
+    if (a.isStr() && b.isStr())
+        return a.asStr() < b.asStr();
+    fatal("attempt to compare incompatible values");
+}
+
+/** Lua `<=` on numbers and strings. */
+inline bool
+luaLessEq(const Value &a, const Value &b)
+{
+    if (a.isNumber() && b.isNumber()) {
+        if (a.isInt() && b.isInt())
+            return a.asInt() <= b.asInt();
+        return a.toNumber() <= b.toNumber();
+    }
+    if (a.isStr() && b.isStr())
+        return a.asStr() <= b.asStr();
+    fatal("attempt to compare incompatible values");
+}
+
+} // namespace scd::vm
+
+#endif // SCD_VM_ARITH_HH

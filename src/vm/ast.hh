@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Abstract syntax tree for the script language. Produced by the parser and
+ * consumed by both bytecode compilers (RLua and SJS back-ends).
+ */
+
+#ifndef SCD_VM_AST_HH
+#define SCD_VM_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace scd::vm
+{
+
+struct Expr;
+struct Stat;
+using ExprPtr = std::unique_ptr<Expr>;
+using StatPtr = std::unique_ptr<Stat>;
+
+/** Binary operators (after parser desugaring). */
+enum class BinOp
+{
+    Add, Sub, Mul, Div, IDiv, Mod, Concat,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    And, Or,
+};
+
+/** Unary operators. */
+enum class UnOp
+{
+    Neg, Not, Len,
+};
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind
+    {
+        Nil, True, False, Int, Float, Str,
+        Name,        ///< variable reference (local or global resolved later)
+        Index,       ///< lhs[key]
+        Call,        ///< fn(args...)
+        Binary,
+        Unary,
+        TableCtor,   ///< { a, b, key = v, [k] = v }
+    };
+
+    Kind kind;
+    int line = 0;
+
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    std::string name;        ///< Name / Str text
+    ExprPtr lhs;             ///< Index base / Call callee / Binary lhs /
+                             ///< Unary operand
+    ExprPtr rhs;             ///< Index key / Binary rhs
+    std::vector<ExprPtr> args; ///< Call arguments
+    BinOp binOp = BinOp::Add;
+    UnOp unOp = UnOp::Neg;
+
+    /** Table constructor entries: positional when key is null. */
+    struct CtorField
+    {
+        ExprPtr key; ///< nullptr for positional entries
+        ExprPtr value;
+    };
+    std::vector<CtorField> fields;
+};
+
+/** Statement node. */
+struct Stat
+{
+    enum class Kind
+    {
+        Local,      ///< local name = expr
+        Assign,     ///< target = expr (target: Name or Index)
+        ExprStat,   ///< bare call
+        If,
+        While,
+        NumericFor,
+        Return,
+        Break,
+        FunctionDecl, ///< function name(params) body end (global)
+    };
+
+    Kind kind;
+    int line = 0;
+
+    std::string name;            ///< Local / FunctionDecl name
+    ExprPtr target;              ///< Assign target
+    ExprPtr expr;                ///< value / condition / return value
+    std::vector<StatPtr> body;
+    std::vector<StatPtr> elseBody;
+
+    /** If-chains: conditions[i] guards blocks[i]; elseBody is the tail. */
+    std::vector<ExprPtr> conditions;
+    std::vector<std::vector<StatPtr>> blocks;
+
+    // Numeric for: name = start, limit [, step]
+    ExprPtr forStart;
+    ExprPtr forLimit;
+    ExprPtr forStep; ///< may be null (defaults to 1)
+
+    // FunctionDecl
+    std::vector<std::string> params;
+};
+
+/** A parsed chunk: top-level statements (functions + main code). */
+struct Chunk
+{
+    std::vector<StatPtr> stats;
+};
+
+} // namespace scd::vm
+
+#endif // SCD_VM_AST_HH

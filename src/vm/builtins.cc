@@ -1,0 +1,76 @@
+#include "builtins.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace scd::vm
+{
+
+Value
+callBuiltin(Builtin id, const std::vector<Value> &args, std::string &out)
+{
+    auto arg = [&](size_t n) -> const Value & {
+        static const Value nil;
+        return n < args.size() ? args[n] : nil;
+    };
+    switch (id) {
+      case Builtin::Print:
+        out += toDisplayString(arg(0));
+        out += '\n';
+        return Value::nil();
+      case Builtin::Sqrt:
+        if (!arg(0).isNumber())
+            fatal("sqrt: expected a number");
+        return Value::number(std::sqrt(arg(0).toNumber()));
+      case Builtin::StrSub: {
+        if (!arg(0).isStr() || !arg(1).isInt() || !arg(2).isInt())
+            fatal("strsub: expected (string, int, int)");
+        const std::string &s = arg(0).asStr();
+        int64_t i = arg(1).asInt();
+        int64_t j = arg(2).asInt();
+        int64_t len = static_cast<int64_t>(s.size());
+        if (i < 1)
+            i = 1;
+        if (j > len)
+            j = len;
+        if (i > j)
+            return Value::str("");
+        return Value::str(s.substr(i - 1, j - i + 1));
+      }
+      case Builtin::StrByte: {
+        if (!arg(0).isStr() || !arg(1).isInt())
+            fatal("strbyte: expected (string, int)");
+        const std::string &s = arg(0).asStr();
+        int64_t i = arg(1).asInt();
+        if (i < 1 || i > static_cast<int64_t>(s.size()))
+            return Value::nil();
+        return Value::integer(static_cast<uint8_t>(s[i - 1]));
+      }
+      case Builtin::StrChar: {
+        if (!arg(0).isInt())
+            fatal("strchar: expected an int");
+        std::string s(1, static_cast<char>(arg(0).asInt() & 0xFF));
+        return Value::str(std::move(s));
+      }
+      case Builtin::ToFloat:
+        if (!arg(0).isNumber())
+            fatal("tofloat: expected a number");
+        return Value::number(arg(0).toNumber());
+      default:
+        fatal("unknown builtin");
+    }
+}
+
+void
+installBuiltins(Table &globals)
+{
+    globals.set(Value::str("print"), Value::builtin(Builtin::Print));
+    globals.set(Value::str("sqrt"), Value::builtin(Builtin::Sqrt));
+    globals.set(Value::str("strsub"), Value::builtin(Builtin::StrSub));
+    globals.set(Value::str("strbyte"), Value::builtin(Builtin::StrByte));
+    globals.set(Value::str("strchar"), Value::builtin(Builtin::StrChar));
+    globals.set(Value::str("tofloat"), Value::builtin(Builtin::ToFloat));
+}
+
+} // namespace scd::vm

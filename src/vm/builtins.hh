@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Native builtin functions shared by both host interpreters. The guest
+ * runtime implements the same set in assembly with identical formatting so
+ * host and guest outputs compare byte-for-byte.
+ */
+
+#ifndef SCD_VM_BUILTINS_HH
+#define SCD_VM_BUILTINS_HH
+
+#include <string>
+#include <vector>
+
+#include "value.hh"
+
+namespace scd::vm
+{
+
+/** Execute builtin @p id; output text is appended to @p out. */
+Value callBuiltin(Builtin id, const std::vector<Value> &args,
+                  std::string &out);
+
+/** Install the builtin functions into a globals table. */
+void installBuiltins(Table &globals);
+
+} // namespace scd::vm
+
+#endif // SCD_VM_BUILTINS_HH

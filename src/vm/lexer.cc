@@ -1,0 +1,268 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace scd::vm
+{
+
+namespace
+{
+
+const std::map<std::string, Tok> kKeywords = {
+    {"and", Tok::And}, {"break", Tok::Break}, {"do", Tok::Do},
+    {"else", Tok::Else}, {"elseif", Tok::Elseif}, {"end", Tok::End},
+    {"false", Tok::False}, {"for", Tok::For}, {"function", Tok::Function},
+    {"if", Tok::If}, {"local", Tok::Local}, {"nil", Tok::Nil},
+    {"not", Tok::Not}, {"or", Tok::Or}, {"return", Tok::Return},
+    {"then", Tok::Then}, {"true", Tok::True}, {"while", Tok::While},
+};
+
+} // namespace
+
+const char *
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::Eof: return "<eof>";
+      case Tok::Name: return "name";
+      case Tok::Int: return "integer";
+      case Tok::Float: return "number";
+      case Tok::String: return "string";
+      case Tok::And: return "and";
+      case Tok::Break: return "break";
+      case Tok::Do: return "do";
+      case Tok::Else: return "else";
+      case Tok::Elseif: return "elseif";
+      case Tok::End: return "end";
+      case Tok::False: return "false";
+      case Tok::For: return "for";
+      case Tok::Function: return "function";
+      case Tok::If: return "if";
+      case Tok::Local: return "local";
+      case Tok::Nil: return "nil";
+      case Tok::Not: return "not";
+      case Tok::Or: return "or";
+      case Tok::Return: return "return";
+      case Tok::Then: return "then";
+      case Tok::True: return "true";
+      case Tok::While: return "while";
+      case Tok::Plus: return "+";
+      case Tok::Minus: return "-";
+      case Tok::Star: return "*";
+      case Tok::Slash: return "/";
+      case Tok::DSlash: return "//";
+      case Tok::Percent: return "%";
+      case Tok::Hash: return "#";
+      case Tok::Eq: return "==";
+      case Tok::Ne: return "~=";
+      case Tok::Lt: return "<";
+      case Tok::Le: return "<=";
+      case Tok::Gt: return ">";
+      case Tok::Ge: return ">=";
+      case Tok::Assign: return "=";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::LBrace: return "{";
+      case Tok::RBrace: return "}";
+      case Tok::LBracket: return "[";
+      case Tok::RBracket: return "]";
+      case Tok::Comma: return ",";
+      case Tok::Semi: return ";";
+      case Tok::Dot: return ".";
+      case Tok::DDot: return "..";
+      case Tok::Colon: return ":";
+    }
+    return "?";
+}
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> out;
+    size_t pos = 0;
+    int line = 1;
+
+    auto peek = [&](size_t ahead = 0) -> char {
+        return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+    };
+    auto push = [&](Tok kind) {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        out.push_back(t);
+    };
+
+    while (pos < src.size()) {
+        char c = src[pos];
+        if (c == '\n') {
+            ++line;
+            ++pos;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++pos;
+            continue;
+        }
+        if (c == '-' && peek(1) == '-') {
+            while (pos < src.size() && src[pos] != '\n')
+                ++pos;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = pos;
+            while (pos < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[pos])) ||
+                    src[pos] == '_')) {
+                ++pos;
+            }
+            std::string word = src.substr(start, pos - start);
+            auto it = kKeywords.find(word);
+            if (it != kKeywords.end()) {
+                push(it->second);
+            } else {
+                Token t;
+                t.kind = Tok::Name;
+                t.text = word;
+                t.line = line;
+                out.push_back(t);
+            }
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = pos;
+            bool isFloat = false;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                pos += 2;
+                while (std::isxdigit(static_cast<unsigned char>(peek())))
+                    ++pos;
+            } else {
+                while (std::isdigit(static_cast<unsigned char>(peek())))
+                    ++pos;
+                if (peek() == '.' && peek(1) != '.') {
+                    isFloat = true;
+                    ++pos;
+                    while (std::isdigit(static_cast<unsigned char>(peek())))
+                        ++pos;
+                }
+                if (peek() == 'e' || peek() == 'E') {
+                    isFloat = true;
+                    ++pos;
+                    if (peek() == '+' || peek() == '-')
+                        ++pos;
+                    while (std::isdigit(static_cast<unsigned char>(peek())))
+                        ++pos;
+                }
+            }
+            std::string num = src.substr(start, pos - start);
+            Token t;
+            t.line = line;
+            if (isFloat) {
+                t.kind = Tok::Float;
+                t.floatValue = std::strtod(num.c_str(), nullptr);
+            } else {
+                t.kind = Tok::Int;
+                t.intValue =
+                    static_cast<int64_t>(std::strtoll(num.c_str(),
+                                                      nullptr, 0));
+            }
+            out.push_back(t);
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            ++pos;
+            std::string text;
+            while (pos < src.size() && src[pos] != quote) {
+                char ch = src[pos];
+                if (ch == '\n')
+                    fatal("line ", line, ": unterminated string");
+                if (ch == '\\') {
+                    ++pos;
+                    char esc = peek();
+                    switch (esc) {
+                      case 'n': text += '\n'; break;
+                      case 't': text += '\t'; break;
+                      case 'r': text += '\r'; break;
+                      case '\\': text += '\\'; break;
+                      case '"': text += '"'; break;
+                      case '\'': text += '\''; break;
+                      case '0': text += '\0'; break;
+                      default:
+                        fatal("line ", line, ": bad escape '\\", esc, "'");
+                    }
+                    ++pos;
+                } else {
+                    text += ch;
+                    ++pos;
+                }
+            }
+            if (pos >= src.size())
+                fatal("line ", line, ": unterminated string");
+            ++pos; // closing quote
+            Token t;
+            t.kind = Tok::String;
+            t.text = std::move(text);
+            t.line = line;
+            out.push_back(t);
+            continue;
+        }
+
+        auto two = [&](char second, Tok longTok, Tok shortTok) {
+            if (peek(1) == second) {
+                push(longTok);
+                pos += 2;
+            } else {
+                push(shortTok);
+                ++pos;
+            }
+        };
+
+        switch (c) {
+          case '+': push(Tok::Plus); ++pos; break;
+          case '-': push(Tok::Minus); ++pos; break;
+          case '*': push(Tok::Star); ++pos; break;
+          case '/': two('/', Tok::DSlash, Tok::Slash); break;
+          case '%': push(Tok::Percent); ++pos; break;
+          case '#': push(Tok::Hash); ++pos; break;
+          case '=': two('=', Tok::Eq, Tok::Assign); break;
+          case '<': two('=', Tok::Le, Tok::Lt); break;
+          case '>': two('=', Tok::Ge, Tok::Gt); break;
+          case '~':
+            if (peek(1) == '=') {
+                push(Tok::Ne);
+                pos += 2;
+            } else {
+                fatal("line ", line, ": unexpected '~'");
+            }
+            break;
+          case '(': push(Tok::LParen); ++pos; break;
+          case ')': push(Tok::RParen); ++pos; break;
+          case '{': push(Tok::LBrace); ++pos; break;
+          case '}': push(Tok::RBrace); ++pos; break;
+          case '[': push(Tok::LBracket); ++pos; break;
+          case ']': push(Tok::RBracket); ++pos; break;
+          case ',': push(Tok::Comma); ++pos; break;
+          case ';': push(Tok::Semi); ++pos; break;
+          case ':': push(Tok::Colon); ++pos; break;
+          case '.':
+            if (peek(1) == '.') {
+                push(Tok::DDot);
+                pos += 2;
+            } else {
+                push(Tok::Dot);
+                ++pos;
+            }
+            break;
+          default:
+            fatal("line ", line, ": unexpected character '", c, "'");
+        }
+    }
+    push(Tok::Eof);
+    return out;
+}
+
+} // namespace scd::vm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lexer for the benchmark script language (a compact Lua dialect). One
+ * source language feeds both bytecode back-ends, so every workload script
+ * exercises the register-based RLua VM and the stack-based SJS VM with
+ * identical semantics.
+ */
+
+#ifndef SCD_VM_LEXER_HH
+#define SCD_VM_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scd::vm
+{
+
+/** Token kinds. */
+enum class Tok
+{
+    Eof,
+    Name,
+    Int,
+    Float,
+    String,
+    // keywords
+    And, Break, Do, Else, Elseif, End, False, For, Function, If, Local,
+    Nil, Not, Or, Return, Then, True, While,
+    // symbols
+    Plus, Minus, Star, Slash, DSlash, Percent, Hash,
+    Eq, Ne, Lt, Le, Gt, Ge, Assign,
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Dot, DDot, Colon,
+};
+
+/** One lexed token. */
+struct Token
+{
+    Tok kind = Tok::Eof;
+    std::string text;   ///< names and strings (unescaped)
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    int line = 0;
+};
+
+/** Lex @p source; fatal() with line info on bad input. */
+std::vector<Token> lex(const std::string &source);
+
+/** Human-readable token-kind name for diagnostics. */
+const char *tokName(Tok kind);
+
+} // namespace scd::vm
+
+#endif // SCD_VM_LEXER_HH

@@ -1,0 +1,431 @@
+#include "parser.hh"
+
+#include "common/logging.hh"
+#include "lexer.hh"
+
+namespace scd::vm
+{
+
+namespace
+{
+
+/** Operator precedence levels (higher binds tighter). */
+int
+precedence(Tok kind)
+{
+    switch (kind) {
+      case Tok::Or:
+        return 1;
+      case Tok::And:
+        return 2;
+      case Tok::Lt:
+      case Tok::Le:
+      case Tok::Gt:
+      case Tok::Ge:
+      case Tok::Eq:
+      case Tok::Ne:
+        return 3;
+      case Tok::DDot:
+        return 4;
+      case Tok::Plus:
+      case Tok::Minus:
+        return 5;
+      case Tok::Star:
+      case Tok::Slash:
+      case Tok::DSlash:
+      case Tok::Percent:
+        return 6;
+      default:
+        return 0;
+    }
+}
+
+BinOp
+binOpOf(Tok kind)
+{
+    switch (kind) {
+      case Tok::Or: return BinOp::Or;
+      case Tok::And: return BinOp::And;
+      case Tok::Lt: return BinOp::Lt;
+      case Tok::Le: return BinOp::Le;
+      case Tok::Gt: return BinOp::Gt;
+      case Tok::Ge: return BinOp::Ge;
+      case Tok::Eq: return BinOp::Eq;
+      case Tok::Ne: return BinOp::Ne;
+      case Tok::DDot: return BinOp::Concat;
+      case Tok::Plus: return BinOp::Add;
+      case Tok::Minus: return BinOp::Sub;
+      case Tok::Star: return BinOp::Mul;
+      case Tok::Slash: return BinOp::Div;
+      case Tok::DSlash: return BinOp::IDiv;
+      case Tok::Percent: return BinOp::Mod;
+      default: panic("not a binary operator");
+    }
+}
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens))
+    {
+    }
+
+    Chunk
+    parseChunk()
+    {
+        Chunk chunk;
+        while (!check(Tok::Eof))
+            chunk.stats.push_back(statement());
+        return chunk;
+    }
+
+  private:
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+        return tokens_[idx];
+    }
+    bool check(Tok kind) const { return peek().kind == kind; }
+    const Token &
+    advance()
+    {
+        const Token &t = tokens_[pos_];
+        if (pos_ + 1 < tokens_.size())
+            ++pos_;
+        return t;
+    }
+    bool
+    match(Tok kind)
+    {
+        if (!check(kind))
+            return false;
+        advance();
+        return true;
+    }
+    const Token &
+    expect(Tok kind, const char *what)
+    {
+        if (!check(kind)) {
+            fatal("line ", peek().line, ": expected ", tokName(kind), " (",
+                  what, "), got ", tokName(peek().kind));
+        }
+        return advance();
+    }
+
+    std::vector<StatPtr>
+    block()
+    {
+        std::vector<StatPtr> stats;
+        while (!check(Tok::End) && !check(Tok::Else) &&
+               !check(Tok::Elseif) && !check(Tok::Eof)) {
+            stats.push_back(statement());
+        }
+        return stats;
+    }
+
+    StatPtr
+    statement()
+    {
+        int line = peek().line;
+        if (match(Tok::Semi))
+            return statement();
+
+        if (match(Tok::Function)) {
+            auto s = std::make_unique<Stat>();
+            s->kind = Stat::Kind::FunctionDecl;
+            s->line = line;
+            s->name = expect(Tok::Name, "function name").text;
+            expect(Tok::LParen, "parameter list");
+            if (!check(Tok::RParen)) {
+                do {
+                    s->params.push_back(
+                        expect(Tok::Name, "parameter").text);
+                } while (match(Tok::Comma));
+            }
+            expect(Tok::RParen, "parameter list");
+            s->body = block();
+            expect(Tok::End, "function body");
+            return s;
+        }
+
+        if (match(Tok::Local)) {
+            auto s = std::make_unique<Stat>();
+            s->kind = Stat::Kind::Local;
+            s->line = line;
+            s->name = expect(Tok::Name, "local name").text;
+            if (match(Tok::Assign))
+                s->expr = expression();
+            return s;
+        }
+
+        if (match(Tok::If)) {
+            auto s = std::make_unique<Stat>();
+            s->kind = Stat::Kind::If;
+            s->line = line;
+            s->conditions.push_back(expression());
+            expect(Tok::Then, "if condition");
+            s->blocks.push_back(block());
+            while (match(Tok::Elseif)) {
+                s->conditions.push_back(expression());
+                expect(Tok::Then, "elseif condition");
+                s->blocks.push_back(block());
+            }
+            if (match(Tok::Else))
+                s->elseBody = block();
+            expect(Tok::End, "if statement");
+            return s;
+        }
+
+        if (match(Tok::While)) {
+            auto s = std::make_unique<Stat>();
+            s->kind = Stat::Kind::While;
+            s->line = line;
+            s->expr = expression();
+            expect(Tok::Do, "while condition");
+            s->body = block();
+            expect(Tok::End, "while body");
+            return s;
+        }
+
+        if (match(Tok::For)) {
+            auto s = std::make_unique<Stat>();
+            s->kind = Stat::Kind::NumericFor;
+            s->line = line;
+            s->name = expect(Tok::Name, "loop variable").text;
+            expect(Tok::Assign, "for initializer");
+            s->forStart = expression();
+            expect(Tok::Comma, "for limit");
+            s->forLimit = expression();
+            if (match(Tok::Comma))
+                s->forStep = expression();
+            expect(Tok::Do, "for header");
+            s->body = block();
+            expect(Tok::End, "for body");
+            return s;
+        }
+
+        if (match(Tok::Return)) {
+            auto s = std::make_unique<Stat>();
+            s->kind = Stat::Kind::Return;
+            s->line = line;
+            if (!check(Tok::End) && !check(Tok::Else) &&
+                !check(Tok::Elseif) && !check(Tok::Eof) &&
+                !check(Tok::Semi)) {
+                s->expr = expression();
+            }
+            return s;
+        }
+
+        if (match(Tok::Break)) {
+            auto s = std::make_unique<Stat>();
+            s->kind = Stat::Kind::Break;
+            s->line = line;
+            return s;
+        }
+
+        // Assignment or expression statement (call).
+        ExprPtr target = suffixedExpr();
+        if (match(Tok::Assign)) {
+            if (target->kind != Expr::Kind::Name &&
+                target->kind != Expr::Kind::Index) {
+                fatal("line ", line, ": cannot assign to this expression");
+            }
+            auto s = std::make_unique<Stat>();
+            s->kind = Stat::Kind::Assign;
+            s->line = line;
+            s->target = std::move(target);
+            s->expr = expression();
+            return s;
+        }
+        if (target->kind != Expr::Kind::Call)
+            fatal("line ", line, ": expected statement");
+        auto s = std::make_unique<Stat>();
+        s->kind = Stat::Kind::ExprStat;
+        s->line = line;
+        s->expr = std::move(target);
+        return s;
+    }
+
+    ExprPtr
+    expression(int minPrec = 1)
+    {
+        ExprPtr left = unaryExpr();
+        while (true) {
+            int prec = precedence(peek().kind);
+            if (prec < minPrec || prec == 0)
+                break;
+            Tok opTok = advance().kind;
+            // All binary operators are left-associative except concat.
+            int nextMin = opTok == Tok::DDot ? prec : prec + 1;
+            ExprPtr right = expression(nextMin);
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Binary;
+            node->line = left->line;
+            node->binOp = binOpOf(opTok);
+            node->lhs = std::move(left);
+            node->rhs = std::move(right);
+            left = std::move(node);
+        }
+        return left;
+    }
+
+    ExprPtr
+    unaryExpr()
+    {
+        int line = peek().line;
+        UnOp op;
+        if (match(Tok::Minus)) {
+            op = UnOp::Neg;
+        } else if (match(Tok::Not)) {
+            op = UnOp::Not;
+        } else if (match(Tok::Hash)) {
+            op = UnOp::Len;
+        } else {
+            return suffixedExpr();
+        }
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::Unary;
+        node->line = line;
+        node->unOp = op;
+        node->lhs = unaryExpr();
+        return node;
+    }
+
+    ExprPtr
+    suffixedExpr()
+    {
+        ExprPtr expr = primaryExpr();
+        while (true) {
+            int line = peek().line;
+            if (match(Tok::LBracket)) {
+                auto node = std::make_unique<Expr>();
+                node->kind = Expr::Kind::Index;
+                node->line = line;
+                node->lhs = std::move(expr);
+                node->rhs = expression();
+                expect(Tok::RBracket, "index");
+                expr = std::move(node);
+            } else if (match(Tok::Dot)) {
+                auto key = std::make_unique<Expr>();
+                key->kind = Expr::Kind::Str;
+                key->line = line;
+                key->name = expect(Tok::Name, "field name").text;
+                auto node = std::make_unique<Expr>();
+                node->kind = Expr::Kind::Index;
+                node->line = line;
+                node->lhs = std::move(expr);
+                node->rhs = std::move(key);
+                expr = std::move(node);
+            } else if (match(Tok::LParen)) {
+                auto node = std::make_unique<Expr>();
+                node->kind = Expr::Kind::Call;
+                node->line = line;
+                node->lhs = std::move(expr);
+                if (!check(Tok::RParen)) {
+                    do {
+                        node->args.push_back(expression());
+                    } while (match(Tok::Comma));
+                }
+                expect(Tok::RParen, "call arguments");
+                expr = std::move(node);
+            } else {
+                return expr;
+            }
+        }
+    }
+
+    ExprPtr
+    primaryExpr()
+    {
+        const Token &t = peek();
+        auto node = std::make_unique<Expr>();
+        node->line = t.line;
+        switch (t.kind) {
+          case Tok::Nil:
+            advance();
+            node->kind = Expr::Kind::Nil;
+            return node;
+          case Tok::True:
+            advance();
+            node->kind = Expr::Kind::True;
+            return node;
+          case Tok::False:
+            advance();
+            node->kind = Expr::Kind::False;
+            return node;
+          case Tok::Int:
+            advance();
+            node->kind = Expr::Kind::Int;
+            node->intValue = t.intValue;
+            return node;
+          case Tok::Float:
+            advance();
+            node->kind = Expr::Kind::Float;
+            node->floatValue = t.floatValue;
+            return node;
+          case Tok::String:
+            advance();
+            node->kind = Expr::Kind::Str;
+            node->name = t.text;
+            return node;
+          case Tok::Name:
+            advance();
+            node->kind = Expr::Kind::Name;
+            node->name = t.text;
+            return node;
+          case Tok::LParen: {
+            advance();
+            ExprPtr inner = expression();
+            expect(Tok::RParen, "parenthesized expression");
+            return inner;
+          }
+          case Tok::LBrace: {
+            advance();
+            node->kind = Expr::Kind::TableCtor;
+            while (!check(Tok::RBrace)) {
+                Expr::CtorField field;
+                if (check(Tok::LBracket)) {
+                    advance();
+                    field.key = expression();
+                    expect(Tok::RBracket, "table key");
+                    expect(Tok::Assign, "table field");
+                    field.value = expression();
+                } else if (check(Tok::Name) &&
+                           peek(1).kind == Tok::Assign) {
+                    auto key = std::make_unique<Expr>();
+                    key->kind = Expr::Kind::Str;
+                    key->line = peek().line;
+                    key->name = advance().text;
+                    advance(); // '='
+                    field.key = std::move(key);
+                    field.value = expression();
+                } else {
+                    field.value = expression();
+                }
+                node->fields.push_back(std::move(field));
+                if (!match(Tok::Comma) && !match(Tok::Semi))
+                    break;
+            }
+            expect(Tok::RBrace, "table constructor");
+            return node;
+          }
+          default:
+            fatal("line ", t.line, ": unexpected ", tokName(t.kind),
+                  " in expression");
+        }
+    }
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Chunk
+parse(const std::string &source)
+{
+    Parser parser(lex(source));
+    return parser.parseChunk();
+}
+
+} // namespace scd::vm

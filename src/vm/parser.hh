@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Recursive-descent parser for the script language.
+ */
+
+#ifndef SCD_VM_PARSER_HH
+#define SCD_VM_PARSER_HH
+
+#include <string>
+
+#include "ast.hh"
+
+namespace scd::vm
+{
+
+/** Parse @p source into an AST chunk; fatal() with line info on errors. */
+Chunk parse(const std::string &source);
+
+} // namespace scd::vm
+
+#endif // SCD_VM_PARSER_HH

@@ -1,0 +1,89 @@
+#include "rlua_bytecode.hh"
+
+#include <cstdio>
+
+namespace scd::vm::rlua
+{
+
+namespace
+{
+
+const char *kOpNames[] = {
+    "MOVE", "LOADK", "LOADKX", "LOADBOOL", "LOADNIL", "GETUPVAL",
+    "GETTABUP", "GETTABLE", "SETTABUP", "SETUPVAL", "SETTABLE", "NEWTABLE",
+    "SELF", "ADD", "SUB", "MUL", "MOD", "POW", "DIV", "IDIV", "BAND", "BOR",
+    "BXOR", "SHL", "SHR", "UNM", "BNOT", "NOT", "LEN", "CONCAT", "JMP",
+    "EQ", "LT", "LE", "TEST", "TESTSET", "CALL", "TAILCALL", "RETURN",
+    "FORLOOP", "FORPREP", "TFORCALL", "TFORLOOP", "SETLIST", "CLOSURE",
+    "VARARG", "EXTRAARG",
+};
+
+std::string
+rkName(unsigned field)
+{
+    char buf[16];
+    if (field & kRkFlag)
+        std::snprintf(buf, sizeof(buf), "K%u", field - kRkFlag);
+    else
+        std::snprintf(buf, sizeof(buf), "R%u", field);
+    return buf;
+}
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    unsigned idx = static_cast<unsigned>(op);
+    return idx < kNumOps ? kOpNames[idx] : "?";
+}
+
+std::string
+disassemble(uint32_t inst)
+{
+    Op op = opOf(inst);
+    char buf[96];
+    switch (op) {
+      case Op::LOADK:
+      case Op::CLOSURE:
+        std::snprintf(buf, sizeof(buf), "%-9s R%u, K%u", opName(op),
+                      aOf(inst), bxOf(inst));
+        break;
+      case Op::JMP:
+      case Op::FORLOOP:
+      case Op::FORPREP:
+        std::snprintf(buf, sizeof(buf), "%-9s R%u, %+d", opName(op),
+                      aOf(inst), sbxOf(inst));
+        break;
+      case Op::GETTABUP:
+        std::snprintf(buf, sizeof(buf), "%-9s R%u, %s", opName(op),
+                      aOf(inst), rkName(cOf(inst)).c_str());
+        break;
+      case Op::SETTABUP:
+        std::snprintf(buf, sizeof(buf), "%-9s %s = %s", opName(op),
+                      rkName(cOf(inst)).c_str(), rkName(bOf(inst)).c_str());
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%-9s R%u, %s, %s", opName(op),
+                      aOf(inst), rkName(bOf(inst)).c_str(),
+                      rkName(cOf(inst)).c_str());
+        break;
+    }
+    return buf;
+}
+
+std::string
+disassemble(const Proto &proto)
+{
+    std::string out = "function " + proto.name + " (params=" +
+                      std::to_string(proto.numParams) + ", stack=" +
+                      std::to_string(proto.maxStack) + ")\n";
+    for (size_t n = 0; n < proto.code.size(); ++n) {
+        char line[32];
+        std::snprintf(line, sizeof(line), "%4zu  ", n);
+        out += line + disassemble(proto.code[n]) + "\n";
+    }
+    return out;
+}
+
+} // namespace scd::vm::rlua

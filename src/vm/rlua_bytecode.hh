@@ -1,0 +1,123 @@
+/**
+ * @file
+ * RLua bytecode: a register-based VM instruction set modelled on Lua 5.3
+ * (the paper's first evaluation target). The opcode list is the full
+ * 47-entry Lua 5.3 set so the dispatcher's bound check and jump table have
+ * authentic geometry; the compiler emits the subset our script language
+ * needs and the remaining opcodes route to a trap handler.
+ *
+ * Instruction word layout (32 bits), iABC / iABx / iAsBx like Lua:
+ *   op  [5:0]   A [13:6]   C [22:14]   B [31:23]
+ *   Bx  [31:14] (18 bits)  sBx = Bx - kSBxBias
+ * B and C are RK operands where documented: values >= kRkFlag reference
+ * constant (field - kRkFlag).
+ */
+
+#ifndef SCD_VM_RLUA_BYTECODE_HH
+#define SCD_VM_RLUA_BYTECODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "value.hh"
+
+namespace scd::vm::rlua
+{
+
+/** The Lua 5.3 opcode set (47 entries). */
+enum class Op : uint8_t
+{
+    MOVE, LOADK, LOADKX, LOADBOOL, LOADNIL, GETUPVAL, GETTABUP, GETTABLE,
+    SETTABUP, SETUPVAL, SETTABLE, NEWTABLE, SELF, ADD, SUB, MUL, MOD, POW,
+    DIV, IDIV, BAND, BOR, BXOR, SHL, SHR, UNM, BNOT, NOT, LEN, CONCAT, JMP,
+    EQ, LT, LE, TEST, TESTSET, CALL, TAILCALL, RETURN, FORLOOP, FORPREP,
+    TFORCALL, TFORLOOP, SETLIST, CLOSURE, VARARG, EXTRAARG,
+    NumOps
+};
+
+constexpr unsigned kNumOps = static_cast<unsigned>(Op::NumOps); // 47
+static_assert(static_cast<unsigned>(Op::NumOps) == 47,
+              "RLua must expose Lua 5.3's 47 opcodes");
+
+constexpr uint32_t kRkFlag = 0x100;   ///< RK operand: constant when set
+constexpr int32_t kSBxBias = 131071;  ///< excess-K bias for sBx
+constexpr uint32_t kMaxBx = (1u << 18) - 1;
+
+/** Field accessors. */
+constexpr Op
+opOf(uint32_t i)
+{
+    return static_cast<Op>(i & 0x3F);
+}
+constexpr unsigned
+aOf(uint32_t i)
+{
+    return (i >> 6) & 0xFF;
+}
+constexpr unsigned
+cOf(uint32_t i)
+{
+    return (i >> 14) & 0x1FF;
+}
+constexpr unsigned
+bOf(uint32_t i)
+{
+    return (i >> 23) & 0x1FF;
+}
+constexpr unsigned
+bxOf(uint32_t i)
+{
+    return (i >> 14) & 0x3FFFF;
+}
+constexpr int32_t
+sbxOf(uint32_t i)
+{
+    return static_cast<int32_t>(bxOf(i)) - kSBxBias;
+}
+
+/** Encoders. */
+constexpr uint32_t
+makeABC(Op op, unsigned a, unsigned b, unsigned c)
+{
+    return static_cast<uint32_t>(op) | (a << 6) | (c << 14) | (b << 23);
+}
+constexpr uint32_t
+makeABx(Op op, unsigned a, uint32_t bx)
+{
+    return static_cast<uint32_t>(op) | (a << 6) | (bx << 14);
+}
+constexpr uint32_t
+makeAsBx(Op op, unsigned a, int32_t sbx)
+{
+    return makeABx(op, a, static_cast<uint32_t>(sbx + kSBxBias));
+}
+
+/** Mnemonic of an RLua opcode. */
+const char *opName(Op op);
+
+/** One compiled function. */
+struct Proto
+{
+    std::string name;
+    unsigned numParams = 0;
+    unsigned maxStack = 2;       ///< registers used (locals + temps)
+    std::vector<uint32_t> code;
+    std::vector<Value> constants;
+};
+
+/** A compiled module: protos[0] is the main chunk. */
+struct Module
+{
+    std::vector<Proto> protos;
+};
+
+/** Disassemble one instruction (for tests and debugging). */
+std::string disassemble(uint32_t inst);
+
+/** Disassemble a whole proto. */
+std::string disassemble(const Proto &proto);
+
+} // namespace scd::vm::rlua
+
+#endif // SCD_VM_RLUA_BYTECODE_HH

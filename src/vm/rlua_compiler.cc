@@ -1,0 +1,637 @@
+#include "rlua_compiler.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "parser.hh"
+
+namespace scd::vm::rlua
+{
+
+namespace
+{
+
+/** Deduplication key for the constant pool. */
+std::string
+constKey(const Value &v)
+{
+    switch (v.type()) {
+      case Type::Nil:
+        return "n";
+      case Type::True:
+        return "t";
+      case Type::False:
+        return "f";
+      case Type::Int:
+        return "i" + std::to_string(v.asInt());
+      case Type::Float: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "d%a", v.asFloat());
+        return buf;
+      }
+      case Type::Str:
+        return "s" + v.asStr();
+      default:
+        panic("unsupported constant type");
+    }
+}
+
+/** Per-function compilation state. */
+class FuncState
+{
+  public:
+    FuncState(std::vector<Proto> &protos, std::string name)
+        : protos_(protos)
+    {
+        proto_.name = std::move(name);
+    }
+
+    Proto
+    finish()
+    {
+        // Implicit `return` at the end of every function.
+        emit(makeABC(Op::RETURN, 0, 1, 0));
+        return std::move(proto_);
+    }
+
+    void
+    declareParams(const std::vector<std::string> &params)
+    {
+        for (const auto &p : params)
+            declareLocal(p);
+        proto_.numParams = static_cast<unsigned>(params.size());
+    }
+
+    void
+    compileBlock(const std::vector<StatPtr> &stats)
+    {
+        size_t activeMark = actives_.size();
+        unsigned regMark = freeReg_;
+        for (const auto &s : stats)
+            compileStat(*s);
+        actives_.resize(activeMark);
+        freeReg_ = regMark;
+    }
+
+  private:
+    // --- low-level emission -------------------------------------------------
+
+    size_t
+    emit(uint32_t inst)
+    {
+        proto_.code.push_back(inst);
+        return proto_.code.size() - 1;
+    }
+
+    size_t
+    emitJump()
+    {
+        return emit(makeAsBx(Op::JMP, 0, 0));
+    }
+
+    void
+    patchJump(size_t jumpIdx, size_t target)
+    {
+        int32_t sbx = static_cast<int32_t>(target) -
+                      static_cast<int32_t>(jumpIdx) - 1;
+        uint32_t inst = proto_.code[jumpIdx];
+        proto_.code[jumpIdx] =
+            makeAsBx(opOf(inst), aOf(inst), sbx);
+    }
+
+    void
+    patchHere(const std::vector<size_t> &jumps)
+    {
+        for (size_t j : jumps)
+            patchJump(j, proto_.code.size());
+    }
+
+    size_t here() const { return proto_.code.size(); }
+
+    unsigned
+    addConstant(const Value &v)
+    {
+        std::string key = constKey(v);
+        auto it = constMap_.find(key);
+        if (it != constMap_.end())
+            return it->second;
+        unsigned idx = static_cast<unsigned>(proto_.constants.size());
+        SCD_ASSERT(idx <= kMaxBx, "too many constants");
+        proto_.constants.push_back(v);
+        constMap_.emplace(std::move(key), idx);
+        return idx;
+    }
+
+    // --- register management -------------------------------------------------
+
+    unsigned
+    allocTemp()
+    {
+        SCD_ASSERT(freeReg_ < 250, "register overflow in '", proto_.name,
+                   "'");
+        unsigned reg = freeReg_++;
+        proto_.maxStack = std::max(proto_.maxStack, freeReg_);
+        return reg;
+    }
+
+    void
+    declareLocal(const std::string &name)
+    {
+        actives_.emplace_back(name, allocTemp());
+    }
+
+    int
+    resolveLocal(const std::string &name) const
+    {
+        for (auto it = actives_.rbegin(); it != actives_.rend(); ++it) {
+            if (it->first == name)
+                return static_cast<int>(it->second);
+        }
+        return -1;
+    }
+
+    // --- expressions ---------------------------------------------------------
+
+    /** Result in an arbitrary register (existing local or fresh temp). */
+    unsigned
+    exprAnyReg(const Expr &e)
+    {
+        if (e.kind == Expr::Kind::Name) {
+            int local = resolveLocal(e.name);
+            if (local >= 0)
+                return static_cast<unsigned>(local);
+        }
+        unsigned reg = allocTemp();
+        exprInto(e, reg);
+        return reg;
+    }
+
+    /** Result as an RK operand (prefers the constant pool for literals). */
+    unsigned
+    exprToRK(const Expr &e)
+    {
+        Value constant;
+        bool isConst = true;
+        switch (e.kind) {
+          case Expr::Kind::Nil:
+            constant = Value::nil();
+            break;
+          case Expr::Kind::True:
+            constant = Value::boolean(true);
+            break;
+          case Expr::Kind::False:
+            constant = Value::boolean(false);
+            break;
+          case Expr::Kind::Int:
+            constant = Value::integer(e.intValue);
+            break;
+          case Expr::Kind::Float:
+            constant = Value::number(e.floatValue);
+            break;
+          case Expr::Kind::Str:
+            constant = Value::str(e.name);
+            break;
+          default:
+            isConst = false;
+            break;
+        }
+        if (isConst) {
+            unsigned idx = addConstant(constant);
+            if (idx < kRkFlag)
+                return kRkFlag | idx;
+        }
+        return exprAnyReg(e);
+    }
+
+    unsigned
+    stringConstant(const std::string &s)
+    {
+        return addConstant(Value::str(s));
+    }
+
+    /** Compile @p e so its value lands in @p reg. */
+    void
+    exprInto(const Expr &e, unsigned reg)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Nil:
+            emit(makeABC(Op::LOADNIL, reg, 0, 0));
+            return;
+          case Expr::Kind::True:
+            emit(makeABC(Op::LOADBOOL, reg, 1, 0));
+            return;
+          case Expr::Kind::False:
+            emit(makeABC(Op::LOADBOOL, reg, 0, 0));
+            return;
+          case Expr::Kind::Int:
+            emit(makeABx(Op::LOADK, reg,
+                         addConstant(Value::integer(e.intValue))));
+            return;
+          case Expr::Kind::Float:
+            emit(makeABx(Op::LOADK, reg,
+                         addConstant(Value::number(e.floatValue))));
+            return;
+          case Expr::Kind::Str:
+            emit(makeABx(Op::LOADK, reg, addConstant(Value::str(e.name))));
+            return;
+          case Expr::Kind::Name: {
+            int local = resolveLocal(e.name);
+            if (local >= 0) {
+                if (static_cast<unsigned>(local) != reg)
+                    emit(makeABC(Op::MOVE, reg, unsigned(local), 0));
+            } else {
+                emit(makeABC(Op::GETTABUP, reg, 0,
+                             kRkFlag | stringConstant(e.name)));
+            }
+            return;
+          }
+          case Expr::Kind::Index: {
+            unsigned regMark = freeReg_;
+            unsigned base = exprAnyReg(*e.lhs);
+            unsigned key = exprToRK(*e.rhs);
+            freeReg_ = regMark;
+            emit(makeABC(Op::GETTABLE, reg, base, key));
+            return;
+          }
+          case Expr::Kind::Call:
+            compileCall(e, reg, true);
+            return;
+          case Expr::Kind::Unary: {
+            Op op = e.unOp == UnOp::Neg   ? Op::UNM
+                    : e.unOp == UnOp::Not ? Op::NOT
+                                          : Op::LEN;
+            unsigned regMark = freeReg_;
+            unsigned operand = exprAnyReg(*e.lhs);
+            freeReg_ = regMark;
+            emit(makeABC(op, reg, operand, 0));
+            return;
+          }
+          case Expr::Kind::Binary:
+            binaryInto(e, reg);
+            return;
+          case Expr::Kind::TableCtor: {
+            emit(makeABC(Op::NEWTABLE, reg, 0, 0));
+            int64_t positional = 0;
+            for (const auto &field : e.fields) {
+                unsigned regMark = freeReg_;
+                unsigned key;
+                if (field.key) {
+                    key = exprToRK(*field.key);
+                } else {
+                    ++positional;
+                    key = kRkFlag | addConstant(Value::integer(positional));
+                }
+                unsigned val = exprToRK(*field.value);
+                emit(makeABC(Op::SETTABLE, reg, key, val));
+                freeReg_ = regMark;
+            }
+            return;
+          }
+        }
+        panic("unhandled expression kind");
+    }
+
+    void
+    binaryInto(const Expr &e, unsigned reg)
+    {
+        switch (e.binOp) {
+          case BinOp::Add:
+          case BinOp::Sub:
+          case BinOp::Mul:
+          case BinOp::Div:
+          case BinOp::IDiv:
+          case BinOp::Mod: {
+            Op op;
+            switch (e.binOp) {
+              case BinOp::Add: op = Op::ADD; break;
+              case BinOp::Sub: op = Op::SUB; break;
+              case BinOp::Mul: op = Op::MUL; break;
+              case BinOp::Div: op = Op::DIV; break;
+              case BinOp::IDiv: op = Op::IDIV; break;
+              default: op = Op::MOD; break;
+            }
+            unsigned regMark = freeReg_;
+            unsigned b = exprToRK(*e.lhs);
+            unsigned c = exprToRK(*e.rhs);
+            freeReg_ = regMark;
+            emit(makeABC(op, reg, b, c));
+            return;
+          }
+          case BinOp::Concat: {
+            // CONCAT requires its operands in consecutive registers.
+            unsigned regMark = freeReg_;
+            unsigned b = allocTemp();
+            exprInto(*e.lhs, b);
+            unsigned c = allocTemp();
+            exprInto(*e.rhs, c);
+            freeReg_ = regMark;
+            emit(makeABC(Op::CONCAT, reg, b, c));
+            return;
+          }
+          case BinOp::Eq:
+          case BinOp::Ne:
+          case BinOp::Lt:
+          case BinOp::Le:
+          case BinOp::Gt:
+          case BinOp::Ge: {
+            // Value context: comparison + LOADBOOL pair (Lua idiom).
+            std::vector<size_t> takenWhenTrue = condJump(e, true);
+            emit(makeABC(Op::LOADBOOL, reg, 0, 1));
+            patchHere(takenWhenTrue);
+            emit(makeABC(Op::LOADBOOL, reg, 1, 0));
+            return;
+          }
+          case BinOp::And: {
+            exprInto(*e.lhs, reg);
+            emit(makeABC(Op::TEST, reg, 0, 0));
+            size_t skip = emitJump();
+            exprInto(*e.rhs, reg);
+            patchJump(skip, here());
+            return;
+          }
+          case BinOp::Or: {
+            exprInto(*e.lhs, reg);
+            emit(makeABC(Op::TEST, reg, 0, 1));
+            size_t skip = emitJump();
+            exprInto(*e.rhs, reg);
+            patchJump(skip, here());
+            return;
+          }
+        }
+        panic("unhandled binary operator");
+    }
+
+    /**
+     * Emit a conditional jump sequence for @p e. Returns the JMP indices
+     * that are taken exactly when truthiness(e) == @p jumpWhenTrue; the
+     * caller patches them. Falls through in the opposite case.
+     */
+    std::vector<size_t>
+    condJump(const Expr &e, bool jumpWhenTrue)
+    {
+        if (e.kind == Expr::Kind::Binary) {
+            switch (e.binOp) {
+              case BinOp::Eq:
+              case BinOp::Ne:
+              case BinOp::Lt:
+              case BinOp::Le:
+              case BinOp::Gt:
+              case BinOp::Ge: {
+                const Expr *lhs = e.lhs.get();
+                const Expr *rhs = e.rhs.get();
+                Op op;
+                unsigned aFlag = jumpWhenTrue ? 1 : 0;
+                switch (e.binOp) {
+                  case BinOp::Eq: op = Op::EQ; break;
+                  case BinOp::Ne:
+                    op = Op::EQ;
+                    aFlag ^= 1;
+                    break;
+                  case BinOp::Lt: op = Op::LT; break;
+                  case BinOp::Le: op = Op::LE; break;
+                  case BinOp::Gt:
+                    op = Op::LT;
+                    std::swap(lhs, rhs);
+                    break;
+                  default: // Ge
+                    op = Op::LE;
+                    std::swap(lhs, rhs);
+                    break;
+                }
+                unsigned regMark = freeReg_;
+                unsigned b = exprToRK(*lhs);
+                unsigned c = exprToRK(*rhs);
+                freeReg_ = regMark;
+                emit(makeABC(op, aFlag, b, c));
+                return {emitJump()};
+              }
+              case BinOp::And: {
+                if (jumpWhenTrue) {
+                    auto whenFalse = condJump(*e.lhs, false);
+                    auto result = condJump(*e.rhs, true);
+                    patchHere(whenFalse);
+                    return result;
+                }
+                auto j1 = condJump(*e.lhs, false);
+                auto j2 = condJump(*e.rhs, false);
+                j1.insert(j1.end(), j2.begin(), j2.end());
+                return j1;
+              }
+              case BinOp::Or: {
+                if (!jumpWhenTrue) {
+                    auto whenTrue = condJump(*e.lhs, true);
+                    auto result = condJump(*e.rhs, false);
+                    patchHere(whenTrue);
+                    return result;
+                }
+                auto j1 = condJump(*e.lhs, true);
+                auto j2 = condJump(*e.rhs, true);
+                j1.insert(j1.end(), j2.begin(), j2.end());
+                return j1;
+              }
+              default:
+                break;
+            }
+        }
+        if (e.kind == Expr::Kind::Unary && e.unOp == UnOp::Not)
+            return condJump(*e.lhs, !jumpWhenTrue);
+        if (e.kind == Expr::Kind::True || e.kind == Expr::Kind::False ||
+            e.kind == Expr::Kind::Nil) {
+            bool truthy = e.kind == Expr::Kind::True;
+            if (truthy == jumpWhenTrue)
+                return {emitJump()};
+            return {};
+        }
+        unsigned regMark = freeReg_;
+        unsigned reg = exprAnyReg(e);
+        freeReg_ = regMark;
+        emit(makeABC(Op::TEST, reg, 0, jumpWhenTrue ? 1 : 0));
+        return {emitJump()};
+    }
+
+    /** Compile a call; result (if requested) lands in @p reg. */
+    void
+    compileCall(const Expr &e, unsigned reg, bool wantResult)
+    {
+        unsigned regMark = freeReg_;
+        unsigned base = allocTemp();
+        exprInto(*e.lhs, base);
+        for (const auto &arg : e.args) {
+            unsigned argReg = allocTemp();
+            exprInto(*arg, argReg);
+        }
+        emit(makeABC(Op::CALL, base,
+                     static_cast<unsigned>(e.args.size()) + 1,
+                     wantResult ? 2 : 1));
+        freeReg_ = regMark;
+        if (wantResult && reg != base)
+            emit(makeABC(Op::MOVE, reg, base, 0));
+    }
+
+    // --- statements ---------------------------------------------------------
+
+    void
+    compileStat(const Stat &s)
+    {
+        switch (s.kind) {
+          case Stat::Kind::Local: {
+            unsigned reg = freeReg_;
+            if (s.expr) {
+                allocTemp();
+                exprInto(*s.expr, reg);
+                --freeReg_; // hand the temp over to the local below
+            }
+            declareLocal(s.name);
+            if (!s.expr)
+                emit(makeABC(Op::LOADNIL, reg, 0, 0));
+            return;
+          }
+          case Stat::Kind::Assign: {
+            if (s.target->kind == Expr::Kind::Name) {
+                int local = resolveLocal(s.target->name);
+                if (local >= 0) {
+                    exprInto(*s.expr, unsigned(local));
+                } else {
+                    unsigned regMark = freeReg_;
+                    unsigned val = exprToRK(*s.expr);
+                    emit(makeABC(Op::SETTABUP, 0, val,
+                                 kRkFlag |
+                                     stringConstant(s.target->name)));
+                    freeReg_ = regMark;
+                }
+            } else {
+                unsigned regMark = freeReg_;
+                unsigned base = exprAnyReg(*s.target->lhs);
+                unsigned key = exprToRK(*s.target->rhs);
+                unsigned val = exprToRK(*s.expr);
+                emit(makeABC(Op::SETTABLE, base, key, val));
+                freeReg_ = regMark;
+            }
+            return;
+          }
+          case Stat::Kind::ExprStat: {
+            unsigned regMark = freeReg_;
+            compileCall(*s.expr, 0, false);
+            freeReg_ = regMark;
+            return;
+          }
+          case Stat::Kind::If: {
+            std::vector<size_t> exits;
+            for (size_t n = 0; n < s.conditions.size(); ++n) {
+                auto whenFalse = condJump(*s.conditions[n], false);
+                compileBlock(s.blocks[n]);
+                bool hasMore =
+                    n + 1 < s.conditions.size() || !s.elseBody.empty();
+                if (hasMore)
+                    exits.push_back(emitJump());
+                patchHere(whenFalse);
+            }
+            if (!s.elseBody.empty())
+                compileBlock(s.elseBody);
+            patchHere(exits);
+            return;
+          }
+          case Stat::Kind::While: {
+            size_t top = here();
+            auto whenFalse = condJump(*s.expr, false);
+            breakLists_.emplace_back();
+            compileBlock(s.body);
+            size_t back = emitJump();
+            patchJump(back, top);
+            patchHere(whenFalse);
+            patchHere(breakLists_.back());
+            breakLists_.pop_back();
+            return;
+          }
+          case Stat::Kind::NumericFor: {
+            size_t activeMark = actives_.size();
+            unsigned base = allocTemp(); // start
+            exprInto(*s.forStart, base);
+            unsigned limitReg = allocTemp();
+            exprInto(*s.forLimit, limitReg);
+            unsigned stepReg = allocTemp();
+            if (s.forStep) {
+                exprInto(*s.forStep, stepReg);
+            } else {
+                emit(makeABx(Op::LOADK, stepReg,
+                             addConstant(Value::integer(1))));
+            }
+            declareLocal(s.name); // loop variable at base+3
+            size_t prep = emit(makeAsBx(Op::FORPREP, base, 0));
+            size_t bodyStart = here();
+            breakLists_.emplace_back();
+            compileBlock(s.body);
+            size_t loop = emit(makeAsBx(Op::FORLOOP, base, 0));
+            patchJump(loop, bodyStart);
+            patchJump(prep, loop);
+            patchHere(breakLists_.back());
+            breakLists_.pop_back();
+            actives_.resize(activeMark);
+            freeReg_ = base;
+            return;
+          }
+          case Stat::Kind::Return: {
+            if (s.expr) {
+                unsigned regMark = freeReg_;
+                unsigned reg = exprAnyReg(*s.expr);
+                emit(makeABC(Op::RETURN, reg, 2, 0));
+                freeReg_ = regMark;
+            } else {
+                emit(makeABC(Op::RETURN, 0, 1, 0));
+            }
+            return;
+          }
+          case Stat::Kind::Break: {
+            if (breakLists_.empty())
+                fatal("line ", s.line, ": break outside a loop");
+            breakLists_.back().push_back(emitJump());
+            return;
+          }
+          case Stat::Kind::FunctionDecl: {
+            FuncState sub(protos_, s.name);
+            sub.declareParams(s.params);
+            sub.compileBlock(s.body);
+            protos_.push_back(sub.finish());
+            unsigned protoIdx =
+                static_cast<unsigned>(protos_.size() - 1);
+            unsigned regMark = freeReg_;
+            unsigned reg = allocTemp();
+            emit(makeABx(Op::CLOSURE, reg, protoIdx));
+            emit(makeABC(Op::SETTABUP, 0, reg,
+                         kRkFlag | stringConstant(s.name)));
+            freeReg_ = regMark;
+            return;
+          }
+        }
+        panic("unhandled statement kind");
+    }
+
+    std::vector<Proto> &protos_;
+    Proto proto_;
+    std::vector<std::pair<std::string, unsigned>> actives_;
+    unsigned freeReg_ = 0;
+    std::map<std::string, unsigned> constMap_;
+    std::vector<std::vector<size_t>> breakLists_;
+};
+
+} // namespace
+
+Module
+compile(const Chunk &chunk)
+{
+    Module module;
+    // Reserve slot 0 for the main proto (compiled last, appended first).
+    module.protos.emplace_back();
+    FuncState main(module.protos, "main");
+    main.compileBlock(chunk.stats);
+    module.protos[0] = main.finish();
+    return module;
+}
+
+Module
+compileSource(const std::string &source)
+{
+    return compile(parse(source));
+}
+
+} // namespace scd::vm::rlua

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * AST -> RLua bytecode compiler (register allocation, constant pooling,
+ * condition-context comparison compilation, numeric-for lowering).
+ */
+
+#ifndef SCD_VM_RLUA_COMPILER_HH
+#define SCD_VM_RLUA_COMPILER_HH
+
+#include "ast.hh"
+#include "rlua_bytecode.hh"
+
+namespace scd::vm::rlua
+{
+
+/** Compile a parsed chunk; protos[0] is the main function. */
+Module compile(const Chunk &chunk);
+
+/** Convenience: parse + compile. */
+Module compileSource(const std::string &source);
+
+} // namespace scd::vm::rlua
+
+#endif // SCD_VM_RLUA_COMPILER_HH

@@ -1,0 +1,292 @@
+#include "rlua_interp.hh"
+
+#include <vector>
+
+#include "arith.hh"
+#include "builtins.hh"
+#include "common/logging.hh"
+
+namespace scd::vm::rlua
+{
+
+namespace
+{
+
+struct Frame
+{
+    const Proto *proto;
+    size_t base;    ///< first register slot in the value stack
+    size_t pc = 0;
+    unsigned retReg; ///< caller register receiving the result
+    bool wantResult;
+};
+
+class Interp
+{
+  public:
+    explicit Interp(const Module &module) : module_(module)
+    {
+        installBuiltins(globals_);
+    }
+
+    std::string
+    run(uint64_t maxSteps)
+    {
+        pushFrame(&module_.protos[0], 0, false, 0);
+        uint64_t steps = 0;
+        while (!frames_.empty()) {
+            if (maxSteps && ++steps > maxSteps)
+                fatal("rlua: step budget exhausted");
+            step();
+        }
+        return out_;
+    }
+
+  private:
+    void
+    pushFrame(const Proto *proto, unsigned retReg, bool wantResult,
+              size_t argBase)
+    {
+        Frame f;
+        f.proto = proto;
+        f.retReg = retReg;
+        f.wantResult = wantResult;
+        f.base = argBase;
+        frames_.push_back(f);
+        if (stack_.size() < f.base + proto->maxStack + 1)
+            stack_.resize(f.base + proto->maxStack + 1);
+    }
+
+    Value &R(unsigned idx) { return stack_[frames_.back().base + idx]; }
+
+    const Value &
+    RK(unsigned field)
+    {
+        if (field & kRkFlag)
+            return frames_.back().proto->constants[field - kRkFlag];
+        return R(field);
+    }
+
+    void
+    returnFromFrame(const Value &result)
+    {
+        Frame done = frames_.back();
+        frames_.pop_back();
+        if (frames_.empty())
+            return;
+        if (done.wantResult)
+            R(done.retReg) = result;
+    }
+
+    void
+    step()
+    {
+        Frame &f = frames_.back();
+        SCD_ASSERT(f.pc < f.proto->code.size(), "pc past end of proto");
+        uint32_t i = f.proto->code[f.pc++];
+        unsigned a = aOf(i);
+        switch (opOf(i)) {
+          case Op::MOVE:
+            R(a) = R(bOf(i));
+            break;
+          case Op::LOADK:
+            R(a) = f.proto->constants[bxOf(i)];
+            break;
+          case Op::LOADBOOL:
+            R(a) = Value::boolean(bOf(i) != 0);
+            if (cOf(i))
+                ++f.pc;
+            break;
+          case Op::LOADNIL:
+            R(a) = Value::nil();
+            break;
+          case Op::GETTABUP:
+            R(a) = globals_.get(RK(cOf(i)));
+            break;
+          case Op::SETTABUP:
+            globals_.set(RK(cOf(i)), RK(bOf(i)));
+            break;
+          case Op::GETTABLE: {
+            const Value &t = R(bOf(i));
+            if (!t.isTable())
+                fatal("attempt to index a non-table value");
+            R(a) = t.asTable().get(RK(cOf(i)));
+            break;
+          }
+          case Op::SETTABLE: {
+            const Value &t = R(a);
+            if (!t.isTable())
+                fatal("attempt to index a non-table value");
+            t.asTable().set(RK(bOf(i)), RK(cOf(i)));
+            break;
+          }
+          case Op::NEWTABLE:
+            R(a) = Value::table();
+            break;
+          case Op::ADD:
+            R(a) = arith(ArithOp::Add, RK(bOf(i)), RK(cOf(i)));
+            break;
+          case Op::SUB:
+            R(a) = arith(ArithOp::Sub, RK(bOf(i)), RK(cOf(i)));
+            break;
+          case Op::MUL:
+            R(a) = arith(ArithOp::Mul, RK(bOf(i)), RK(cOf(i)));
+            break;
+          case Op::DIV:
+            R(a) = arith(ArithOp::Div, RK(bOf(i)), RK(cOf(i)));
+            break;
+          case Op::IDIV:
+            R(a) = arith(ArithOp::IDiv, RK(bOf(i)), RK(cOf(i)));
+            break;
+          case Op::MOD:
+            R(a) = arith(ArithOp::Mod, RK(bOf(i)), RK(cOf(i)));
+            break;
+          case Op::UNM:
+            R(a) = arith(ArithOp::Unm, R(bOf(i)), Value::nil());
+            break;
+          case Op::NOT:
+            R(a) = Value::boolean(!R(bOf(i)).truthy());
+            break;
+          case Op::LEN: {
+            const Value &v = R(bOf(i));
+            if (v.isStr())
+                R(a) = Value::integer(
+                    static_cast<int64_t>(v.asStr().size()));
+            else if (v.isTable())
+                R(a) = Value::integer(v.asTable().length());
+            else
+                fatal("attempt to get length of an invalid value");
+            break;
+          }
+          case Op::CONCAT: {
+            const Value &lhs = R(bOf(i));
+            const Value &rhs = R(cOf(i));
+            if (!lhs.isStr() || !rhs.isStr())
+                fatal("attempt to concatenate a non-string value");
+            R(a) = Value::str(lhs.asStr() + rhs.asStr());
+            break;
+          }
+          case Op::JMP:
+            f.pc = static_cast<size_t>(
+                static_cast<int64_t>(f.pc) + sbxOf(i));
+            break;
+          case Op::EQ: {
+            bool result = RK(bOf(i)).equals(RK(cOf(i)));
+            if (result != (a != 0))
+                ++f.pc;
+            break;
+          }
+          case Op::LT: {
+            bool result = luaLess(RK(bOf(i)), RK(cOf(i)));
+            if (result != (a != 0))
+                ++f.pc;
+            break;
+          }
+          case Op::LE: {
+            bool result = luaLessEq(RK(bOf(i)), RK(cOf(i)));
+            if (result != (a != 0))
+                ++f.pc;
+            break;
+          }
+          case Op::TEST:
+            if (R(a).truthy() != (cOf(i) != 0))
+                ++f.pc;
+            break;
+          case Op::CALL: {
+            unsigned nargs = bOf(i) - 1;
+            bool wantResult = cOf(i) >= 2;
+            const Value &callee = R(a);
+            if (!callee.isFunction())
+                fatal("attempt to call a non-function value");
+            if (callee.isBuiltinFunction()) {
+                std::vector<Value> args;
+                for (unsigned n = 0; n < nargs; ++n)
+                    args.push_back(R(a + 1 + n));
+                Value result =
+                    callBuiltin(callee.builtinId(), args, out_);
+                if (wantResult)
+                    R(a) = result;
+            } else {
+                uint32_t protoIdx =
+                    static_cast<uint32_t>(callee.functionId());
+                SCD_ASSERT(protoIdx < module_.protos.size(),
+                           "bad proto index");
+                const Proto *proto = &module_.protos[protoIdx];
+                size_t argBase = f.base + a + 1;
+                // Missing arguments read as nil.
+                size_t needed = argBase + proto->numParams;
+                if (stack_.size() < needed)
+                    stack_.resize(needed);
+                for (unsigned n = nargs; n < proto->numParams; ++n)
+                    stack_[argBase + n] = Value::nil();
+                pushFrame(proto, a, wantResult, argBase);
+            }
+            break;
+          }
+          case Op::RETURN: {
+            Value result =
+                bOf(i) >= 2 ? R(a) : Value::nil();
+            returnFromFrame(result);
+            break;
+          }
+          case Op::FORPREP: {
+            Value &start = R(a);
+            Value &limit = R(a + 1);
+            Value &stepv = R(a + 2);
+            if (!(start.isNumber() && limit.isNumber() &&
+                  stepv.isNumber())) {
+                fatal("'for' initial value must be a number");
+            }
+            if (!(start.isInt() && limit.isInt() && stepv.isInt())) {
+                start = Value::number(start.toNumber());
+                limit = Value::number(limit.toNumber());
+                stepv = Value::number(stepv.toNumber());
+            }
+            R(a) = arith(ArithOp::Sub, start, stepv);
+            f.pc = static_cast<size_t>(
+                static_cast<int64_t>(f.pc) + sbxOf(i));
+            break;
+          }
+          case Op::FORLOOP: {
+            Value next = arith(ArithOp::Add, R(a), R(a + 2));
+            R(a) = next;
+            bool positiveStep = R(a + 2).isInt()
+                                    ? R(a + 2).asInt() >= 0
+                                    : R(a + 2).asFloat() >= 0.0;
+            bool continueLoop = positiveStep
+                                    ? luaLessEq(next, R(a + 1))
+                                    : luaLessEq(R(a + 1), next);
+            if (continueLoop) {
+                R(a + 3) = next;
+                f.pc = static_cast<size_t>(
+                    static_cast<int64_t>(f.pc) + sbxOf(i));
+            }
+            break;
+          }
+          case Op::CLOSURE:
+            R(a) = Value::function(bxOf(i));
+            break;
+          default:
+            fatal("rlua: opcode ", opName(opOf(i)),
+                  " is not implemented by this interpreter");
+        }
+    }
+
+    const Module &module_;
+    Table globals_;
+    std::vector<Value> stack_;
+    std::vector<Frame> frames_;
+    std::string out_;
+};
+
+} // namespace
+
+std::string
+run(const Module &module, uint64_t maxSteps)
+{
+    SCD_ASSERT(!module.protos.empty(), "empty module");
+    Interp interp(module);
+    return interp.run(maxSteps);
+}
+
+} // namespace scd::vm::rlua

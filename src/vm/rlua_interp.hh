@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Host (reference) interpreter for RLua bytecode. Serves as the semantic
+ * oracle against which the guest (simulated) interpreters are validated,
+ * and as a fast way to run the workload scripts natively.
+ */
+
+#ifndef SCD_VM_RLUA_INTERP_HH
+#define SCD_VM_RLUA_INTERP_HH
+
+#include <string>
+
+#include "rlua_bytecode.hh"
+
+namespace scd::vm::rlua
+{
+
+/** Execute a compiled module; returns the accumulated print() output. */
+std::string run(const Module &module, uint64_t maxSteps = 0);
+
+} // namespace scd::vm::rlua
+
+#endif // SCD_VM_RLUA_INTERP_HH

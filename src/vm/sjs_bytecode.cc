@@ -1,0 +1,111 @@
+#include "sjs_bytecode.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace scd::vm::sjs
+{
+
+OperandKind
+operandKind(Op op)
+{
+    switch (op) {
+      case Op::PUSH_INT8:
+        return OperandKind::S8;
+      case Op::GET_LOCAL:
+      case Op::SET_LOCAL:
+      case Op::CALL:
+        return OperandKind::U8;
+      case Op::PUSH_CONST:
+      case Op::GET_GLOBAL:
+      case Op::SET_GLOBAL:
+        return OperandKind::U16;
+      case Op::JUMP:
+      case Op::JUMP_IF_FALSE:
+      case Op::JUMP_IF_TRUE:
+        return OperandKind::S16Rel;
+      default:
+        return OperandKind::None;
+    }
+}
+
+unsigned
+instLength(Op op)
+{
+    switch (operandKind(op)) {
+      case OperandKind::None:
+        return 1;
+      case OperandKind::S8:
+      case OperandKind::U8:
+        return 2;
+      case OperandKind::U16:
+      case OperandKind::S16Rel:
+        return 3;
+    }
+    return 1;
+}
+
+const char *
+opName(Op op)
+{
+    static const char *names[] = {
+        "NOP", "PUSH_NIL", "PUSH_TRUE", "PUSH_FALSE", "PUSH_INT0",
+        "PUSH_INT1", "PUSH_INT8", "PUSH_CONST", "GET_LOCAL", "SET_LOCAL",
+        "GET_LOCAL0", "GET_LOCAL1", "GET_LOCAL2", "GET_LOCAL3",
+        "SET_LOCAL0", "SET_LOCAL1", "SET_LOCAL2", "SET_LOCAL3",
+        "GET_GLOBAL", "SET_GLOBAL", "ADD", "SUB", "MUL", "DIV", "IDIV",
+        "MOD", "NEG", "NOT", "LEN", "CONCAT", "EQ", "NE", "LT", "LE", "GT",
+        "GE", "JUMP", "JUMP_IF_FALSE", "JUMP_IF_TRUE", "CALL", "RETURN",
+        "RETURN_NIL", "NEW_TABLE", "GET_ELEM", "SET_ELEM", "POP", "DUP",
+        "HALT",
+    };
+    unsigned idx = static_cast<unsigned>(op);
+    return idx < kNumRealOps ? names[idx] : "TRAP";
+}
+
+std::string
+disassemble(const Proto &proto)
+{
+    std::string out = "function " + proto.name + " (params=" +
+                      std::to_string(proto.numParams) + ", locals=" +
+                      std::to_string(proto.numLocals) + ")\n";
+    size_t pc = 0;
+    while (pc < proto.code.size()) {
+        Op op = static_cast<Op>(proto.code[pc]);
+        char line[64];
+        switch (operandKind(op)) {
+          case OperandKind::None:
+            std::snprintf(line, sizeof(line), "%4zu  %s\n", pc, opName(op));
+            break;
+          case OperandKind::S8:
+            std::snprintf(line, sizeof(line), "%4zu  %s %d\n", pc,
+                          opName(op),
+                          static_cast<int8_t>(proto.code[pc + 1]));
+            break;
+          case OperandKind::U8:
+            std::snprintf(line, sizeof(line), "%4zu  %s %u\n", pc,
+                          opName(op), proto.code[pc + 1]);
+            break;
+          case OperandKind::U16: {
+            unsigned v = proto.code[pc + 1] | (proto.code[pc + 2] << 8);
+            std::snprintf(line, sizeof(line), "%4zu  %s %u\n", pc,
+                          opName(op), v);
+            break;
+          }
+          case OperandKind::S16Rel: {
+            int16_t v = static_cast<int16_t>(proto.code[pc + 1] |
+                                             (proto.code[pc + 2] << 8));
+            std::snprintf(line, sizeof(line), "%4zu  %s -> %zd\n", pc,
+                          opName(op),
+                          static_cast<ssize_t>(pc + 3 + v));
+            break;
+          }
+        }
+        out += line;
+        pc += instLength(op);
+    }
+    return out;
+}
+
+} // namespace scd::vm::sjs

@@ -1,0 +1,578 @@
+#include "sjs_compiler.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "parser.hh"
+
+namespace scd::vm::sjs
+{
+
+namespace
+{
+
+std::string
+constKey(const Value &v)
+{
+    switch (v.type()) {
+      case Type::Int:
+        return "i" + std::to_string(v.asInt());
+      case Type::Float: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "d%a", v.asFloat());
+        return buf;
+      }
+      case Type::Str:
+        return "s" + v.asStr();
+      case Type::Fun:
+        return "f" + std::to_string(v.functionId());
+      default:
+        panic("unsupported constant type");
+    }
+}
+
+class FuncState
+{
+  public:
+    FuncState(std::vector<Proto> &protos, std::string name)
+        : protos_(protos)
+    {
+        proto_.name = std::move(name);
+    }
+
+    Proto
+    finish(bool isMain)
+    {
+        emitOp(isMain ? Op::HALT : Op::RETURN_NIL);
+        proto_.numLocals = maxLocals_;
+        return std::move(proto_);
+    }
+
+    void
+    declareParams(const std::vector<std::string> &params)
+    {
+        for (const auto &p : params)
+            declareLocal(p);
+        proto_.numParams = static_cast<unsigned>(params.size());
+    }
+
+    void
+    compileBlock(const std::vector<StatPtr> &stats)
+    {
+        size_t activeMark = actives_.size();
+        for (const auto &s : stats)
+            compileStat(*s);
+        while (actives_.size() > activeMark) {
+            --numLocals_;
+            actives_.pop_back();
+        }
+    }
+
+  private:
+    // --- emission ------------------------------------------------------------
+
+    void
+    adjust(int delta)
+    {
+        depth_ += delta;
+        SCD_ASSERT(depth_ >= 0, "operand stack underflow in compiler");
+        proto_.maxStack =
+            std::max(proto_.maxStack, static_cast<unsigned>(depth_) + 4);
+    }
+
+    void
+    emitOp(Op op)
+    {
+        proto_.code.push_back(static_cast<uint8_t>(op));
+    }
+
+    void
+    emitS8(Op op, int8_t v)
+    {
+        emitOp(op);
+        proto_.code.push_back(static_cast<uint8_t>(v));
+    }
+
+    void
+    emitU8(Op op, uint8_t v)
+    {
+        emitOp(op);
+        proto_.code.push_back(v);
+    }
+
+    void
+    emitU16(Op op, unsigned v)
+    {
+        SCD_ASSERT(v <= 0xFFFF, "operand overflow");
+        emitOp(op);
+        proto_.code.push_back(v & 0xFF);
+        proto_.code.push_back((v >> 8) & 0xFF);
+    }
+
+    /** Emit a jump; returns the patch site. */
+    size_t
+    emitJump(Op op)
+    {
+        emitOp(op);
+        proto_.code.push_back(0);
+        proto_.code.push_back(0);
+        return proto_.code.size() - 2;
+    }
+
+    void
+    patchJump(size_t site, size_t target)
+    {
+        int64_t rel = static_cast<int64_t>(target) -
+                      static_cast<int64_t>(site + 2);
+        SCD_ASSERT(rel >= INT16_MIN && rel <= INT16_MAX,
+                   "jump out of range");
+        proto_.code[site] = static_cast<uint8_t>(rel & 0xFF);
+        proto_.code[site + 1] = static_cast<uint8_t>((rel >> 8) & 0xFF);
+    }
+
+    void
+    patchHere(const std::vector<size_t> &sites)
+    {
+        for (size_t s : sites)
+            patchJump(s, here());
+    }
+
+    size_t here() const { return proto_.code.size(); }
+
+    unsigned
+    addConstant(const Value &v)
+    {
+        std::string key = constKey(v);
+        auto it = constMap_.find(key);
+        if (it != constMap_.end())
+            return it->second;
+        unsigned idx = static_cast<unsigned>(proto_.constants.size());
+        proto_.constants.push_back(v);
+        constMap_.emplace(std::move(key), idx);
+        return idx;
+    }
+
+    // --- locals --------------------------------------------------------------
+
+    unsigned
+    declareLocal(const std::string &name)
+    {
+        SCD_ASSERT(numLocals_ < 200, "too many locals");
+        unsigned slot = numLocals_++;
+        maxLocals_ = std::max(maxLocals_, numLocals_);
+        actives_.emplace_back(name, slot);
+        return slot;
+    }
+
+    int
+    resolveLocal(const std::string &name) const
+    {
+        for (auto it = actives_.rbegin(); it != actives_.rend(); ++it) {
+            if (it->first == name)
+                return static_cast<int>(it->second);
+        }
+        return -1;
+    }
+
+    void
+    emitGetLocal(unsigned slot)
+    {
+        static const Op fast[] = {Op::GET_LOCAL0, Op::GET_LOCAL1,
+                                  Op::GET_LOCAL2, Op::GET_LOCAL3};
+        if (slot < 4)
+            emitOp(fast[slot]);
+        else
+            emitU8(Op::GET_LOCAL, static_cast<uint8_t>(slot));
+        adjust(+1);
+    }
+
+    void
+    emitSetLocal(unsigned slot)
+    {
+        static const Op fast[] = {Op::SET_LOCAL0, Op::SET_LOCAL1,
+                                  Op::SET_LOCAL2, Op::SET_LOCAL3};
+        if (slot < 4)
+            emitOp(fast[slot]);
+        else
+            emitU8(Op::SET_LOCAL, static_cast<uint8_t>(slot));
+        adjust(-1);
+    }
+
+    // --- expressions -----------------------------------------------------------
+
+    /** Compile @p e, leaving its value on the operand stack. */
+    void
+    compileExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Nil:
+            emitOp(Op::PUSH_NIL);
+            adjust(+1);
+            return;
+          case Expr::Kind::True:
+            emitOp(Op::PUSH_TRUE);
+            adjust(+1);
+            return;
+          case Expr::Kind::False:
+            emitOp(Op::PUSH_FALSE);
+            adjust(+1);
+            return;
+          case Expr::Kind::Int:
+            if (e.intValue == 0) {
+                emitOp(Op::PUSH_INT0);
+            } else if (e.intValue == 1) {
+                emitOp(Op::PUSH_INT1);
+            } else if (e.intValue >= INT8_MIN && e.intValue <= INT8_MAX) {
+                emitS8(Op::PUSH_INT8, static_cast<int8_t>(e.intValue));
+            } else {
+                emitU16(Op::PUSH_CONST,
+                        addConstant(Value::integer(e.intValue)));
+            }
+            adjust(+1);
+            return;
+          case Expr::Kind::Float:
+            emitU16(Op::PUSH_CONST,
+                    addConstant(Value::number(e.floatValue)));
+            adjust(+1);
+            return;
+          case Expr::Kind::Str:
+            emitU16(Op::PUSH_CONST, addConstant(Value::str(e.name)));
+            adjust(+1);
+            return;
+          case Expr::Kind::Name: {
+            int local = resolveLocal(e.name);
+            if (local >= 0) {
+                emitGetLocal(static_cast<unsigned>(local));
+            } else {
+                emitU16(Op::GET_GLOBAL,
+                        addConstant(Value::str(e.name)));
+                adjust(+1);
+            }
+            return;
+          }
+          case Expr::Kind::Index:
+            compileExpr(*e.lhs);
+            compileExpr(*e.rhs);
+            emitOp(Op::GET_ELEM);
+            adjust(-1);
+            return;
+          case Expr::Kind::Call:
+            compileExpr(*e.lhs);
+            for (const auto &arg : e.args)
+                compileExpr(*arg);
+            emitU8(Op::CALL, static_cast<uint8_t>(e.args.size()));
+            adjust(-static_cast<int>(e.args.size()));
+            return;
+          case Expr::Kind::Unary: {
+            compileExpr(*e.lhs);
+            Op op = e.unOp == UnOp::Neg   ? Op::NEG
+                    : e.unOp == UnOp::Not ? Op::NOT
+                                          : Op::LEN;
+            emitOp(op);
+            return;
+          }
+          case Expr::Kind::Binary:
+            compileBinary(e);
+            return;
+          case Expr::Kind::TableCtor: {
+            emitOp(Op::NEW_TABLE);
+            adjust(+1);
+            int64_t positional = 0;
+            for (const auto &field : e.fields) {
+                emitOp(Op::DUP);
+                adjust(+1);
+                if (field.key) {
+                    compileExpr(*field.key);
+                } else {
+                    ++positional;
+                    Expr idx;
+                    idx.kind = Expr::Kind::Int;
+                    idx.intValue = positional;
+                    compileExpr(idx);
+                }
+                compileExpr(*field.value);
+                emitOp(Op::SET_ELEM);
+                adjust(-3);
+            }
+            return;
+          }
+        }
+        panic("unhandled expression kind");
+    }
+
+    void
+    compileBinary(const Expr &e)
+    {
+        switch (e.binOp) {
+          case BinOp::And: {
+            compileExpr(*e.lhs);
+            emitOp(Op::DUP);
+            adjust(+1);
+            size_t over = emitJump(Op::JUMP_IF_FALSE);
+            adjust(-1);
+            emitOp(Op::POP);
+            adjust(-1);
+            compileExpr(*e.rhs);
+            patchJump(over, here());
+            return;
+          }
+          case BinOp::Or: {
+            compileExpr(*e.lhs);
+            emitOp(Op::DUP);
+            adjust(+1);
+            size_t over = emitJump(Op::JUMP_IF_TRUE);
+            adjust(-1);
+            emitOp(Op::POP);
+            adjust(-1);
+            compileExpr(*e.rhs);
+            patchJump(over, here());
+            return;
+          }
+          default:
+            break;
+        }
+        compileExpr(*e.lhs);
+        compileExpr(*e.rhs);
+        Op op;
+        switch (e.binOp) {
+          case BinOp::Add: op = Op::ADD; break;
+          case BinOp::Sub: op = Op::SUB; break;
+          case BinOp::Mul: op = Op::MUL; break;
+          case BinOp::Div: op = Op::DIV; break;
+          case BinOp::IDiv: op = Op::IDIV; break;
+          case BinOp::Mod: op = Op::MOD; break;
+          case BinOp::Concat: op = Op::CONCAT; break;
+          case BinOp::Eq: op = Op::EQ; break;
+          case BinOp::Ne: op = Op::NE; break;
+          case BinOp::Lt: op = Op::LT; break;
+          case BinOp::Le: op = Op::LE; break;
+          case BinOp::Gt: op = Op::GT; break;
+          case BinOp::Ge: op = Op::GE; break;
+          default: panic("bad binop");
+        }
+        emitOp(op);
+        adjust(-1);
+    }
+
+    // --- statements ------------------------------------------------------------
+
+    void
+    compileStat(const Stat &s)
+    {
+        switch (s.kind) {
+          case Stat::Kind::Local: {
+            if (s.expr) {
+                compileExpr(*s.expr);
+            } else {
+                emitOp(Op::PUSH_NIL);
+                adjust(+1);
+            }
+            unsigned slot = declareLocal(s.name);
+            emitSetLocal(slot);
+            return;
+          }
+          case Stat::Kind::Assign: {
+            if (s.target->kind == Expr::Kind::Name) {
+                int local = resolveLocal(s.target->name);
+                compileExpr(*s.expr);
+                if (local >= 0) {
+                    emitSetLocal(static_cast<unsigned>(local));
+                } else {
+                    emitU16(Op::SET_GLOBAL,
+                            addConstant(Value::str(s.target->name)));
+                    adjust(-1);
+                }
+            } else {
+                compileExpr(*s.target->lhs);
+                compileExpr(*s.target->rhs);
+                compileExpr(*s.expr);
+                emitOp(Op::SET_ELEM);
+                adjust(-3);
+            }
+            return;
+          }
+          case Stat::Kind::ExprStat:
+            compileExpr(*s.expr);
+            emitOp(Op::POP);
+            adjust(-1);
+            return;
+          case Stat::Kind::If: {
+            std::vector<size_t> exits;
+            for (size_t n = 0; n < s.conditions.size(); ++n) {
+                compileExpr(*s.conditions[n]);
+                size_t skip = emitJump(Op::JUMP_IF_FALSE);
+                adjust(-1);
+                compileBlock(s.blocks[n]);
+                bool hasMore =
+                    n + 1 < s.conditions.size() || !s.elseBody.empty();
+                if (hasMore)
+                    exits.push_back(emitJump(Op::JUMP));
+                patchJump(skip, here());
+            }
+            if (!s.elseBody.empty())
+                compileBlock(s.elseBody);
+            patchHere(exits);
+            return;
+          }
+          case Stat::Kind::While: {
+            size_t top = here();
+            compileExpr(*s.expr);
+            size_t out = emitJump(Op::JUMP_IF_FALSE);
+            adjust(-1);
+            breakLists_.emplace_back();
+            compileBlock(s.body);
+            size_t back = emitJump(Op::JUMP);
+            patchJump(back, top);
+            patchJump(out, here());
+            patchHere(breakLists_.back());
+            breakLists_.pop_back();
+            return;
+          }
+          case Stat::Kind::NumericFor:
+            compileNumericFor(s);
+            return;
+          case Stat::Kind::Return:
+            if (s.expr) {
+                compileExpr(*s.expr);
+                emitOp(Op::RETURN);
+                adjust(-1);
+            } else {
+                emitOp(Op::RETURN_NIL);
+            }
+            return;
+          case Stat::Kind::Break:
+            if (breakLists_.empty())
+                fatal("line ", s.line, ": break outside a loop");
+            breakLists_.back().push_back(emitJump(Op::JUMP));
+            return;
+          case Stat::Kind::FunctionDecl: {
+            FuncState sub(protos_, s.name);
+            sub.declareParams(s.params);
+            sub.compileBlock(s.body);
+            protos_.push_back(sub.finish(false));
+            unsigned protoIdx =
+                static_cast<unsigned>(protos_.size() - 1);
+            emitU16(Op::PUSH_CONST,
+                    addConstant(Value::function(protoIdx)));
+            adjust(+1);
+            emitU16(Op::SET_GLOBAL, addConstant(Value::str(s.name)));
+            adjust(-1);
+            return;
+          }
+        }
+        panic("unhandled statement kind");
+    }
+
+    void
+    compileNumericFor(const Stat &s)
+    {
+        size_t activeMark = actives_.size();
+        compileExpr(*s.forStart);
+        unsigned varSlot = declareLocal(s.name);
+        emitSetLocal(varSlot);
+        compileExpr(*s.forLimit);
+        unsigned limitSlot = declareLocal("(for limit)");
+        emitSetLocal(limitSlot);
+        bool stepIsLiteral = false;
+        bool stepPositive = true;
+        if (s.forStep) {
+            if (s.forStep->kind == Expr::Kind::Int) {
+                stepIsLiteral = true;
+                stepPositive = s.forStep->intValue >= 0;
+            } else if (s.forStep->kind == Expr::Kind::Float) {
+                stepIsLiteral = true;
+                stepPositive = s.forStep->floatValue >= 0.0;
+            }
+            compileExpr(*s.forStep);
+        } else {
+            stepIsLiteral = true;
+            emitOp(Op::PUSH_INT1);
+            adjust(+1);
+        }
+        unsigned stepSlot = declareLocal("(for step)");
+        emitSetLocal(stepSlot);
+
+        size_t top = here();
+        std::vector<size_t> exits;
+        if (stepIsLiteral) {
+            emitGetLocal(varSlot);
+            emitGetLocal(limitSlot);
+            emitOp(stepPositive ? Op::LE : Op::GE);
+            adjust(-1);
+            exits.push_back(emitJump(Op::JUMP_IF_FALSE));
+            adjust(-1);
+        } else {
+            // Runtime step sign: pick the comparison dynamically.
+            emitGetLocal(stepSlot);
+            emitOp(Op::PUSH_INT0);
+            adjust(+1);
+            emitOp(Op::GE);
+            adjust(-1);
+            size_t negative = emitJump(Op::JUMP_IF_FALSE);
+            adjust(-1);
+            emitGetLocal(varSlot);
+            emitGetLocal(limitSlot);
+            emitOp(Op::LE);
+            adjust(-1);
+            exits.push_back(emitJump(Op::JUMP_IF_FALSE));
+            adjust(-1);
+            size_t enter = emitJump(Op::JUMP);
+            patchJump(negative, here());
+            emitGetLocal(varSlot);
+            emitGetLocal(limitSlot);
+            emitOp(Op::GE);
+            adjust(-1);
+            exits.push_back(emitJump(Op::JUMP_IF_FALSE));
+            adjust(-1);
+            patchJump(enter, here());
+        }
+
+        breakLists_.emplace_back();
+        compileBlock(s.body);
+        emitGetLocal(varSlot);
+        emitGetLocal(stepSlot);
+        emitOp(Op::ADD);
+        adjust(-1);
+        emitSetLocal(varSlot);
+        size_t back = emitJump(Op::JUMP);
+        patchJump(back, top);
+        patchHere(exits);
+        patchHere(breakLists_.back());
+        breakLists_.pop_back();
+
+        while (actives_.size() > activeMark) {
+            --numLocals_;
+            actives_.pop_back();
+        }
+    }
+
+    std::vector<Proto> &protos_;
+    Proto proto_;
+    std::vector<std::pair<std::string, unsigned>> actives_;
+    unsigned numLocals_ = 0;
+    unsigned maxLocals_ = 0;
+    int depth_ = 0;
+    std::map<std::string, unsigned> constMap_;
+    std::vector<std::vector<size_t>> breakLists_;
+};
+
+} // namespace
+
+Module
+compile(const Chunk &chunk)
+{
+    Module module;
+    module.protos.emplace_back();
+    FuncState main(module.protos, "main");
+    main.compileBlock(chunk.stats);
+    module.protos[0] = main.finish(true);
+    return module;
+}
+
+Module
+compileSource(const std::string &source)
+{
+    return compile(parse(source));
+}
+
+} // namespace scd::vm::sjs

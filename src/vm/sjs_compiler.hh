@@ -1,0 +1,23 @@
+/**
+ * @file
+ * AST -> SJS stack bytecode compiler.
+ */
+
+#ifndef SCD_VM_SJS_COMPILER_HH
+#define SCD_VM_SJS_COMPILER_HH
+
+#include "ast.hh"
+#include "sjs_bytecode.hh"
+
+namespace scd::vm::sjs
+{
+
+/** Compile a parsed chunk; protos[0] is the main function. */
+Module compile(const Chunk &chunk);
+
+/** Convenience: parse + compile. */
+Module compileSource(const std::string &source);
+
+} // namespace scd::vm::sjs
+
+#endif // SCD_VM_SJS_COMPILER_HH

@@ -1,0 +1,353 @@
+#include "sjs_interp.hh"
+
+#include <vector>
+
+#include "arith.hh"
+#include "builtins.hh"
+#include "common/logging.hh"
+
+namespace scd::vm::sjs
+{
+
+namespace
+{
+
+struct Frame
+{
+    const Proto *proto;
+    size_t pc = 0;
+    size_t localBase;   ///< start of this frame's locals in the stack
+    size_t calleeSlot;  ///< stack index of the callee value (popped at ret)
+};
+
+class Interp
+{
+  public:
+    explicit Interp(const Module &module) : module_(module)
+    {
+        installBuiltins(globals_);
+    }
+
+    std::string
+    run(uint64_t maxSteps)
+    {
+        const Proto *main = &module_.protos[0];
+        Frame f;
+        f.proto = main;
+        f.localBase = 0;
+        f.calleeSlot = 0;
+        stack_.resize(main->numLocals);
+        frames_.push_back(f);
+        uint64_t steps = 0;
+        while (!halted_) {
+            if (maxSteps && ++steps > maxSteps)
+                fatal("sjs: step budget exhausted");
+            step();
+        }
+        return out_;
+    }
+
+  private:
+    Value
+    pop()
+    {
+        SCD_ASSERT(!stack_.empty(), "operand stack underflow");
+        Value v = std::move(stack_.back());
+        stack_.pop_back();
+        return v;
+    }
+
+    void push(Value v) { stack_.push_back(std::move(v)); }
+
+    Value &local(unsigned slot)
+    {
+        return stack_[frames_.back().localBase + slot];
+    }
+
+    int16_t
+    readS16(const Frame &f, size_t at) const
+    {
+        return static_cast<int16_t>(f.proto->code[at] |
+                                    (f.proto->code[at + 1] << 8));
+    }
+
+    void
+    binaryArith(ArithOp op)
+    {
+        Value b = pop();
+        Value a = pop();
+        push(arith(op, a, b));
+    }
+
+    void
+    compare(bool (*fn)(const Value &, const Value &))
+    {
+        Value b = pop();
+        Value a = pop();
+        push(Value::boolean(fn(a, b)));
+    }
+
+    void
+    step()
+    {
+        Frame &f = frames_.back();
+        SCD_ASSERT(f.pc < f.proto->code.size(), "pc past end of code");
+        Op op = static_cast<Op>(f.proto->code[f.pc]);
+        size_t operandAt = f.pc + 1;
+        f.pc += instLength(op);
+        switch (op) {
+          case Op::NOP:
+            break;
+          case Op::PUSH_NIL:
+            push(Value::nil());
+            break;
+          case Op::PUSH_TRUE:
+            push(Value::boolean(true));
+            break;
+          case Op::PUSH_FALSE:
+            push(Value::boolean(false));
+            break;
+          case Op::PUSH_INT0:
+            push(Value::integer(0));
+            break;
+          case Op::PUSH_INT1:
+            push(Value::integer(1));
+            break;
+          case Op::PUSH_INT8:
+            push(Value::integer(
+                static_cast<int8_t>(f.proto->code[operandAt])));
+            break;
+          case Op::PUSH_CONST: {
+            unsigned idx = f.proto->code[operandAt] |
+                           (f.proto->code[operandAt + 1] << 8);
+            push(f.proto->constants[idx]);
+            break;
+          }
+          case Op::GET_LOCAL:
+            push(local(f.proto->code[operandAt]));
+            break;
+          case Op::SET_LOCAL:
+            local(f.proto->code[operandAt]) = pop();
+            break;
+          case Op::GET_LOCAL0:
+          case Op::GET_LOCAL1:
+          case Op::GET_LOCAL2:
+          case Op::GET_LOCAL3:
+            push(local(static_cast<unsigned>(op) -
+                       static_cast<unsigned>(Op::GET_LOCAL0)));
+            break;
+          case Op::SET_LOCAL0:
+          case Op::SET_LOCAL1:
+          case Op::SET_LOCAL2:
+          case Op::SET_LOCAL3:
+            local(static_cast<unsigned>(op) -
+                  static_cast<unsigned>(Op::SET_LOCAL0)) = pop();
+            break;
+          case Op::GET_GLOBAL: {
+            unsigned idx = f.proto->code[operandAt] |
+                           (f.proto->code[operandAt + 1] << 8);
+            push(globals_.get(f.proto->constants[idx]));
+            break;
+          }
+          case Op::SET_GLOBAL: {
+            unsigned idx = f.proto->code[operandAt] |
+                           (f.proto->code[operandAt + 1] << 8);
+            globals_.set(f.proto->constants[idx], pop());
+            break;
+          }
+          case Op::ADD:
+            binaryArith(ArithOp::Add);
+            break;
+          case Op::SUB:
+            binaryArith(ArithOp::Sub);
+            break;
+          case Op::MUL:
+            binaryArith(ArithOp::Mul);
+            break;
+          case Op::DIV:
+            binaryArith(ArithOp::Div);
+            break;
+          case Op::IDIV:
+            binaryArith(ArithOp::IDiv);
+            break;
+          case Op::MOD:
+            binaryArith(ArithOp::Mod);
+            break;
+          case Op::NEG: {
+            Value a = pop();
+            push(arith(ArithOp::Unm, a, Value::nil()));
+            break;
+          }
+          case Op::NOT: {
+            Value a = pop();
+            push(Value::boolean(!a.truthy()));
+            break;
+          }
+          case Op::LEN: {
+            Value a = pop();
+            if (a.isStr())
+                push(Value::integer(
+                    static_cast<int64_t>(a.asStr().size())));
+            else if (a.isTable())
+                push(Value::integer(a.asTable().length()));
+            else
+                fatal("attempt to get length of an invalid value");
+            break;
+          }
+          case Op::CONCAT: {
+            Value b = pop();
+            Value a = pop();
+            if (!a.isStr() || !b.isStr())
+                fatal("attempt to concatenate a non-string value");
+            push(Value::str(a.asStr() + b.asStr()));
+            break;
+          }
+          case Op::EQ: {
+            Value b = pop();
+            Value a = pop();
+            push(Value::boolean(a.equals(b)));
+            break;
+          }
+          case Op::NE: {
+            Value b = pop();
+            Value a = pop();
+            push(Value::boolean(!a.equals(b)));
+            break;
+          }
+          case Op::LT:
+            compare(+[](const Value &a, const Value &b) {
+                return luaLess(a, b);
+            });
+            break;
+          case Op::LE:
+            compare(+[](const Value &a, const Value &b) {
+                return luaLessEq(a, b);
+            });
+            break;
+          case Op::GT:
+            compare(+[](const Value &a, const Value &b) {
+                return luaLess(b, a);
+            });
+            break;
+          case Op::GE:
+            compare(+[](const Value &a, const Value &b) {
+                return luaLessEq(b, a);
+            });
+            break;
+          case Op::JUMP:
+            f.pc = static_cast<size_t>(
+                static_cast<int64_t>(f.pc) + readS16(f, operandAt));
+            break;
+          case Op::JUMP_IF_FALSE: {
+            Value cond = pop();
+            if (!cond.truthy()) {
+                f.pc = static_cast<size_t>(
+                    static_cast<int64_t>(f.pc) + readS16(f, operandAt));
+            }
+            break;
+          }
+          case Op::JUMP_IF_TRUE: {
+            Value cond = pop();
+            if (cond.truthy()) {
+                f.pc = static_cast<size_t>(
+                    static_cast<int64_t>(f.pc) + readS16(f, operandAt));
+            }
+            break;
+          }
+          case Op::CALL: {
+            unsigned nargs = f.proto->code[operandAt];
+            size_t argStart = stack_.size() - nargs;
+            size_t calleeSlot = argStart - 1;
+            Value callee = stack_[calleeSlot];
+            if (!callee.isFunction())
+                fatal("attempt to call a non-function value");
+            if (callee.isBuiltinFunction()) {
+                std::vector<Value> args(stack_.begin() + argStart,
+                                        stack_.end());
+                stack_.resize(calleeSlot);
+                push(callBuiltin(callee.builtinId(), args, out_));
+            } else {
+                uint32_t protoIdx =
+                    static_cast<uint32_t>(callee.functionId());
+                SCD_ASSERT(protoIdx < module_.protos.size(),
+                           "bad proto index");
+                const Proto *proto = &module_.protos[protoIdx];
+                // Arguments become the first locals; pad or trim to the
+                // declared parameter count, then make room for the rest.
+                stack_.resize(argStart + proto->numParams);
+                for (unsigned n = nargs; n < proto->numParams; ++n)
+                    stack_[argStart + n] = Value::nil();
+                stack_.resize(argStart + proto->numLocals);
+                Frame sub;
+                sub.proto = proto;
+                sub.localBase = argStart;
+                sub.calleeSlot = calleeSlot;
+                frames_.push_back(sub);
+            }
+            break;
+          }
+          case Op::RETURN:
+          case Op::RETURN_NIL: {
+            Value result =
+                op == Op::RETURN ? pop() : Value::nil();
+            Frame done = frames_.back();
+            frames_.pop_back();
+            SCD_ASSERT(!frames_.empty(), "return from main");
+            stack_.resize(done.calleeSlot);
+            push(std::move(result));
+            break;
+          }
+          case Op::NEW_TABLE:
+            push(Value::table());
+            break;
+          case Op::GET_ELEM: {
+            Value key = pop();
+            Value t = pop();
+            if (!t.isTable())
+                fatal("attempt to index a non-table value");
+            push(t.asTable().get(key));
+            break;
+          }
+          case Op::SET_ELEM: {
+            Value v = pop();
+            Value key = pop();
+            Value t = pop();
+            if (!t.isTable())
+                fatal("attempt to index a non-table value");
+            t.asTable().set(key, v);
+            break;
+          }
+          case Op::POP:
+            pop();
+            break;
+          case Op::DUP:
+            push(stack_.back());
+            break;
+          case Op::HALT:
+            halted_ = true;
+            break;
+          default:
+            fatal("sjs: opcode ", unsigned(op),
+                  " is reserved and trapped");
+        }
+    }
+
+    const Module &module_;
+    Table globals_;
+    std::vector<Value> stack_;
+    std::vector<Frame> frames_;
+    std::string out_;
+    bool halted_ = false;
+};
+
+} // namespace
+
+std::string
+run(const Module &module, uint64_t maxSteps)
+{
+    SCD_ASSERT(!module.protos.empty(), "empty module");
+    Interp interp(module);
+    return interp.run(maxSteps);
+}
+
+} // namespace scd::vm::sjs

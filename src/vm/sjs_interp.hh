@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Host (reference) interpreter for SJS stack bytecode.
+ */
+
+#ifndef SCD_VM_SJS_INTERP_HH
+#define SCD_VM_SJS_INTERP_HH
+
+#include <string>
+
+#include "sjs_bytecode.hh"
+
+namespace scd::vm::sjs
+{
+
+/** Execute a compiled module; returns the accumulated print() output. */
+std::string run(const Module &module, uint64_t maxSteps = 0);
+
+} // namespace scd::vm::sjs
+
+#endif // SCD_VM_SJS_INTERP_HH

@@ -1,0 +1,141 @@
+#include "value.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace scd::vm
+{
+
+Value
+Value::table()
+{
+    Value v;
+    v.type_ = Type::Tab;
+    v.t_ = std::make_shared<Table>();
+    return v;
+}
+
+bool
+Value::equals(const Value &other) const
+{
+    if (isNumber() && other.isNumber()) {
+        if (isInt() && other.isInt())
+            return i_ == other.i_;
+        return toNumber() == other.toNumber();
+    }
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Nil:
+      case Type::True:
+      case Type::False:
+        return true;
+      case Type::Str:
+        return *s_ == *other.s_;
+      case Type::Tab:
+        return t_ == other.t_;
+      case Type::Fun:
+        return i_ == other.i_;
+      default:
+        return false;
+    }
+}
+
+Value
+Table::get(const Value &key) const
+{
+    if (key.isInt()) {
+        int64_t k = key.asInt();
+        if (k >= 1 && k <= static_cast<int64_t>(arr_.size()))
+            return arr_[k - 1];
+        auto it = intHash_.find(k);
+        return it == intHash_.end() ? Value::nil() : it->second;
+    }
+    if (key.isStr()) {
+        auto it = strHash_.find(key.asStr());
+        return it == strHash_.end() ? Value::nil() : it->second;
+    }
+    if (key.isFloat()) {
+        // Float keys with integral values alias the integer key (Lua 5.3).
+        double d = key.asFloat();
+        int64_t k = static_cast<int64_t>(d);
+        if (static_cast<double>(k) == d)
+            return get(Value::integer(k));
+        return Value::nil();
+    }
+    fatal("unsupported table key type");
+}
+
+void
+Table::set(const Value &key, const Value &value)
+{
+    if (key.isInt()) {
+        int64_t k = key.asInt();
+        if (k >= 1 && k <= static_cast<int64_t>(arr_.size())) {
+            arr_[k - 1] = value;
+            return;
+        }
+        if (k == static_cast<int64_t>(arr_.size()) + 1) {
+            arr_.push_back(value);
+            // Absorb any subsequent keys waiting in the hash part.
+            while (true) {
+                auto it = intHash_.find(
+                    static_cast<int64_t>(arr_.size()) + 1);
+                if (it == intHash_.end())
+                    break;
+                arr_.push_back(it->second);
+                intHash_.erase(it);
+            }
+            return;
+        }
+        intHash_[k] = value;
+        return;
+    }
+    if (key.isStr()) {
+        strHash_[key.asStr()] = value;
+        return;
+    }
+    if (key.isFloat()) {
+        double d = key.asFloat();
+        int64_t k = static_cast<int64_t>(d);
+        if (static_cast<double>(k) == d) {
+            set(Value::integer(k), value);
+            return;
+        }
+    }
+    fatal("unsupported table key type");
+}
+
+std::string
+toDisplayString(const Value &v)
+{
+    switch (v.type()) {
+      case Type::Nil:
+        return "nil";
+      case Type::True:
+        return "true";
+      case Type::False:
+        return "false";
+      case Type::Int: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v.asInt()));
+        return buf;
+      }
+      case Type::Float: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", v.asFloat());
+        return buf;
+      }
+      case Type::Str:
+        return v.asStr();
+      case Type::Tab:
+        return "<table>";
+      case Type::Fun:
+        return "<function>";
+    }
+    return "?";
+}
+
+} // namespace scd::vm

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Dynamically-typed values shared by the two bytecode VMs' host
+ * interpreters and compilers (constant pools). Mirrors Lua 5.3 semantics:
+ * separate 64-bit integer and double subtypes, strings, tables with an
+ * array part and a hash part, and function references.
+ *
+ * Garbage collection is intentionally absent: the paper disables GC during
+ * measurement, and the guest runtime uses a bump allocator to match.
+ */
+
+#ifndef SCD_VM_VALUE_HH
+#define SCD_VM_VALUE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace scd::vm
+{
+
+class Table;
+
+/** Value type tags (shared numbering with the guest runtime). */
+enum class Type : uint8_t
+{
+    Nil = 0,
+    False = 1,
+    True = 2,
+    Int = 3,
+    Float = 4,
+    Str = 5,
+    Tab = 6,
+    Fun = 7,
+};
+
+/** Builtin (native) function identifiers, shared with the guest runtime. */
+enum class Builtin : uint16_t
+{
+    Print = 0,
+    Sqrt = 1,
+    StrSub = 2,
+    StrByte = 3,
+    StrChar = 4,
+    ToFloat = 5,
+    NumBuiltins
+};
+
+/** A dynamically-typed value. */
+class Value
+{
+  public:
+    Value() : type_(Type::Nil) {}
+
+    static Value nil() { return Value(); }
+    static Value
+    boolean(bool b)
+    {
+        Value v;
+        v.type_ = b ? Type::True : Type::False;
+        return v;
+    }
+    static Value
+    integer(int64_t i)
+    {
+        Value v;
+        v.type_ = Type::Int;
+        v.i_ = i;
+        return v;
+    }
+    static Value
+    number(double d)
+    {
+        Value v;
+        v.type_ = Type::Float;
+        v.d_ = d;
+        return v;
+    }
+    static Value
+    str(std::string s)
+    {
+        Value v;
+        v.type_ = Type::Str;
+        v.s_ = std::make_shared<std::string>(std::move(s));
+        return v;
+    }
+    static Value
+    strRef(std::shared_ptr<std::string> s)
+    {
+        Value v;
+        v.type_ = Type::Str;
+        v.s_ = std::move(s);
+        return v;
+    }
+    static Value table();
+    static Value
+    tableRef(std::shared_ptr<Table> t)
+    {
+        Value v;
+        v.type_ = Type::Tab;
+        v.t_ = std::move(t);
+        return v;
+    }
+    /** Reference to bytecode function @p protoIndex. */
+    static Value
+    function(uint32_t protoIndex)
+    {
+        Value v;
+        v.type_ = Type::Fun;
+        v.i_ = protoIndex;
+        return v;
+    }
+    /** Reference to a native builtin. */
+    static Value
+    builtin(Builtin b)
+    {
+        Value v;
+        v.type_ = Type::Fun;
+        v.i_ = kBuiltinBase + static_cast<int64_t>(b);
+        return v;
+    }
+
+    Type type() const { return type_; }
+    bool isNil() const { return type_ == Type::Nil; }
+    bool isBool() const
+    {
+        return type_ == Type::True || type_ == Type::False;
+    }
+    bool isInt() const { return type_ == Type::Int; }
+    bool isFloat() const { return type_ == Type::Float; }
+    bool isNumber() const { return isInt() || isFloat(); }
+    bool isStr() const { return type_ == Type::Str; }
+    bool isTable() const { return type_ == Type::Tab; }
+    bool isFunction() const { return type_ == Type::Fun; }
+
+    /** Lua truthiness: everything except nil and false. */
+    bool
+    truthy() const
+    {
+        return type_ != Type::Nil && type_ != Type::False;
+    }
+
+    int64_t asInt() const { return i_; }
+    double asFloat() const { return d_; }
+    /** Numeric value as a double regardless of subtype. */
+    double
+    toNumber() const
+    {
+        return isInt() ? static_cast<double>(i_) : d_;
+    }
+    const std::string &asStr() const { return *s_; }
+    const std::shared_ptr<std::string> &strPtr() const { return s_; }
+    Table &asTable() const { return *t_; }
+    const std::shared_ptr<Table> &tablePtr() const { return t_; }
+
+    /** Bytecode function index, or kBuiltinBase+builtin id. */
+    int64_t functionId() const { return i_; }
+    bool isBuiltinFunction() const { return i_ >= kBuiltinBase; }
+    Builtin
+    builtinId() const
+    {
+        return static_cast<Builtin>(i_ - kBuiltinBase);
+    }
+
+    /** Raw equality following Lua: ints and floats compare numerically. */
+    bool equals(const Value &other) const;
+
+    static constexpr int64_t kBuiltinBase = 1 << 20;
+
+  private:
+    Type type_;
+    int64_t i_ = 0;
+    double d_ = 0.0;
+    std::shared_ptr<std::string> s_;
+    std::shared_ptr<Table> t_;
+};
+
+/** A Lua-style table: dense 1-based array part + hash parts. */
+class Table
+{
+  public:
+    Value get(const Value &key) const;
+    void set(const Value &key, const Value &value);
+
+    /** The length operator: size of the dense array part. */
+    int64_t length() const { return static_cast<int64_t>(arr_.size()); }
+
+    const std::vector<Value> &arrayPart() const { return arr_; }
+
+  private:
+    std::vector<Value> arr_;                          ///< keys 1..n
+    std::unordered_map<int64_t, Value> intHash_;      ///< sparse ints
+    std::unordered_map<std::string, Value> strHash_;  ///< string keys
+};
+
+/** Render @p v the way print() and tostring() do. */
+std::string toDisplayString(const Value &v);
+
+} // namespace scd::vm
+
+#endif // SCD_VM_VALUE_HH

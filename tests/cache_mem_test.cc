@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit and property tests for the cache model, the TLB, and the paged
+ * guest memory (checked against reference models under random traffic).
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <random>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "mem/memory.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::cache;
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache({"t", 1024, 2, 64});
+    EXPECT_FALSE(cache.access(0x0));
+    EXPECT_TRUE(cache.access(0x0));
+    EXPECT_TRUE(cache.access(0x3F)); // same block
+    EXPECT_FALSE(cache.access(0x40)); // next block
+    EXPECT_EQ(cache.accesses(), 4u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way, 64B blocks, 2 sets (256B total).
+    Cache cache({"t", 256, 2, 64});
+    // Set 0 holds blocks with (addr/64) even.
+    EXPECT_FALSE(cache.access(0));      // A
+    EXPECT_FALSE(cache.access(128));    // B (set 0)
+    EXPECT_TRUE(cache.access(0));       // touch A
+    EXPECT_FALSE(cache.access(256));    // C evicts B (LRU)
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(128));    // B misses again
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache cache({"t", 1024, 2, 64});
+    cache.access(0);
+    cache.access(64);
+    cache.flush();
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_FALSE(cache.access(64));
+}
+
+/** Reference fully-associative-per-set LRU model. */
+class RefCache
+{
+  public:
+    RefCache(unsigned sets, unsigned ways, unsigned blockBytes)
+        : sets_(sets), ways_(ways), shift_(0)
+    {
+        while ((1u << shift_) < blockBytes)
+            ++shift_;
+        lines_.resize(sets);
+    }
+
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t tag = addr >> shift_;
+        auto &set = lines_[tag % sets_];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == tag) {
+                set.erase(it);
+                set.push_front(tag);
+                return true;
+            }
+        }
+        set.push_front(tag);
+        if (set.size() > ways_)
+            set.pop_back();
+        return false;
+    }
+
+  private:
+    unsigned sets_, ways_, shift_;
+    std::vector<std::list<uint64_t>> lines_;
+};
+
+TEST(CacheProperty, MatchesReferenceLruUnderRandomTraffic)
+{
+    Cache cache({"t", 8 * 1024, 4, 64, Replacement::LRU});
+    RefCache ref(8 * 1024 / 64 / 4, 4, 64);
+    std::mt19937_64 rng(123);
+    int disagreements = 0;
+    for (int n = 0; n < 50000; ++n) {
+        // Skewed address distribution to get a mix of hits and misses.
+        uint64_t addr = (rng() % 512) * 64 * ((rng() % 3) + 1);
+        bool a = cache.access(addr);
+        bool b = ref.access(addr);
+        if (a != b)
+            ++disagreements;
+    }
+    EXPECT_EQ(disagreements, 0);
+}
+
+TEST(Tlb, HitsAfterFirstTouch)
+{
+    Tlb tlb(8);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1FFF)); // same 4 KiB page
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, LruReplacementAcrossManyPages)
+{
+    Tlb tlb(4);
+    for (uint64_t p = 0; p < 8; ++p)
+        tlb.access(p << 12);
+    // Oldest pages evicted.
+    EXPECT_FALSE(tlb.access(0 << 12));
+    EXPECT_EQ(tlb.misses(), 9u);
+}
+
+TEST(GuestMemory, ZeroInitialized)
+{
+    mem::GuestMemory memory;
+    EXPECT_EQ(memory.read64(0x123456), 0u);
+    EXPECT_EQ(memory.read8(0xFFFFFFF), 0u);
+}
+
+TEST(GuestMemory, AllWidthsRoundTrip)
+{
+    mem::GuestMemory memory;
+    memory.write8(0x100, 0xAB);
+    memory.write16(0x200, 0xCDEF);
+    memory.write32(0x300, 0x12345678u);
+    memory.write64(0x400, 0x123456789ABCDEF0ull);
+    EXPECT_EQ(memory.read8(0x100), 0xABu);
+    EXPECT_EQ(memory.read16(0x200), 0xCDEFu);
+    EXPECT_EQ(memory.read32(0x300), 0x12345678u);
+    EXPECT_EQ(memory.read64(0x400), 0x123456789ABCDEF0ull);
+}
+
+TEST(GuestMemory, LittleEndianByteOrder)
+{
+    mem::GuestMemory memory;
+    memory.write32(0x100, 0x11223344u);
+    EXPECT_EQ(memory.read8(0x100), 0x44u);
+    EXPECT_EQ(memory.read8(0x103), 0x11u);
+}
+
+TEST(GuestMemory, CrossPageAccesses)
+{
+    mem::GuestMemory memory;
+    uint64_t boundary = mem::GuestMemory::kPageSize;
+    memory.write64(boundary - 4, 0xAABBCCDDEEFF0011ull);
+    EXPECT_EQ(memory.read64(boundary - 4), 0xAABBCCDDEEFF0011ull);
+    EXPECT_EQ(memory.read32(boundary - 2) & 0xFFFFu,
+              (0xAABBCCDDEEFF0011ull >> 16) & 0xFFFFu);
+}
+
+TEST(GuestMemoryProperty, MatchesMapReference)
+{
+    mem::GuestMemory memory;
+    std::map<uint64_t, uint8_t> ref;
+    std::mt19937_64 rng(99);
+    for (int n = 0; n < 20000; ++n) {
+        uint64_t addr = rng() % (1 << 22);
+        if (rng() & 1) {
+            uint8_t v = rng() & 0xFF;
+            memory.write8(addr, v);
+            ref[addr] = v;
+        } else {
+            uint8_t expect = ref.count(addr) ? ref[addr] : 0;
+            ASSERT_EQ(memory.read8(addr), expect) << "addr " << addr;
+        }
+    }
+}
+
+TEST(GuestMemory, WriteBlockSpansPages)
+{
+    mem::GuestMemory memory;
+    std::vector<uint8_t> blob(200000);
+    for (size_t n = 0; n < blob.size(); ++n)
+        blob[n] = static_cast<uint8_t>(n * 7);
+    uint64_t base = mem::GuestMemory::kPageSize - 1234;
+    memory.writeBlock(base, blob.data(), blob.size());
+    for (size_t n = 0; n < blob.size(); n += 997)
+        ASSERT_EQ(memory.read8(base + n), blob[n]);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the common utilities (bit manipulation, stats registry, text
+ * tables, logging) and for the dual-issue pairing model of the core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "cpu/core.hh"
+#include "isa/text_assembler.hh"
+#include "mem/memory.hh"
+
+namespace
+{
+
+using namespace scd;
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xFF00, 15, 8), 0xFFu);
+    EXPECT_EQ(bits(0xABCD, 3, 0), 0xDu);
+    EXPECT_EQ(bits(~uint64_t(0), 63, 0), ~uint64_t(0));
+}
+
+TEST(BitUtil, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xFF, 8), -1);
+    EXPECT_EQ(signExtend(0x7F, 8), 127);
+    EXPECT_EQ(signExtend(0x2000, 14), -8192);
+}
+
+TEST(BitUtil, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(8191, 14));
+    EXPECT_FALSE(fitsSigned(8192, 14));
+    EXPECT_TRUE(fitsSigned(-8192, 14));
+    EXPECT_FALSE(fitsSigned(-8193, 14));
+}
+
+TEST(BitUtil, PowersAndLogs)
+{
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+}
+
+TEST(Stats, SnapshotAndDiff)
+{
+    StatGroup group;
+    group.counter("a") = 10;
+    group.counter("b") = 20;
+    auto snap = group.snapshot();
+    group.counter("a") += 5;
+    group.counter("c") = 7;
+    auto diff = group.since(snap);
+    EXPECT_EQ(diff["a"], 5u);
+    EXPECT_EQ(diff["b"], 0u);
+    EXPECT_EQ(diff["c"], 7u);
+    EXPECT_EQ(group.get("missing"), 0u);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Table, AlignmentAndGuards)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer-name", "23456"});
+    std::string text = t.render();
+    EXPECT_NE(text.find("longer-name"), std::string::npos);
+    EXPECT_NE(text.find("-----"), std::string::npos);
+    // Row width mismatch is a programming error.
+    EXPECT_DEATH(t.row({"only-one"}), "row width");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(TextTable::fixed(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::percent(0.199, 1), "19.9%");
+    EXPECT_EQ(TextTable::percent(-0.016, 1), "-1.6%");
+}
+
+TEST(Logging, FatalThrowsWithMessage)
+{
+    try {
+        fatal("bad thing ", 42);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad thing 42");
+    }
+}
+
+TEST(DualIssue, IndependentAluOpsPairUp)
+{
+    // A long run of independent ALU instructions: the dual-issue core
+    // should retire close to 2 IPC, the single-issue core close to 1.
+    std::string body;
+    for (int n = 0; n < 64; ++n) {
+        body += "addi t" + std::to_string(n % 3) + ", zero, 1\n";
+        body += "addi s" + std::to_string(2 + (n % 3)) + ", zero, 2\n";
+    }
+    std::string src = "li s0, 2000\nloop:\n" + body +
+                      "addi s0, s0, -1\nbnez s0, loop\nli a7, 0\necall\n";
+
+    auto run = [&](unsigned width) {
+        mem::GuestMemory memory;
+        cpu::CoreConfig config;
+        config.issueWidth = width;
+        cpu::Core core(config, memory);
+        core.loadProgram(isa::assembleText(src));
+        return core.run();
+    };
+    auto single = run(1);
+    auto dual = run(2);
+    EXPECT_EQ(single.instructions, dual.instructions);
+    double ipcSingle =
+        double(single.instructions) / double(single.cycles);
+    double ipcDual = double(dual.instructions) / double(dual.cycles);
+    EXPECT_LT(ipcSingle, 1.05);
+    EXPECT_GT(ipcDual, 1.5);
+}
+
+TEST(DualIssue, DependentChainDoesNotPair)
+{
+    // A serial dependency chain cannot dual-issue.
+    std::string src = R"(
+        li s0, 5000
+        li t0, 0
+    loop:
+        addi t0, t0, 1
+        addi t0, t0, 1
+        addi t0, t0, 1
+        addi t0, t0, 1
+        addi s0, s0, -1
+        bnez s0, loop
+        li a7, 0
+        ecall
+    )";
+    mem::GuestMemory memory;
+    cpu::CoreConfig config;
+    config.issueWidth = 2;
+    cpu::Core core(config, memory);
+    core.loadProgram(isa::assembleText(src));
+    auto r = core.run();
+    double ipc = double(r.instructions) / double(r.cycles);
+    EXPECT_LT(ipc, 1.6); // the serial chain caps ILP well below 2
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Bytecode-level golden tests for the two compilers: exact instruction
+ * sequences for representative snippets, pinning the code shapes the
+ * guest interpreters and the dispatch statistics depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/rlua_compiler.hh"
+#include "vm/sjs_compiler.hh"
+
+namespace
+{
+
+using namespace scd::vm;
+
+std::vector<rlua::Op>
+rluaOps(const std::string &src)
+{
+    auto module = rlua::compileSource(src);
+    std::vector<rlua::Op> ops;
+    for (uint32_t i : module.protos[0].code)
+        ops.push_back(rlua::opOf(i));
+    return ops;
+}
+
+TEST(RluaGolden, LocalArithmetic)
+{
+    // local a = 1; local b = a + 2; print(b)
+    auto ops = rluaOps("local a = 1 local b = a + 2 print(b)");
+    using Op = rlua::Op;
+    std::vector<Op> expect = {
+        Op::LOADK,    // a = 1
+        Op::ADD,      // b = a + K(2)  (RK operand, no extra load)
+        Op::GETTABUP, // print
+        Op::MOVE,     // argument
+        Op::CALL,
+        Op::RETURN,
+    };
+    EXPECT_EQ(ops, expect);
+}
+
+TEST(RluaGolden, ComparisonCompilesToCompareSkipJump)
+{
+    // if a < b then ... end — the Lua LT + JMP idiom.
+    auto ops = rluaOps("local a = 1 local b = 2 if a < b then a = 3 end");
+    using Op = rlua::Op;
+    std::vector<Op> expect = {
+        Op::LOADK, Op::LOADK,
+        Op::LT,    // skips the JMP when the condition holds
+        Op::JMP,   // over the then-block
+        Op::LOADK, // a = 3
+        Op::RETURN,
+    };
+    EXPECT_EQ(ops, expect);
+}
+
+TEST(RluaGolden, NumericForUsesForPrepForLoop)
+{
+    auto ops = rluaOps("local s = 0 for i = 1, 9 do s = s + i end");
+    using Op = rlua::Op;
+    std::vector<Op> expect = {
+        Op::LOADK,           // s
+        Op::LOADK, Op::LOADK, Op::LOADK, // start, limit, step
+        Op::FORPREP,
+        Op::ADD,             // s = s + i
+        Op::FORLOOP,
+        Op::RETURN,
+    };
+    EXPECT_EQ(ops, expect);
+}
+
+TEST(RluaGolden, FunctionDeclEmitsClosureAndGlobalStore)
+{
+    auto module = rlua::compileSource("function f() return 1 end f()");
+    ASSERT_EQ(module.protos.size(), 2u);
+    using Op = rlua::Op;
+    const auto &main = module.protos[0].code;
+    EXPECT_EQ(rlua::opOf(main[0]), Op::CLOSURE);
+    EXPECT_EQ(rlua::opOf(main[1]), Op::SETTABUP);
+    // The sub-proto returns a constant.
+    const auto &f = module.protos[1].code;
+    EXPECT_EQ(rlua::opOf(f[0]), Op::LOADK);
+    EXPECT_EQ(rlua::opOf(f[1]), Op::RETURN);
+    EXPECT_EQ(rlua::bOf(f[1]), 2u); // with a value
+}
+
+TEST(RluaGolden, RkOperandsReferenceConstantsDirectly)
+{
+    // `x % 7` should use an RK-encoded constant, not a LOADK.
+    auto module = rlua::compileSource("local x = 50 print(x % 7)");
+    bool sawModWithConst = false;
+    for (uint32_t i : module.protos[0].code) {
+        if (rlua::opOf(i) == rlua::Op::MOD)
+            sawModWithConst = (rlua::cOf(i) & rlua::kRkFlag) != 0;
+    }
+    EXPECT_TRUE(sawModWithConst);
+}
+
+std::vector<sjs::Op>
+sjsOps(const std::string &src)
+{
+    auto module = sjs::compileSource(src);
+    std::vector<sjs::Op> ops;
+    const auto &code = module.protos[0].code;
+    size_t pc = 0;
+    while (pc < code.size()) {
+        auto op = static_cast<sjs::Op>(code[pc]);
+        ops.push_back(op);
+        pc += sjs::instLength(op);
+    }
+    return ops;
+}
+
+TEST(SjsGolden, LocalArithmeticUsesSpecializedOpcodes)
+{
+    auto ops = sjsOps("local a = 1 local b = a + 2 print(b)");
+    using Op = sjs::Op;
+    std::vector<Op> expect = {
+        Op::PUSH_INT1,  Op::SET_LOCAL0, // a = 1
+        Op::GET_LOCAL0, Op::PUSH_INT8, Op::ADD, Op::SET_LOCAL1,
+        Op::GET_GLOBAL, Op::GET_LOCAL1, Op::CALL, Op::POP,
+        Op::HALT,
+    };
+    EXPECT_EQ(ops, expect);
+}
+
+TEST(SjsGolden, WhileLoopShape)
+{
+    auto ops = sjsOps("local n = 0 while n < 3 do n = n + 1 end");
+    using Op = sjs::Op;
+    std::vector<Op> expect = {
+        Op::PUSH_INT0, Op::SET_LOCAL0,
+        Op::GET_LOCAL0, Op::PUSH_INT8, Op::LT, Op::JUMP_IF_FALSE,
+        Op::GET_LOCAL0, Op::PUSH_INT1, Op::ADD, Op::SET_LOCAL0,
+        Op::JUMP,
+        Op::HALT,
+    };
+    EXPECT_EQ(ops, expect);
+}
+
+TEST(SjsGolden, AndShortCircuitUsesDupPop)
+{
+    auto ops = sjsOps("local a = 1 local b = a and 2");
+    using Op = sjs::Op;
+    std::vector<Op> expect = {
+        Op::PUSH_INT1, Op::SET_LOCAL0,
+        Op::GET_LOCAL0, Op::DUP, Op::JUMP_IF_FALSE, Op::POP,
+        Op::PUSH_INT8, Op::SET_LOCAL1,
+        Op::HALT,
+    };
+    EXPECT_EQ(ops, expect);
+}
+
+TEST(SjsGolden, JumpDisplacementsResolve)
+{
+    // Verify the encoded while-loop back-edge lands on the condition.
+    auto module = sjs::compileSource("local n = 0 while n < 3 do n = n + 1 end");
+    const auto &code = module.protos[0].code;
+    // Find the unconditional JUMP (the back edge).
+    size_t pc = 0, jumpAt = SIZE_MAX;
+    while (pc < code.size()) {
+        auto op = static_cast<sjs::Op>(code[pc]);
+        if (op == sjs::Op::JUMP)
+            jumpAt = pc;
+        pc += sjs::instLength(op);
+    }
+    ASSERT_NE(jumpAt, SIZE_MAX);
+    int16_t rel = static_cast<int16_t>(code[jumpAt + 1] |
+                                       (code[jumpAt + 2] << 8));
+    size_t target = jumpAt + 3 + rel;
+    // Target must be the GET_LOCAL0 that begins the condition (pc 2).
+    EXPECT_EQ(target, 2u);
+    EXPECT_EQ(static_cast<sjs::Op>(code[target]), sjs::Op::GET_LOCAL0);
+}
+
+} // namespace

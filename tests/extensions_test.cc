@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the related-work extensions: the ITTAGE indirect predictor,
+ * the dedicated (CBT-style) JTE table, and the bop fall-through policy —
+ * each validated both standalone and end-to-end on guest interpreters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "branch/ittage.hh"
+#include "branch/jte_table.hh"
+#include "harness/machines.hh"
+#include "harness/runner.hh"
+#include "vm/rlua_compiler.hh"
+#include "vm/rlua_interp.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::harness;
+
+TEST(Ittage, LearnsStableTarget)
+{
+    branch::Ittage pred;
+    for (int n = 0; n < 50; ++n)
+        pred.update(0x1000, 0x4000);
+    auto p = pred.predict(0x1000);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 0x4000u);
+}
+
+TEST(Ittage, LearnsHistoryCorrelatedTargets)
+{
+    // Target alternates A,B,A,B... with the path history carrying the
+    // phase; a last-target predictor would be 0% accurate, ITTAGE should
+    // learn the pattern.
+    branch::Ittage pred;
+    uint64_t targets[2] = {0x4000, 0x8000};
+    int correct = 0, total = 0;
+    for (int n = 0; n < 4000; ++n) {
+        uint64_t target = targets[n & 1];
+        auto p = pred.predict(0x1000);
+        if (n > 2000) {
+            ++total;
+            correct += (p && *p == target) ? 1 : 0;
+        }
+        pred.update(0x1000, target);
+    }
+    EXPECT_GT(double(correct) / total, 0.9);
+}
+
+TEST(JteTable, InsertLookupFlush)
+{
+    branch::JteTable table(4);
+    table.insert(0, 5, 0x100);
+    table.insert(1, 5, 0x200);
+    EXPECT_EQ(table.lookup(0, 5).value_or(0), 0x100u);
+    EXPECT_EQ(table.lookup(1, 5).value_or(0), 0x200u);
+    EXPECT_EQ(table.count(), 2u);
+    table.flush();
+    EXPECT_EQ(table.count(), 0u);
+    EXPECT_FALSE(table.lookup(0, 5).has_value());
+}
+
+TEST(JteTable, LruEvictionAtCapacity)
+{
+    branch::JteTable table(2);
+    table.insert(0, 1, 0xA);
+    table.insert(0, 2, 0xB);
+    table.lookup(0, 1); // touch 1
+    table.insert(0, 3, 0xC); // evicts 2
+    EXPECT_TRUE(table.lookup(0, 1).has_value());
+    EXPECT_FALSE(table.lookup(0, 2).has_value());
+    EXPECT_TRUE(table.lookup(0, 3).has_value());
+}
+
+TEST(JteTable, UpdateInPlace)
+{
+    branch::JteTable table(2);
+    table.insert(0, 1, 0xA);
+    table.insert(0, 1, 0xB);
+    EXPECT_EQ(table.count(), 1u);
+    EXPECT_EQ(table.lookup(0, 1).value_or(0), 0xBu);
+}
+
+std::string
+fibSrc()
+{
+    return workload("fibo").text(InputSize::Test);
+}
+
+TEST(DedicatedJteTable, SameOutputAndStillFast)
+{
+    cpu::CoreConfig overlay = minorConfig();
+    cpu::CoreConfig dedicated = minorConfig();
+    dedicated.scdDedicatedTable = true;
+
+    std::string host = vm::rlua::run(vm::rlua::compileSource(fibSrc()));
+    auto base = runExperiment(VmKind::Rlua, fibSrc(),
+                              core::Scheme::Baseline, overlay);
+    auto withOverlay =
+        runExperiment(VmKind::Rlua, fibSrc(), core::Scheme::Scd, overlay);
+    auto withDedicated = runExperiment(VmKind::Rlua, fibSrc(),
+                                       core::Scheme::Scd, dedicated);
+    EXPECT_EQ(withOverlay.output, host);
+    EXPECT_EQ(withDedicated.output, host);
+    EXPECT_LT(withDedicated.run.cycles, base.run.cycles);
+    // The overlay and the auxiliary table perform nearly identically when
+    // the BTB has headroom — the overlay just costs (much) less area.
+    double ratio = double(withDedicated.run.cycles) /
+                   double(withOverlay.run.cycles);
+    EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(BopFallThroughPolicy, CorrectButForfeitsSomeFastPaths)
+{
+    cpu::CoreConfig stall = minorConfig();
+    stall.bopPolicy = cpu::BopStallPolicy::Stall;
+    stall.ropForwardDistance = 8; // force the producer to be in flight
+    cpu::CoreConfig fall = stall;
+    fall.bopPolicy = cpu::BopStallPolicy::FallThrough;
+
+    std::string host = vm::rlua::run(vm::rlua::compileSource(fibSrc()));
+    auto sRun =
+        runExperiment(VmKind::Rlua, fibSrc(), core::Scheme::Scd, stall);
+    auto fRun =
+        runExperiment(VmKind::Rlua, fibSrc(), core::Scheme::Scd, fall);
+    EXPECT_EQ(sRun.output, host);
+    EXPECT_EQ(fRun.output, host);
+    // Stall policy pays bubbles; fall-through policy executes more
+    // instructions (slow path) instead.
+    EXPECT_GT(sRun.stats.get("scd.ropStallCycles"), 0u);
+    EXPECT_EQ(fRun.stats.get("scd.ropStallCycles"), 0u);
+    EXPECT_GT(fRun.stats.get("scd.bopFallThroughForced"), 0u);
+    EXPECT_GT(fRun.run.instructions, sRun.run.instructions);
+}
+
+TEST(AdaptiveJteCap, TightensUnderPressureAndRelaxes)
+{
+    // Heavy mixed traffic on a tiny BTB: the adaptive policy must engage
+    // (cap becomes finite) while pressure lasts, bounding the JTEs.
+    branch::BtbConfig config{16, 2, false, 0};
+    config.adaptiveJteCap = true;
+    config.adaptEpoch = 256;
+    branch::Btb btb(config);
+    std::mt19937_64 rng(3);
+    for (int n = 0; n < 20000; ++n) {
+        btb.insertJte(0, rng() % 229, rng());
+        btb.insertPc((rng() % 512) * 4, rng());
+        btb.lookupPc((rng() % 512) * 4);
+    }
+    EXPECT_NE(btb.effectiveJteCap(), 0u);
+    EXPECT_LE(btb.jteCount(), 16u);
+
+    // Once the JTE traffic stops, epochs without contention relax the
+    // cap back toward unlimited.
+    for (int n = 0; n < 200000; ++n)
+        btb.lookupPc((rng() % 8) * 4);
+    EXPECT_EQ(btb.effectiveJteCap(), 0u);
+}
+
+TEST(AdaptiveJteCap, EndToEndMatchesOutput)
+{
+    cpu::CoreConfig machine = minorConfig();
+    machine.btb.entries = 64;
+    machine.btb.adaptiveJteCap = true;
+    std::string host = vm::rlua::run(vm::rlua::compileSource(fibSrc()));
+    auto base = runExperiment(VmKind::Rlua, fibSrc(),
+                              core::Scheme::Baseline, machine);
+    auto scd =
+        runExperiment(VmKind::Rlua, fibSrc(), core::Scheme::Scd, machine);
+    EXPECT_EQ(scd.output, host);
+    EXPECT_LT(scd.run.cycles, base.run.cycles);
+}
+
+TEST(IttagePredictorEndToEnd, BeatsPlainBtbOnDispatch)
+{
+    cpu::CoreConfig plain = minorConfig();
+    cpu::CoreConfig ittage = minorConfig();
+    ittage.ittageEnabled = true;
+    auto plainRun = runExperiment(VmKind::Rlua, fibSrc(),
+                                  core::Scheme::Baseline, plain);
+    auto ittageRun = runExperiment(VmKind::Rlua, fibSrc(),
+                                   core::Scheme::Baseline, ittage);
+    EXPECT_EQ(plainRun.output, ittageRun.output);
+    EXPECT_LT(
+        ittageRun.stats.get("branch.indirectDispatch.mispredicted"),
+        plainRun.stats.get("branch.indirectDispatch.mispredicted") / 2);
+    EXPECT_LT(ittageRun.run.cycles, plainRun.run.cycles);
+    // ...but like VBBI it cannot remove the dispatch instructions.
+    EXPECT_EQ(ittageRun.run.instructions, plainRun.run.instructions);
+}
+
+} // namespace

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * End-to-end validation of the RLua guest interpreter: scripts compiled
+ * to RLua bytecode, serialized into a guest world, and executed by the
+ * simulated core must print exactly what the host reference interpreter
+ * prints — for all three dispatch variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "guest/rlua_guest.hh"
+#include "mem/memory.hh"
+#include "vm/rlua_compiler.hh"
+#include "vm/rlua_interp.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::guest;
+
+cpu::CoreConfig
+configFor(DispatchKind kind)
+{
+    cpu::CoreConfig config;
+    config.scdEnabled = kind == DispatchKind::Scd;
+    return config;
+}
+
+struct GuestRun
+{
+    std::string output;
+    cpu::RunResult result;
+};
+
+GuestRun
+runGuest(const std::string &src, DispatchKind kind,
+         uint64_t maxInst = 400'000'000)
+{
+    auto module = vm::rlua::compileSource(src);
+    GuestProgram guest = buildRluaGuest(module, kind);
+    mem::GuestMemory memory;
+    guest.loadInto(memory);
+    cpu::Core core(configFor(kind), memory);
+    core.loadProgram(guest.text);
+    core.setDispatchMeta(guest.meta);
+    GuestRun run;
+    run.result = core.run(maxInst);
+    run.output = core.output();
+    EXPECT_TRUE(run.result.exited) << "guest did not exit: " << src;
+    EXPECT_EQ(run.result.exitCode, 0) << core.output();
+    return run;
+}
+
+std::string
+hostOutput(const std::string &src)
+{
+    return vm::rlua::run(vm::rlua::compileSource(src), 200'000'000);
+}
+
+class RluaGuestVariant
+    : public ::testing::TestWithParam<DispatchKind>
+{
+};
+
+TEST_P(RluaGuestVariant, Arithmetic)
+{
+    const char *src = R"(
+        print(1 + 2)
+        print(7 * 6 - 2)
+        print(7 / 2)
+        print(-7 // 2)
+        print(-7 % 3)
+        print(2.5 + 0.25)
+        print(10 % -3)
+    )";
+    EXPECT_EQ(runGuest(src, GetParam()).output, hostOutput(src));
+}
+
+TEST_P(RluaGuestVariant, ControlFlowAndLocals)
+{
+    const char *src = R"(
+        local total = 0
+        for i = 1, 50 do
+          if i % 2 == 0 then total = total + i else total = total - 1 end
+        end
+        print(total)
+        local n = 0
+        while n < 10 do n = n + 3 end
+        print(n)
+    )";
+    EXPECT_EQ(runGuest(src, GetParam()).output, hostOutput(src));
+}
+
+TEST_P(RluaGuestVariant, FunctionsAndRecursion)
+{
+    const char *src = R"(
+        function fib(n)
+          if n < 2 then return n end
+          return fib(n - 1) + fib(n - 2)
+        end
+        print(fib(12))
+        function ack(m, n)
+          if m == 0 then return n + 1 end
+          if n == 0 then return ack(m - 1, 1) end
+          return ack(m - 1, ack(m, n - 1))
+        end
+        print(ack(2, 3))
+    )";
+    EXPECT_EQ(runGuest(src, GetParam()).output, hostOutput(src));
+}
+
+TEST_P(RluaGuestVariant, TablesArrayHashGrowth)
+{
+    const char *src = R"(
+        local t = {}
+        for i = 1, 40 do t[i] = i * 3 end
+        print(#t)
+        print(t[40])
+        local h = {}
+        for i = 1, 30 do h[i * 100] = i end   -- sparse: hash part growth
+        print(h[2500])
+        h.name = "grow"
+        print(h.name)
+        local sum = 0
+        for i = 1, 30 do sum = sum + h[i * 100] end
+        print(sum)
+    )";
+    EXPECT_EQ(runGuest(src, GetParam()).output, hostOutput(src));
+}
+
+TEST_P(RluaGuestVariant, StringsInterningConcat)
+{
+    const char *src = R"(
+        local s = "abc" .. "def"
+        print(s)
+        print(s == "abcdef")
+        print(#s)
+        print(strsub(s, 2, 4))
+        print(strbyte(s, 3))
+        print(strchar(88))
+        local t = {}
+        t[s] = 42
+        print(t["abcdef"])
+        print("apple" < "banana")
+    )";
+    EXPECT_EQ(runGuest(src, GetParam()).output, hostOutput(src));
+}
+
+TEST_P(RluaGuestVariant, FloatsAndBuiltins)
+{
+    const char *src = R"(
+        print(sqrt(2))
+        print(sqrt(144))
+        print(tofloat(3))
+        local x = 0.0
+        for i = 0.25, 2.0, 0.25 do x = x + i end
+        print(x)
+        print(1.5 * 1.5)
+        print(-2.5)
+        print(7 // 2.0)
+        print(5.5 % 2)
+    )";
+    EXPECT_EQ(runGuest(src, GetParam()).output, hostOutput(src));
+}
+
+TEST_P(RluaGuestVariant, BooleansNilComparisons)
+{
+    const char *src = R"(
+        print(nil == nil)
+        print(true == true)
+        print(1 == 1.0)
+        print(nil and 1)
+        print(nil or "x")
+        print(not nil)
+        print(1 < 2)
+        print(2.5 <= 2.5)
+        print("a" == "b")
+    )";
+    EXPECT_EQ(runGuest(src, GetParam()).output, hostOutput(src));
+}
+
+TEST_P(RluaGuestVariant, GlobalsAndClosureValues)
+{
+    const char *src = R"(
+        counter = 0
+        function bump(k) counter = counter + k end
+        bump(5) bump(7)
+        print(counter)
+        local f = bump
+        f(100)
+        print(counter)
+    )";
+    EXPECT_EQ(runGuest(src, GetParam()).output, hostOutput(src));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, RluaGuestVariant,
+                         ::testing::Values(DispatchKind::Switch,
+                                           DispatchKind::Threaded,
+                                           DispatchKind::Scd),
+                         [](const auto &info) {
+                             return dispatchKindName(info.param);
+                         });
+
+TEST(RluaGuestStats, ScdReducesInstructionCount)
+{
+    const char *src = R"(
+        function fib(n)
+          if n < 2 then return n end
+          return fib(n - 1) + fib(n - 2)
+        end
+        print(fib(16))
+    )";
+    auto base = runGuest(src, DispatchKind::Switch);
+    auto scd = runGuest(src, DispatchKind::Scd);
+    EXPECT_EQ(base.output, scd.output);
+    // The SCD fast path skips the decode/bound-check/table-load chain.
+    EXPECT_LT(scd.result.instructions, base.result.instructions * 0.95);
+    EXPECT_LT(scd.result.cycles, base.result.cycles);
+}
+
+TEST(RluaGuestStats, DispatchMetadataIsPopulated)
+{
+    auto module = vm::rlua::compileSource("print(1)");
+    GuestProgram base = buildRluaGuest(module, DispatchKind::Switch);
+    EXPECT_EQ(base.meta.dispatchRanges.size(), 1u);
+    EXPECT_EQ(base.meta.dispatchJumpPcs.size(), 1u);
+    EXPECT_EQ(base.meta.vbbiHints.size(), 1u);
+
+    GuestProgram threaded = buildRluaGuest(module, DispatchKind::Threaded);
+    // One dispatcher copy per handler return site plus the entry copy.
+    EXPECT_GT(threaded.meta.dispatchRanges.size(), 25u);
+    EXPECT_GT(threaded.textBytes(), base.textBytes());
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Stress and edge-case tests of the guest assembly runtime: hash-part
+ * rehash storms, array growth with absorption from the hash part, string
+ * interning under collision pressure, deep VM recursion across many
+ * frames, and large float workloads — all cross-checked against the host
+ * interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/machines.hh"
+#include "harness/runner.hh"
+#include "vm/rlua_compiler.hh"
+#include "vm/rlua_interp.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::harness;
+
+void
+expectHostGuestAgree(const std::string &src)
+{
+    std::string host =
+        vm::rlua::run(vm::rlua::compileSource(src), 500'000'000);
+    auto guest = runExperiment(VmKind::Rlua, src, core::Scheme::Scd,
+                               minorConfig(), 500'000'000);
+    ASSERT_TRUE(guest.run.exited);
+    EXPECT_EQ(guest.output, host) << src;
+}
+
+TEST(GuestRuntimeStress, HashPartRehashStorm)
+{
+    // Thousands of sparse integer keys force repeated rehash doubling.
+    expectHostGuestAgree(R"(
+        local t = {}
+        for i = 1, 3000 do t[i * 7 + 1000000] = i end
+        local sum = 0
+        for i = 1, 3000 do sum = sum + t[i * 7 + 1000000] end
+        print(sum)
+        print(t[1000007])
+        print(t[999999])
+    )");
+}
+
+TEST(GuestRuntimeStress, ArrayAbsorbsPendingHashKeys)
+{
+    // Write keys out of order so the array part must absorb keys parked
+    // in the hash part once the gap closes.
+    expectHostGuestAgree(R"(
+        local t = {}
+        t[3] = 30
+        t[2] = 20
+        t[5] = 50
+        print(#t)
+        t[1] = 10
+        print(#t)
+        t[4] = 40
+        print(#t)
+        local s = 0
+        for i = 1, #t do s = s + t[i] end
+        print(s)
+    )");
+}
+
+TEST(GuestRuntimeStress, ArrayGrowthDoubling)
+{
+    expectHostGuestAgree(R"(
+        local t = {}
+        for i = 1, 5000 do t[i] = i * i end
+        print(#t)
+        print(t[1])
+        print(t[5000])
+        print(t[4999])
+    )");
+}
+
+TEST(GuestRuntimeStress, StringInterningManyDistinct)
+{
+    // Hundreds of distinct interned strings plus repeated lookups; the
+    // interning invariant makes guest EQ a pointer comparison, so any
+    // interner bug shows up as wrong equality/table results.
+    expectHostGuestAgree(R"(
+        local t = {}
+        for i = 65, 90 do
+          for j = 65, 90 do
+            local key = strchar(i) .. strchar(j)
+            t[key] = i * 100 + j
+          end
+        end
+        print(t["AA"])
+        print(t["MZ"])
+        print(t["ZZ"])
+        print(("A" .. "B") == "AB")
+        local n = 0
+        for i = 65, 90 do
+          local key = strchar(i) .. strchar(i)
+          n = n + t[key]
+        end
+        print(n)
+    )");
+}
+
+TEST(GuestRuntimeStress, DeepCallStack)
+{
+    // ~8000 nested frames exercise CallInfo and value-stack growth.
+    expectHostGuestAgree(R"(
+        function down(n)
+          if n == 0 then return 0 end
+          return 1 + down(n - 1)
+        end
+        print(down(8000))
+    )");
+}
+
+TEST(GuestRuntimeStress, FloatHeavyNumerics)
+{
+    expectHostGuestAgree(R"(
+        local acc = 0.0
+        local x = 1.0
+        for i = 1, 2000 do
+          x = x * 1.0000117
+          acc = acc + sqrt(x) / (x + 0.5)
+          acc = acc - (x % 0.37)
+          acc = acc + x // 1.25
+        end
+        print(acc)
+    )");
+}
+
+TEST(GuestRuntimeStress, MixedIntFloatComparisonLattice)
+{
+    expectHostGuestAgree(R"(
+        local values = { 0, 1, -1, 2, 7, 100, 0.0, 0.5, -0.5, 1.0, 99.99 }
+        local lt = 0
+        local le = 0
+        local eq = 0
+        for i = 1, #values do
+          for j = 1, #values do
+            if values[i] < values[j] then lt = lt + 1 end
+            if values[i] <= values[j] then le = le + 1 end
+            if values[i] == values[j] then eq = eq + 1 end
+          end
+        end
+        print(lt)
+        print(le)
+        print(eq)
+    )");
+}
+
+TEST(GuestRuntimeStress, NegativeZeroAndIntMinEdges)
+{
+    expectHostGuestAgree(R"(
+        print(0.0 == -0.0)
+        print(-9223372036854775807 - 1)
+        print((-9223372036854775807 - 1) % 7)
+        print(7 // -1)
+        print(-7 // -2)
+    )");
+}
+
+TEST(GuestRuntimeStress, StrSubClampingEdges)
+{
+    expectHostGuestAgree(R"(
+        local s = "interpreter"
+        print(strsub(s, 0, 100))
+        print(strsub(s, 5, 3))
+        print(strsub(s, 11, 11))
+        print(#strsub(s, 12, 20))
+        print(strbyte(s, 0))
+        print(strbyte(s, 99))
+    )");
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Randomized differential testing: generated scripts (integer arithmetic,
+ * table traffic, control flow, strings) must produce identical output on
+ * (a) the RLua and SJS host interpreters, and (b) the host interpreter
+ * and the simulated guest interpreter (baseline and SCD).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "harness/machines.hh"
+#include "harness/runner.hh"
+#include "vm/rlua_compiler.hh"
+#include "vm/rlua_interp.hh"
+#include "vm/sjs_compiler.hh"
+#include "vm/sjs_interp.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::harness;
+
+/** Generate a deterministic random script for @p seed. */
+std::string
+generateScript(uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::ostringstream out;
+    auto num = [&](int lo, int hi) {
+        return int(lo + rng() % (hi - lo + 1));
+    };
+
+    // A few scalar locals with arithmetic chains.
+    int locals = num(2, 5);
+    for (int n = 0; n < locals; ++n)
+        out << "local v" << n << " = " << num(-50, 50) << "\n";
+
+    int statements = num(10, 25);
+    for (int s = 0; s < statements; ++s) {
+        int kind = num(0, 5);
+        int a = num(0, locals - 1);
+        int b = num(0, locals - 1);
+        switch (kind) {
+          case 0:
+            out << "v" << a << " = v" << a << " + v" << b << " * "
+                << num(1, 9) << "\n";
+            break;
+          case 1:
+            // Divisor offset keeps the modulus nonzero.
+            out << "if v" << b << " ~= 0 then v" << a << " = v" << a
+                << " % v" << b << " end\n";
+            break;
+          case 2:
+            out << "if v" << a << " < v" << b << " then v" << a
+                << " = v" << a << " + " << num(1, 20) << " else v" << b
+                << " = v" << b << " - " << num(1, 20) << " end\n";
+            break;
+          case 3:
+            out << "for i = 1, " << num(2, 12) << " do v" << a << " = v"
+                << a << " + i end\n";
+            break;
+          case 4:
+            out << "v" << a << " = v" << a << " - v" << b << " // "
+                << num(2, 7) << "\n";
+            break;
+          default:
+            out << "while v" << a << " > " << num(50, 90) << " do v" << a
+                << " = v" << a << " - " << num(7, 23) << " end\n";
+            break;
+        }
+    }
+
+    // Table traffic: dense array writes, sparse hash, string keys.
+    out << "local t = {}\n";
+    int writes = num(5, 30);
+    out << "for i = 1, " << writes << " do t[i] = i * " << num(2, 6)
+        << " end\n";
+    out << "t[" << num(100, 999) << "] = " << num(1, 99) << "\n";
+    out << "t[\"k" << num(0, 9) << "\"] = v0\n";
+    out << "local acc = 0\n";
+    out << "for i = 1, #t do acc = acc + t[i] end\n";
+
+    // Print a checksum of everything.
+    out << "print(acc)\n";
+    for (int n = 0; n < locals; ++n)
+        out << "print(v" << n << ")\n";
+    out << "print(#t)\n";
+    // String round trip.
+    out << "local s = \"x\"\n";
+    out << "for i = 1, " << num(1, 6) << " do s = s .. strchar("
+        << num(97, 120) << ") end\n";
+    out << "print(s)\nprint(#s)\n";
+    return out.str();
+}
+
+class RandomScripts : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomScripts, HostVmsAgree)
+{
+    std::string src = generateScript(GetParam());
+    std::string fromRlua =
+        vm::rlua::run(vm::rlua::compileSource(src), 50'000'000);
+    std::string fromSjs =
+        vm::sjs::run(vm::sjs::compileSource(src), 200'000'000);
+    EXPECT_EQ(fromRlua, fromSjs) << src;
+}
+
+TEST_P(RandomScripts, GuestMatchesHostUnderScd)
+{
+    std::string src = generateScript(GetParam());
+    std::string host =
+        vm::rlua::run(vm::rlua::compileSource(src), 50'000'000);
+    auto baseline = runExperiment(VmKind::Rlua, src,
+                                  core::Scheme::Baseline, minorConfig());
+    auto scd = runExperiment(VmKind::Rlua, src, core::Scheme::Scd,
+                             minorConfig());
+    EXPECT_EQ(baseline.output, host) << src;
+    EXPECT_EQ(scd.output, host) << src;
+}
+
+TEST_P(RandomScripts, SjsGuestMatchesHost)
+{
+    std::string src = generateScript(GetParam());
+    std::string host =
+        vm::sjs::run(vm::sjs::compileSource(src), 200'000'000);
+    auto scd = runExperiment(VmKind::Sjs, src, core::Scheme::Scd,
+                             minorConfig());
+    EXPECT_EQ(scd.output, host) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScripts,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

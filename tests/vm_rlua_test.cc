@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the script language front-end and the RLua register VM:
+ * lexer/parser behaviour, compiler output shape, and end-to-end execution
+ * semantics on the host interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "vm/lexer.hh"
+#include "vm/parser.hh"
+#include "vm/rlua_compiler.hh"
+#include "vm/rlua_interp.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::vm;
+
+std::string
+runScript(const std::string &src)
+{
+    rlua::Module module = rlua::compileSource(src);
+    return rlua::run(module, 200'000'000);
+}
+
+TEST(Lexer, TokenizesOperatorsAndLiterals)
+{
+    auto toks = lex("local x = 1 + 2.5 -- comment\nx = x // 3 ~= 4");
+    ASSERT_GE(toks.size(), 10u);
+    EXPECT_EQ(toks[0].kind, Tok::Local);
+    EXPECT_EQ(toks[1].kind, Tok::Name);
+    EXPECT_EQ(toks[3].kind, Tok::Int);
+    EXPECT_EQ(toks[5].kind, Tok::Float);
+    EXPECT_DOUBLE_EQ(toks[5].floatValue, 2.5);
+}
+
+TEST(Lexer, StringEscapes)
+{
+    auto toks = lex(R"(print("a\nb\\"))");
+    ASSERT_EQ(toks[2].kind, Tok::String);
+    EXPECT_EQ(toks[2].text, "a\nb\\");
+}
+
+TEST(Lexer, RejectsBadCharacter)
+{
+    EXPECT_THROW(lex("local x = $"), FatalError);
+}
+
+TEST(Parser, RejectsBadAssignment)
+{
+    EXPECT_THROW(parse("1 = 2"), FatalError);
+}
+
+TEST(Parser, ParsesControlFlow)
+{
+    Chunk c = parse(R"(
+        function f(a, b)
+          if a < b then return a else return b end
+        end
+        for i = 1, 10 do print(i) end
+        while true do break end
+    )");
+    ASSERT_EQ(c.stats.size(), 3u);
+    EXPECT_EQ(c.stats[0]->kind, Stat::Kind::FunctionDecl);
+    EXPECT_EQ(c.stats[1]->kind, Stat::Kind::NumericFor);
+    EXPECT_EQ(c.stats[2]->kind, Stat::Kind::While);
+}
+
+TEST(RluaCompiler, MainProtoIsFirst)
+{
+    auto module = rlua::compileSource("function f() end print(1)");
+    ASSERT_EQ(module.protos.size(), 2u);
+    EXPECT_EQ(module.protos[0].name, "main");
+    EXPECT_EQ(module.protos[1].name, "f");
+}
+
+TEST(RluaCompiler, ConstantsAreDeduplicated)
+{
+    auto module = rlua::compileSource("print(7) print(7) print(7)");
+    // "print" and 7: exactly two constants.
+    EXPECT_EQ(module.protos[0].constants.size(), 2u);
+}
+
+TEST(RluaExec, PrintsIntsFloatsStringsBools)
+{
+    EXPECT_EQ(runScript("print(42)"), "42\n");
+    EXPECT_EQ(runScript("print(2.5)"), "2.5\n");
+    EXPECT_EQ(runScript("print(\"hi\")"), "hi\n");
+    EXPECT_EQ(runScript("print(true) print(nil)"), "true\nnil\n");
+}
+
+TEST(RluaExec, IntegerAndFloatArithmetic)
+{
+    EXPECT_EQ(runScript("print(7 + 3 * 2)"), "13\n");
+    EXPECT_EQ(runScript("print(7 / 2)"), "3.5\n");   // always float
+    EXPECT_EQ(runScript("print(7 // 2)"), "3\n");    // integer floor
+    EXPECT_EQ(runScript("print(-7 // 2)"), "-4\n");  // floors toward -inf
+    EXPECT_EQ(runScript("print(-7 % 2)"), "1\n");    // sign of divisor
+    EXPECT_EQ(runScript("print(7 % -2)"), "-1\n");
+    EXPECT_EQ(runScript("print(1 + 0.5)"), "1.5\n"); // int+float -> float
+}
+
+TEST(RluaExec, ComparisonAndLogic)
+{
+    EXPECT_EQ(runScript("print(1 < 2)"), "true\n");
+    EXPECT_EQ(runScript("print(2 <= 1)"), "false\n");
+    EXPECT_EQ(runScript("print(1 == 1.0)"), "true\n");
+    EXPECT_EQ(runScript("print(\"a\" < \"b\")"), "true\n");
+    EXPECT_EQ(runScript("print(1 ~= 2)"), "true\n");
+    EXPECT_EQ(runScript("print(false or 5)"), "5\n");
+    EXPECT_EQ(runScript("print(nil and 5)"), "nil\n");
+    EXPECT_EQ(runScript("print(not nil)"), "true\n");
+}
+
+TEST(RluaExec, LocalsAndScoping)
+{
+    EXPECT_EQ(runScript(R"(
+        local x = 1
+        if true then
+          local x = 2
+          print(x)
+        end
+        print(x)
+    )"), "2\n1\n");
+}
+
+TEST(RluaExec, WhileAndBreak)
+{
+    EXPECT_EQ(runScript(R"(
+        local i = 0
+        while true do
+          i = i + 1
+          if i >= 5 then break end
+        end
+        print(i)
+    )"), "5\n");
+}
+
+TEST(RluaExec, NumericForLoops)
+{
+    EXPECT_EQ(runScript(R"(
+        local s = 0
+        for i = 1, 10 do s = s + i end
+        print(s)
+    )"), "55\n");
+    EXPECT_EQ(runScript(R"(
+        local s = 0
+        for i = 10, 1, -2 do s = s + i end
+        print(s)
+    )"), "30\n");
+    // Float loop control.
+    EXPECT_EQ(runScript(R"(
+        local s = 0.0
+        for i = 0.5, 2.0, 0.5 do s = s + i end
+        print(s)
+    )"), "5\n");
+    // Zero-trip loop.
+    EXPECT_EQ(runScript(R"(
+        local n = 0
+        for i = 5, 1 do n = n + 1 end
+        print(n)
+    )"), "0\n");
+}
+
+TEST(RluaExec, FunctionsAndRecursion)
+{
+    EXPECT_EQ(runScript(R"(
+        function fib(n)
+          if n < 2 then return n end
+          return fib(n - 1) + fib(n - 2)
+        end
+        print(fib(15))
+    )"), "610\n");
+}
+
+TEST(RluaExec, MutualRecursion)
+{
+    EXPECT_EQ(runScript(R"(
+        function is_even(n)
+          if n == 0 then return true end
+          return is_odd(n - 1)
+        end
+        function is_odd(n)
+          if n == 0 then return false end
+          return is_even(n - 1)
+        end
+        print(is_even(10))
+        print(is_odd(7))
+    )"), "true\ntrue\n");
+}
+
+TEST(RluaExec, TablesArrayAndHash)
+{
+    EXPECT_EQ(runScript(R"(
+        local t = {}
+        for i = 1, 5 do t[i] = i * i end
+        print(#t)
+        print(t[4])
+        t["key"] = 99
+        print(t.key)
+        t.other = t[1] + t[2]
+        print(t["other"])
+    )"), "5\n16\n99\n5\n");
+}
+
+TEST(RluaExec, TableConstructor)
+{
+    EXPECT_EQ(runScript(R"(
+        local t = { 10, 20, 30, last = 40, [7] = 50 }
+        print(t[1] + t[2] + t[3] + t.last + t[7])
+        print(#t)
+    )"), "150\n3\n");
+}
+
+TEST(RluaExec, StringsAndBuiltins)
+{
+    EXPECT_EQ(runScript(R"(
+        local s = "hello" .. " " .. "world"
+        print(s)
+        print(#s)
+        print(strsub(s, 1, 5))
+        print(strbyte(s, 1))
+        print(strchar(65))
+    )"), "hello world\n11\nhello\n104\nA\n");
+}
+
+TEST(RluaExec, SqrtBuiltin)
+{
+    EXPECT_EQ(runScript("print(sqrt(16))"), "4\n");
+    EXPECT_EQ(runScript("print(sqrt(2))"), "1.41421356\n");
+}
+
+TEST(RluaExec, GlobalVariables)
+{
+    EXPECT_EQ(runScript(R"(
+        counter = 0
+        function bump() counter = counter + 1 end
+        bump() bump() bump()
+        print(counter)
+    )"), "3\n");
+}
+
+TEST(RluaExec, FunctionsAsValues)
+{
+    EXPECT_EQ(runScript(R"(
+        function double(x) return x * 2 end
+        local f = double
+        print(f(21))
+    )"), "42\n");
+}
+
+TEST(RluaExec, DeepRecursionAckermann)
+{
+    EXPECT_EQ(runScript(R"(
+        function ack(m, n)
+          if m == 0 then return n + 1 end
+          if n == 0 then return ack(m - 1, 1) end
+          return ack(m - 1, ack(m, n - 1))
+        end
+        print(ack(2, 3))
+    )"), "9\n");
+}
+
+TEST(RluaExec, ErrorsOnBadOperations)
+{
+    EXPECT_THROW(runScript("print(nil + 1)"), FatalError);
+    EXPECT_THROW(runScript("local t = 5 print(t[1])"), FatalError);
+    EXPECT_THROW(runScript("local f = 5 f()"), FatalError);
+    EXPECT_THROW(runScript("print(1 .. 2)"), FatalError);
+}
+
+TEST(RluaDisasm, ProducesReadableListing)
+{
+    auto module = rlua::compileSource("local x = 1 print(x + 2)");
+    std::string text = rlua::disassemble(module.protos[0]);
+    EXPECT_NE(text.find("LOADK"), std::string::npos);
+    EXPECT_NE(text.find("CALL"), std::string::npos);
+    EXPECT_NE(text.find("GETTABUP"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the SJS stack VM: encoding properties, execution semantics,
+ * and a parameterized back-end equivalence suite asserting that the RLua
+ * and SJS VMs produce identical output for the same script (the invariant
+ * the whole evaluation relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "vm/rlua_compiler.hh"
+#include "vm/rlua_interp.hh"
+#include "vm/sjs_compiler.hh"
+#include "vm/sjs_interp.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::vm;
+
+std::string
+runSjs(const std::string &src)
+{
+    sjs::Module module = sjs::compileSource(src);
+    return sjs::run(module, 200'000'000);
+}
+
+TEST(SjsBytecode, OpcodeSpaceMatchesSpiderMonkey17)
+{
+    EXPECT_EQ(sjs::kNumOps, 229u);
+    EXPECT_LT(sjs::kNumRealOps, sjs::kNumOps);
+}
+
+TEST(SjsBytecode, InstructionLengths)
+{
+    EXPECT_EQ(sjs::instLength(sjs::Op::ADD), 1u);
+    EXPECT_EQ(sjs::instLength(sjs::Op::PUSH_INT8), 2u);
+    EXPECT_EQ(sjs::instLength(sjs::Op::GET_LOCAL), 2u);
+    EXPECT_EQ(sjs::instLength(sjs::Op::PUSH_CONST), 3u);
+    EXPECT_EQ(sjs::instLength(sjs::Op::JUMP_IF_FALSE), 3u);
+}
+
+TEST(SjsCompiler, EmitsSpecializedLocalOpcodes)
+{
+    auto module = sjs::compileSource("local a = 1 local b = a print(b)");
+    const auto &code = module.protos[0].code;
+    bool sawFastGet = false;
+    for (uint8_t byte : code) {
+        if (byte == static_cast<uint8_t>(sjs::Op::GET_LOCAL0))
+            sawFastGet = true;
+    }
+    EXPECT_TRUE(sawFastGet);
+}
+
+TEST(SjsCompiler, VariableLengthStream)
+{
+    auto module = sjs::compileSource("print(1000)");
+    // PUSH_CONST is 3 bytes; the stream is not a multiple of a fixed size.
+    std::string text = sjs::disassemble(module.protos[0]);
+    EXPECT_NE(text.find("PUSH_CONST"), std::string::npos);
+    EXPECT_NE(text.find("CALL"), std::string::npos);
+}
+
+TEST(SjsExec, Basics)
+{
+    EXPECT_EQ(runSjs("print(2 + 3 * 4)"), "14\n");
+    EXPECT_EQ(runSjs("print(7 / 2)"), "3.5\n");
+    EXPECT_EQ(runSjs("print(-7 // 2)"), "-4\n");
+    EXPECT_EQ(runSjs("print(\"a\" .. \"b\")"), "ab\n");
+    EXPECT_EQ(runSjs("print(1 < 2 and 3 or 4)"), "3\n");
+}
+
+TEST(SjsExec, FunctionsAndRecursion)
+{
+    EXPECT_EQ(runSjs(R"(
+        function fact(n)
+          if n <= 1 then return 1 end
+          return n * fact(n - 1)
+        end
+        print(fact(10))
+    )"), "3628800\n");
+}
+
+TEST(SjsExec, TablesAndLoops)
+{
+    EXPECT_EQ(runSjs(R"(
+        local t = {}
+        for i = 1, 10 do t[i] = i end
+        local s = 0
+        for i = 1, #t do s = s + t[i] end
+        print(s)
+    )"), "55\n");
+}
+
+TEST(SjsExec, NegativeStepFor)
+{
+    EXPECT_EQ(runSjs(R"(
+        local s = 0
+        for i = 10, 1, -2 do s = s + i end
+        print(s)
+    )"), "30\n");
+}
+
+TEST(SjsExec, RuntimeStepFor)
+{
+    EXPECT_EQ(runSjs(R"(
+        function sum(step)
+          local s = 0
+          for i = 1, 10, step do s = s + i end
+          return s
+        end
+        print(sum(1))
+        print(sum(3))
+    )"), "55\n22\n");
+}
+
+TEST(SjsExec, ReservedOpcodeTraps)
+{
+    sjs::Module module;
+    module.protos.emplace_back();
+    module.protos[0].code = {200}; // reserved opcode byte
+    EXPECT_THROW(sjs::run(module), FatalError);
+}
+
+/** Scripts run through both VMs must produce identical output. */
+class BackendEquivalence : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BackendEquivalence, SameOutputOnBothVms)
+{
+    const char *src = GetParam();
+    std::string fromRlua = rlua::run(rlua::compileSource(src), 100'000'000);
+    std::string fromSjs = sjs::run(sjs::compileSource(src), 400'000'000);
+    EXPECT_EQ(fromRlua, fromSjs) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scripts, BackendEquivalence,
+    ::testing::Values(
+        "print(1 + 2)",
+        "print(10 % 3) print(-10 % 3) print(10 % -3)",
+        "print(2.5 * 4) print(1 / 3)",
+        "local s = \"x\" for i = 1, 4 do s = s .. \"y\" end print(s)",
+        R"(
+            function fib(n)
+              if n < 2 then return n end
+              return fib(n-1) + fib(n-2)
+            end
+            print(fib(18))
+        )",
+        R"(
+            function ack(m, n)
+              if m == 0 then return n + 1 end
+              if n == 0 then return ack(m - 1, 1) end
+              return ack(m - 1, ack(m, n - 1))
+            end
+            print(ack(2, 4))
+        )",
+        R"(
+            local t = {}
+            t["alpha"] = 1
+            t.beta = 2
+            t[100] = 3
+            print(t.alpha + t["beta"] + t[100])
+        )",
+        R"(
+            local total = 0
+            for i = 1, 100 do
+              if i % 3 == 0 or i % 5 == 0 then total = total + i end
+            end
+            print(total)
+        )",
+        R"(
+            local primes = 0
+            for n = 2, 50 do
+              local is = true
+              local d = 2
+              while d * d <= n do
+                if n % d == 0 then is = false break end
+                d = d + 1
+              end
+              if is then primes = primes + 1 end
+            end
+            print(primes)
+        )",
+        R"(
+            print(strsub("interpreter", 1, 5))
+            print(strbyte("A", 1))
+            print(strchar(122))
+            print(sqrt(144))
+        )",
+        R"(
+            local x = nil
+            print(x == nil)
+            print(not x)
+            print(x and 1)
+            print(x or 2)
+        )",
+        R"(
+            local t = { 5, 6, 7, name = "tbl" }
+            print(#t)
+            print(t[2])
+            print(t.name)
+        )"));
+
+} // namespace

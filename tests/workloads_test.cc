@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Integration tests over the Table III workloads: every benchmark script,
+ * on both VMs, under every dispatch variant, must produce byte-identical
+ * output on the host interpreter and on the simulated guest interpreter.
+ * This is the correctness net underneath every figure in the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "guest/rlua_guest.hh"
+#include "guest/sjs_guest.hh"
+#include "harness/machines.hh"
+#include "harness/runner.hh"
+#include "mem/memory.hh"
+#include "vm/rlua_compiler.hh"
+#include "vm/rlua_interp.hh"
+#include "vm/sjs_compiler.hh"
+#include "vm/sjs_interp.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::harness;
+
+using Param = std::tuple<std::string, VmKind, core::Scheme>;
+
+class WorkloadEquivalence : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(WorkloadEquivalence, HostAndGuestAgree)
+{
+    auto [name, vm, scheme] = GetParam();
+    const Workload &w = workload(name);
+    std::string src = w.text(InputSize::Test);
+
+    std::string host =
+        vm == VmKind::Rlua
+            ? vm::rlua::run(vm::rlua::compileSource(src), 500'000'000)
+            : vm::sjs::run(vm::sjs::compileSource(src), 500'000'000);
+
+    ExperimentResult guest =
+        runExperiment(vm, src, scheme, minorConfig(), 500'000'000);
+    EXPECT_TRUE(guest.run.exited);
+    EXPECT_EQ(guest.output, host) << name;
+}
+
+std::vector<Param>
+allCombinations()
+{
+    std::vector<Param> out;
+    for (const Workload &w : workloads()) {
+        for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
+            for (core::Scheme scheme :
+                 {core::Scheme::Baseline, core::Scheme::JumpThreading,
+                  core::Scheme::Scd}) {
+                out.push_back({w.name, vm, scheme});
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+paramLabel(const ::testing::TestParamInfo<Param> &info)
+{
+    std::string label = std::get<0>(info.param) + "_" +
+                        vmName(std::get<1>(info.param)) + "_" +
+                        core::schemeName(std::get<2>(info.param));
+    for (char &c : label)
+        if (c == '-')
+            c = '_';
+    return label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadEquivalence,
+                         ::testing::ValuesIn(allCombinations()),
+                         paramLabel);
+
+TEST(Workloads, TableMatchesPaperList)
+{
+    ASSERT_EQ(workloads().size(), 11u);
+    EXPECT_EQ(workloads()[0].name, "binary-trees");
+    EXPECT_EQ(workloads()[10].name, "pidigits");
+    for (const Workload &w : workloads()) {
+        EXPECT_LT(w.testInput, w.simInput) << w.name;
+        EXPECT_LE(w.simInput, w.fpgaInput) << w.name;
+        EXPECT_NE(w.text(InputSize::Sim).find(std::to_string(w.simInput)),
+                  std::string::npos);
+    }
+}
+
+TEST(Workloads, PidigitsStreamsPi)
+{
+    std::string out = vm::rlua::run(vm::rlua::compileSource(
+        workload("pidigits").text(InputSize::Test)));
+    // First digits of pi: 3 1 4 1 5 9 2 6 5 3 ...
+    EXPECT_EQ(out.substr(0, 20), "3\n1\n4\n1\n5\n9\n2\n6\n5\n3\n");
+}
+
+TEST(Workloads, NBodyEnergyMatchesReference)
+{
+    // The CLBG reference initial energy: -0.169075164.
+    std::string out = vm::rlua::run(vm::rlua::compileSource(
+        workload("n-body").text(InputSize::Test)));
+    EXPECT_EQ(out.substr(0, out.find('\n')), "-0.169075164");
+}
+
+TEST(Workloads, VbbiSchemeAlsoMatchesOutput)
+{
+    // VBBI runs the baseline binary on different hardware; spot-check.
+    const Workload &w = workload("fibo");
+    std::string src = w.text(InputSize::Test);
+    std::string host = vm::rlua::run(vm::rlua::compileSource(src));
+    auto r = runExperiment(VmKind::Rlua, src, core::Scheme::Vbbi,
+                           minorConfig());
+    EXPECT_EQ(r.output, host);
+}
+
+} // namespace
