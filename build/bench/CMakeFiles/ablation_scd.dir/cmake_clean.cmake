@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scd.dir/ablation_scd.cc.o"
+  "CMakeFiles/ablation_scd.dir/ablation_scd.cc.o.d"
+  "ablation_scd"
+  "ablation_scd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

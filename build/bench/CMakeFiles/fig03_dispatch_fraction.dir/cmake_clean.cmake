@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_dispatch_fraction.dir/fig03_dispatch_fraction.cc.o"
+  "CMakeFiles/fig03_dispatch_fraction.dir/fig03_dispatch_fraction.cc.o.d"
+  "fig03_dispatch_fraction"
+  "fig03_dispatch_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_dispatch_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/higherend_core.dir/higherend_core.cc.o"
+  "CMakeFiles/higherend_core.dir/higherend_core.cc.o.d"
+  "higherend_core"
+  "higherend_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/higherend_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_rocket.dir/table4_rocket.cc.o"
+  "CMakeFiles/table4_rocket.dir/table4_rocket.cc.o.d"
+  "table4_rocket"
+  "table4_rocket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_rocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_hwcost.dir/table5_hwcost.cc.o"
+  "CMakeFiles/table5_hwcost.dir/table5_hwcost.cc.o.d"
+  "table5_hwcost"
+  "table5_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

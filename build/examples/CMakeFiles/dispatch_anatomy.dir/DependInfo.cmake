@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dispatch_anatomy.cpp" "examples/CMakeFiles/dispatch_anatomy.dir/dispatch_anatomy.cpp.o" "gcc" "examples/CMakeFiles/dispatch_anatomy.dir/dispatch_anatomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/scd_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/scd_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/scd_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/scd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/scd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/scd_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/scd_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_anatomy.dir/dispatch_anatomy.cpp.o"
+  "CMakeFiles/dispatch_anatomy.dir/dispatch_anatomy.cpp.o.d"
+  "dispatch_anatomy"
+  "dispatch_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_scripting.dir/embedded_scripting.cpp.o"
+  "CMakeFiles/embedded_scripting.dir/embedded_scripting.cpp.o.d"
+  "embedded_scripting"
+  "embedded_scripting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_scripting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scd_branch.dir/btb.cc.o"
+  "CMakeFiles/scd_branch.dir/btb.cc.o.d"
+  "CMakeFiles/scd_branch.dir/direction.cc.o"
+  "CMakeFiles/scd_branch.dir/direction.cc.o.d"
+  "CMakeFiles/scd_branch.dir/ittage.cc.o"
+  "CMakeFiles/scd_branch.dir/ittage.cc.o.d"
+  "libscd_branch.a"
+  "libscd_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scd_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scd_cache.dir/cache.cc.o"
+  "CMakeFiles/scd_cache.dir/cache.cc.o.d"
+  "libscd_cache.a"
+  "libscd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

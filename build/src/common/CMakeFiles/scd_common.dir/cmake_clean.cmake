@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scd_common.dir/stats.cc.o"
+  "CMakeFiles/scd_common.dir/stats.cc.o.d"
+  "CMakeFiles/scd_common.dir/table.cc.o"
+  "CMakeFiles/scd_common.dir/table.cc.o.d"
+  "libscd_common.a"
+  "libscd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscd_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scd_core.dir/hwcost.cc.o"
+  "CMakeFiles/scd_core.dir/hwcost.cc.o.d"
+  "libscd_core.a"
+  "libscd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

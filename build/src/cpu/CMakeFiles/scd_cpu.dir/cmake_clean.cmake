@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scd_cpu.dir/core.cc.o"
+  "CMakeFiles/scd_cpu.dir/core.cc.o.d"
+  "libscd_cpu.a"
+  "libscd_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scd_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

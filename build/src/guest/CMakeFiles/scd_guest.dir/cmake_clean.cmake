@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scd_guest.dir/data_image.cc.o"
+  "CMakeFiles/scd_guest.dir/data_image.cc.o.d"
+  "CMakeFiles/scd_guest.dir/module_data.cc.o"
+  "CMakeFiles/scd_guest.dir/module_data.cc.o.d"
+  "CMakeFiles/scd_guest.dir/rlua_guest.cc.o"
+  "CMakeFiles/scd_guest.dir/rlua_guest.cc.o.d"
+  "CMakeFiles/scd_guest.dir/runtime.cc.o"
+  "CMakeFiles/scd_guest.dir/runtime.cc.o.d"
+  "CMakeFiles/scd_guest.dir/sjs_guest.cc.o"
+  "CMakeFiles/scd_guest.dir/sjs_guest.cc.o.d"
+  "libscd_guest.a"
+  "libscd_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scd_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scd_harness.dir/figures.cc.o"
+  "CMakeFiles/scd_harness.dir/figures.cc.o.d"
+  "CMakeFiles/scd_harness.dir/machines.cc.o"
+  "CMakeFiles/scd_harness.dir/machines.cc.o.d"
+  "CMakeFiles/scd_harness.dir/runner.cc.o"
+  "CMakeFiles/scd_harness.dir/runner.cc.o.d"
+  "CMakeFiles/scd_harness.dir/workloads.cc.o"
+  "CMakeFiles/scd_harness.dir/workloads.cc.o.d"
+  "libscd_harness.a"
+  "libscd_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scd_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scd_isa.dir/assembler.cc.o"
+  "CMakeFiles/scd_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/scd_isa.dir/disassembler.cc.o"
+  "CMakeFiles/scd_isa.dir/disassembler.cc.o.d"
+  "CMakeFiles/scd_isa.dir/instruction.cc.o"
+  "CMakeFiles/scd_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/scd_isa.dir/opcode.cc.o"
+  "CMakeFiles/scd_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/scd_isa.dir/program.cc.o"
+  "CMakeFiles/scd_isa.dir/program.cc.o.d"
+  "CMakeFiles/scd_isa.dir/text_assembler.cc.o"
+  "CMakeFiles/scd_isa.dir/text_assembler.cc.o.d"
+  "libscd_isa.a"
+  "libscd_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scd_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scd_mem.dir/memory.cc.o"
+  "CMakeFiles/scd_mem.dir/memory.cc.o.d"
+  "libscd_mem.a"
+  "libscd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

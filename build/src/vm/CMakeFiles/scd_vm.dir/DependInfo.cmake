@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/builtins.cc" "src/vm/CMakeFiles/scd_vm.dir/builtins.cc.o" "gcc" "src/vm/CMakeFiles/scd_vm.dir/builtins.cc.o.d"
+  "/root/repo/src/vm/lexer.cc" "src/vm/CMakeFiles/scd_vm.dir/lexer.cc.o" "gcc" "src/vm/CMakeFiles/scd_vm.dir/lexer.cc.o.d"
+  "/root/repo/src/vm/parser.cc" "src/vm/CMakeFiles/scd_vm.dir/parser.cc.o" "gcc" "src/vm/CMakeFiles/scd_vm.dir/parser.cc.o.d"
+  "/root/repo/src/vm/rlua_bytecode.cc" "src/vm/CMakeFiles/scd_vm.dir/rlua_bytecode.cc.o" "gcc" "src/vm/CMakeFiles/scd_vm.dir/rlua_bytecode.cc.o.d"
+  "/root/repo/src/vm/rlua_compiler.cc" "src/vm/CMakeFiles/scd_vm.dir/rlua_compiler.cc.o" "gcc" "src/vm/CMakeFiles/scd_vm.dir/rlua_compiler.cc.o.d"
+  "/root/repo/src/vm/rlua_interp.cc" "src/vm/CMakeFiles/scd_vm.dir/rlua_interp.cc.o" "gcc" "src/vm/CMakeFiles/scd_vm.dir/rlua_interp.cc.o.d"
+  "/root/repo/src/vm/sjs_bytecode.cc" "src/vm/CMakeFiles/scd_vm.dir/sjs_bytecode.cc.o" "gcc" "src/vm/CMakeFiles/scd_vm.dir/sjs_bytecode.cc.o.d"
+  "/root/repo/src/vm/sjs_compiler.cc" "src/vm/CMakeFiles/scd_vm.dir/sjs_compiler.cc.o" "gcc" "src/vm/CMakeFiles/scd_vm.dir/sjs_compiler.cc.o.d"
+  "/root/repo/src/vm/sjs_interp.cc" "src/vm/CMakeFiles/scd_vm.dir/sjs_interp.cc.o" "gcc" "src/vm/CMakeFiles/scd_vm.dir/sjs_interp.cc.o.d"
+  "/root/repo/src/vm/value.cc" "src/vm/CMakeFiles/scd_vm.dir/value.cc.o" "gcc" "src/vm/CMakeFiles/scd_vm.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scd_vm.dir/builtins.cc.o"
+  "CMakeFiles/scd_vm.dir/builtins.cc.o.d"
+  "CMakeFiles/scd_vm.dir/lexer.cc.o"
+  "CMakeFiles/scd_vm.dir/lexer.cc.o.d"
+  "CMakeFiles/scd_vm.dir/parser.cc.o"
+  "CMakeFiles/scd_vm.dir/parser.cc.o.d"
+  "CMakeFiles/scd_vm.dir/rlua_bytecode.cc.o"
+  "CMakeFiles/scd_vm.dir/rlua_bytecode.cc.o.d"
+  "CMakeFiles/scd_vm.dir/rlua_compiler.cc.o"
+  "CMakeFiles/scd_vm.dir/rlua_compiler.cc.o.d"
+  "CMakeFiles/scd_vm.dir/rlua_interp.cc.o"
+  "CMakeFiles/scd_vm.dir/rlua_interp.cc.o.d"
+  "CMakeFiles/scd_vm.dir/sjs_bytecode.cc.o"
+  "CMakeFiles/scd_vm.dir/sjs_bytecode.cc.o.d"
+  "CMakeFiles/scd_vm.dir/sjs_compiler.cc.o"
+  "CMakeFiles/scd_vm.dir/sjs_compiler.cc.o.d"
+  "CMakeFiles/scd_vm.dir/sjs_interp.cc.o"
+  "CMakeFiles/scd_vm.dir/sjs_interp.cc.o.d"
+  "CMakeFiles/scd_vm.dir/value.cc.o"
+  "CMakeFiles/scd_vm.dir/value.cc.o.d"
+  "libscd_vm.a"
+  "libscd_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scd_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

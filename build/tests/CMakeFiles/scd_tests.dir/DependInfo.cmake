@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/branch_test.cc" "tests/CMakeFiles/scd_tests.dir/branch_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/branch_test.cc.o.d"
+  "/root/repo/tests/cache_mem_test.cc" "tests/CMakeFiles/scd_tests.dir/cache_mem_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/cache_mem_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/scd_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/compiler_golden_test.cc" "tests/CMakeFiles/scd_tests.dir/compiler_golden_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/compiler_golden_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/scd_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/scd_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/figures_test.cc" "tests/CMakeFiles/scd_tests.dir/figures_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/figures_test.cc.o.d"
+  "/root/repo/tests/guest_rlua_test.cc" "tests/CMakeFiles/scd_tests.dir/guest_rlua_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/guest_rlua_test.cc.o.d"
+  "/root/repo/tests/guest_runtime_stress_test.cc" "tests/CMakeFiles/scd_tests.dir/guest_runtime_stress_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/guest_runtime_stress_test.cc.o.d"
+  "/root/repo/tests/guest_sjs_test.cc" "tests/CMakeFiles/scd_tests.dir/guest_sjs_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/guest_sjs_test.cc.o.d"
+  "/root/repo/tests/isa_test.cc" "tests/CMakeFiles/scd_tests.dir/isa_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/isa_test.cc.o.d"
+  "/root/repo/tests/random_script_test.cc" "tests/CMakeFiles/scd_tests.dir/random_script_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/random_script_test.cc.o.d"
+  "/root/repo/tests/vm_rlua_test.cc" "tests/CMakeFiles/scd_tests.dir/vm_rlua_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/vm_rlua_test.cc.o.d"
+  "/root/repo/tests/vm_sjs_test.cc" "tests/CMakeFiles/scd_tests.dir/vm_sjs_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/vm_sjs_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/scd_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/scd_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/scd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/scd_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/scd_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/scd_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/scd_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/scd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/scd_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/scd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
