@@ -27,17 +27,32 @@ namespace
 const std::vector<std::string> kSubset = {"fibo", "n-sieve",
                                           "binary-trees", "fannkuch-redux"};
 
+unsigned gJobs = 0; ///< --jobs, shared by every ablation below
+
 double
 geoSpeedup(const cpu::CoreConfig &machine, InputSize size, VmKind vm,
            core::Scheme scheme)
 {
-    std::vector<double> speedups;
+    // Baseline/scheme pairs for the whole subset run as one plan.
+    ExperimentPlan plan;
     for (const auto &name : kSubset) {
-        auto base = runWorkload(vm, workload(name), size,
-                                core::Scheme::Baseline, machine);
-        auto exp = runWorkload(vm, workload(name), size, scheme, machine);
-        speedups.push_back(double(base.run.cycles) /
-                           double(exp.run.cycles));
+        for (core::Scheme s : {core::Scheme::Baseline, scheme}) {
+            ExperimentPoint p;
+            p.vm = vm;
+            p.workload = &workload(name);
+            p.size = size;
+            p.scheme = s;
+            p.machine = machine;
+            plan.add(std::move(p));
+        }
+    }
+    RunOptions options;
+    options.jobs = gJobs;
+    ExperimentSet set = runPlan(plan, options);
+    std::vector<double> speedups;
+    for (size_t i = 0; i < set.points.size(); i += 2) {
+        speedups.push_back(double(set.at(i).run.cycles) /
+                           double(set.at(i + 1).run.cycles));
     }
     return geomean(speedups);
 }
@@ -48,6 +63,7 @@ int
 main(int argc, char **argv)
 {
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
+    gJobs = bench::parseJobs(argc, argv);
 
     // --- 1. bop policy ------------------------------------------------------
     std::fprintf(stderr, "ablation: bop stall policy...\n");

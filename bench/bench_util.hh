@@ -8,6 +8,7 @@
 #define SCD_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -36,6 +37,26 @@ parseSize(int argc, char **argv, harness::InputSize fallback)
         }
     }
     return fallback;
+}
+
+/**
+ * Parse --jobs=N. Returns 0 ("auto") when absent: runPlan() then honours
+ * $SCD_JOBS and finally the hardware concurrency. --jobs=1 forces the
+ * serial path.
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], "--jobs=", 7) == 0) {
+            long v = std::strtol(argv[n] + 7, nullptr, 10);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+            std::fprintf(stderr, "ignoring bad --jobs value '%s'\n",
+                         argv[n] + 7);
+        }
+    }
+    return 0;
 }
 
 inline const char *

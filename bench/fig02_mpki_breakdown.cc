@@ -18,10 +18,11 @@ main(int argc, char **argv)
     using namespace scd::harness;
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
+    unsigned jobs = bench::parseJobs(argc, argv);
     std::fprintf(stderr, "fig02: running 11 baseline simulations (%s)\n",
                  bench::sizeName(size));
     Grid grid = runGrid(minorConfig(), size, {VmKind::Rlua},
-                        {core::Scheme::Baseline});
+                        {core::Scheme::Baseline}, /*verbose=*/false, jobs);
     std::printf("%s\n", renderFig2(grid).c_str());
     return 0;
 }

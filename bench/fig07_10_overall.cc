@@ -19,14 +19,16 @@ main(int argc, char **argv)
     using namespace scd::harness;
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
+    unsigned jobs = bench::parseJobs(argc, argv);
     std::fprintf(stderr,
-                 "fig07-10: running the 2x11x4 simulation grid (%s)...\n",
-                 bench::sizeName(size));
+                 "fig07-10: running the 2x11x4 simulation grid (%s, %u "
+                 "jobs)...\n",
+                 bench::sizeName(size), resolveJobs(jobs));
     Grid grid = runGrid(minorConfig(), size, {VmKind::Rlua, VmKind::Sjs},
                         {core::Scheme::Baseline,
                          core::Scheme::JumpThreading, core::Scheme::Vbbi,
                          core::Scheme::Scd},
-                        /*verbose=*/true);
+                        /*verbose=*/true, jobs);
     std::printf("%s\n", renderFig7(grid).c_str());
     std::printf("%s\n", renderFig8(grid).c_str());
     std::printf("%s\n", renderFig9(grid).c_str());

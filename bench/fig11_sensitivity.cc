@@ -20,7 +20,7 @@ namespace
 {
 
 void
-btbSweep(VmKind vm, InputSize size)
+btbSweep(VmKind vm, InputSize size, unsigned jobs)
 {
     std::printf("Figure 11(%s): SCD speedup vs BTB size [%s]\n",
                 vm == VmKind::Rlua ? "a" : "b",
@@ -35,7 +35,8 @@ btbSweep(VmKind vm, InputSize size)
         cpu::CoreConfig machine = minorConfig();
         machine.btb.entries = entries;
         Grid grid = runGrid(machine, size, {vm},
-                            {core::Scheme::Baseline, core::Scheme::Scd});
+                            {core::Scheme::Baseline, core::Scheme::Scd},
+                            /*verbose=*/false, jobs);
         std::map<std::string, double> col;
         for (const auto &name : workloadNames())
             col[name] = grid.speedup(vm, name, core::Scheme::Scd);
@@ -55,7 +56,7 @@ btbSweep(VmKind vm, InputSize size)
 }
 
 void
-capSweep(VmKind vm, InputSize size)
+capSweep(VmKind vm, InputSize size, unsigned jobs)
 {
     std::printf("Figure 11(%s): SCD speedup vs JTE cap at a 64-entry BTB "
                 "[%s]\n",
@@ -80,7 +81,8 @@ capSweep(VmKind vm, InputSize size)
         else
             machine.btb.jteCap = cap;
         Grid grid = runGrid(machine, size, {vm},
-                            {core::Scheme::Baseline, core::Scheme::Scd});
+                            {core::Scheme::Baseline, core::Scheme::Scd},
+                            /*verbose=*/false, jobs);
         std::map<std::string, double> col;
         for (const auto &name : workloadNames())
             col[name] = grid.speedup(vm, name, core::Scheme::Scd);
@@ -105,9 +107,10 @@ int
 main(int argc, char **argv)
 {
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
-    btbSweep(VmKind::Rlua, size);
-    btbSweep(VmKind::Sjs, size);
-    capSweep(VmKind::Rlua, size);
-    capSweep(VmKind::Sjs, size);
+    unsigned jobs = bench::parseJobs(argc, argv);
+    btbSweep(VmKind::Rlua, size, jobs);
+    btbSweep(VmKind::Sjs, size, jobs);
+    capSweep(VmKind::Rlua, size, jobs);
+    capSweep(VmKind::Sjs, size, jobs);
     return 0;
 }

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Measures experiment-harness throughput — how fast the harness itself
+ * can burn through simulation points — and records it machine-readably
+ * in BENCH_harness.json so the perf trajectory is tracked across PRs.
+ *
+ * The plan is the fig07-10 grid shape (2 VMs x 11 workloads x 4 schemes)
+ * at the chosen input size. The same plan runs serially (--jobs=1) and
+ * then on the requested worker count; the JSON records per-experiment
+ * wall time, both total wall times, and the resulting speedup.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+#include "harness/experiment.hh"
+#include "harness/machines.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace scd;
+    using namespace scd::harness;
+
+    InputSize size = bench::parseSize(argc, argv, InputSize::Test);
+    unsigned jobs = resolveJobs(bench::parseJobs(argc, argv));
+
+    ExperimentPlan plan;
+    plan.addGrid(minorConfig(), size, {VmKind::Rlua, VmKind::Sjs},
+                 {core::Scheme::Baseline, core::Scheme::JumpThreading,
+                  core::Scheme::Vbbi, core::Scheme::Scd});
+
+    std::fprintf(stderr,
+                 "harness_throughput: %zu points (%s), serial pass...\n",
+                 plan.size(), bench::sizeName(size));
+    RunOptions serialOpts;
+    serialOpts.jobs = 1;
+    ExperimentSet serial = runPlan(plan, serialOpts);
+
+    std::fprintf(stderr, "harness_throughput: parallel pass (%u jobs)...\n",
+                 jobs);
+    RunOptions parallelOpts;
+    parallelOpts.jobs = jobs;
+    ExperimentSet parallel = runPlan(plan, parallelOpts);
+
+    double speedup = parallel.totalSeconds > 0
+                         ? serial.totalSeconds / parallel.totalSeconds
+                         : 0.0;
+
+    const char *path = "BENCH_harness.json";
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"harness_throughput\",\n");
+    std::fprintf(f, "  \"size\": \"%s\",\n", bench::sizeName(size));
+    std::fprintf(f, "  \"points\": %zu,\n", plan.size());
+    std::fprintf(f, "  \"jobs\": %u,\n", parallel.jobs);
+    std::fprintf(f, "  \"serial_seconds\": %.6f,\n", serial.totalSeconds);
+    std::fprintf(f, "  \"parallel_seconds\": %.6f,\n",
+                 parallel.totalSeconds);
+    std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+    std::fprintf(f, "  \"experiments\": [\n");
+    for (size_t i = 0; i < parallel.points.size(); ++i) {
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", \"seconds\": %.6f, "
+                     "\"serial_seconds\": %.6f}%s\n",
+                     parallel.points[i].label().c_str(),
+                     parallel.runs[i].seconds, serial.runs[i].seconds,
+                     i + 1 < parallel.points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+
+    std::printf("harness throughput: %zu points, serial %.2fs, "
+                "%u jobs %.2fs, speedup %.2fx -> %s\n",
+                plan.size(), serial.totalSeconds, parallel.jobs,
+                parallel.totalSeconds, speedup, path);
+    return 0;
+}

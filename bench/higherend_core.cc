@@ -20,12 +20,13 @@ main(int argc, char **argv)
     using namespace scd::harness;
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
+    unsigned jobs = bench::parseJobs(argc, argv);
     std::fprintf(stderr,
                  "higherend: running 2x11x2 on the dual-issue core...\n");
     Grid grid = runGrid(cortexA8Config(), size,
                         {VmKind::Rlua, VmKind::Sjs},
                         {core::Scheme::Baseline, core::Scheme::Scd},
-                        /*verbose=*/true);
+                        /*verbose=*/true, jobs);
 
     std::printf("Higher-end dual-issue core (Section VI-C2)\n");
     std::printf("Paper: SCD +17.6%% (Lua) / +15.2%% (JS) geomean; "

@@ -20,13 +20,14 @@ main(int argc, char **argv)
     // The paper ran these with large inputs on FPGA; pass --size=sim for
     // a faster approximation.
     InputSize size = bench::parseSize(argc, argv, InputSize::Fpga);
+    unsigned jobs = bench::parseJobs(argc, argv);
     std::fprintf(stderr,
                  "table4: running 11x3 rocket-config simulations (%s)...\n",
                  bench::sizeName(size));
     Grid grid = runGrid(rocketConfig(), size, {VmKind::Rlua},
                         {core::Scheme::Baseline,
                          core::Scheme::JumpThreading, core::Scheme::Scd},
-                        /*verbose=*/true);
+                        /*verbose=*/true, jobs);
     std::printf("%s\n", renderTable4(grid).c_str());
     return 0;
 }

@@ -51,11 +51,13 @@ main(int argc, char **argv)
 
     // Measure the rocket-config SCD speedup to derive the EDP number.
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
+    unsigned jobs = bench::parseJobs(argc, argv);
     std::fprintf(stderr,
                  "table5: measuring rocket SCD speedup (%s inputs)...\n",
                  bench::sizeName(size));
     Grid grid = runGrid(rocketConfig(), size, {VmKind::Rlua},
-                        {core::Scheme::Baseline, core::Scheme::Scd});
+                        {core::Scheme::Baseline, core::Scheme::Scd},
+                        /*verbose=*/false, jobs);
     double speedup =
         grid.geomeanSpeedup(VmKind::Rlua, workloadNames(),
                             core::Scheme::Scd);

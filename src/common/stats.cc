@@ -1,9 +1,60 @@
 #include "stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace scd
 {
+
+namespace
+{
+
+struct NameLess
+{
+    bool
+    operator()(const StatGroup::Entry &e, const std::string &name) const
+    {
+        return e.first < name;
+    }
+};
+
+} // namespace
+
+uint64_t &
+StatGroup::counter(const std::string &name)
+{
+    auto it = std::lower_bound(counters_.begin(), counters_.end(), name,
+                               NameLess{});
+    if (it == counters_.end() || it->first != name)
+        it = counters_.insert(it, {name, 0});
+    return it->second;
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = std::lower_bound(counters_.begin(), counters_.end(), name,
+                               NameLess{});
+    return it == counters_.end() || it->first != name ? 0 : it->second;
+}
+
+std::map<std::string, uint64_t>
+StatGroup::snapshot() const
+{
+    return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, uint64_t>
+StatGroup::since(const std::map<std::string, uint64_t> &snap) const
+{
+    std::map<std::string, uint64_t> out;
+    for (const Entry &e : counters_) {
+        auto it = snap.find(e.first);
+        uint64_t base = it == snap.end() ? 0 : it->second;
+        out[e.first] = e.second - base;
+    }
+    return out;
+}
 
 double
 geomean(const std::vector<double> &values)

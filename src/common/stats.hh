@@ -1,9 +1,13 @@
 /**
  * @file
  * A tiny named-counter statistics registry, loosely modelled on gem5's
- * stats package. Components register scalar counters under hierarchical
- * dotted names; the harness snapshots and diffs them between regions of
- * interest (e.g. the interpreter loop body).
+ * stats package. Components keep their hot counters as plain struct
+ * members (dense, enum- or field-indexed — never string-keyed on a
+ * per-instruction path) and fold them into a StatGroup only when the
+ * harness collects results, once per experiment. StatGroup itself stores
+ * a flat name-sorted vector: cheaper to build, cache-friendly to read,
+ * and trivially copyable between the simulation threads of the parallel
+ * experiment engine.
  */
 
 #ifndef SCD_COMMON_STATS_HH
@@ -12,66 +16,51 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace scd
 {
 
-/** A group of named 64-bit counters. */
+/** A group of named 64-bit counters, kept sorted by name. */
 class StatGroup
 {
   public:
-    /** Return a reference to the counter @p name, creating it at zero. */
-    uint64_t &
-    counter(const std::string &name)
-    {
-        return counters_[name];
-    }
+    using Entry = std::pair<std::string, uint64_t>;
+
+    /**
+     * Return a reference to the counter @p name, creating it at zero.
+     * The reference is invalidated by the next counter() call that
+     * creates a new name — assign through it immediately.
+     */
+    uint64_t &counter(const std::string &name);
 
     /** Read a counter; returns 0 if it was never touched. */
-    uint64_t
-    get(const std::string &name) const
-    {
-        auto it = counters_.find(name);
-        return it == counters_.end() ? 0 : it->second;
-    }
+    uint64_t get(const std::string &name) const;
 
     /** All counters in name order. */
-    const std::map<std::string, uint64_t> &all() const { return counters_; }
+    const std::vector<Entry> &all() const { return counters_; }
 
     /** Reset every counter to zero. */
     void
     reset()
     {
-        for (auto &kv : counters_)
-            kv.second = 0;
+        for (Entry &e : counters_)
+            e.second = 0;
     }
 
     /** Snapshot the current counter values. */
-    std::map<std::string, uint64_t>
-    snapshot() const
-    {
-        return counters_;
-    }
+    std::map<std::string, uint64_t> snapshot() const;
 
     /**
      * Difference between the current values and an earlier snapshot.
      * Counters created after the snapshot diff against zero.
      */
     std::map<std::string, uint64_t>
-    since(const std::map<std::string, uint64_t> &snap) const
-    {
-        std::map<std::string, uint64_t> out;
-        for (const auto &kv : counters_) {
-            auto it = snap.find(kv.first);
-            uint64_t base = it == snap.end() ? 0 : it->second;
-            out[kv.first] = kv.second - base;
-        }
-        return out;
-    }
+    since(const std::map<std::string, uint64_t> &snap) const;
 
   private:
-    std::map<std::string, uint64_t> counters_;
+    std::vector<Entry> counters_; ///< sorted by name
 };
 
 /** Geometric mean of a list of ratios. Empty input yields 1.0. */

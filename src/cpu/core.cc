@@ -69,10 +69,14 @@ Core::loadProgram(const isa::Program &prog)
     textBase_ = prog.base;
     decoded_.clear();
     decoded_.reserve(prog.words.size());
-    for (uint32_t word : prog.words)
+    pcFlags_.clear();
+    pcFlags_.reserve(prog.words.size());
+    for (uint32_t word : prog.words) {
         decoded_.push_back(isa::decode(word));
-    inDispatchRange_.assign(decoded_.size(), 0);
-    isDispatchJump_.assign(decoded_.size(), 0);
+        // Cache the opcode's flag word next to the decoded instruction so
+        // the per-instruction path never touches the opcodeInfo table.
+        pcFlags_.push_back(isa::opcodeInfo(decoded_.back().op).flags);
+    }
     vbbiHint_.assign(decoded_.size(), -1);
     mem_.loadProgram(prog);
     pc_ = prog.entry();
@@ -85,14 +89,14 @@ Core::setDispatchMeta(const DispatchMeta &meta)
     for (auto [lo, hi] : meta.dispatchRanges) {
         for (uint64_t pc = lo; pc < hi; pc += 4) {
             size_t idx = (pc - textBase_) / 4;
-            if (idx < inDispatchRange_.size())
-                inDispatchRange_[idx] = 1;
+            if (idx < pcFlags_.size())
+                pcFlags_[idx] |= PcFlagInDispatchRange;
         }
     }
     for (uint64_t pc : meta.dispatchJumpPcs) {
         size_t idx = (pc - textBase_) / 4;
-        if (idx < isDispatchJump_.size())
-            isDispatchJump_[idx] = 1;
+        if (idx < pcFlags_.size())
+            pcFlags_[idx] |= PcFlagDispatchJump;
     }
     for (auto [pc, reg] : meta.vbbiHints) {
         size_t idx = (pc - textBase_) / 4;
@@ -248,6 +252,11 @@ Core::handleSyscall()
         exitCode_ = static_cast<int>(x_[10]);
         break;
       case Syscall::PutChar:
+        // Print-heavy guests emit one syscall per character; grow the
+        // buffer in slabs instead of riding the allocator's small-size
+        // growth curve.
+        if (output_.size() == output_.capacity())
+            output_.reserve(output_.size() + 4096);
         output_ += static_cast<char>(x_[10]);
         break;
       case Syscall::PrintInt: {
@@ -269,6 +278,7 @@ Core::handleSyscall()
       case Syscall::PrintStr: {
         uint64_t ptr = x_[10];
         uint64_t len = x_[11];
+        output_.reserve(output_.size() + len);
         for (uint64_t n = 0; n < len; ++n)
             output_ += static_cast<char>(mem_.read8(ptr + n));
         break;
@@ -291,9 +301,9 @@ Core::step()
     chargeFetch(pc);
 
     // ---- issue timing ---------------------------------------------------
-    const auto &info = isa::opcodeInfo(inst.op);
-    bool isMem = inst.isLoad() || inst.isStore();
-    bool isCtrl = inst.isControl();
+    const uint32_t flags = pcFlags_[idx];
+    bool isMem = flags & (isa::FlagLoad | isa::FlagStore);
+    bool isCtrl = flags & (isa::FlagBranch | isa::FlagJump);
     uint64_t start = cycle_;
     if (issuedThisCycle_ >= config_.issueWidth ||
         (isMem && memIssuedThisCycle_) ||
@@ -301,13 +311,13 @@ Core::step()
         start = cycle_ + 1;
     }
     uint64_t issueAt = start;
-    if (info.flags & isa::FlagReadsRs1)
+    if (flags & isa::FlagReadsRs1)
         issueAt = std::max(issueAt, intReady_[inst.rs1]);
-    if (info.flags & isa::FlagReadsRs2)
+    if (flags & isa::FlagReadsRs2)
         issueAt = std::max(issueAt, intReady_[inst.rs2]);
-    if (info.flags & isa::FlagFpReadsRs1)
+    if (flags & isa::FlagFpReadsRs1)
         issueAt = std::max(issueAt, fpReady_[inst.rs1]);
-    if (info.flags & isa::FlagFpReadsRs2)
+    if (flags & isa::FlagFpReadsRs2)
         issueAt = std::max(issueAt, fpReady_[inst.rs2]);
     loadUseStalls_ += issueAt - start;
     if (issueAt > cycle_) {
@@ -324,8 +334,8 @@ Core::step()
     // ---- functional execution + control timing --------------------------
     uint64_t nextPc = pc + 4;
     uint64_t resultLatency = config_.aluLatency;
-    bool writesInt = inst.writesIntRd();
-    bool writesFp = inst.writesFpRd();
+    bool writesInt = (flags & isa::FlagWritesRd) && inst.rd != 0;
+    bool writesFp = flags & isa::FlagFpWritesRd;
     uint64_t intResult = 0;
     double fpResult = 0.0;
 
@@ -516,8 +526,9 @@ Core::step()
             cls = BranchClass::Return;
             mispredict = ras_->pop() != target;
         } else {
-            cls = isDispatchJump_[idx] ? BranchClass::IndirectDispatch
-                                       : BranchClass::IndirectOther;
+            cls = (flags & PcFlagDispatchJump)
+                      ? BranchClass::IndirectDispatch
+                      : BranchClass::IndirectOther;
             int hintReg = vbbiHint_[idx];
             if (config_.vbbiEnabled && hintReg >= 0) {
                 uint64_t hint = x_[hintReg];
@@ -668,7 +679,7 @@ Core::step()
         f_[inst.rd] = fpResult;
         fpReady_[inst.rd] = cycle_ + resultLatency;
     }
-    if (inDispatchRange_[idx])
+    if (flags & PcFlagInDispatchRange)
         ++dispatchInstructions_;
     ++retired_;
     pc_ = nextPc;

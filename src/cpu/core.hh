@@ -133,11 +133,21 @@ class Core
     CoreConfig config_;
     mem::GuestMemory &mem_;
 
+    /**
+     * Per-PC flag word cached at load time so step() never consults the
+     * opcodeInfo table: the low bits are the opcode's isa::OpFlags, the
+     * high bits the core-private dispatch-metadata flags below.
+     */
+    enum PcFlags : uint32_t
+    {
+        PcFlagInDispatchRange = 1u << 24, ///< counts toward Figure 3
+        PcFlagDispatchJump = 1u << 25,    ///< the dispatch indirect jump
+    };
+
     // Decoded text segment.
     uint64_t textBase_ = 0;
     std::vector<isa::Instruction> decoded_;
-    std::vector<uint8_t> inDispatchRange_;
-    std::vector<uint8_t> isDispatchJump_;
+    std::vector<uint32_t> pcFlags_; ///< parallel to decoded_
     std::vector<int16_t> vbbiHint_; ///< -1 = unmarked
 
     // Architectural state.

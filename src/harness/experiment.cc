@@ -1,0 +1,93 @@
+#include "experiment.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+#include "pool.hh"
+
+namespace scd::harness
+{
+
+std::string
+ExperimentPoint::label() const
+{
+    std::string out = vmName(vm);
+    out += '/';
+    out += workload ? workload->name : "<null>";
+    out += '/';
+    out += core::schemeName(scheme);
+    out += '@';
+    out += machine.name;
+    return out;
+}
+
+void
+ExperimentPlan::addGrid(const cpu::CoreConfig &machine, InputSize size,
+                        const std::vector<VmKind> &vms,
+                        const std::vector<core::Scheme> &schemes)
+{
+    for (VmKind vm : vms) {
+        for (const Workload &w : workloads()) {
+            for (core::Scheme scheme : schemes) {
+                ExperimentPoint p;
+                p.vm = vm;
+                p.workload = &w;
+                p.size = size;
+                p.scheme = scheme;
+                p.machine = machine;
+                points_.push_back(std::move(p));
+            }
+        }
+    }
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("SCD_JOBS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return unsigned(v);
+        warn("ignoring SCD_JOBS='", env, "' (want a positive integer)");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ExperimentSet
+runPlan(const ExperimentPlan &plan, const RunOptions &options)
+{
+    using clock = std::chrono::steady_clock;
+
+    ExperimentSet set;
+    set.points = plan.points();
+    set.runs.resize(set.points.size());
+    set.jobs = resolveJobs(options.jobs);
+    // No point spinning up more workers than there are simulations.
+    if (set.points.size() < set.jobs)
+        set.jobs = set.points.empty() ? 1 : unsigned(set.points.size());
+
+    auto planStart = clock::now();
+    parallelFor(set.jobs, set.points.size(), [&](size_t i) {
+        const ExperimentPoint &p = set.points[i];
+        SCD_ASSERT(p.workload, "experiment point without a workload");
+        if (options.verbose)
+            std::fprintf(stderr, "  running %s...\n", p.label().c_str());
+        auto start = clock::now();
+        set.runs[i].result = runWorkload(p.vm, *p.workload, p.size,
+                                         p.scheme, p.machine,
+                                         p.maxInstructions);
+        set.runs[i].seconds =
+            std::chrono::duration<double>(clock::now() - start).count();
+    });
+    set.totalSeconds =
+        std::chrono::duration<double>(clock::now() - planStart).count();
+    return set;
+}
+
+} // namespace scd::harness

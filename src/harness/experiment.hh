@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The parallel experiment engine. A figure or sweep first enumerates
+ * every (vm, workload, input size, scheme, machine) point it needs into
+ * an ExperimentPlan, then executes the plan with runPlan(): points run
+ * concurrently on a work-stealing pool (each simulation owns its private
+ * GuestMemory and Core, so there is no shared mutable state), and the
+ * resulting ExperimentSet stores results in plan order — output derived
+ * from a set is byte-identical whatever the job count.
+ */
+
+#ifndef SCD_HARNESS_EXPERIMENT_HH
+#define SCD_HARNESS_EXPERIMENT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runner.hh"
+
+namespace scd::harness
+{
+
+/** One independent simulation in a plan. */
+struct ExperimentPoint
+{
+    VmKind vm = VmKind::Rlua;
+    const Workload *workload = nullptr; ///< borrowed from workloads()
+    InputSize size = InputSize::Sim;
+    core::Scheme scheme = core::Scheme::Baseline;
+    cpu::CoreConfig machine;
+    uint64_t maxInstructions = 0;
+
+    /** "vm/workload/scheme@machine", for progress and error messages. */
+    std::string label() const;
+};
+
+/** An ordered list of simulation points; order defines result order. */
+class ExperimentPlan
+{
+  public:
+    void
+    add(ExperimentPoint point)
+    {
+        points_.push_back(std::move(point));
+    }
+
+    /**
+     * Enumerate the full vm x workload x scheme cross product on one
+     * machine, workloads in paper order, schemes innermost.
+     */
+    void addGrid(const cpu::CoreConfig &machine, InputSize size,
+                 const std::vector<VmKind> &vms,
+                 const std::vector<core::Scheme> &schemes);
+
+    size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+    const std::vector<ExperimentPoint> &points() const { return points_; }
+
+  private:
+    std::vector<ExperimentPoint> points_;
+};
+
+/** One executed point: the simulation result plus its wall time. */
+struct ExperimentRun
+{
+    ExperimentResult result;
+    double seconds = 0.0; ///< wall time of this point
+};
+
+/** All results of a plan, in plan order. */
+struct ExperimentSet
+{
+    std::vector<ExperimentPoint> points;
+    std::vector<ExperimentRun> runs; ///< parallel array to points
+    unsigned jobs = 1;               ///< worker count actually used
+    double totalSeconds = 0.0;       ///< wall time of the whole plan
+
+    const ExperimentResult &
+    at(size_t i) const
+    {
+        return runs[i].result;
+    }
+};
+
+/** Execution knobs for runPlan(). */
+struct RunOptions
+{
+    /** 0 = auto: SCD_JOBS if set, else std::thread::hardware_concurrency. */
+    unsigned jobs = 0;
+    bool verbose = false; ///< per-point progress on stderr
+};
+
+/**
+ * Resolve a requested job count: a positive @p requested wins, then a
+ * positive integer in $SCD_JOBS, then the hardware concurrency (>= 1).
+ */
+unsigned resolveJobs(unsigned requested);
+
+/** Execute every point of @p plan; results land in plan order. */
+ExperimentSet runPlan(const ExperimentPlan &plan,
+                      const RunOptions &options = {});
+
+} // namespace scd::harness
+
+#endif // SCD_HARNESS_EXPERIMENT_HH

@@ -72,34 +72,39 @@ workloadNames()
 }
 
 Grid
-runGrid(const cpu::CoreConfig &machine, InputSize size,
-        const std::vector<VmKind> &vms,
-        const std::vector<core::Scheme> &schemes, bool verbose)
+gridFromSet(const ExperimentSet &set)
 {
     Grid grid;
-    for (VmKind vm : vms) {
-        for (const Workload &w : workloads()) {
-            std::string reference;
-            for (core::Scheme scheme : schemes) {
-                if (verbose) {
-                    std::fprintf(stderr, "  running %s/%s/%s...\n",
-                                 vmName(vm), w.name.c_str(),
-                                 core::schemeName(scheme));
-                }
-                ExperimentResult r =
-                    runWorkload(vm, w, size, scheme, machine);
-                // Cross-scheme output equality is the correctness net
-                // under every experiment.
-                if (reference.empty())
-                    reference = r.output;
-                else if (reference != r.output)
-                    fatal("output mismatch for ", w.name, " under scheme ",
-                          core::schemeName(scheme));
-                grid.put({vm, w.name, scheme}, std::move(r));
-            }
-        }
+    // Cross-scheme output equality is the correctness net under every
+    // experiment; checking in plan order keeps the reference stable no
+    // matter which point finished first.
+    std::map<std::pair<VmKind, std::string>, const std::string *> refs;
+    for (size_t i = 0; i < set.points.size(); ++i) {
+        const ExperimentPoint &p = set.points[i];
+        ExperimentResult r = set.at(i);
+        auto [it, fresh] = refs.try_emplace({p.vm, p.workload->name});
+        if (fresh)
+            it->second = &set.at(i).output;
+        else if (*it->second != r.output)
+            fatal("output mismatch for ", p.workload->name,
+                  " under scheme ", core::schemeName(p.scheme));
+        grid.put({p.vm, p.workload->name, p.scheme}, std::move(r));
     }
     return grid;
+}
+
+Grid
+runGrid(const cpu::CoreConfig &machine, InputSize size,
+        const std::vector<VmKind> &vms,
+        const std::vector<core::Scheme> &schemes, bool verbose,
+        unsigned jobs)
+{
+    ExperimentPlan plan;
+    plan.addGrid(machine, size, vms, schemes);
+    RunOptions options;
+    options.jobs = jobs;
+    options.verbose = verbose;
+    return gridFromSet(runPlan(plan, options));
 }
 
 std::string

@@ -14,6 +14,7 @@
 #include <tuple>
 #include <vector>
 
+#include "experiment.hh"
 #include "runner.hh"
 
 namespace scd::harness
@@ -69,11 +70,22 @@ class Grid
     std::map<GridKey, ExperimentResult> cells_;
 };
 
-/** Run the full grid for @p vms x @p schemes over all 11 workloads. */
+/**
+ * Run the full grid for @p vms x @p schemes over all 11 workloads.
+ * Points execute concurrently on @p jobs workers (0 = auto, see
+ * resolveJobs()); the grid contents — and therefore every figure
+ * rendered from it — are identical whatever the job count.
+ */
 Grid runGrid(const cpu::CoreConfig &machine, InputSize size,
              const std::vector<VmKind> &vms,
              const std::vector<core::Scheme> &schemes,
-             bool verbose = false);
+             bool verbose = false, unsigned jobs = 0);
+
+/**
+ * Fold an executed ExperimentSet into a Grid, enforcing the cross-scheme
+ * output-equality correctness net in plan order.
+ */
+Grid gridFromSet(const ExperimentSet &set);
 
 /** Names of all workloads, in paper order. */
 std::vector<std::string> workloadNames();

@@ -1,0 +1,122 @@
+#include "pool.hh"
+
+#include <exception>
+
+namespace scd::harness
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    queues_.resize(threads);
+    workers_.reserve(threads);
+    for (unsigned n = 0; n < threads; ++n)
+        workers_.emplace_back([this, n] { workerLoop(n); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queues_[nextQueue_].push_back(std::move(task));
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        ++pending_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool
+ThreadPool::takeTask(unsigned self, Task &out)
+{
+    // Own deque first, newest task first: keeps a worker on the cache-warm
+    // end of its queue.
+    if (!queues_[self].empty()) {
+        out = std::move(queues_[self].back());
+        queues_[self].pop_back();
+        return true;
+    }
+    // Steal from the other workers, oldest task first.
+    for (size_t n = 1; n < queues_.size(); ++n) {
+        auto &victim = queues_[(self + n) % queues_.size()];
+        if (!victim.empty()) {
+            out = std::move(victim.front());
+            victim.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        Task task;
+        if (takeTask(self, task)) {
+            lock.unlock();
+            task();
+            lock.lock();
+            if (--pending_ == 0)
+                allDone_.notify_all();
+            continue;
+        }
+        if (stopping_)
+            return;
+        workReady_.wait(lock);
+    }
+}
+
+void
+parallelFor(unsigned jobs, size_t count,
+            const std::function<void(size_t)> &fn)
+{
+    if (jobs <= 1 || count <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    {
+        ThreadPool pool(jobs);
+        for (size_t i = 0; i < count; ++i) {
+            pool.submit([&, i] {
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errorMutex);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace scd::harness
