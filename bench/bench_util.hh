@@ -59,6 +59,25 @@ parseJobs(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Parse --width=N (issue width for WideInOrderTiming studies). Returns
+ * @p fallback when absent or malformed.
+ */
+inline unsigned
+parseWidth(int argc, char **argv, unsigned fallback)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], "--width=", 8) == 0) {
+            long v = std::strtol(argv[n] + 8, nullptr, 10);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+            std::fprintf(stderr, "ignoring bad --width value '%s'\n",
+                         argv[n] + 8);
+        }
+    }
+    return fallback;
+}
+
 inline const char *
 sizeName(harness::InputSize size)
 {

@@ -5,17 +5,89 @@
  * in BENCH_harness.json so the perf trajectory is tracked across PRs.
  *
  * The plan is the fig07-10 grid shape (2 VMs x 11 workloads x 4 schemes)
- * at the chosen input size. The same plan runs serially (--jobs=1) and
- * then on the requested worker count; the JSON records per-experiment
- * wall time, both total wall times, and the resulting speedup.
+ * at the chosen input size. The same plan runs twice under the
+ * functional-only NullTiming model, then serially (--jobs=1), then on the
+ * requested worker count; the JSON records per-experiment wall time, the
+ * total wall times, the parallel speedup, and the timed-vs-functional
+ * instruction throughput (instructions/sec). Each mode's throughput is
+ * the best of its two passes per experiment — the runs are short enough
+ * that scheduler noise on a shared machine swings single measurements by
+ * >10%, and the per-experiment minimum is the usual noise-robust
+ * estimator of the achievable speed.
+ *
+ * --functional (or SCD_FUNCTIONAL=1) skips the timed passes entirely:
+ * the plan runs once under NullTiming, for quick workload validation.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "bench_util.hh"
 #include "harness/experiment.hh"
 #include "harness/machines.hh"
+
+namespace
+{
+
+bool
+functionalOnly(int argc, char **argv)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strcmp(argv[n], "--functional") == 0)
+            return true;
+    }
+    const char *env = std::getenv("SCD_FUNCTIONAL");
+    return env && env[0] == '1';
+}
+
+uint64_t
+totalInstructions(const scd::harness::ExperimentSet &set)
+{
+    uint64_t total = 0;
+    for (const auto &run : set.runs)
+        total += run.result.run.instructions;
+    return total;
+}
+
+/**
+ * Per-experiment best-of-two sim time: the minimum of the two passes'
+ * Core::run() wall times, summed over the plan. @p second may be empty
+ * (functional-only mode runs one pass), in which case @p first stands
+ * alone.
+ */
+double
+bestSimSeconds(const scd::harness::ExperimentSet &first,
+               const scd::harness::ExperimentSet &second)
+{
+    double total = 0.0;
+    for (size_t i = 0; i < first.runs.size(); ++i) {
+        double s = first.runs[i].result.simSeconds;
+        if (second.runs.size() == first.runs.size())
+            s = std::min(s, second.runs[i].result.simSeconds);
+        total += s;
+    }
+    return total;
+}
+
+/**
+ * Aggregate simulator speed over two passes of the same plan: retired
+ * instructions per second of best-of-two Core::run() time. Compile/setup
+ * time is excluded — it is identical whatever the timing model, so
+ * including it would understate the timing-model cost being measured.
+ */
+double
+instructionsPerSecond(const scd::harness::ExperimentSet &first,
+                      const scd::harness::ExperimentSet &second)
+{
+    double simSeconds = bestSimSeconds(first, second);
+    return simSeconds > 0 ? double(totalInstructions(first)) / simSeconds
+                          : 0.0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -25,28 +97,59 @@ main(int argc, char **argv)
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Test);
     unsigned jobs = resolveJobs(bench::parseJobs(argc, argv));
+    bool funcOnly = functionalOnly(argc, argv);
+
+    std::vector<VmKind> vms{VmKind::Rlua, VmKind::Sjs};
+    std::vector<core::Scheme> schemes{
+        core::Scheme::Baseline, core::Scheme::JumpThreading,
+        core::Scheme::Vbbi, core::Scheme::Scd};
 
     ExperimentPlan plan;
-    plan.addGrid(minorConfig(), size, {VmKind::Rlua, VmKind::Sjs},
-                 {core::Scheme::Baseline, core::Scheme::JumpThreading,
-                  core::Scheme::Vbbi, core::Scheme::Scd});
+    plan.addGrid(minorConfig(), size, vms, schemes);
 
+    cpu::CoreConfig functionalMachine = minorConfig();
+    functionalMachine.timingKind = cpu::TimingKind::Null;
+    ExperimentPlan functionalPlan;
+    functionalPlan.addGrid(functionalMachine, size, vms, schemes);
+
+    // The functional passes run before the timed ones: 88 timed
+    // experiments leave the allocator and page tables in a state that
+    // measurably slows later short runs, and the functional mode — being
+    // ~5x faster — is the one short enough to be hurt by it.
     std::fprintf(stderr,
-                 "harness_throughput: %zu points (%s), serial pass...\n",
+                 "harness_throughput: %zu points (%s), functional pass "
+                 "(NullTiming)...\n",
                  plan.size(), bench::sizeName(size));
-    RunOptions serialOpts;
-    serialOpts.jobs = 1;
-    ExperimentSet serial = runPlan(plan, serialOpts);
+    RunOptions functionalOpts;
+    functionalOpts.jobs = 1;
+    ExperimentSet functional = runPlan(functionalPlan, functionalOpts);
 
-    std::fprintf(stderr, "harness_throughput: parallel pass (%u jobs)...\n",
-                 jobs);
-    RunOptions parallelOpts;
-    parallelOpts.jobs = jobs;
-    ExperimentSet parallel = runPlan(plan, parallelOpts);
+    ExperimentSet functional2, serial, parallel;
+    if (!funcOnly) {
+        std::fprintf(stderr,
+                     "harness_throughput: functional pass 2...\n");
+        functional2 = runPlan(functionalPlan, functionalOpts);
 
-    double speedup = parallel.totalSeconds > 0
-                         ? serial.totalSeconds / parallel.totalSeconds
-                         : 0.0;
+        std::fprintf(stderr, "harness_throughput: serial pass...\n");
+        RunOptions serialOpts;
+        serialOpts.jobs = 1;
+        serial = runPlan(plan, serialOpts);
+
+        std::fprintf(stderr,
+                     "harness_throughput: parallel pass (%u jobs)...\n",
+                     jobs);
+        RunOptions parallelOpts;
+        parallelOpts.jobs = jobs;
+        parallel = runPlan(plan, parallelOpts);
+    }
+
+    double speedup = 0.0;
+    if (!funcOnly && parallel.totalSeconds > 0)
+        speedup = serial.totalSeconds / parallel.totalSeconds;
+    double timedIps =
+        funcOnly ? 0.0 : instructionsPerSecond(serial, parallel);
+    double functionalIps = instructionsPerSecond(functional, functional2);
+    double functionalSpeedup = timedIps > 0 ? functionalIps / timedIps : 0.0;
 
     const char *path = "BENCH_harness.json";
     std::FILE *f = std::fopen(path, "w");
@@ -58,26 +161,62 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"bench\": \"harness_throughput\",\n");
     std::fprintf(f, "  \"size\": \"%s\",\n", bench::sizeName(size));
     std::fprintf(f, "  \"points\": %zu,\n", plan.size());
-    std::fprintf(f, "  \"jobs\": %u,\n", parallel.jobs);
-    std::fprintf(f, "  \"serial_seconds\": %.6f,\n", serial.totalSeconds);
-    std::fprintf(f, "  \"parallel_seconds\": %.6f,\n",
-                 parallel.totalSeconds);
-    std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+    std::fprintf(f, "  \"functional_only\": %s,\n",
+                 funcOnly ? "true" : "false");
+    if (!funcOnly) {
+        std::fprintf(f, "  \"jobs\": %u,\n", parallel.jobs);
+        std::fprintf(f, "  \"serial_seconds\": %.6f,\n",
+                     serial.totalSeconds);
+        std::fprintf(f, "  \"parallel_seconds\": %.6f,\n",
+                     parallel.totalSeconds);
+        std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+        std::fprintf(f, "  \"timed_instructions_per_second\": %.0f,\n",
+                     timedIps);
+    }
+    std::fprintf(f, "  \"functional_seconds\": %.6f,\n",
+                 functional.totalSeconds);
+    std::fprintf(f, "  \"functional_instructions_per_second\": %.0f,\n",
+                 functionalIps);
+    std::fprintf(f, "  \"functional_speedup\": %.3f,\n", functionalSpeedup);
     std::fprintf(f, "  \"experiments\": [\n");
-    for (size_t i = 0; i < parallel.points.size(); ++i) {
-        std::fprintf(f,
-                     "    {\"label\": \"%s\", \"seconds\": %.6f, "
-                     "\"serial_seconds\": %.6f}%s\n",
-                     parallel.points[i].label().c_str(),
-                     parallel.runs[i].seconds, serial.runs[i].seconds,
-                     i + 1 < parallel.points.size() ? "," : "");
+    if (!funcOnly) {
+        for (size_t i = 0; i < parallel.points.size(); ++i) {
+            std::fprintf(
+                f,
+                "    {\"label\": \"%s\", \"seconds\": %.6f, "
+                "\"serial_seconds\": %.6f, "
+                "\"functional_seconds\": %.6f}%s\n",
+                parallel.points[i].label().c_str(),
+                parallel.runs[i].seconds, serial.runs[i].seconds,
+                std::min(functional.runs[i].seconds,
+                         functional2.runs[i].seconds),
+                i + 1 < parallel.points.size() ? "," : "");
+        }
+    } else {
+        for (size_t i = 0; i < functional.points.size(); ++i) {
+            std::fprintf(f,
+                         "    {\"label\": \"%s\", "
+                         "\"functional_seconds\": %.6f}%s\n",
+                         functional.points[i].label().c_str(),
+                         functional.runs[i].seconds,
+                         i + 1 < functional.points.size() ? "," : "");
+        }
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
 
-    std::printf("harness throughput: %zu points, serial %.2fs, "
-                "%u jobs %.2fs, speedup %.2fx -> %s\n",
-                plan.size(), serial.totalSeconds, parallel.jobs,
-                parallel.totalSeconds, speedup, path);
+    if (funcOnly) {
+        std::printf("harness throughput (functional only): %zu points, "
+                    "%.2fs, %.0f Minst/s -> %s\n",
+                    functionalPlan.size(), functional.totalSeconds,
+                    functionalIps / 1e6, path);
+    } else {
+        std::printf("harness throughput: %zu points, serial %.2fs, "
+                    "%u jobs %.2fs, speedup %.2fx, functional %.2fs "
+                    "(%.1fx inst/s) -> %s\n",
+                    plan.size(), serial.totalSeconds, parallel.jobs,
+                    parallel.totalSeconds, speedup,
+                    functional.totalSeconds, functionalSpeedup, path);
+    }
     return 0;
 }

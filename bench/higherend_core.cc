@@ -21,9 +21,15 @@ main(int argc, char **argv)
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
     unsigned jobs = bench::parseJobs(argc, argv);
+    cpu::CoreConfig config = cortexA8Config();
+    // The A8-like machine runs on WideInOrderTiming; --width=N widens
+    // (or narrows) the issue stage without touching the rest of the
+    // configuration. Default 2 matches the paper's dual-issue study.
+    config.issueWidth = bench::parseWidth(argc, argv, config.issueWidth);
     std::fprintf(stderr,
-                 "higherend: running 2x11x2 on the dual-issue core...\n");
-    Grid grid = runGrid(cortexA8Config(), size,
+                 "higherend: running 2x11x2 on the %u-wide core...\n",
+                 config.issueWidth);
+    Grid grid = runGrid(config, size,
                         {VmKind::Rlua, VmKind::Sjs},
                         {core::Scheme::Baseline, core::Scheme::Scd},
                         /*verbose=*/true, jobs);

@@ -23,20 +23,7 @@ Btb::Btb(const BtbConfig &config) : config_(config)
 unsigned
 Btb::setOf(EntryKind kind, uint64_t key) const
 {
-    if (numSets_ == 1)
-        return 0;
-    // B entries index with the word-aligned PC; VBBI keys are pre-hashed.
-    // JTEs index with the opcode, XOR-folded with the branch-ID (bank) so
-    // the multi-table extension's entries spread across sets instead of
-    // aliasing (a few XOR gates on the index path).
-    uint64_t idx;
-    if (kind == EntryKind::Branch) {
-        idx = key >> 2;
-    } else {
-        uint64_t bank = key >> 40;
-        idx = (key & 0xFF) ^ (bank * 29);
-    }
-    return static_cast<unsigned>(idx & (numSets_ - 1));
+    return kind == EntryKind::Branch ? branchSetOf(key) : jteSetOf(key);
 }
 
 Btb::Entry *

@@ -96,6 +96,85 @@ class Btb
     /** Current effective JTE cap (0 = unlimited). */
     unsigned effectiveJteCap() const;
 
+    // ---- inline fast paths ----------------------------------------------
+    // Behaviourally identical to lookupJte() and the hit (refresh) path of
+    // insert(); kept in the header so the simulator's innermost loops can
+    // inline the common case and only fall out of line on a miss.
+
+    /** Same as lookupJte(), inlinable. */
+    std::optional<uint64_t>
+    lookupJteFast(uint8_t bank, uint64_t opcode)
+    {
+        ++useClock_;
+        uint64_t key = jteKey(bank, opcode);
+        Entry *base = &entries_[jteSetOf(key) * config_.associativity];
+        for (unsigned w = 0; w < config_.associativity; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.kind == EntryKind::Jte && e.key == key) {
+                e.lastUse = useClock_;
+                return e.target;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Refresh an existing B entry in place (the hit path of insertPc /
+     * insertHashed). Returns false, with no state change, when the entry
+     * is absent and the out-of-line insert must run.
+     */
+    bool
+    tryRefreshBranchKey(uint64_t key, uint64_t target)
+    {
+        Entry *base = &entries_[branchSetOf(key) * config_.associativity];
+        for (unsigned w = 0; w < config_.associativity; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.kind == EntryKind::Branch && e.key == key) {
+                e.target = target;
+                e.lastUse = ++useClock_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Pure occupancy probe: is a valid B entry with @p key resident? No
+     * state is touched. Under round-robin/uncapped replacement this makes
+     * probe-then-insert observably identical to insert() (the hit path
+     * only rewrites the target and recency, which nothing reads there);
+     * LRU victim choice would see slightly staler recency.
+     */
+    bool
+    containsBranchKey(uint64_t key) const
+    {
+        const Entry *base =
+            &entries_[branchSetOf(key) * config_.associativity];
+        for (unsigned w = 0; w < config_.associativity; ++w) {
+            const Entry &e = base[w];
+            if (e.valid && e.kind == EntryKind::Branch && e.key == key)
+                return true;
+        }
+        return false;
+    }
+
+    /** The JTE analogue of tryRefreshBranchKey(), for insertJte(). */
+    bool
+    tryRefreshJte(uint8_t bank, uint64_t opcode, uint64_t target)
+    {
+        uint64_t key = jteKey(bank, opcode);
+        Entry *base = &entries_[jteSetOf(key) * config_.associativity];
+        for (unsigned w = 0; w < config_.associativity; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.kind == EntryKind::Jte && e.key == key) {
+                e.target = target;
+                e.lastUse = ++useClock_;
+                return true;
+            }
+        }
+        return false;
+    }
+
     const BtbConfig &config() const { return config_; }
 
     void exportStats(StatGroup &group, const std::string &prefix) const;
@@ -109,6 +188,28 @@ class Btb
         EntryKind kind = EntryKind::Branch;
         bool valid = false;
     };
+
+    // B entries index with the word-aligned PC; VBBI keys are pre-hashed.
+    unsigned
+    branchSetOf(uint64_t key) const
+    {
+        if (numSets_ == 1)
+            return 0;
+        return static_cast<unsigned>((key >> 2) & (numSets_ - 1));
+    }
+
+    // JTEs index with the opcode, XOR-folded with the branch-ID (bank) so
+    // the multi-table extension's entries spread across sets instead of
+    // aliasing (a few XOR gates on the index path).
+    unsigned
+    jteSetOf(uint64_t key) const
+    {
+        if (numSets_ == 1)
+            return 0;
+        uint64_t bank = key >> 40;
+        return static_cast<unsigned>(((key & 0xFF) ^ (bank * 29)) &
+                                     (numSets_ - 1));
+    }
 
     unsigned setOf(EntryKind kind, uint64_t key) const;
     Entry *find(EntryKind kind, uint64_t key, unsigned set);

@@ -47,7 +47,9 @@ class Vbbi
     void
     update(uint64_t pc, uint64_t hint, uint64_t target)
     {
-        btb_.insertHashed(key(pc, hint), target);
+        uint64_t k = key(pc, hint);
+        if (!btb_.tryRefreshBranchKey(k, target))
+            btb_.insertHashed(k, target);
     }
 
   private:

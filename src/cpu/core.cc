@@ -1,704 +1,39 @@
 #include "core.hh"
 
-#include <cmath>
-#include <cstdio>
-#include <cstring>
-
-#include "common/bitutil.hh"
+#include "branch/btb.hh"
 #include "common/logging.hh"
-#include "syscalls.hh"
 
 namespace scd::cpu
 {
 
-using isa::Instruction;
-using isa::Opcode;
-
-const char *
-branchClassName(BranchClass cls)
-{
-    switch (cls) {
-      case BranchClass::Conditional:
-        return "conditional";
-      case BranchClass::DirectJump:
-        return "directJump";
-      case BranchClass::Return:
-        return "return";
-      case BranchClass::IndirectDispatch:
-        return "indirectDispatch";
-      case BranchClass::IndirectOther:
-        return "indirectOther";
-      case BranchClass::Bop:
-        return "bop";
-      default:
-        return "?";
-    }
-}
-
 Core::Core(const CoreConfig &config, mem::GuestMemory &memory)
     : config_(config),
-      mem_(memory),
-      itlb_(config.itlbEntries),
-      dtlb_(config.dtlbEntries)
+      timing_(makeTimingModel(config_)),
+      functional_(config_, memory, *timing_)
 {
-    btb_ = std::make_unique<branch::Btb>(config.btb);
-    if (config.scdDedicatedTable) {
-        dedicatedJtes_ =
-            std::make_unique<branch::JteTable>(config.dedicatedJteEntries);
-    }
-    if (config.ittageEnabled)
-        ittage_ = std::make_unique<branch::Ittage>();
-    if (config.predictor == PredictorKind::Tournament) {
-        direction_ = std::make_unique<branch::TournamentPredictor>(
-            config.globalPredictorEntries, config.localPredictorEntries);
-    } else {
-        direction_ =
-            std::make_unique<branch::GsharePredictor>(config.gshareEntries);
-    }
-    ras_ = std::make_unique<branch::ReturnAddressStack>(config.rasDepth);
-    vbbi_ = std::make_unique<branch::Vbbi>(*btb_);
-    icache_ = std::make_unique<cache::Cache>(config.icache);
-    dcache_ = std::make_unique<cache::Cache>(config.dcache);
-    if (config.hasL2)
-        l2cache_ = std::make_unique<cache::Cache>(config.l2cache);
-}
-
-void
-Core::loadProgram(const isa::Program &prog)
-{
-    textBase_ = prog.base;
-    decoded_.clear();
-    decoded_.reserve(prog.words.size());
-    pcFlags_.clear();
-    pcFlags_.reserve(prog.words.size());
-    for (uint32_t word : prog.words) {
-        decoded_.push_back(isa::decode(word));
-        // Cache the opcode's flag word next to the decoded instruction so
-        // the per-instruction path never touches the opcodeInfo table.
-        pcFlags_.push_back(isa::opcodeInfo(decoded_.back().op).flags);
-    }
-    vbbiHint_.assign(decoded_.size(), -1);
-    mem_.loadProgram(prog);
-    pc_ = prog.entry();
-}
-
-void
-Core::setDispatchMeta(const DispatchMeta &meta)
-{
-    SCD_ASSERT(!decoded_.empty(), "setDispatchMeta before loadProgram");
-    for (auto [lo, hi] : meta.dispatchRanges) {
-        for (uint64_t pc = lo; pc < hi; pc += 4) {
-            size_t idx = (pc - textBase_) / 4;
-            if (idx < pcFlags_.size())
-                pcFlags_[idx] |= PcFlagInDispatchRange;
-        }
-    }
-    for (uint64_t pc : meta.dispatchJumpPcs) {
-        size_t idx = (pc - textBase_) / 4;
-        if (idx < pcFlags_.size())
-            pcFlags_[idx] |= PcFlagDispatchJump;
-    }
-    for (auto [pc, reg] : meta.vbbiHints) {
-        size_t idx = (pc - textBase_) / 4;
-        if (idx < vbbiHint_.size())
-            vbbiHint_[idx] = reg;
-    }
-}
-
-const Instruction &
-Core::instAt(uint64_t pc) const
-{
-    uint64_t off = pc - textBase_;
-    SCD_ASSERT(pc >= textBase_ && (off >> 2) < decoded_.size() &&
-               (pc & 3) == 0, "instruction fetch outside text at pc=", pc);
-    return decoded_[off >> 2];
-}
-
-void
-Core::chargeFetch(uint64_t pc)
-{
-    uint64_t block = pc / config_.icache.blockBytes;
-    if (block == lastFetchBlock_)
-        return;
-    lastFetchBlock_ = block;
-    uint64_t page = pc >> 12;
-    if (page != lastFetchPage_) {
-        lastFetchPage_ = page;
-        if (!itlb_.access(pc))
-            cycle_ += config_.tlbMissPenalty;
-    }
-    if (!icache_->access(pc)) {
-        unsigned penalty = config_.memLatency;
-        if (l2cache_) {
-            penalty = l2cache_->access(pc)
-                          ? config_.l2HitLatency
-                          : config_.l2HitLatency + config_.memLatency;
-        }
-        cycle_ += penalty;
-    }
-}
-
-uint64_t
-Core::dataAccess(uint64_t addr, bool write)
-{
-    uint64_t page = addr >> 12;
-    if (page != lastDataPage_) {
-        lastDataPage_ = page;
-        if (!dtlb_.access(addr))
-            cycle_ += config_.tlbMissPenalty;
-    }
-    if (dcache_->access(addr, write))
-        return config_.loadHitLatency;
-    unsigned penalty = config_.memLatency;
-    if (l2cache_) {
-        penalty = l2cache_->access(addr)
-                      ? config_.l2HitLatency
-                      : config_.l2HitLatency + config_.memLatency;
-    }
-    return config_.loadHitLatency + penalty;
-}
-
-std::optional<uint64_t>
-Core::jteLookup(uint8_t bank, uint64_t opcode)
-{
-    if (dedicatedJtes_)
-        return dedicatedJtes_->lookup(bank, opcode);
-    return btb_->lookupJte(bank, opcode);
-}
-
-void
-Core::jteInsert(uint8_t bank, uint64_t opcode, uint64_t target)
-{
-    if (dedicatedJtes_) {
-        dedicatedJtes_->insert(bank, opcode, target);
-        return;
-    }
-    btb_->insertJte(bank, opcode, target);
-}
-
-void
-Core::redirect(unsigned penalty)
-{
-    cycle_ += penalty;
-    issuedThisCycle_ = config_.issueWidth; // next instruction starts a cycle
-}
-
-void
-Core::recordBranch(BranchClass cls, bool mispredicted)
-{
-    ++branchCount_[size_t(cls)];
-    if (mispredicted)
-        ++branchMisses_[size_t(cls)];
-}
-
-uint64_t
-Core::loadValue(const Instruction &inst, uint64_t addr)
-{
-    switch (inst.op) {
-      case Opcode::LB:
-        return static_cast<uint64_t>(
-            static_cast<int64_t>(static_cast<int8_t>(mem_.read8(addr))));
-      case Opcode::LBU:
-      case Opcode::LBU_OP:
-        return mem_.read8(addr);
-      case Opcode::LH:
-        return static_cast<uint64_t>(
-            static_cast<int64_t>(static_cast<int16_t>(mem_.read16(addr))));
-      case Opcode::LHU:
-      case Opcode::LHU_OP:
-        return mem_.read16(addr);
-      case Opcode::LW:
-        return static_cast<uint64_t>(
-            static_cast<int64_t>(static_cast<int32_t>(mem_.read32(addr))));
-      case Opcode::LWU:
-      case Opcode::LW_OP:
-        return mem_.read32(addr);
-      case Opcode::LD:
-      case Opcode::LD_OP:
-        return mem_.read64(addr);
-      default:
-        panic("not a load: ", isa::mnemonic(inst.op));
-    }
-}
-
-void
-Core::storeValue(const Instruction &inst, uint64_t addr)
-{
-    uint64_t v = x_[inst.rs2];
-    switch (inst.op) {
-      case Opcode::SB:
-        mem_.write8(addr, static_cast<uint8_t>(v));
-        break;
-      case Opcode::SH:
-        mem_.write16(addr, static_cast<uint16_t>(v));
-        break;
-      case Opcode::SW:
-        mem_.write32(addr, static_cast<uint32_t>(v));
-        break;
-      case Opcode::SD:
-        mem_.write64(addr, v);
-        break;
-      default:
-        panic("not a store: ", isa::mnemonic(inst.op));
-    }
-}
-
-void
-Core::handleSyscall()
-{
-    switch (static_cast<Syscall>(x_[17])) {
-      case Syscall::Exit:
-        exited_ = true;
-        exitCode_ = static_cast<int>(x_[10]);
-        break;
-      case Syscall::PutChar:
-        // Print-heavy guests emit one syscall per character; grow the
-        // buffer in slabs instead of riding the allocator's small-size
-        // growth curve.
-        if (output_.size() == output_.capacity())
-            output_.reserve(output_.size() + 4096);
-        output_ += static_cast<char>(x_[10]);
-        break;
-      case Syscall::PrintInt: {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%lld",
-                      static_cast<long long>(x_[10]));
-        output_ += buf;
-        break;
-      }
-      case Syscall::PrintDouble: {
-        double d;
-        uint64_t bitsv = x_[10];
-        std::memcpy(&d, &bitsv, sizeof(d));
-        char buf[40];
-        std::snprintf(buf, sizeof(buf), "%.9g", d);
-        output_ += buf;
-        break;
-      }
-      case Syscall::PrintStr: {
-        uint64_t ptr = x_[10];
-        uint64_t len = x_[11];
-        output_.reserve(output_.size() + len);
-        for (uint64_t n = 0; n < len; ++n)
-            output_ += static_cast<char>(mem_.read8(ptr + n));
-        break;
-      }
-      default:
-        panic("unknown syscall ", x_[17]);
-    }
-}
-
-bool
-Core::step()
-{
-    const uint64_t pc = pc_;
-    const Instruction &inst = instAt(pc);
-    const size_t idx = (pc - textBase_) / 4;
-
-    if (trace_)
-        trace_(pc, inst);
-
-    chargeFetch(pc);
-
-    // ---- issue timing ---------------------------------------------------
-    const uint32_t flags = pcFlags_[idx];
-    bool isMem = flags & (isa::FlagLoad | isa::FlagStore);
-    bool isCtrl = flags & (isa::FlagBranch | isa::FlagJump);
-    uint64_t start = cycle_;
-    if (issuedThisCycle_ >= config_.issueWidth ||
-        (isMem && memIssuedThisCycle_) ||
-        (isCtrl && branchIssuedThisCycle_)) {
-        start = cycle_ + 1;
-    }
-    uint64_t issueAt = start;
-    if (flags & isa::FlagReadsRs1)
-        issueAt = std::max(issueAt, intReady_[inst.rs1]);
-    if (flags & isa::FlagReadsRs2)
-        issueAt = std::max(issueAt, intReady_[inst.rs2]);
-    if (flags & isa::FlagFpReadsRs1)
-        issueAt = std::max(issueAt, fpReady_[inst.rs1]);
-    if (flags & isa::FlagFpReadsRs2)
-        issueAt = std::max(issueAt, fpReady_[inst.rs2]);
-    loadUseStalls_ += issueAt - start;
-    if (issueAt > cycle_) {
-        issuedThisCycle_ = 1;
-        memIssuedThisCycle_ = isMem;
-        branchIssuedThisCycle_ = isCtrl;
-    } else {
-        ++issuedThisCycle_;
-        memIssuedThisCycle_ |= isMem;
-        branchIssuedThisCycle_ |= isCtrl;
-    }
-    cycle_ = issueAt;
-
-    // ---- functional execution + control timing --------------------------
-    uint64_t nextPc = pc + 4;
-    uint64_t resultLatency = config_.aluLatency;
-    bool writesInt = (flags & isa::FlagWritesRd) && inst.rd != 0;
-    bool writesFp = flags & isa::FlagFpWritesRd;
-    uint64_t intResult = 0;
-    double fpResult = 0.0;
-
-    auto srs1 = static_cast<int64_t>(x_[inst.rs1]);
-    auto srs2 = static_cast<int64_t>(x_[inst.rs2]);
-    uint64_t urs1 = x_[inst.rs1];
-    uint64_t urs2 = x_[inst.rs2];
-    int64_t imm = inst.imm;
-
-    switch (inst.op) {
-      case Opcode::ADD: intResult = urs1 + urs2; break;
-      case Opcode::SUB: intResult = urs1 - urs2; break;
-      case Opcode::AND: intResult = urs1 & urs2; break;
-      case Opcode::OR: intResult = urs1 | urs2; break;
-      case Opcode::XOR: intResult = urs1 ^ urs2; break;
-      case Opcode::SLL: intResult = urs1 << (urs2 & 63); break;
-      case Opcode::SRL: intResult = urs1 >> (urs2 & 63); break;
-      case Opcode::SRA:
-        intResult = static_cast<uint64_t>(srs1 >> (urs2 & 63));
-        break;
-      case Opcode::SLT: intResult = srs1 < srs2; break;
-      case Opcode::SLTU: intResult = urs1 < urs2; break;
-      case Opcode::MUL:
-        intResult = urs1 * urs2;
-        resultLatency = config_.mulLatency;
-        break;
-      case Opcode::MULH:
-        intResult = static_cast<uint64_t>(
-            (static_cast<__int128>(srs1) * static_cast<__int128>(srs2)) >>
-            64);
-        resultLatency = config_.mulLatency;
-        break;
-      case Opcode::DIV:
-        if (urs2 == 0)
-            intResult = ~uint64_t(0);
-        else if (srs1 == INT64_MIN && srs2 == -1)
-            intResult = static_cast<uint64_t>(INT64_MIN);
-        else
-            intResult = static_cast<uint64_t>(srs1 / srs2);
-        resultLatency = config_.divLatency;
-        break;
-      case Opcode::DIVU:
-        intResult = urs2 == 0 ? ~uint64_t(0) : urs1 / urs2;
-        resultLatency = config_.divLatency;
-        break;
-      case Opcode::REM:
-        if (urs2 == 0)
-            intResult = urs1;
-        else if (srs1 == INT64_MIN && srs2 == -1)
-            intResult = 0;
-        else
-            intResult = static_cast<uint64_t>(srs1 % srs2);
-        resultLatency = config_.divLatency;
-        break;
-      case Opcode::REMU:
-        intResult = urs2 == 0 ? urs1 : urs1 % urs2;
-        resultLatency = config_.divLatency;
-        break;
-
-      case Opcode::ADDI: intResult = urs1 + imm; break;
-      case Opcode::ANDI: intResult = urs1 & static_cast<uint64_t>(imm); break;
-      case Opcode::ORI: intResult = urs1 | static_cast<uint64_t>(imm); break;
-      case Opcode::XORI: intResult = urs1 ^ static_cast<uint64_t>(imm); break;
-      case Opcode::SLLI: intResult = urs1 << (imm & 63); break;
-      case Opcode::SRLI: intResult = urs1 >> (imm & 63); break;
-      case Opcode::SRAI:
-        intResult = static_cast<uint64_t>(srs1 >> (imm & 63));
-        break;
-      case Opcode::SLTI: intResult = srs1 < imm; break;
-      case Opcode::SLTIU:
-        intResult = urs1 < static_cast<uint64_t>(imm);
-        break;
-      case Opcode::LUI:
-        intResult = static_cast<uint64_t>(imm) << 13;
-        break;
-
-      case Opcode::LB:
-      case Opcode::LBU:
-      case Opcode::LH:
-      case Opcode::LHU:
-      case Opcode::LW:
-      case Opcode::LWU:
-      case Opcode::LD: {
-        uint64_t addr = urs1 + imm;
-        intResult = loadValue(inst, addr);
-        resultLatency = dataAccess(addr, false);
-        break;
-      }
-      case Opcode::LBU_OP:
-      case Opcode::LHU_OP:
-      case Opcode::LW_OP:
-      case Opcode::LD_OP: {
-        uint64_t addr = urs1 + imm;
-        intResult = loadValue(inst, addr);
-        resultLatency = dataAccess(addr, false);
-        ScdBank &bank = banks_[inst.bank];
-        bank.ropData = intResult & bank.rmask;
-        bank.ropValid = true;
-        bank.ropWriteIndex = retired_;
-        break;
-      }
-      case Opcode::SB:
-      case Opcode::SH:
-      case Opcode::SW:
-      case Opcode::SD: {
-        uint64_t addr = urs1 + imm;
-        storeValue(inst, addr);
-        uint64_t lat = dataAccess(addr, true);
-        // A store miss stalls the (blocking) memory stage.
-        if (lat > config_.loadHitLatency)
-            cycle_ += lat - config_.loadHitLatency;
-        break;
-      }
-      case Opcode::FLD: {
-        uint64_t addr = urs1 + imm;
-        uint64_t raw = mem_.read64(addr);
-        std::memcpy(&fpResult, &raw, sizeof(fpResult));
-        resultLatency = dataAccess(addr, false);
-        break;
-      }
-      case Opcode::FSD: {
-        uint64_t addr = urs1 + imm;
-        uint64_t raw;
-        std::memcpy(&raw, &f_[inst.rs2], sizeof(raw));
-        mem_.write64(addr, raw);
-        uint64_t lat = dataAccess(addr, true);
-        if (lat > config_.loadHitLatency)
-            cycle_ += lat - config_.loadHitLatency;
-        break;
-      }
-
-      case Opcode::BEQ:
-      case Opcode::BNE:
-      case Opcode::BLT:
-      case Opcode::BGE:
-      case Opcode::BLTU:
-      case Opcode::BGEU: {
-        bool taken = false;
-        switch (inst.op) {
-          case Opcode::BEQ: taken = urs1 == urs2; break;
-          case Opcode::BNE: taken = urs1 != urs2; break;
-          case Opcode::BLT: taken = srs1 < srs2; break;
-          case Opcode::BGE: taken = srs1 >= srs2; break;
-          case Opcode::BLTU: taken = urs1 < urs2; break;
-          case Opcode::BGEU: taken = urs1 >= urs2; break;
-          default: break;
-        }
-        uint64_t target = pc + imm;
-        bool predTaken = direction_->predict(pc);
-        bool effectiveTaken = false;
-        if (predTaken)
-            effectiveTaken = btb_->lookupPc(pc).has_value();
-        bool mispredict = effectiveTaken != taken;
-        direction_->update(pc, taken);
-        if (taken) {
-            btb_->insertPc(pc, target);
-            nextPc = target;
-        }
-        recordBranch(BranchClass::Conditional, mispredict);
-        if (mispredict)
-            redirect(config_.mispredictPenalty);
-        break;
-      }
-
-      case Opcode::JAL: {
-        uint64_t target = pc + imm;
-        intResult = pc + 4;
-        writesInt = inst.rd != 0;
-        bool hit = btb_->lookupPc(pc).has_value();
-        btb_->insertPc(pc, target);
-        if (inst.rd == isa::reg::ra)
-            ras_->push(pc + 4);
-        nextPc = target;
-        recordBranch(BranchClass::DirectJump, !hit);
-        if (!hit)
-            redirect(config_.btbMissTakenPenalty);
-        break;
-      }
-
-      case Opcode::JALR: {
-        uint64_t target = urs1 + imm;
-        intResult = pc + 4;
-        writesInt = inst.rd != 0;
-        bool isReturn = inst.rd == 0 && inst.rs1 == isa::reg::ra;
-        bool mispredict;
-        BranchClass cls;
-        if (isReturn) {
-            cls = BranchClass::Return;
-            mispredict = ras_->pop() != target;
-        } else {
-            cls = (flags & PcFlagDispatchJump)
-                      ? BranchClass::IndirectDispatch
-                      : BranchClass::IndirectOther;
-            int hintReg = vbbiHint_[idx];
-            if (config_.vbbiEnabled && hintReg >= 0) {
-                uint64_t hint = x_[hintReg];
-                auto pred = vbbi_->predict(pc, hint);
-                mispredict = !pred || *pred != target;
-                vbbi_->update(pc, hint, target);
-            } else if (config_.ittageEnabled) {
-                auto pred = ittage_->predict(pc);
-                mispredict = !pred || *pred != target;
-                ittage_->update(pc, target);
-            } else {
-                auto pred = btb_->lookupPc(pc);
-                mispredict = !pred || *pred != target;
-                btb_->insertPc(pc, target);
-            }
-        }
-        if (inst.rd == isa::reg::ra)
-            ras_->push(pc + 4);
-        nextPc = target;
-        recordBranch(cls, mispredict);
-        if (mispredict)
-            redirect(config_.mispredictPenalty);
-        break;
-      }
-
-      case Opcode::FADD: fpResult = f_[inst.rs1] + f_[inst.rs2];
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FSUB: fpResult = f_[inst.rs1] - f_[inst.rs2];
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FMUL: fpResult = f_[inst.rs1] * f_[inst.rs2];
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FDIV: fpResult = f_[inst.rs1] / f_[inst.rs2];
-        resultLatency = config_.fpDivLatency; break;
-      case Opcode::FSQRT: fpResult = std::sqrt(f_[inst.rs1]);
-        resultLatency = config_.fpDivLatency; break;
-      case Opcode::FMIN: fpResult = std::fmin(f_[inst.rs1], f_[inst.rs2]);
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FMAX: fpResult = std::fmax(f_[inst.rs1], f_[inst.rs2]);
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FNEG: fpResult = -f_[inst.rs1];
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FABS: fpResult = std::fabs(f_[inst.rs1]);
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FEQ: intResult = f_[inst.rs1] == f_[inst.rs2];
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FLT: intResult = f_[inst.rs1] < f_[inst.rs2];
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FLE: intResult = f_[inst.rs1] <= f_[inst.rs2];
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FCVT_D_L: fpResult = static_cast<double>(srs1);
-        resultLatency = config_.fpLatency; break;
-      case Opcode::FCVT_L_D:
-        intResult = static_cast<uint64_t>(
-            static_cast<int64_t>(f_[inst.rs1]));
-        resultLatency = config_.fpLatency;
-        break;
-      case Opcode::FMV_X_D:
-        std::memcpy(&intResult, &f_[inst.rs1], sizeof(intResult));
-        break;
-      case Opcode::FMV_D_X:
-        std::memcpy(&fpResult, &urs1, sizeof(fpResult));
-        break;
-
-      case Opcode::ECALL:
-        handleSyscall();
-        break;
-      case Opcode::EBREAK:
-        panic("ebreak executed at pc=", pc);
-        break;
-
-      case Opcode::SETMASK:
-        banks_[inst.bank].rmask = urs1;
-        break;
-
-      case Opcode::BOP: {
-        ScdBank &bank = banks_[inst.bank];
-        bool eligible = config_.scdEnabled && bank.rbopPc == pc &&
-                        bank.ropValid;
-        if (eligible) {
-            uint64_t dist = retired_ - bank.ropWriteIndex;
-            bool inFlight = dist < config_.ropForwardDistance;
-            if (inFlight &&
-                config_.bopPolicy == BopStallPolicy::FallThrough) {
-                // The fetch stage could not see Rop in time; take the slow
-                // path this once.
-                eligible = false;
-                ++bopFallThroughForced_;
-            } else if (inFlight) {
-                uint64_t stall = config_.ropForwardDistance - dist;
-                cycle_ += stall;
-                ropStallCycles_ += stall;
-            }
-        }
-        std::optional<uint64_t> target;
-        if (eligible)
-            target = jteLookup(inst.bank, bank.ropData);
-        if (target) {
-            nextPc = *target;
-            bank.ropValid = false;
-            ++bopFastHits_;
-        } else {
-            ++bopMisses_;
-        }
-        // A bop never causes a pipeline redirect: the JTE hit is known at
-        // fetch, and a miss falls through sequentially.
-        recordBranch(BranchClass::Bop, false);
-        bank.rbopPc = pc;
-        break;
-      }
-
-      case Opcode::JRU: {
-        uint64_t target = urs1;
-        ScdBank &bank = banks_[inst.bank];
-        auto pred = btb_->lookupPc(pc);
-        bool mispredict = !pred || *pred != target;
-        btb_->insertPc(pc, target);
-        if (config_.scdEnabled && bank.ropValid) {
-            jteInsert(inst.bank, bank.ropData, target);
-            ++jteInserts_;
-            bank.ropValid = false;
-        }
-        nextPc = target;
-        recordBranch(BranchClass::IndirectDispatch, mispredict);
-        if (mispredict)
-            redirect(config_.mispredictPenalty);
-        break;
-      }
-
-      case Opcode::JTE_FLUSH:
-        btb_->flushJtes();
-        if (dedicatedJtes_)
-            dedicatedJtes_->flush();
-        for (ScdBank &bank : banks_)
-            bank.ropValid = false;
-        break;
-
-      default:
-        panic("unimplemented opcode ", isa::mnemonic(inst.op), " at pc=",
-              pc);
-    }
-
-    // ---- retire ----------------------------------------------------------
-    if (writesInt && inst.rd != 0) {
-        x_[inst.rd] = intResult;
-        intReady_[inst.rd] = cycle_ + resultLatency;
-    }
-    if (writesFp) {
-        f_[inst.rd] = fpResult;
-        fpReady_[inst.rd] = cycle_ + resultLatency;
-    }
-    if (flags & PcFlagInDispatchRange)
-        ++dispatchInstructions_;
-    ++retired_;
-    pc_ = nextPc;
-    return !exited_;
 }
 
 RunResult
 Core::run(uint64_t maxInstructions)
 {
-    while (!exited_) {
-        if (maxInstructions != 0 && retired_ >= maxInstructions)
-            break;
-        step();
+    if (timing_->needsRetireInfo()) {
+        RetireInfo ri;
+        while (!functional_.exited()) {
+            if (maxInstructions != 0 &&
+                functional_.retired() >= maxInstructions) {
+                break;
+            }
+            functional_.step(&ri);
+            timing_->retire(ri);
+        }
+    } else {
+        functional_.runFunctional(maxInstructions);
     }
     RunResult result;
-    result.exitCode = exitCode_;
-    result.instructions = retired_;
-    result.cycles = cycle_;
-    result.exited = exited_;
+    result.exitCode = functional_.exitCode();
+    result.instructions = functional_.retired();
+    result.cycles = timing_->cycles();
+    result.exited = functional_.exited();
     return result;
 }
 
@@ -706,28 +41,19 @@ StatGroup
 Core::collectStats() const
 {
     StatGroup group;
-    group.counter("instructions") = retired_;
-    group.counter("cycles") = cycle_;
-    group.counter("dispatchInstructions") = dispatchInstructions_;
-    for (size_t c = 0; c < size_t(BranchClass::NumClasses); ++c) {
-        std::string name = branchClassName(BranchClass(c));
-        group.counter("branch." + name + ".count") = branchCount_[c];
-        group.counter("branch." + name + ".mispredicted") = branchMisses_[c];
-    }
-    group.counter("scd.bopFastHits") = bopFastHits_;
-    group.counter("scd.bopMisses") = bopMisses_;
-    group.counter("scd.ropStallCycles") = ropStallCycles_;
-    group.counter("scd.bopFallThroughForced") = bopFallThroughForced_;
-    group.counter("scd.jteInserts") = jteInserts_;
-    group.counter("loadUseStalls") = loadUseStalls_;
-    icache_->exportStats(group);
-    dcache_->exportStats(group);
-    if (l2cache_)
-        l2cache_->exportStats(group);
-    group.counter("itlb.misses") = itlb_.misses();
-    group.counter("dtlb.misses") = dtlb_.misses();
-    btb_->exportStats(group, "btb");
+    functional_.exportStats(group);
+    group.counter("cycles") = timing_->cycles();
+    timing_->exportStats(group);
     return group;
+}
+
+branch::Btb &
+Core::btb()
+{
+    branch::Btb *btb = timing_->btb();
+    SCD_ASSERT(btb, "timing model '", config_.name, "' has no BTB ",
+               "(functional-only model?)");
+    return *btb;
 }
 
 } // namespace scd::cpu

@@ -1,71 +1,44 @@
 /**
  * @file
- * The simulated in-order embedded core executing SRV64 with the SCD
- * extension. Functional execution and the scoreboard timing model live
- * together so architecturally-visible microarchitectural state (the BTB
- * jump-table entries consumed by bop) stays consistent (paper §III-B).
+ * The simulated core: a thin façade composing a FunctionalCore (SRV64 +
+ * SCD architectural execution) with a pluggable TimingModel (scoreboard
+ * pipeline, wide pipeline, or none at all). The split keeps the
+ * architecturally-visible microarchitectural state — the jump-table
+ * entries consumed by bop (paper §III-B) — consistent through the timing
+ * model's JTE port while everything purely cycle-related stays behind
+ * the TimingModel interface. See docs/SIMULATOR.md ("Architecture").
  */
 
 #ifndef SCD_CPU_CORE_HH
 #define SCD_CPU_CORE_HH
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <memory>
-#include <set>
+#include <optional>
 #include <string>
-#include <vector>
 
-#include "branch/btb.hh"
-#include "branch/direction.hh"
-#include "branch/ittage.hh"
-#include "branch/jte_table.hh"
-#include "branch/vbbi.hh"
-#include "cache/cache.hh"
-#include "cache/tlb.hh"
 #include "common/stats.hh"
 #include "config.hh"
-#include "isa/instruction.hh"
+#include "functional_core.hh"
 #include "isa/program.hh"
 #include "mem/memory.hh"
+#include "retire_info.hh"
+#include "timing_model.hh"
+
+namespace scd::branch
+{
+class Btb;
+}
 
 namespace scd::cpu
 {
-
-/** Branch classes used for the Figure 2 misprediction breakdown. */
-enum class BranchClass : uint8_t
-{
-    Conditional,
-    DirectJump,
-    Return,
-    IndirectDispatch, ///< the interpreter's dispatch jump (jalr or jru)
-    IndirectOther,
-    Bop,
-    NumClasses
-};
-
-/** Name of a branch class (for tables). */
-const char *branchClassName(BranchClass cls);
-
-/**
- * Program metadata supplied by the guest builders: which PC ranges belong
- * to dispatcher code (Figure 3), which jumps are the dispatch jumps
- * (Figure 2), and VBBI hint registers for marked indirect jumps.
- */
-struct DispatchMeta
-{
-    std::vector<std::pair<uint64_t, uint64_t>> dispatchRanges; ///< [lo, hi)
-    std::set<uint64_t> dispatchJumpPcs;
-    std::map<uint64_t, uint8_t> vbbiHints; ///< jump pc -> hint register
-};
 
 /** Outcome of Core::run(). */
 struct RunResult
 {
     int exitCode = 0;
     uint64_t instructions = 0;
-    uint64_t cycles = 0;
+    uint64_t cycles = 0; ///< 0 under the functional-only timing model
     bool exited = false; ///< false if the instruction limit was hit
 };
 
@@ -76,14 +49,25 @@ class Core
     Core(const CoreConfig &config, mem::GuestMemory &memory);
 
     /** Pre-decode and map the text segment; resets the PC to its entry. */
-    void loadProgram(const isa::Program &prog);
+    void
+    loadProgram(const isa::Program &prog)
+    {
+        functional_.loadProgram(prog);
+    }
 
     /** Attach interpreter metadata (may be empty). */
-    void setDispatchMeta(const DispatchMeta &meta);
+    void
+    setDispatchMeta(const DispatchMeta &meta)
+    {
+        functional_.setDispatchMeta(meta);
+    }
 
     /** Optional per-instruction hook (pc, instruction), for tracing. */
-    using TraceHook = std::function<void(uint64_t, const isa::Instruction &)>;
-    void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
+    using TraceHook = FunctionalCore::TraceHook;
+    void setTraceHook(TraceHook hook)
+    {
+        functional_.setTraceHook(std::move(hook));
+    }
 
     /**
      * Run until the guest exits or @p maxInstructions retire
@@ -92,116 +76,27 @@ class Core
     RunResult run(uint64_t maxInstructions = 0);
 
     /** Accumulated guest console output. */
-    const std::string &output() const { return output_; }
+    const std::string &output() const { return functional_.output(); }
 
     /** Counter snapshot of every statistic the harness consumes. */
     StatGroup collectStats() const;
 
-    /** Direct component access for tests. */
-    branch::Btb &btb() { return *btb_; }
+    /** Direct component access for tests (timed models only). */
+    branch::Btb &btb();
+
+    /** The composed timing model. */
+    TimingModel &timing() { return *timing_; }
+
     const CoreConfig &config() const { return config_; }
 
     /** Architectural register read (for tests). */
-    uint64_t readReg(unsigned r) const { return x_[r]; }
-    double readFreg(unsigned r) const { return f_[r]; }
+    uint64_t readReg(unsigned r) const { return functional_.readReg(r); }
+    double readFreg(unsigned r) const { return functional_.readFreg(r); }
 
   private:
-    struct ScdBank
-    {
-        uint64_t rmask = 0;
-        uint64_t ropData = 0;
-        bool ropValid = false;
-        uint64_t rbopPc = UINT64_MAX;
-        uint64_t ropWriteIndex = 0; ///< retire index of the .op producer
-    };
-
-    // Functional + timing step; returns false when the guest exited.
-    bool step();
-
-    void handleSyscall();
-    uint64_t loadValue(const isa::Instruction &inst, uint64_t addr);
-    void storeValue(const isa::Instruction &inst, uint64_t addr);
-
-    // Timing helpers.
-    void chargeFetch(uint64_t pc);
-    uint64_t dataAccess(uint64_t addr, bool write);
-    void redirect(unsigned penalty);
-    void recordBranch(BranchClass cls, bool mispredicted);
-
-    const isa::Instruction &instAt(uint64_t pc) const;
-
     CoreConfig config_;
-    mem::GuestMemory &mem_;
-
-    /**
-     * Per-PC flag word cached at load time so step() never consults the
-     * opcodeInfo table: the low bits are the opcode's isa::OpFlags, the
-     * high bits the core-private dispatch-metadata flags below.
-     */
-    enum PcFlags : uint32_t
-    {
-        PcFlagInDispatchRange = 1u << 24, ///< counts toward Figure 3
-        PcFlagDispatchJump = 1u << 25,    ///< the dispatch indirect jump
-    };
-
-    // Decoded text segment.
-    uint64_t textBase_ = 0;
-    std::vector<isa::Instruction> decoded_;
-    std::vector<uint32_t> pcFlags_; ///< parallel to decoded_
-    std::vector<int16_t> vbbiHint_; ///< -1 = unmarked
-
-    // Architectural state.
-    uint64_t pc_ = 0;
-    uint64_t x_[32] = {};
-    double f_[32] = {};
-    static constexpr unsigned kScdBanks = 4;
-    ScdBank banks_[kScdBanks];
-
-    // Timing state.
-    uint64_t cycle_ = 0;
-    uint64_t retired_ = 0;
-    uint64_t intReady_[32] = {};
-    uint64_t fpReady_[32] = {};
-    uint64_t lastFetchBlock_ = UINT64_MAX;
-    uint64_t lastFetchPage_ = UINT64_MAX;
-    uint64_t lastDataPage_ = UINT64_MAX;
-    unsigned issuedThisCycle_ = 0;
-    bool memIssuedThisCycle_ = false;
-    bool branchIssuedThisCycle_ = false;
-
-    // Components.
-    // SCD JTE storage access, honouring scdDedicatedTable.
-    std::optional<uint64_t> jteLookup(uint8_t bank, uint64_t opcode);
-    void jteInsert(uint8_t bank, uint64_t opcode, uint64_t target);
-
-    std::unique_ptr<branch::Btb> btb_;
-    std::unique_ptr<branch::JteTable> dedicatedJtes_;
-    std::unique_ptr<branch::DirectionPredictor> direction_;
-    std::unique_ptr<branch::ReturnAddressStack> ras_;
-    std::unique_ptr<branch::Vbbi> vbbi_;
-    std::unique_ptr<branch::Ittage> ittage_;
-    std::unique_ptr<cache::Cache> icache_;
-    std::unique_ptr<cache::Cache> dcache_;
-    std::unique_ptr<cache::Cache> l2cache_;
-    cache::Tlb itlb_;
-    cache::Tlb dtlb_;
-
-    // Statistics.
-    uint64_t dispatchInstructions_ = 0;
-    uint64_t branchCount_[size_t(BranchClass::NumClasses)] = {};
-    uint64_t branchMisses_[size_t(BranchClass::NumClasses)] = {};
-    uint64_t bopFastHits_ = 0;
-    uint64_t bopMisses_ = 0;
-    uint64_t ropStallCycles_ = 0;
-    uint64_t bopFallThroughForced_ = 0;
-    uint64_t jteInserts_ = 0;
-    uint64_t loadUseStalls_ = 0;
-
-    // Guest interaction.
-    std::string output_;
-    bool exited_ = false;
-    int exitCode_ = 0;
-    TraceHook trace_;
+    std::unique_ptr<TimingModel> timing_;
+    FunctionalCore functional_;
 };
 
 } // namespace scd::cpu

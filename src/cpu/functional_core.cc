@@ -1,0 +1,667 @@
+#include "functional_core.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "branch/btb.hh"
+#include "branch/jte_table.hh"
+#include "branch/vbbi.hh"
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "syscalls.hh"
+#include "timing_model.hh"
+
+namespace scd::cpu
+{
+
+using isa::Instruction;
+using isa::Opcode;
+
+FunctionalCore::FunctionalCore(const CoreConfig &config,
+                               mem::GuestMemory &memory, TimingModel &timing)
+    : config_(config), mem_(memory), timing_(timing)
+{
+    // Mirroring BTB writes only matters when JTE residency can decide
+    // which instructions retire, i.e. under SCD; for the other schemes
+    // the guest has no bop/jru and the BTB is architecturally inert, so
+    // the fast path skips the mirroring entirely.
+    if (config.scdEnabled) {
+        ArchShadow shadow = timing.archShadow();
+        shadowBtb_ = shadow.btb;
+        shadowVbbi_ = shadow.vbbi;
+        shadowJtes_ = shadow.dedicatedJtes;
+    }
+}
+
+void
+FunctionalCore::loadProgram(const isa::Program &prog)
+{
+    textBase_ = prog.base;
+    slots_.clear();
+    slots_.reserve(prog.words.size());
+    for (uint32_t word : prog.words) {
+        Slot slot;
+        slot.inst = isa::decode(word);
+        // Cache the opcode's flag word next to the decoded instruction so
+        // the per-instruction path never touches the opcodeInfo table.
+        slot.flags = isa::opcodeInfo(slot.inst.op).flags;
+        slots_.push_back(slot);
+    }
+    textLimit_ = uint64_t(slots_.size()) * 4;
+    mem_.loadProgram(prog);
+    pc_ = prog.entry();
+}
+
+void
+FunctionalCore::setDispatchMeta(const DispatchMeta &meta)
+{
+    SCD_ASSERT(!slots_.empty(), "setDispatchMeta before loadProgram");
+    for (auto [lo, hi] : meta.dispatchRanges) {
+        for (uint64_t pc = lo; pc < hi; pc += 4) {
+            size_t idx = (pc - textBase_) / 4;
+            if (idx < slots_.size())
+                slots_[idx].flags |= PcFlagInDispatchRange;
+        }
+    }
+    for (uint64_t pc : meta.dispatchJumpPcs) {
+        size_t idx = (pc - textBase_) / 4;
+        if (idx < slots_.size())
+            slots_[idx].flags |= PcFlagDispatchJump;
+    }
+    for (auto [pc, reg] : meta.vbbiHints) {
+        size_t idx = (pc - textBase_) / 4;
+        if (idx < slots_.size())
+            slots_[idx].flags |= uint32_t(reg + 1) << kVbbiHintShift;
+    }
+}
+
+void
+FunctionalCore::badFetch(uint64_t pc) const
+{
+    panic("instruction fetch outside text at pc=", pc);
+}
+
+inline uint64_t
+FunctionalCore::loadValue(const Instruction &inst, uint64_t addr)
+{
+    switch (inst.op) {
+      case Opcode::LB:
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int8_t>(mem_.read8(addr))));
+      case Opcode::LBU:
+      case Opcode::LBU_OP:
+        return mem_.read8(addr);
+      case Opcode::LH:
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int16_t>(mem_.read16(addr))));
+      case Opcode::LHU:
+      case Opcode::LHU_OP:
+        return mem_.read16(addr);
+      case Opcode::LW:
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(mem_.read32(addr))));
+      case Opcode::LWU:
+      case Opcode::LW_OP:
+        return mem_.read32(addr);
+      case Opcode::LD:
+      case Opcode::LD_OP:
+        return mem_.read64(addr);
+      default:
+        panic("not a load: ", isa::mnemonic(inst.op));
+    }
+}
+
+inline void
+FunctionalCore::storeValue(const Instruction &inst, uint64_t addr)
+{
+    uint64_t v = x_[inst.rs2];
+    switch (inst.op) {
+      case Opcode::SB:
+        mem_.write8(addr, static_cast<uint8_t>(v));
+        break;
+      case Opcode::SH:
+        mem_.write16(addr, static_cast<uint16_t>(v));
+        break;
+      case Opcode::SW:
+        mem_.write32(addr, static_cast<uint32_t>(v));
+        break;
+      case Opcode::SD:
+        mem_.write64(addr, v);
+        break;
+      default:
+        panic("not a store: ", isa::mnemonic(inst.op));
+    }
+}
+
+void
+FunctionalCore::handleSyscall()
+{
+    switch (static_cast<Syscall>(x_[17])) {
+      case Syscall::Exit:
+        exited_ = true;
+        exitCode_ = static_cast<int>(x_[10]);
+        break;
+      case Syscall::PutChar:
+        // Print-heavy guests emit one syscall per character; grow the
+        // buffer in slabs instead of riding the allocator's small-size
+        // growth curve.
+        if (output_.size() == output_.capacity())
+            output_.reserve(output_.size() + 4096);
+        output_ += static_cast<char>(x_[10]);
+        break;
+      case Syscall::PrintInt: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(x_[10]));
+        output_ += buf;
+        break;
+      }
+      case Syscall::PrintDouble: {
+        double d;
+        uint64_t bitsv = x_[10];
+        std::memcpy(&d, &bitsv, sizeof(d));
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", d);
+        output_ += buf;
+        break;
+      }
+      case Syscall::PrintStr: {
+        uint64_t ptr = x_[10];
+        uint64_t len = x_[11];
+        output_.reserve(output_.size() + len);
+        for (uint64_t n = 0; n < len; ++n)
+            output_ += static_cast<char>(mem_.read8(ptr + n));
+        break;
+      }
+      default:
+        panic("unknown syscall ", x_[17]);
+    }
+}
+
+template <bool kHasRi, bool kTrace>
+bool
+FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
+{
+    const uint64_t pc = hs.pc;
+    const Slot &slot = slotAt(pc);
+    const Instruction &inst = slot.inst;
+    const uint32_t flags = slot.flags;
+
+    if constexpr (kTrace) {
+        if (trace_)
+            trace_(pc, inst);
+    }
+
+    uint64_t nextPc = pc + 4;
+    LatClass lat = LatClass::Alu;
+    bool writesInt = (flags & isa::FlagWritesRd) && inst.rd != 0;
+    bool writesFp = flags & isa::FlagFpWritesRd;
+    uint64_t intResult = 0;
+    double fpResult = 0.0;
+
+    CtrlKind ctrl = CtrlKind::None;
+    BranchClass cls = BranchClass::Conditional;
+    bool taken = false;
+    bool isReturn = false;
+    bool hasMem = false;
+    bool memIsStore = false;
+    uint64_t memAddr = 0;
+    int16_t hintReg = -1;
+    uint64_t hintValue = 0;
+    uint32_t ropStall = 0;
+    bool jteIns = false;
+    uint64_t jteOpcode = 0;
+
+    auto srs1 = static_cast<int64_t>(x_[inst.rs1]);
+    auto srs2 = static_cast<int64_t>(x_[inst.rs2]);
+    uint64_t urs1 = x_[inst.rs1];
+    uint64_t urs2 = x_[inst.rs2];
+    int64_t imm = inst.imm;
+
+    switch (inst.op) {
+      case Opcode::ADD: intResult = urs1 + urs2; break;
+      case Opcode::SUB: intResult = urs1 - urs2; break;
+      case Opcode::AND: intResult = urs1 & urs2; break;
+      case Opcode::OR: intResult = urs1 | urs2; break;
+      case Opcode::XOR: intResult = urs1 ^ urs2; break;
+      case Opcode::SLL: intResult = urs1 << (urs2 & 63); break;
+      case Opcode::SRL: intResult = urs1 >> (urs2 & 63); break;
+      case Opcode::SRA:
+        intResult = static_cast<uint64_t>(srs1 >> (urs2 & 63));
+        break;
+      case Opcode::SLT: intResult = srs1 < srs2; break;
+      case Opcode::SLTU: intResult = urs1 < urs2; break;
+      case Opcode::MUL:
+        intResult = urs1 * urs2;
+        lat = LatClass::Mul;
+        break;
+      case Opcode::MULH:
+        intResult = static_cast<uint64_t>(
+            (static_cast<__int128>(srs1) * static_cast<__int128>(srs2)) >>
+            64);
+        lat = LatClass::Mul;
+        break;
+      case Opcode::DIV:
+        if (urs2 == 0)
+            intResult = ~uint64_t(0);
+        else if (srs1 == INT64_MIN && srs2 == -1)
+            intResult = static_cast<uint64_t>(INT64_MIN);
+        else
+            intResult = static_cast<uint64_t>(srs1 / srs2);
+        lat = LatClass::Div;
+        break;
+      case Opcode::DIVU:
+        intResult = urs2 == 0 ? ~uint64_t(0) : urs1 / urs2;
+        lat = LatClass::Div;
+        break;
+      case Opcode::REM:
+        if (urs2 == 0)
+            intResult = urs1;
+        else if (srs1 == INT64_MIN && srs2 == -1)
+            intResult = 0;
+        else
+            intResult = static_cast<uint64_t>(srs1 % srs2);
+        lat = LatClass::Div;
+        break;
+      case Opcode::REMU:
+        intResult = urs2 == 0 ? urs1 : urs1 % urs2;
+        lat = LatClass::Div;
+        break;
+
+      case Opcode::ADDI: intResult = urs1 + imm; break;
+      case Opcode::ANDI: intResult = urs1 & static_cast<uint64_t>(imm); break;
+      case Opcode::ORI: intResult = urs1 | static_cast<uint64_t>(imm); break;
+      case Opcode::XORI: intResult = urs1 ^ static_cast<uint64_t>(imm); break;
+      case Opcode::SLLI: intResult = urs1 << (imm & 63); break;
+      case Opcode::SRLI: intResult = urs1 >> (imm & 63); break;
+      case Opcode::SRAI:
+        intResult = static_cast<uint64_t>(srs1 >> (imm & 63));
+        break;
+      case Opcode::SLTI: intResult = srs1 < imm; break;
+      case Opcode::SLTIU:
+        intResult = urs1 < static_cast<uint64_t>(imm);
+        break;
+      case Opcode::LUI:
+        intResult = static_cast<uint64_t>(imm) << 13;
+        break;
+
+      case Opcode::LB:
+      case Opcode::LBU:
+      case Opcode::LH:
+      case Opcode::LHU:
+      case Opcode::LW:
+      case Opcode::LWU:
+      case Opcode::LD: {
+        uint64_t addr = urs1 + imm;
+        intResult = loadValue(inst, addr);
+        lat = LatClass::Load;
+        hasMem = true;
+        memAddr = addr;
+        break;
+      }
+      case Opcode::LBU_OP:
+      case Opcode::LHU_OP:
+      case Opcode::LW_OP:
+      case Opcode::LD_OP: {
+        uint64_t addr = urs1 + imm;
+        intResult = loadValue(inst, addr);
+        lat = LatClass::Load;
+        hasMem = true;
+        memAddr = addr;
+        ScdBank &bank = banks_[inst.bank];
+        bank.ropData = intResult & bank.rmask;
+        bank.ropValid = true;
+        bank.ropWriteIndex = hs.retired;
+        break;
+      }
+      case Opcode::SB:
+      case Opcode::SH:
+      case Opcode::SW:
+      case Opcode::SD: {
+        uint64_t addr = urs1 + imm;
+        storeValue(inst, addr);
+        hasMem = true;
+        memIsStore = true;
+        memAddr = addr;
+        break;
+      }
+      case Opcode::FLD: {
+        uint64_t addr = urs1 + imm;
+        uint64_t raw = mem_.read64(addr);
+        std::memcpy(&fpResult, &raw, sizeof(fpResult));
+        lat = LatClass::Load;
+        hasMem = true;
+        memAddr = addr;
+        break;
+      }
+      case Opcode::FSD: {
+        uint64_t addr = urs1 + imm;
+        uint64_t raw;
+        std::memcpy(&raw, &f_[inst.rs2], sizeof(raw));
+        mem_.write64(addr, raw);
+        hasMem = true;
+        memIsStore = true;
+        memAddr = addr;
+        break;
+      }
+
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BLTU:
+      case Opcode::BGEU: {
+        switch (inst.op) {
+          case Opcode::BEQ: taken = urs1 == urs2; break;
+          case Opcode::BNE: taken = urs1 != urs2; break;
+          case Opcode::BLT: taken = srs1 < srs2; break;
+          case Opcode::BGE: taken = srs1 >= srs2; break;
+          case Opcode::BLTU: taken = urs1 < urs2; break;
+          case Opcode::BGEU: taken = urs1 >= urs2; break;
+          default: break;
+        }
+        if (taken)
+            nextPc = pc + imm;
+        ctrl = CtrlKind::Conditional;
+        cls = BranchClass::Conditional;
+        countBranch(cls);
+        break;
+      }
+
+      case Opcode::JAL:
+        intResult = pc + 4;
+        writesInt = inst.rd != 0;
+        nextPc = pc + imm;
+        ctrl = CtrlKind::Jal;
+        cls = BranchClass::DirectJump;
+        countBranch(cls);
+        break;
+
+      case Opcode::JALR: {
+        intResult = pc + 4;
+        writesInt = inst.rd != 0;
+        isReturn = inst.rd == 0 && inst.rs1 == isa::reg::ra;
+        if (isReturn) {
+            cls = BranchClass::Return;
+        } else {
+            cls = (flags & PcFlagDispatchJump)
+                      ? BranchClass::IndirectDispatch
+                      : BranchClass::IndirectOther;
+            hintReg = vbbiHintOf(flags);
+            if (hintReg >= 0)
+                hintValue = x_[hintReg];
+        }
+        nextPc = urs1 + imm;
+        ctrl = CtrlKind::Jalr;
+        countBranch(cls);
+        break;
+      }
+
+      case Opcode::FADD: fpResult = f_[inst.rs1] + f_[inst.rs2];
+        lat = LatClass::Fp; break;
+      case Opcode::FSUB: fpResult = f_[inst.rs1] - f_[inst.rs2];
+        lat = LatClass::Fp; break;
+      case Opcode::FMUL: fpResult = f_[inst.rs1] * f_[inst.rs2];
+        lat = LatClass::Fp; break;
+      case Opcode::FDIV: fpResult = f_[inst.rs1] / f_[inst.rs2];
+        lat = LatClass::FpDiv; break;
+      case Opcode::FSQRT: fpResult = std::sqrt(f_[inst.rs1]);
+        lat = LatClass::FpDiv; break;
+      case Opcode::FMIN: fpResult = std::fmin(f_[inst.rs1], f_[inst.rs2]);
+        lat = LatClass::Fp; break;
+      case Opcode::FMAX: fpResult = std::fmax(f_[inst.rs1], f_[inst.rs2]);
+        lat = LatClass::Fp; break;
+      case Opcode::FNEG: fpResult = -f_[inst.rs1];
+        lat = LatClass::Fp; break;
+      case Opcode::FABS: fpResult = std::fabs(f_[inst.rs1]);
+        lat = LatClass::Fp; break;
+      case Opcode::FEQ: intResult = f_[inst.rs1] == f_[inst.rs2];
+        lat = LatClass::Fp; break;
+      case Opcode::FLT: intResult = f_[inst.rs1] < f_[inst.rs2];
+        lat = LatClass::Fp; break;
+      case Opcode::FLE: intResult = f_[inst.rs1] <= f_[inst.rs2];
+        lat = LatClass::Fp; break;
+      case Opcode::FCVT_D_L: fpResult = static_cast<double>(srs1);
+        lat = LatClass::Fp; break;
+      case Opcode::FCVT_L_D:
+        intResult = static_cast<uint64_t>(
+            static_cast<int64_t>(f_[inst.rs1]));
+        lat = LatClass::Fp;
+        break;
+      case Opcode::FMV_X_D:
+        std::memcpy(&intResult, &f_[inst.rs1], sizeof(intResult));
+        break;
+      case Opcode::FMV_D_X:
+        std::memcpy(&fpResult, &urs1, sizeof(fpResult));
+        break;
+
+      case Opcode::ECALL:
+        handleSyscall();
+        break;
+      case Opcode::EBREAK:
+        panic("ebreak executed at pc=", pc);
+        break;
+
+      case Opcode::SETMASK:
+        banks_[inst.bank].rmask = urs1;
+        break;
+
+      case Opcode::BOP: {
+        ScdBank &bank = banks_[inst.bank];
+        bool eligible = config_.scdEnabled && bank.rbopPc == pc &&
+                        bank.ropValid;
+        if (eligible) {
+            uint64_t dist = hs.retired - bank.ropWriteIndex;
+            bool inFlight = dist < config_.ropForwardDistance;
+            if (inFlight &&
+                config_.bopPolicy == BopStallPolicy::FallThrough) {
+                // The fetch stage could not see Rop in time; take the slow
+                // path this once.
+                eligible = false;
+                ++bopFallThroughForced_;
+            } else if (inFlight) {
+                ropStall = config_.ropForwardDistance - unsigned(dist);
+            }
+        }
+        std::optional<uint64_t> target;
+        if (eligible) {
+            if constexpr (!kHasRi) {
+                // Probe the shadow structures directly (inlinable) rather
+                // than through the virtual JTE port.
+                if (shadowJtes_)
+                    target = shadowJtes_->lookup(inst.bank, bank.ropData);
+                else if (shadowBtb_)
+                    target =
+                        shadowBtb_->lookupJteFast(inst.bank, bank.ropData);
+                else
+                    target = timing_.jteLookup(inst.bank, bank.ropData);
+            } else {
+                target = timing_.jteLookup(inst.bank, bank.ropData);
+            }
+        }
+        if (target) {
+            nextPc = *target;
+            bank.ropValid = false;
+            ++bopFastHits_;
+        } else {
+            ++bopMisses_;
+        }
+        // A bop never causes a pipeline redirect: the JTE hit is known at
+        // fetch, and a miss falls through sequentially.
+        ctrl = CtrlKind::Bop;
+        cls = BranchClass::Bop;
+        countBranch(cls);
+        bank.rbopPc = pc;
+        break;
+      }
+
+      case Opcode::JRU: {
+        uint64_t target = urs1;
+        ScdBank &bank = banks_[inst.bank];
+        if (config_.scdEnabled && bank.ropValid) {
+            jteIns = true;
+            jteOpcode = bank.ropData;
+            ++jteInserts_;
+            bank.ropValid = false;
+            // The insertion itself happens in the post-switch shadow
+            // block, after the B entry, matching the timed retire order.
+        }
+        nextPc = target;
+        ctrl = CtrlKind::Jru;
+        cls = BranchClass::IndirectDispatch;
+        countBranch(cls);
+        break;
+      }
+
+      case Opcode::JTE_FLUSH:
+        for (ScdBank &bank : banks_)
+            bank.ropValid = false;
+        ctrl = CtrlKind::JteFlush;
+        if constexpr (!kHasRi)
+            timing_.jteFlush();
+        break;
+
+      default:
+        panic("unimplemented opcode ", isa::mnemonic(inst.op), " at pc=",
+              pc);
+    }
+
+    if constexpr (!kHasRi) {
+        // Functional-only mode: mirror the timed front end's
+        // architecturally-determined BTB writes so the branch entries
+        // sharing sets with JTEs evolve identically and bop sees the same
+        // residency as under InOrderTiming (see ArchShadow). A jru's B
+        // entry goes in before its JTE, matching the timed retire order.
+        // Probe-then-insert: nothing in this mode ever reads a B entry's
+        // target or recency, so the refresh that insert() would do on a
+        // hit is unobservable and skipped.
+        auto insertB = [this](uint64_t bpc, uint64_t target) {
+            if (shadowBtb_ && !shadowBtb_->containsBranchKey(bpc))
+                shadowBtb_->insertPc(bpc, target);
+        };
+        switch (ctrl) {
+          case CtrlKind::Conditional:
+            if (taken)
+                insertB(pc, nextPc);
+            break;
+          case CtrlKind::Jal:
+            insertB(pc, nextPc);
+            break;
+          case CtrlKind::Jalr:
+            if (isReturn)
+                break;
+            if (config_.vbbiEnabled && hintReg >= 0) {
+                if (shadowVbbi_)
+                    shadowVbbi_->update(pc, hintValue, nextPc);
+            } else if (!config_.ittageEnabled) {
+                insertB(pc, nextPc);
+            }
+            break;
+          case CtrlKind::Jru:
+            insertB(pc, nextPc);
+            if (jteIns) {
+                if (shadowJtes_) {
+                    shadowJtes_->insert(inst.bank, jteOpcode, nextPc);
+                } else if (shadowBtb_) {
+                    if (!shadowBtb_->tryRefreshJte(inst.bank, jteOpcode,
+                                                   nextPc))
+                        shadowBtb_->insertJte(inst.bank, jteOpcode, nextPc);
+                } else {
+                    timing_.jteInsert(inst.bank, jteOpcode, nextPc);
+                }
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    // ---- retire ----------------------------------------------------------
+    if (writesInt)
+        x_[inst.rd] = intResult;
+    if (writesFp)
+        f_[inst.rd] = fpResult;
+    // Branchless: whether a pc is dispatch code flips constantly in
+    // interpreter workloads, so a conditional increment would mispredict.
+    hs.dispatchInstructions += (flags >> kDispatchRangeShift) & 1;
+    ++hs.retired;
+    hs.pc = nextPc;
+
+    if constexpr (kHasRi) {
+        ri->pc = pc;
+        ri->nextPc = nextPc;
+        ri->flags = flags;
+        ri->rd = inst.rd;
+        ri->rs1 = inst.rs1;
+        ri->rs2 = inst.rs2;
+        ri->bank = inst.bank;
+        ri->ctrl = ctrl;
+        ri->lat = lat;
+        ri->cls = cls;
+        ri->taken = taken;
+        ri->isReturn = isReturn;
+        ri->writesInt = writesInt;
+        ri->writesFp = writesFp;
+        ri->hasMem = hasMem;
+        ri->memIsStore = memIsStore;
+        ri->memAddr = memAddr;
+        ri->hintReg = hintReg;
+        ri->hintValue = hintValue;
+        ri->ropStall = ropStall;
+        ri->jteInsert = jteIns;
+        ri->jteOpcode = jteOpcode;
+        ri->jteTarget = nextPc;
+    }
+    return !exited_;
+}
+
+template bool FunctionalCore::stepImpl<true, true>(RetireInfo *ri,
+                                                   HotState &hs);
+template bool FunctionalCore::stepImpl<false, true>(RetireInfo *ri,
+                                                    HotState &hs);
+
+#if defined(__GNUC__)
+// Inline the whole step body (and everything it calls) into the loop so
+// loop-invariant state (text base, decode table pointers) stays hoisted.
+__attribute__((flatten))
+#endif
+void
+FunctionalCore::runFunctional(uint64_t maxInstructions)
+{
+    HotState hs{pc_, retired_, dispatchInstructions_};
+    if (trace_) {
+        // Rare: tracing a functional-only run. Keep the hook probe.
+        while ((maxInstructions == 0 || hs.retired < maxInstructions) &&
+               stepImpl<false, true>(nullptr, hs)) {
+        }
+    } else if (maxInstructions == 0) {
+        while (stepImpl<false, false>(nullptr, hs)) {
+        }
+    } else {
+        while (hs.retired < maxInstructions &&
+               stepImpl<false, false>(nullptr, hs)) {
+        }
+    }
+    pc_ = hs.pc;
+    retired_ = hs.retired;
+    dispatchInstructions_ = hs.dispatchInstructions;
+}
+
+void
+FunctionalCore::exportStats(StatGroup &group) const
+{
+    group.counter("instructions") = retired_;
+    group.counter("dispatchInstructions") = dispatchInstructions_;
+    for (size_t c = 0; c < size_t(BranchClass::NumClasses); ++c) {
+        std::string name = branchClassName(BranchClass(c));
+        group.counter("branch." + name + ".count") = branchCount_[c];
+    }
+    group.counter("scd.bopFastHits") = bopFastHits_;
+    group.counter("scd.bopMisses") = bopMisses_;
+    group.counter("scd.bopFallThroughForced") = bopFallThroughForced_;
+    group.counter("scd.jteInserts") = jteInserts_;
+}
+
+} // namespace scd::cpu

@@ -1,0 +1,291 @@
+#include "inorder_timing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+
+namespace scd::cpu
+{
+
+InOrderTiming::InOrderTiming(const CoreConfig &config)
+    : config_(config),
+      width_(config.issueWidth),
+      itlb_(config.itlbEntries),
+      dtlb_(config.dtlbEntries)
+{
+    btb_ = std::make_unique<branch::Btb>(config.btb);
+    if (config.scdDedicatedTable) {
+        dedicatedJtes_ =
+            std::make_unique<branch::JteTable>(config.dedicatedJteEntries);
+    }
+    if (config.ittageEnabled)
+        ittage_ = std::make_unique<branch::Ittage>();
+    if (config.predictor == PredictorKind::Tournament) {
+        direction_ = std::make_unique<branch::TournamentPredictor>(
+            config.globalPredictorEntries, config.localPredictorEntries);
+    } else {
+        direction_ =
+            std::make_unique<branch::GsharePredictor>(config.gshareEntries);
+    }
+    ras_ = std::make_unique<branch::ReturnAddressStack>(config.rasDepth);
+    vbbi_ = std::make_unique<branch::Vbbi>(*btb_);
+    icache_ = std::make_unique<cache::Cache>(config.icache);
+    dcache_ = std::make_unique<cache::Cache>(config.dcache);
+    if (config.hasL2)
+        l2cache_ = std::make_unique<cache::Cache>(config.l2cache);
+}
+
+std::optional<uint64_t>
+InOrderTiming::jteLookup(uint8_t bank, uint64_t opcode)
+{
+    if (dedicatedJtes_)
+        return dedicatedJtes_->lookup(bank, opcode);
+    return btb_->lookupJte(bank, opcode);
+}
+
+void
+InOrderTiming::jteInsert(uint8_t bank, uint64_t opcode, uint64_t target)
+{
+    if (dedicatedJtes_) {
+        dedicatedJtes_->insert(bank, opcode, target);
+        return;
+    }
+    btb_->insertJte(bank, opcode, target);
+}
+
+void
+InOrderTiming::jteFlush()
+{
+    btb_->flushJtes();
+    if (dedicatedJtes_)
+        dedicatedJtes_->flush();
+}
+
+void
+InOrderTiming::chargeFetch(uint64_t pc)
+{
+    uint64_t block = pc / config_.icache.blockBytes;
+    if (block == lastFetchBlock_)
+        return;
+    lastFetchBlock_ = block;
+    uint64_t page = pc >> 12;
+    if (page != lastFetchPage_) {
+        lastFetchPage_ = page;
+        if (!itlb_.access(pc))
+            cycle_ += config_.tlbMissPenalty;
+    }
+    if (!icache_->access(pc)) {
+        unsigned penalty = config_.memLatency;
+        if (l2cache_) {
+            penalty = l2cache_->access(pc)
+                          ? config_.l2HitLatency
+                          : config_.l2HitLatency + config_.memLatency;
+        }
+        cycle_ += penalty;
+    }
+}
+
+uint64_t
+InOrderTiming::dataAccess(uint64_t addr, bool write)
+{
+    uint64_t page = addr >> 12;
+    if (page != lastDataPage_) {
+        lastDataPage_ = page;
+        if (!dtlb_.access(addr))
+            cycle_ += config_.tlbMissPenalty;
+    }
+    if (dcache_->access(addr, write))
+        return config_.loadHitLatency;
+    unsigned penalty = config_.memLatency;
+    if (l2cache_) {
+        penalty = l2cache_->access(addr)
+                      ? config_.l2HitLatency
+                      : config_.l2HitLatency + config_.memLatency;
+    }
+    return config_.loadHitLatency + penalty;
+}
+
+void
+InOrderTiming::redirect(unsigned penalty)
+{
+    cycle_ += penalty;
+    issuedThisCycle_ = width_; // next instruction starts a cycle
+}
+
+void
+InOrderTiming::recordMiss(BranchClass cls, bool mispredicted)
+{
+    if (mispredicted)
+        ++branchMisses_[size_t(cls)];
+}
+
+void
+InOrderTiming::retire(const RetireInfo &ri)
+{
+    chargeFetch(ri.pc);
+
+    // ---- issue ----------------------------------------------------------
+    const uint32_t flags = ri.flags;
+    bool isMem = flags & (isa::FlagLoad | isa::FlagStore);
+    bool isCtrl = flags & (isa::FlagBranch | isa::FlagJump);
+    uint64_t start = cycle_;
+    if (issuedThisCycle_ >= width_ ||
+        (isMem && memIssuedThisCycle_) ||
+        (isCtrl && branchIssuedThisCycle_)) {
+        start = cycle_ + 1;
+    }
+    uint64_t issueAt = start;
+    if (flags & isa::FlagReadsRs1)
+        issueAt = std::max(issueAt, intReady_[ri.rs1]);
+    if (flags & isa::FlagReadsRs2)
+        issueAt = std::max(issueAt, intReady_[ri.rs2]);
+    if (flags & isa::FlagFpReadsRs1)
+        issueAt = std::max(issueAt, fpReady_[ri.rs1]);
+    if (flags & isa::FlagFpReadsRs2)
+        issueAt = std::max(issueAt, fpReady_[ri.rs2]);
+    loadUseStalls_ += issueAt - start;
+    if (issueAt > cycle_) {
+        issuedThisCycle_ = 1;
+        memIssuedThisCycle_ = isMem;
+        branchIssuedThisCycle_ = isCtrl;
+    } else {
+        ++issuedThisCycle_;
+        memIssuedThisCycle_ |= isMem;
+        branchIssuedThisCycle_ |= isCtrl;
+    }
+    cycle_ = issueAt;
+
+    // ---- execute: memory and result latency ------------------------------
+    uint64_t resultLatency;
+    switch (ri.lat) {
+      case LatClass::Mul: resultLatency = config_.mulLatency; break;
+      case LatClass::Div: resultLatency = config_.divLatency; break;
+      case LatClass::Fp: resultLatency = config_.fpLatency; break;
+      case LatClass::FpDiv: resultLatency = config_.fpDivLatency; break;
+      case LatClass::Load:
+        resultLatency = dataAccess(ri.memAddr, false);
+        break;
+      default: resultLatency = config_.aluLatency; break;
+    }
+    if (ri.memIsStore) {
+        uint64_t lat = dataAccess(ri.memAddr, true);
+        // A store miss stalls the (blocking) memory stage.
+        if (lat > config_.loadHitLatency)
+            cycle_ += lat - config_.loadHitLatency;
+    }
+
+    // ---- control flow: prediction and redirects --------------------------
+    switch (ri.ctrl) {
+      case CtrlKind::None:
+        break;
+
+      case CtrlKind::Conditional: {
+        bool predTaken = direction_->predict(ri.pc);
+        bool effectiveTaken = false;
+        if (predTaken)
+            effectiveTaken = btb_->lookupPc(ri.pc).has_value();
+        bool mispredict = effectiveTaken != ri.taken;
+        direction_->update(ri.pc, ri.taken);
+        if (ri.taken)
+            btb_->insertPc(ri.pc, ri.nextPc);
+        recordMiss(ri.cls, mispredict);
+        if (mispredict)
+            redirect(config_.mispredictPenalty);
+        break;
+      }
+
+      case CtrlKind::Jal: {
+        bool hit = btb_->lookupPc(ri.pc).has_value();
+        btb_->insertPc(ri.pc, ri.nextPc);
+        if (ri.rd == isa::reg::ra)
+            ras_->push(ri.pc + 4);
+        recordMiss(ri.cls, !hit);
+        if (!hit)
+            redirect(config_.btbMissTakenPenalty);
+        break;
+      }
+
+      case CtrlKind::Jalr: {
+        bool mispredict;
+        if (ri.isReturn) {
+            mispredict = ras_->pop() != ri.nextPc;
+        } else if (config_.vbbiEnabled && ri.hintReg >= 0) {
+            auto pred = vbbi_->predict(ri.pc, ri.hintValue);
+            mispredict = !pred || *pred != ri.nextPc;
+            vbbi_->update(ri.pc, ri.hintValue, ri.nextPc);
+        } else if (config_.ittageEnabled) {
+            auto pred = ittage_->predict(ri.pc);
+            mispredict = !pred || *pred != ri.nextPc;
+            ittage_->update(ri.pc, ri.nextPc);
+        } else {
+            auto pred = btb_->lookupPc(ri.pc);
+            mispredict = !pred || *pred != ri.nextPc;
+            btb_->insertPc(ri.pc, ri.nextPc);
+        }
+        if (ri.rd == isa::reg::ra)
+            ras_->push(ri.pc + 4);
+        recordMiss(ri.cls, mispredict);
+        if (mispredict)
+            redirect(config_.mispredictPenalty);
+        break;
+      }
+
+      case CtrlKind::Bop:
+        // The fetch stage stalled until Rop became forwardable; the JTE
+        // probe itself happened architecturally (never a redirect).
+        cycle_ += ri.ropStall;
+        ropStallCycles_ += ri.ropStall;
+        break;
+
+      case CtrlKind::Jru: {
+        auto pred = btb_->lookupPc(ri.pc);
+        bool mispredict = !pred || *pred != ri.nextPc;
+        btb_->insertPc(ri.pc, ri.nextPc);
+        if (ri.jteInsert)
+            jteInsert(ri.bank, ri.jteOpcode, ri.jteTarget);
+        recordMiss(ri.cls, mispredict);
+        if (mispredict)
+            redirect(config_.mispredictPenalty);
+        break;
+      }
+
+      case CtrlKind::JteFlush:
+        jteFlush();
+        break;
+    }
+
+    // ---- writeback -------------------------------------------------------
+    if (ri.writesInt)
+        intReady_[ri.rd] = cycle_ + resultLatency;
+    if (ri.writesFp)
+        fpReady_[ri.rd] = cycle_ + resultLatency;
+}
+
+void
+InOrderTiming::exportStats(StatGroup &group) const
+{
+    for (size_t c = 0; c < size_t(BranchClass::NumClasses); ++c) {
+        std::string name = branchClassName(BranchClass(c));
+        group.counter("branch." + name + ".mispredicted") = branchMisses_[c];
+    }
+    group.counter("scd.ropStallCycles") = ropStallCycles_;
+    group.counter("loadUseStalls") = loadUseStalls_;
+    icache_->exportStats(group);
+    dcache_->exportStats(group);
+    if (l2cache_)
+        l2cache_->exportStats(group);
+    group.counter("itlb.misses") = itlb_.misses();
+    group.counter("dtlb.misses") = dtlb_.misses();
+    btb_->exportStats(group, "btb");
+}
+
+WideInOrderTiming::WideInOrderTiming(const CoreConfig &config,
+                                     unsigned width)
+    : InOrderTiming(config)
+{
+    SCD_ASSERT(width >= 1, "issue width must be at least 1");
+    setIssueWidth(width);
+}
+
+} // namespace scd::cpu

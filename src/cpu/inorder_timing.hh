@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The in-order scoreboard timing model extracted from the original
+ * monolithic core: an issue model with a register scoreboard, front-end
+ * redirect penalties, branch prediction (BTB with the SCD JTE overlay,
+ * tournament/gshare direction, RAS, optional VBBI and ITTAGE), caches and
+ * TLBs. Consumes one RetireInfo per retired instruction; the sequence of
+ * operations per instruction mirrors the original Core::step() exactly so
+ * statistics are bit-identical to the pre-split simulator.
+ */
+
+#ifndef SCD_CPU_INORDER_TIMING_HH
+#define SCD_CPU_INORDER_TIMING_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "branch/btb.hh"
+#include "branch/direction.hh"
+#include "branch/ittage.hh"
+#include "branch/jte_table.hh"
+#include "branch/vbbi.hh"
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "config.hh"
+#include "timing_model.hh"
+
+namespace scd::cpu
+{
+
+/** Scoreboard timing for a (possibly multi-issue) in-order pipeline. */
+class InOrderTiming : public TimingModel
+{
+  public:
+    explicit InOrderTiming(const CoreConfig &config);
+
+    std::optional<uint64_t> jteLookup(uint8_t bank,
+                                      uint64_t opcode) override;
+    void jteInsert(uint8_t bank, uint64_t opcode, uint64_t target) override;
+    void jteFlush() override;
+
+    bool needsRetireInfo() const override { return true; }
+    void retire(const RetireInfo &ri) override;
+    uint64_t cycles() const override { return cycle_; }
+    void exportStats(StatGroup &group) const override;
+    branch::Btb *btb() override { return btb_.get(); }
+
+    /** Effective issue width (slots per cycle). */
+    unsigned issueWidth() const { return width_; }
+
+  protected:
+    /** Issue-width override hook for WideInOrderTiming. */
+    void setIssueWidth(unsigned width) { width_ = width; }
+
+  private:
+    void chargeFetch(uint64_t pc);
+    uint64_t dataAccess(uint64_t addr, bool write);
+    void redirect(unsigned penalty);
+    void recordMiss(BranchClass cls, bool mispredicted);
+
+    const CoreConfig &config_;
+    unsigned width_;
+
+    // Cycle accounting.
+    uint64_t cycle_ = 0;
+    uint64_t intReady_[32] = {};
+    uint64_t fpReady_[32] = {};
+    uint64_t lastFetchBlock_ = UINT64_MAX;
+    uint64_t lastFetchPage_ = UINT64_MAX;
+    uint64_t lastDataPage_ = UINT64_MAX;
+    unsigned issuedThisCycle_ = 0;
+    bool memIssuedThisCycle_ = false;
+    bool branchIssuedThisCycle_ = false;
+
+    // Components.
+    std::unique_ptr<branch::Btb> btb_;
+    std::unique_ptr<branch::JteTable> dedicatedJtes_;
+    std::unique_ptr<branch::DirectionPredictor> direction_;
+    std::unique_ptr<branch::ReturnAddressStack> ras_;
+    std::unique_ptr<branch::Vbbi> vbbi_;
+    std::unique_ptr<branch::Ittage> ittage_;
+    std::unique_ptr<cache::Cache> icache_;
+    std::unique_ptr<cache::Cache> dcache_;
+    std::unique_ptr<cache::Cache> l2cache_;
+    cache::Tlb itlb_;
+    cache::Tlb dtlb_;
+
+    // Statistics.
+    uint64_t branchMisses_[size_t(BranchClass::NumClasses)] = {};
+    uint64_t ropStallCycles_ = 0;
+    uint64_t loadUseStalls_ = 0;
+};
+
+/**
+ * The higher-end wide in-order pipeline (Section VI-C2): identical
+ * scoreboard semantics, parameterized on issue width instead of taking
+ * it from the machine configuration. Width 2 reproduces the dual-issue
+ * Cortex-A8-like core; other widths support front-end sensitivity
+ * studies without cloning machine configs.
+ */
+class WideInOrderTiming : public InOrderTiming
+{
+  public:
+    WideInOrderTiming(const CoreConfig &config, unsigned width);
+};
+
+} // namespace scd::cpu
+
+#endif // SCD_CPU_INORDER_TIMING_HH

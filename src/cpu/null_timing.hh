@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The functional-only timing model: charges no cycles, models no
+ * predictors, caches, or TLBs — the core becomes a plain instruction-set
+ * emulator for fast workload validation. JTE residency, however, is
+ * architecturally visible (whether a bop short-circuits decides which
+ * instructions retire, paper §III-B), and it depends on the BTB the JTEs
+ * are overlaid on: capacity conflicts among JTEs, and the branch entries
+ * sharing their sets, both decide which (bank, opcode) pairs stay
+ * resident. The model therefore owns a real Btb of the machine's geometry
+ * (plus the dedicated JteTable when the ablation config selects one) and
+ * exposes it through @ref archShadow so the FunctionalCore can mirror the
+ * timed front end's architecturally-determined BTB writes — making the
+ * retired instruction stream identical to InOrderTiming's for the
+ * round-robin/uncapped BTBs of the embedded configurations. Under LRU or
+ * capped replacement (the rocket and cap-sensitivity configs) residency
+ * is approximate: prediction-gated BTB reads refresh recency in the timed
+ * model but are not replayed here.
+ */
+
+#ifndef SCD_CPU_NULL_TIMING_HH
+#define SCD_CPU_NULL_TIMING_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "branch/btb.hh"
+#include "branch/jte_table.hh"
+#include "branch/vbbi.hh"
+#include "config.hh"
+#include "timing_model.hh"
+
+namespace scd::cpu
+{
+
+/** No timing at all; a geometry-exact jump table backs the JTE port. */
+class NullTiming : public TimingModel
+{
+  public:
+    explicit NullTiming(const CoreConfig &config) : btb_(config.btb)
+    {
+        if (config.scdDedicatedTable) {
+            dedicatedJtes_ = std::make_unique<branch::JteTable>(
+                config.dedicatedJteEntries);
+        }
+    }
+
+    std::optional<uint64_t>
+    jteLookup(uint8_t bank, uint64_t opcode) override
+    {
+        if (dedicatedJtes_)
+            return dedicatedJtes_->lookup(bank, opcode);
+        return btb_.lookupJte(bank, opcode);
+    }
+
+    void
+    jteInsert(uint8_t bank, uint64_t opcode, uint64_t target) override
+    {
+        if (dedicatedJtes_) {
+            dedicatedJtes_->insert(bank, opcode, target);
+            return;
+        }
+        btb_.insertJte(bank, opcode, target);
+    }
+
+    void
+    jteFlush() override
+    {
+        btb_.flushJtes();
+        if (dedicatedJtes_)
+            dedicatedJtes_->flush();
+    }
+
+    bool needsRetireInfo() const override { return false; }
+
+    void
+    retire(const RetireInfo &ri) override
+    {
+        // Tolerate being driven through the RetireInfo path anyway: only
+        // the JTE maintenance events matter.
+        if (ri.ctrl == CtrlKind::JteFlush)
+            jteFlush();
+        else if (ri.jteInsert)
+            jteInsert(ri.bank, ri.jteOpcode, ri.jteTarget);
+    }
+
+    uint64_t cycles() const override { return 0; }
+    void exportStats(StatGroup &group) const override { (void)group; }
+
+    branch::Btb *btb() override { return &btb_; }
+
+    ArchShadow
+    archShadow() override
+    {
+        return {&btb_, &vbbi_, dedicatedJtes_.get()};
+    }
+
+  private:
+    branch::Btb btb_; ///< the JTE overlay plus mirrored branch entries
+    std::unique_ptr<branch::JteTable> dedicatedJtes_;
+    branch::Vbbi vbbi_{btb_};
+};
+
+} // namespace scd::cpu
+
+#endif // SCD_CPU_NULL_TIMING_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The pluggable timing-model interface of the simulated core.
+ *
+ * A Core composes one FunctionalCore (architectural state and execution)
+ * with one TimingModel (cycles, predictors, memory hierarchy). The
+ * interface has two ports:
+ *
+ *  - The architectural JTE port (jteLookup / jteInsert / jteFlush).
+ *    Jump-table entries are microarchitectural storage with architectural
+ *    consequences (paper §III-B): whether a bop short-circuits decides
+ *    which instructions retire, so the FunctionalCore consults the timing
+ *    model's JTE storage mid-instruction. When the core runs with a
+ *    RetireInfo consumer (needsRetireInfo() == true), jru insertions and
+ *    jte.flush arrive as RetireInfo events inside retire() so the model
+ *    can sequence them against its own predictor updates; only jteLookup
+ *    is ever called mid-instruction. Without a consumer the FunctionalCore
+ *    calls jteInsert()/jteFlush() directly.
+ *
+ *  - The timing port: retire() consumes one RetireInfo per retired
+ *    instruction and accounts cycles, predictions, and memory-system
+ *    effects; cycles() and exportStats() report the result.
+ */
+
+#ifndef SCD_CPU_TIMING_MODEL_HH
+#define SCD_CPU_TIMING_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/stats.hh"
+#include "retire_info.hh"
+
+namespace scd::branch
+{
+class Btb;
+class JteTable;
+class Vbbi;
+}
+
+namespace scd::cpu
+{
+
+struct CoreConfig;
+
+/**
+ * Direct pointers into a functional-only model's architecturally-visible
+ * predictor-side structures, so the FunctionalCore's fast path can mirror
+ * the BTB-mutating operations of the timed front end without a virtual
+ * call per control instruction. JTE residency depends on which BTB ways
+ * branch entries occupy, and under the round-robin/uncapped replacement of
+ * the embedded configurations every BTB *write* is architecturally
+ * determined (insertPc on each taken conditional, JAL, unpredicted JALR,
+ * and JRU; prediction state only gates reads, which mutate nothing a
+ * round-robin victim choice consults). Mirroring those writes makes the
+ * retired instruction stream identical to InOrderTiming's. Models that
+ * consume RetireInfo return null pointers and sequence the same
+ * operations inside retire() instead.
+ */
+struct ArchShadow
+{
+    branch::Btb *btb = nullptr;
+    branch::Vbbi *vbbi = nullptr;
+    branch::JteTable *dedicatedJtes = nullptr; ///< set => JTEs live here
+};
+
+/** Abstract timing model; see the file comment for the contract. */
+class TimingModel
+{
+  public:
+    virtual ~TimingModel();
+
+    // ---- architectural JTE port ------------------------------------------
+    /** Probe a JTE by (bank, masked opcode); the fast-path probe of bop. */
+    virtual std::optional<uint64_t> jteLookup(uint8_t bank,
+                                              uint64_t opcode) = 0;
+
+    /** Insert/refresh a JTE (the jru instruction, functional-only path). */
+    virtual void jteInsert(uint8_t bank, uint64_t opcode,
+                           uint64_t target) = 0;
+
+    /** Invalidate all JTEs (jte.flush, functional-only path). */
+    virtual void jteFlush() = 0;
+
+    // ---- timing port -----------------------------------------------------
+    /**
+     * Whether the core should build a RetireInfo and call retire() for
+     * every instruction. Functional-only models return false and the
+     * core skips all retirement bookkeeping.
+     */
+    virtual bool needsRetireInfo() const = 0;
+
+    /** Account one retired instruction. */
+    virtual void retire(const RetireInfo &ri) = 0;
+
+    /** Cycles accumulated so far (0 for untimed models). */
+    virtual uint64_t cycles() const = 0;
+
+    /** Fold the model's counters into @p group. */
+    virtual void exportStats(StatGroup &group) const = 0;
+
+    /** The model's BTB, if it has one (component access for tests). */
+    virtual branch::Btb *btb() { return nullptr; }
+
+    /**
+     * Shadow structures for the functional-only fast path (see
+     * ArchShadow). Only meaningful when needsRetireInfo() is false.
+     */
+    virtual ArchShadow archShadow() { return {}; }
+};
+
+/** Build the timing model selected by @p config (config.timingKind). */
+std::unique_ptr<TimingModel> makeTimingModel(const CoreConfig &config);
+
+} // namespace scd::cpu
+
+#endif // SCD_CPU_TIMING_MODEL_HH

@@ -1,5 +1,7 @@
 #include "runner.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 #include "guest/rlua_guest.hh"
 #include "guest/sjs_guest.hh"
@@ -62,7 +64,12 @@ runExperiment(VmKind vm, const std::string &source, core::Scheme scheme,
     core.setDispatchMeta(program.meta);
 
     ExperimentResult result;
+    auto simStart = std::chrono::steady_clock::now();
     result.run = core.run(maxInstructions);
+    result.simSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      simStart)
+            .count();
     if (!result.run.exited) {
         warn("experiment hit the instruction limit (", maxInstructions,
              ") before completing");

@@ -39,6 +39,15 @@ struct ExperimentResult
     StatGroup stats;
     std::string output;
     uint64_t interpreterTextBytes = 0;
+    /** Wall time of Core::run() alone, excluding compile/setup. */
+    double simSeconds = 0.0;
+
+    /** Simulator speed: retired guest instructions per host second. */
+    double
+    instructionsPerSecond() const
+    {
+        return simSeconds > 0 ? double(run.instructions) / simSeconds : 0.0;
+    }
 
     double
     mpki(const std::string &counter) const

@@ -15,7 +15,10 @@ GuestMemory::page(uint64_t addr)
         std::memset(fresh.get(), 0, kPageSize);
         it = pages_.emplace(frame, std::move(fresh)).first;
     }
-    return it->second.get();
+    unsigned way = cacheIndex(frame);
+    cachedFrame_.tag[way] = frame;
+    cachedPage_[way] = it->second.get();
+    return cachedPage_[way];
 }
 
 const uint8_t *
@@ -23,26 +26,20 @@ GuestMemory::pageIfPresent(uint64_t addr) const
 {
     uint64_t frame = addr >> kPageBits;
     auto it = pages_.find(frame);
-    return it == pages_.end() ? nullptr : it->second.get();
+    if (it == pages_.end())
+        return nullptr;
+    unsigned way = cacheIndex(frame);
+    cachedFrame_.tag[way] = frame;
+    cachedPage_[way] = it->second.get();
+    return cachedPage_[way];
 }
-
-namespace
-{
-
-constexpr uint64_t
-offsetIn(uint64_t addr)
-{
-    return addr & (GuestMemory::kPageSize - 1);
-}
-
-} // namespace
 
 // Accesses from the guest interpreters are always naturally aligned and
 // never straddle a 64 KiB page, so the fast paths below just memcpy within
 // one page. A straddling access falls back to byte-at-a-time.
 
 #define SCD_DEF_READ(name, type)                                            \
-    type GuestMemory::name(uint64_t addr) const                             \
+    type GuestMemory::name##Slow(uint64_t addr) const                       \
     {                                                                       \
         type v = 0;                                                         \
         if (offsetIn(addr) + sizeof(type) <= kPageSize) {                   \
@@ -63,7 +60,7 @@ SCD_DEF_READ(read64, uint64_t)
 #undef SCD_DEF_READ
 
 #define SCD_DEF_WRITE(name, type)                                           \
-    void GuestMemory::name(uint64_t addr, type value)                       \
+    void GuestMemory::name##Slow(uint64_t addr, type value)                 \
     {                                                                       \
         if (offsetIn(addr) + sizeof(type) <= kPageSize) {                   \
             std::memcpy(page(addr) + offsetIn(addr), &value, sizeof(type)); \

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Equivalence tests for the FunctionalCore/TimingModel split: the timing
+ * model must never change what the guest computes. NullTiming and
+ * InOrderTiming retire the same instructions and produce the same guest
+ * output (the JTE port keeps bop's architecturally-visible short-circuit
+ * consistent), and all four dispatch schemes agree on guest output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scheme.hh"
+#include "cpu/config.hh"
+#include "harness/machines.hh"
+#include "harness/runner.hh"
+#include "harness/workloads.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::harness;
+
+ExperimentResult
+runWith(VmKind vm, const Workload &w, core::Scheme scheme,
+        cpu::TimingKind kind)
+{
+    cpu::CoreConfig config = minorConfig();
+    config.timingKind = kind;
+    return runWorkload(vm, w, InputSize::Test, scheme, config);
+}
+
+TEST(TimingModelEquivalence, NullMatchesInOrderOnBothVms)
+{
+    for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
+        for (core::Scheme scheme :
+             {core::Scheme::Baseline, core::Scheme::Scd}) {
+            for (const Workload &w : workloads()) {
+                ExperimentResult timed =
+                    runWith(vm, w, scheme, cpu::TimingKind::InOrder);
+                ExperimentResult functional =
+                    runWith(vm, w, scheme, cpu::TimingKind::Null);
+                SCOPED_TRACE(std::string(vmName(vm)) + "/" + w.name + "/" +
+                             core::schemeName(scheme));
+                EXPECT_EQ(timed.output, functional.output);
+                EXPECT_EQ(timed.run.instructions,
+                          functional.run.instructions);
+                EXPECT_GT(timed.run.cycles, 0u);
+                EXPECT_EQ(functional.run.cycles, 0u);
+            }
+        }
+    }
+}
+
+TEST(TimingModelEquivalence, WideWidthOneMatchesInOrder)
+{
+    const Workload &w = workloads().front();
+    ExperimentResult inorder =
+        runWith(VmKind::Rlua, w, core::Scheme::Scd,
+                cpu::TimingKind::InOrder);
+    ExperimentResult wide = runWith(VmKind::Rlua, w, core::Scheme::Scd,
+                                    cpu::TimingKind::WideInOrder);
+    EXPECT_EQ(inorder.run.cycles, wide.run.cycles);
+    EXPECT_EQ(inorder.run.instructions, wide.run.instructions);
+}
+
+TEST(SchemeEquivalence, AllSchemesProduceIdenticalGuestOutput)
+{
+    for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
+        for (const Workload &w : workloads()) {
+            ExperimentResult baseline =
+                runWith(vm, w, core::Scheme::Baseline,
+                        cpu::TimingKind::InOrder);
+            ASSERT_FALSE(baseline.output.empty())
+                << vmName(vm) << "/" << w.name;
+            for (core::Scheme scheme :
+                 {core::Scheme::JumpThreading, core::Scheme::Vbbi,
+                  core::Scheme::Scd}) {
+                ExperimentResult other =
+                    runWith(vm, w, scheme, cpu::TimingKind::InOrder);
+                EXPECT_EQ(baseline.output, other.output)
+                    << vmName(vm) << "/" << w.name << "/"
+                    << core::schemeName(scheme);
+            }
+        }
+    }
+}
+
+} // namespace
