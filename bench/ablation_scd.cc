@@ -16,6 +16,7 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "harness/figures.hh"
+#include "harness/json_export.hh"
 #include "harness/machines.hh"
 
 using namespace scd;
@@ -27,11 +28,17 @@ namespace
 const std::vector<std::string> kSubset = {"fibo", "n-sieve",
                                           "binary-trees", "fannkuch-redux"};
 
-unsigned gJobs = 0; ///< --jobs, shared by every ablation below
+unsigned gJobs = 0;             ///< --jobs, shared by every ablation below
+obs::StatsSink *gSink = nullptr; ///< --json stats sink (always set)
 
+/**
+ * Subset geomean speedup of @p scheme over baseline on @p machine. Each
+ * call is exported to the stats sink as one set labelled @p label, with
+ * the geomean itself recorded as the metric "ablation.<label>".
+ */
 double
-geoSpeedup(const cpu::CoreConfig &machine, InputSize size, VmKind vm,
-           core::Scheme scheme)
+geoSpeedup(const std::string &label, const cpu::CoreConfig &machine,
+           InputSize size, VmKind vm, core::Scheme scheme)
 {
     // Baseline/scheme pairs for the whole subset run as one plan.
     ExperimentPlan plan;
@@ -54,7 +61,10 @@ geoSpeedup(const cpu::CoreConfig &machine, InputSize size, VmKind vm,
         speedups.push_back(double(set.at(i).run.cycles) /
                            double(set.at(i + 1).run.cycles));
     }
-    return geomean(speedups);
+    double speedup = geomean(speedups);
+    exportSet(*gSink, label, set);
+    gSink->addMetric("ablation." + label, speedup);
+    return speedup;
 }
 
 } // namespace
@@ -64,6 +74,9 @@ main(int argc, char **argv)
 {
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
     gJobs = bench::parseJobs(argc, argv);
+    std::string jsonPath = bench::parseJsonPath(argc, argv);
+    obs::StatsSink sink("ablation_scd", bench::sizeName(size));
+    gSink = &sink;
 
     // --- 1. bop policy ------------------------------------------------------
     std::fprintf(stderr, "ablation: bop stall policy...\n");
@@ -75,10 +88,10 @@ main(int argc, char **argv)
         stall.ropForwardDistance = 7;
         cpu::CoreConfig fall = stall;
         fall.bopPolicy = cpu::BopStallPolicy::FallThrough;
-        double sStall =
-            geoSpeedup(stall, size, VmKind::Rlua, core::Scheme::Scd);
-        double sFall =
-            geoSpeedup(fall, size, VmKind::Rlua, core::Scheme::Scd);
+        double sStall = geoSpeedup("bop-stall", stall, size, VmKind::Rlua,
+                                   core::Scheme::Scd);
+        double sFall = geoSpeedup("bop-fallthrough", fall, size,
+                                  VmKind::Rlua, core::Scheme::Scd);
         std::printf("Ablation 1: bop policy (RLua, subset geomean)\n");
         std::printf("  stall-on-Rop (paper default): %+5.1f%%\n",
                     100.0 * (sStall - 1.0));
@@ -94,7 +107,8 @@ main(int argc, char **argv)
         for (unsigned kb : {16u, 8u, 4u}) {
             cpu::CoreConfig machine = minorConfig();
             machine.icache.sizeBytes = kb * 1024;
-            double s = geoSpeedup(machine, size, VmKind::Rlua,
+            double s = geoSpeedup("jt-icache-" + std::to_string(kb) + "kb",
+                                  machine, size, VmKind::Rlua,
                                   core::Scheme::JumpThreading);
             std::printf("  %2u KB I$: JT speedup %+5.1f%%\n", kb,
                         100.0 * (s - 1.0));
@@ -111,12 +125,12 @@ main(int argc, char **argv)
         cpu::CoreConfig plain = minorConfig();
         cpu::CoreConfig ittage = minorConfig();
         ittage.ittageEnabled = true;
-        double sVbbi =
-            geoSpeedup(plain, size, VmKind::Rlua, core::Scheme::Vbbi);
-        double sIttage = geoSpeedup(ittage, size, VmKind::Rlua,
-                                    core::Scheme::Baseline);
-        double sScd =
-            geoSpeedup(plain, size, VmKind::Rlua, core::Scheme::Scd);
+        double sVbbi = geoSpeedup("predictor-vbbi", plain, size,
+                                  VmKind::Rlua, core::Scheme::Vbbi);
+        double sIttage = geoSpeedup("predictor-ittage", ittage, size,
+                                    VmKind::Rlua, core::Scheme::Baseline);
+        double sScd = geoSpeedup("predictor-scd", plain, size,
+                                 VmKind::Rlua, core::Scheme::Scd);
         std::printf("  VBBI (HPCA'10):          %+5.1f%%\n",
                     100.0 * (sVbbi - 1.0));
         std::printf("  ITTAGE-style (JILP'06):  %+5.1f%%\n",
@@ -136,10 +150,10 @@ main(int argc, char **argv)
         cpu::CoreConfig dedicated = minorConfig();
         dedicated.scdDedicatedTable = true;
         dedicated.dedicatedJteEntries = 64;
-        double sOverlay =
-            geoSpeedup(overlay, size, VmKind::Rlua, core::Scheme::Scd);
-        double sDedicated =
-            geoSpeedup(dedicated, size, VmKind::Rlua, core::Scheme::Scd);
+        double sOverlay = geoSpeedup("jte-overlay", overlay, size,
+                                     VmKind::Rlua, core::Scheme::Scd);
+        double sDedicated = geoSpeedup("jte-dedicated", dedicated, size,
+                                       VmKind::Rlua, core::Scheme::Scd);
         std::printf("  overlay on BTB:    %+5.1f%% (no extra table)\n",
                     100.0 * (sOverlay - 1.0));
         std::printf("  dedicated 64-entry:%+5.1f%% (extra ~0.6KB "
@@ -157,11 +171,14 @@ main(int argc, char **argv)
         for (unsigned dist : {3u, 5u, 7u}) {
             cpu::CoreConfig machine = minorConfig();
             machine.ropForwardDistance = dist;
-            double s = geoSpeedup(machine, size, VmKind::Rlua,
+            double s = geoSpeedup("rop-distance-" + std::to_string(dist),
+                                  machine, size, VmKind::Rlua,
                                   core::Scheme::Scd);
             std::printf("  distance %u: SCD speedup %+5.1f%%\n", dist,
                         100.0 * (s - 1.0));
         }
     }
+    if (!writeJsonIfRequested(sink, jsonPath))
+        return 1;
     return 0;
 }

@@ -78,6 +78,24 @@ parseWidth(int argc, char **argv, unsigned fallback)
     return fallback;
 }
 
+/**
+ * Parse --json=<path>: the machine-readable stats export every bench
+ * binary supports (docs/SIMULATOR.md "Observability"). Returns an empty
+ * string when absent — callers skip the export entirely then.
+ */
+inline std::string
+parseJsonPath(int argc, char **argv)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], "--json=", 7) == 0) {
+            if (argv[n][7] != '\0')
+                return argv[n] + 7;
+            std::fprintf(stderr, "ignoring empty --json value\n");
+        }
+    }
+    return "";
+}
+
 inline const char *
 sizeName(harness::InputSize size)
 {

@@ -9,6 +9,7 @@
 
 #include "bench_util.hh"
 #include "harness/figures.hh"
+#include "harness/json_export.hh"
 #include "harness/machines.hh"
 
 int
@@ -19,10 +20,17 @@ main(int argc, char **argv)
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
     unsigned jobs = bench::parseJobs(argc, argv);
+    std::string jsonPath = bench::parseJsonPath(argc, argv);
     std::fprintf(stderr, "fig02: running 11 baseline simulations (%s)\n",
                  bench::sizeName(size));
-    Grid grid = runGrid(minorConfig(), size, {VmKind::Rlua},
-                        {core::Scheme::Baseline}, /*verbose=*/false, jobs);
-    std::printf("%s\n", renderFig2(grid).c_str());
+    GridRun run = runGridSet(minorConfig(), size, {VmKind::Rlua},
+                             {core::Scheme::Baseline}, /*verbose=*/false,
+                             jobs);
+    std::printf("%s\n", renderFig2(run.grid).c_str());
+
+    obs::StatsSink sink("fig02_mpki_breakdown", bench::sizeName(size));
+    exportSet(sink, "baseline-mpki", run.set);
+    if (!writeJsonIfRequested(sink, jsonPath))
+        return 1;
     return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "bench_util.hh"
 #include "harness/figures.hh"
+#include "harness/json_export.hh"
 #include "harness/machines.hh"
 
 int
@@ -20,18 +21,25 @@ main(int argc, char **argv)
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
     unsigned jobs = bench::parseJobs(argc, argv);
+    std::string jsonPath = bench::parseJsonPath(argc, argv);
     std::fprintf(stderr,
                  "fig07-10: running the 2x11x4 simulation grid (%s, %u "
                  "jobs)...\n",
                  bench::sizeName(size), resolveJobs(jobs));
-    Grid grid = runGrid(minorConfig(), size, {VmKind::Rlua, VmKind::Sjs},
-                        {core::Scheme::Baseline,
-                         core::Scheme::JumpThreading, core::Scheme::Vbbi,
-                         core::Scheme::Scd},
-                        /*verbose=*/true, jobs);
-    std::printf("%s\n", renderFig7(grid).c_str());
-    std::printf("%s\n", renderFig8(grid).c_str());
-    std::printf("%s\n", renderFig9(grid).c_str());
-    std::printf("%s\n", renderFig10(grid).c_str());
+    GridRun run = runGridSet(minorConfig(), size,
+                             {VmKind::Rlua, VmKind::Sjs},
+                             {core::Scheme::Baseline,
+                              core::Scheme::JumpThreading,
+                              core::Scheme::Vbbi, core::Scheme::Scd},
+                             /*verbose=*/true, jobs);
+    std::printf("%s\n", renderFig7(run.grid).c_str());
+    std::printf("%s\n", renderFig8(run.grid).c_str());
+    std::printf("%s\n", renderFig9(run.grid).c_str());
+    std::printf("%s\n", renderFig10(run.grid).c_str());
+
+    obs::StatsSink sink("fig07_10_overall", bench::sizeName(size));
+    exportSet(sink, "overall", run.set);
+    if (!writeJsonIfRequested(sink, jsonPath))
+        return 1;
     return 0;
 }

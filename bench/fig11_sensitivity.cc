@@ -11,6 +11,7 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "harness/figures.hh"
+#include "harness/json_export.hh"
 #include "harness/machines.hh"
 
 using namespace scd;
@@ -20,7 +21,7 @@ namespace
 {
 
 void
-btbSweep(VmKind vm, InputSize size, unsigned jobs)
+btbSweep(VmKind vm, InputSize size, unsigned jobs, obs::StatsSink &sink)
 {
     std::printf("Figure 11(%s): SCD speedup vs BTB size [%s]\n",
                 vm == VmKind::Rlua ? "a" : "b",
@@ -34,9 +35,15 @@ btbSweep(VmKind vm, InputSize size, unsigned jobs)
         std::fprintf(stderr, "fig11: %s btb=%u...\n", vmName(vm), entries);
         cpu::CoreConfig machine = minorConfig();
         machine.btb.entries = entries;
-        Grid grid = runGrid(machine, size, {vm},
-                            {core::Scheme::Baseline, core::Scheme::Scd},
-                            /*verbose=*/false, jobs);
+        GridRun run = runGridSet(machine, size, {vm},
+                                 {core::Scheme::Baseline,
+                                  core::Scheme::Scd},
+                                 /*verbose=*/false, jobs);
+        const Grid &grid = run.grid;
+        exportSet(sink,
+                  std::string(vmName(vm)) + "/btb=" +
+                      std::to_string(entries),
+                  run.set);
         std::map<std::string, double> col;
         for (const auto &name : workloadNames())
             col[name] = grid.speedup(vm, name, core::Scheme::Scd);
@@ -56,7 +63,7 @@ btbSweep(VmKind vm, InputSize size, unsigned jobs)
 }
 
 void
-capSweep(VmKind vm, InputSize size, unsigned jobs)
+capSweep(VmKind vm, InputSize size, unsigned jobs, obs::StatsSink &sink)
 {
     std::printf("Figure 11(%s): SCD speedup vs JTE cap at a 64-entry BTB "
                 "[%s]\n",
@@ -80,9 +87,13 @@ capSweep(VmKind vm, InputSize size, unsigned jobs)
             machine.btb.adaptiveJteCap = true;
         else
             machine.btb.jteCap = cap;
-        Grid grid = runGrid(machine, size, {vm},
-                            {core::Scheme::Baseline, core::Scheme::Scd},
-                            /*verbose=*/false, jobs);
+        GridRun run = runGridSet(machine, size, {vm},
+                                 {core::Scheme::Baseline,
+                                  core::Scheme::Scd},
+                                 /*verbose=*/false, jobs);
+        const Grid &grid = run.grid;
+        exportSet(sink, std::string(vmName(vm)) + "/cap=" + label,
+                  run.set);
         std::map<std::string, double> col;
         for (const auto &name : workloadNames())
             col[name] = grid.speedup(vm, name, core::Scheme::Scd);
@@ -108,9 +119,13 @@ main(int argc, char **argv)
 {
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
     unsigned jobs = bench::parseJobs(argc, argv);
-    btbSweep(VmKind::Rlua, size, jobs);
-    btbSweep(VmKind::Sjs, size, jobs);
-    capSweep(VmKind::Rlua, size, jobs);
-    capSweep(VmKind::Sjs, size, jobs);
+    std::string jsonPath = bench::parseJsonPath(argc, argv);
+    obs::StatsSink sink("fig11_sensitivity", bench::sizeName(size));
+    btbSweep(VmKind::Rlua, size, jobs, sink);
+    btbSweep(VmKind::Sjs, size, jobs, sink);
+    capSweep(VmKind::Rlua, size, jobs, sink);
+    capSweep(VmKind::Sjs, size, jobs, sink);
+    if (!writeJsonIfRequested(sink, jsonPath))
+        return 1;
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "harness/figures.hh"
+#include "harness/json_export.hh"
 #include "harness/machines.hh"
 
 int
@@ -21,6 +22,7 @@ main(int argc, char **argv)
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
     unsigned jobs = bench::parseJobs(argc, argv);
+    std::string jsonPath = bench::parseJsonPath(argc, argv);
     cpu::CoreConfig config = cortexA8Config();
     // The A8-like machine runs on WideInOrderTiming; --width=N widens
     // (or narrows) the issue stage without touching the rest of the
@@ -29,10 +31,11 @@ main(int argc, char **argv)
     std::fprintf(stderr,
                  "higherend: running 2x11x2 on the %u-wide core...\n",
                  config.issueWidth);
-    Grid grid = runGrid(config, size,
-                        {VmKind::Rlua, VmKind::Sjs},
-                        {core::Scheme::Baseline, core::Scheme::Scd},
-                        /*verbose=*/true, jobs);
+    GridRun run = runGridSet(config, size,
+                             {VmKind::Rlua, VmKind::Sjs},
+                             {core::Scheme::Baseline, core::Scheme::Scd},
+                             /*verbose=*/true, jobs);
+    const Grid &grid = run.grid;
 
     std::printf("Higher-end dual-issue core (Section VI-C2)\n");
     std::printf("Paper: SCD +17.6%% (Lua) / +15.2%% (JS) geomean; "
@@ -67,5 +70,11 @@ main(int argc, char **argv)
                                   1.0, 1),
            ""});
     std::printf("%s\n", t.render().c_str());
+
+    obs::StatsSink sink("higherend_core", bench::sizeName(size));
+    sink.setMeta("issueWidth", std::to_string(config.issueWidth));
+    exportSet(sink, "higherend", run.set);
+    if (!writeJsonIfRequested(sink, jsonPath))
+        return 1;
     return 0;
 }

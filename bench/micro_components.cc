@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "branch/btb.hh"
 #include "branch/direction.hh"
 #include "cache/cache.hh"
@@ -161,4 +165,32 @@ BENCHMARK(BM_SimulatorThroughput)->Arg(0)->Arg(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translate the repo-wide
+// --json=<path> flag to google-benchmark's JSON reporter so every bench
+// binary shares one export flag.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args;
+    std::string outFlag;
+    std::string formatFlag = "--benchmark_out_format=json";
+    args.push_back(argv[0]);
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], "--json=", 7) == 0 && argv[n][7]) {
+            outFlag = std::string("--benchmark_out=") + (argv[n] + 7);
+            continue;
+        }
+        args.push_back(argv[n]);
+    }
+    if (!outFlag.empty()) {
+        args.push_back(outFlag.data());
+        args.push_back(formatFlag.data());
+    }
+    int benchArgc = int(args.size());
+    benchmark::Initialize(&benchArgc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(benchArgc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "bench_util.hh"
 #include "harness/figures.hh"
+#include "harness/json_export.hh"
 #include "harness/machines.hh"
 
 int
@@ -21,13 +22,20 @@ main(int argc, char **argv)
     // a faster approximation.
     InputSize size = bench::parseSize(argc, argv, InputSize::Fpga);
     unsigned jobs = bench::parseJobs(argc, argv);
+    std::string jsonPath = bench::parseJsonPath(argc, argv);
     std::fprintf(stderr,
                  "table4: running 11x3 rocket-config simulations (%s)...\n",
                  bench::sizeName(size));
-    Grid grid = runGrid(rocketConfig(), size, {VmKind::Rlua},
-                        {core::Scheme::Baseline,
-                         core::Scheme::JumpThreading, core::Scheme::Scd},
-                        /*verbose=*/true, jobs);
-    std::printf("%s\n", renderTable4(grid).c_str());
+    GridRun run = runGridSet(rocketConfig(), size, {VmKind::Rlua},
+                             {core::Scheme::Baseline,
+                              core::Scheme::JumpThreading,
+                              core::Scheme::Scd},
+                             /*verbose=*/true, jobs);
+    std::printf("%s\n", renderTable4(run.grid).c_str());
+
+    obs::StatsSink sink("table4_rocket", bench::sizeName(size));
+    exportSet(sink, "rocket", run.set);
+    if (!writeJsonIfRequested(sink, jsonPath))
+        return 1;
     return 0;
 }

@@ -12,6 +12,7 @@
 #include "common/table.hh"
 #include "core/hwcost.hh"
 #include "harness/figures.hh"
+#include "harness/json_export.hh"
 #include "harness/machines.hh"
 
 int
@@ -52,18 +53,30 @@ main(int argc, char **argv)
     // Measure the rocket-config SCD speedup to derive the EDP number.
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
     unsigned jobs = bench::parseJobs(argc, argv);
+    std::string jsonPath = bench::parseJsonPath(argc, argv);
     std::fprintf(stderr,
                  "table5: measuring rocket SCD speedup (%s inputs)...\n",
                  bench::sizeName(size));
-    Grid grid = runGrid(rocketConfig(), size, {VmKind::Rlua},
-                        {core::Scheme::Baseline, core::Scheme::Scd},
-                        /*verbose=*/false, jobs);
+    GridRun run = runGridSet(rocketConfig(), size, {VmKind::Rlua},
+                             {core::Scheme::Baseline, core::Scheme::Scd},
+                             /*verbose=*/false, jobs);
     double speedup =
-        grid.geomeanSpeedup(VmKind::Rlua, workloadNames(),
-                            core::Scheme::Scd);
+        run.grid.geomeanSpeedup(VmKind::Rlua, workloadNames(),
+                                core::Scheme::Scd);
     std::printf("\nMeasured rocket-config SCD geomean speedup: +%.1f%%\n",
                 100.0 * (speedup - 1.0));
     std::printf("EDP improvement (P*T^2): %.1f%%  (paper: 24.2%%)\n",
                 100.0 * model.edpImprovement(speedup));
+
+    obs::StatsSink sink("table5_hwcost", bench::sizeName(size));
+    exportSet(sink, "rocket-edp", run.set);
+    sink.addMetric("hwcost.areaDeltaPct",
+                   100.0 * model.scdAreaDeltaMm2() / base.totalAreaMm2);
+    sink.addMetric("hwcost.powerDeltaPct",
+                   100.0 * model.scdPowerDeltaMw() / base.totalPowerMw);
+    sink.addMetric("hwcost.edpImprovementPct",
+                   100.0 * model.edpImprovement(speedup));
+    if (!writeJsonIfRequested(sink, jsonPath))
+        return 1;
     return 0;
 }

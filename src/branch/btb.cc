@@ -184,6 +184,9 @@ Btb::insert(EntryKind kind, uint64_t key, uint64_t target)
             ++jteEvictedBranch_;
             ++jteCount_;
             jteHighWater_ = std::max(jteHighWater_, jteCount_);
+            // arg carries the displaced branch's key (its PC or hash).
+            SCD_TRACE_HOOK(trace_, obs::TraceEventKind::JteEvict, key,
+                           victim->key);
         }
     } else if (victim->kind == EntryKind::Jte) {
         panic("B entry evicting a JTE");

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/trace.hh"
 
 namespace scd::branch
 {
@@ -177,6 +178,13 @@ class Btb
 
     const BtbConfig &config() const { return config_; }
 
+    /**
+     * Attach an event-trace buffer for JTE-eviction events. The owner of
+     * the cycle stamp (the timing model) shares the same buffer; only
+     * SCD_TRACE=ON builds emit anything.
+     */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
+
     void exportStats(StatGroup &group, const std::string &prefix) const;
 
   private:
@@ -224,6 +232,7 @@ class Btb
     }
 
     BtbConfig config_;
+    obs::TraceBuffer *trace_ = nullptr;
     unsigned numSets_;
     std::vector<Entry> entries_;
     std::vector<unsigned> rrNext_;

@@ -9,13 +9,8 @@ namespace scd
 namespace
 {
 
-struct NameLess
-{
-    bool
-    operator()(const StatGroup::Entry &e, const std::string &name) const
-    {
-        return e.first < name;
-    }
+constexpr auto kNameLess = [](const auto &entry, const std::string &name) {
+    return entry.name < name;
 };
 
 } // namespace
@@ -23,35 +18,53 @@ struct NameLess
 uint64_t &
 StatGroup::counter(const std::string &name)
 {
-    auto it = std::lower_bound(counters_.begin(), counters_.end(), name,
-                               NameLess{});
-    if (it == counters_.end() || it->first != name)
-        it = counters_.insert(it, {name, 0});
-    return it->second;
+    auto it = std::lower_bound(index_.begin(), index_.end(), name,
+                               kNameLess);
+    if (it == index_.end() || it->name != name) {
+        // The deque slot is stable for the group's lifetime; only the
+        // (cold, collection-time) index vector shifts.
+        values_.push_back(0);
+        it = index_.insert(
+            it, {name, static_cast<uint32_t>(values_.size() - 1)});
+    }
+    return values_[it->slot];
 }
 
 uint64_t
 StatGroup::get(const std::string &name) const
 {
-    auto it = std::lower_bound(counters_.begin(), counters_.end(), name,
-                               NameLess{});
-    return it == counters_.end() || it->first != name ? 0 : it->second;
+    auto it = std::lower_bound(index_.begin(), index_.end(), name,
+                               kNameLess);
+    return it == index_.end() || it->name != name ? 0 : values_[it->slot];
+}
+
+std::vector<StatGroup::Entry>
+StatGroup::all() const
+{
+    std::vector<Entry> out;
+    out.reserve(index_.size());
+    for (const IndexEntry &e : index_)
+        out.emplace_back(e.name, values_[e.slot]);
+    return out;
 }
 
 std::map<std::string, uint64_t>
 StatGroup::snapshot() const
 {
-    return {counters_.begin(), counters_.end()};
+    std::map<std::string, uint64_t> out;
+    for (const IndexEntry &e : index_)
+        out.emplace(e.name, values_[e.slot]);
+    return out;
 }
 
 std::map<std::string, uint64_t>
 StatGroup::since(const std::map<std::string, uint64_t> &snap) const
 {
     std::map<std::string, uint64_t> out;
-    for (const Entry &e : counters_) {
-        auto it = snap.find(e.first);
+    for (const IndexEntry &e : index_) {
+        auto it = snap.find(e.name);
         uint64_t base = it == snap.end() ? 0 : it->second;
-        out[e.first] = e.second - base;
+        out[e.name] = values_[e.slot] - base;
     }
     return out;
 }

@@ -4,16 +4,18 @@
  * stats package. Components keep their hot counters as plain struct
  * members (dense, enum- or field-indexed — never string-keyed on a
  * per-instruction path) and fold them into a StatGroup only when the
- * harness collects results, once per experiment. StatGroup itself stores
- * a flat name-sorted vector: cheaper to build, cache-friendly to read,
- * and trivially copyable between the simulation threads of the parallel
- * experiment engine.
+ * harness collects results, once per experiment. Counter storage is a
+ * stable-slot deque behind a name-sorted index: counter() hands out
+ * references that stay valid for the lifetime of the group no matter how
+ * many counters are created afterwards (the historical vector-backed
+ * variant dangled references on the next inserting call).
  */
 
 #ifndef SCD_COMMON_STATS_HH
 #define SCD_COMMON_STATS_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <utility>
@@ -22,7 +24,7 @@
 namespace scd
 {
 
-/** A group of named 64-bit counters, kept sorted by name. */
+/** A group of named 64-bit counters, iterated in name order. */
 class StatGroup
 {
   public:
@@ -30,23 +32,27 @@ class StatGroup
 
     /**
      * Return a reference to the counter @p name, creating it at zero.
-     * The reference is invalidated by the next counter() call that
-     * creates a new name — assign through it immediately.
+     * The reference is stable: it remains valid until the group is
+     * destroyed or assigned over, even across later counter() calls
+     * that create new names.
      */
     uint64_t &counter(const std::string &name);
 
     /** Read a counter; returns 0 if it was never touched. */
     uint64_t get(const std::string &name) const;
 
-    /** All counters in name order. */
-    const std::vector<Entry> &all() const { return counters_; }
+    /** Number of distinct counters created so far. */
+    size_t size() const { return index_.size(); }
+
+    /** All counters in name order (materialized snapshot). */
+    std::vector<Entry> all() const;
 
     /** Reset every counter to zero. */
     void
     reset()
     {
-        for (Entry &e : counters_)
-            e.second = 0;
+        for (uint64_t &v : values_)
+            v = 0;
     }
 
     /** Snapshot the current counter values. */
@@ -60,7 +66,15 @@ class StatGroup
     since(const std::map<std::string, uint64_t> &snap) const;
 
   private:
-    std::vector<Entry> counters_; ///< sorted by name
+    /** Name-sorted index into the stable value slots. */
+    struct IndexEntry
+    {
+        std::string name;
+        uint32_t slot;
+    };
+
+    std::vector<IndexEntry> index_; ///< sorted by name
+    std::deque<uint64_t> values_;   ///< slots never move or reallocate
 };
 
 /** Geometric mean of a list of ratios. Empty input yields 1.0. */

@@ -597,6 +597,7 @@ FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
         ri->rs1 = inst.rs1;
         ri->rs2 = inst.rs2;
         ri->bank = inst.bank;
+        ri->op = static_cast<uint8_t>(inst.op);
         ri->ctrl = ctrl;
         ri->lat = lat;
         ri->cls = cls;

@@ -8,6 +8,11 @@
 namespace scd::cpu
 {
 
+// obs/trace.hh mirrors this value so the trace library stays independent
+// of the cpu headers; keep them in lockstep.
+static_assert(uint8_t(BranchClass::IndirectDispatch) ==
+              obs::kTraceDispatchClass);
+
 InOrderTiming::InOrderTiming(const CoreConfig &config)
     : config_(config),
       width_(config.issueWidth),
@@ -114,10 +119,20 @@ InOrderTiming::redirect(unsigned penalty)
 }
 
 void
-InOrderTiming::recordMiss(BranchClass cls, bool mispredicted)
+InOrderTiming::attachTrace(obs::TraceBuffer *trace)
 {
-    if (mispredicted)
-        ++branchMisses_[size_t(cls)];
+    trace_ = trace;
+    btb_->setTrace(trace);
+}
+
+void
+InOrderTiming::recordMiss(const RetireInfo &ri, bool mispredicted)
+{
+    if (mispredicted) {
+        ++branchMisses_[size_t(ri.cls)];
+        SCD_TRACE_HOOK(trace_, obs::TraceEventKind::Mispredict, ri.pc, 0,
+                       ri.op, uint8_t(ri.cls));
+    }
 }
 
 void
@@ -145,6 +160,14 @@ InOrderTiming::retire(const RetireInfo &ri)
     if (flags & isa::FlagFpReadsRs2)
         issueAt = std::max(issueAt, fpReady_[ri.rs2]);
     loadUseStalls_ += issueAt - start;
+    SCD_TRACE_SET_CYCLE(trace_, issueAt);
+    SCD_TRACE_HOOK(trace_, obs::TraceEventKind::Retire, ri.pc, 0, ri.op,
+                   ri.ctrl == CtrlKind::None ? obs::kTraceNoClass
+                                             : uint8_t(ri.cls));
+    if (issueAt > start) {
+        SCD_TRACE_HOOK(trace_, obs::TraceEventKind::LoadUseStall, ri.pc,
+                       issueAt - start, ri.op);
+    }
     if (issueAt > cycle_) {
         issuedThisCycle_ = 1;
         memIssuedThisCycle_ = isMem;
@@ -189,7 +212,7 @@ InOrderTiming::retire(const RetireInfo &ri)
         direction_->update(ri.pc, ri.taken);
         if (ri.taken)
             btb_->insertPc(ri.pc, ri.nextPc);
-        recordMiss(ri.cls, mispredict);
+        recordMiss(ri, mispredict);
         if (mispredict)
             redirect(config_.mispredictPenalty);
         break;
@@ -200,7 +223,7 @@ InOrderTiming::retire(const RetireInfo &ri)
         btb_->insertPc(ri.pc, ri.nextPc);
         if (ri.rd == isa::reg::ra)
             ras_->push(ri.pc + 4);
-        recordMiss(ri.cls, !hit);
+        recordMiss(ri, !hit);
         if (!hit)
             redirect(config_.btbMissTakenPenalty);
         break;
@@ -225,7 +248,7 @@ InOrderTiming::retire(const RetireInfo &ri)
         }
         if (ri.rd == isa::reg::ra)
             ras_->push(ri.pc + 4);
-        recordMiss(ri.cls, mispredict);
+        recordMiss(ri, mispredict);
         if (mispredict)
             redirect(config_.mispredictPenalty);
         break;
@@ -236,21 +259,30 @@ InOrderTiming::retire(const RetireInfo &ri)
         // probe itself happened architecturally (never a redirect).
         cycle_ += ri.ropStall;
         ropStallCycles_ += ri.ropStall;
+        if (ri.ropStall > 0) {
+            SCD_TRACE_HOOK(trace_, obs::TraceEventKind::RopStall, ri.pc,
+                           ri.ropStall, ri.op);
+        }
         break;
 
       case CtrlKind::Jru: {
         auto pred = btb_->lookupPc(ri.pc);
         bool mispredict = !pred || *pred != ri.nextPc;
         btb_->insertPc(ri.pc, ri.nextPc);
-        if (ri.jteInsert)
+        if (ri.jteInsert) {
+            SCD_TRACE_HOOK(trace_, obs::TraceEventKind::JteInsert, ri.pc,
+                           ri.jteOpcode, ri.op, uint8_t(ri.cls));
             jteInsert(ri.bank, ri.jteOpcode, ri.jteTarget);
-        recordMiss(ri.cls, mispredict);
+        }
+        recordMiss(ri, mispredict);
         if (mispredict)
             redirect(config_.mispredictPenalty);
         break;
       }
 
       case CtrlKind::JteFlush:
+        SCD_TRACE_HOOK(trace_, obs::TraceEventKind::JteFlush, ri.pc, 0,
+                       ri.op);
         jteFlush();
         break;
     }

@@ -24,6 +24,7 @@
 #include "cache/cache.hh"
 #include "cache/tlb.hh"
 #include "config.hh"
+#include "obs/trace.hh"
 #include "timing_model.hh"
 
 namespace scd::cpu
@@ -45,6 +46,7 @@ class InOrderTiming : public TimingModel
     uint64_t cycles() const override { return cycle_; }
     void exportStats(StatGroup &group) const override;
     branch::Btb *btb() override { return btb_.get(); }
+    void attachTrace(obs::TraceBuffer *trace) override;
 
     /** Effective issue width (slots per cycle). */
     unsigned issueWidth() const { return width_; }
@@ -57,10 +59,11 @@ class InOrderTiming : public TimingModel
     void chargeFetch(uint64_t pc);
     uint64_t dataAccess(uint64_t addr, bool write);
     void redirect(unsigned penalty);
-    void recordMiss(BranchClass cls, bool mispredicted);
+    void recordMiss(const RetireInfo &ri, bool mispredicted);
 
     const CoreConfig &config_;
     unsigned width_;
+    obs::TraceBuffer *trace_ = nullptr;
 
     // Cycle accounting.
     uint64_t cycle_ = 0;

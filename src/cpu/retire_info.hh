@@ -68,6 +68,7 @@ struct RetireInfo
     uint8_t rs1 = 0;
     uint8_t rs2 = 0;
     uint8_t bank = 0;     ///< SCD bank of bop/jru events
+    uint8_t op = 0;       ///< isa::Opcode byte (observability/profiles)
 
     CtrlKind ctrl = CtrlKind::None;
     LatClass lat = LatClass::Alu;

@@ -39,6 +39,11 @@ class JteTable;
 class Vbbi;
 }
 
+namespace scd::obs
+{
+class TraceBuffer;
+}
+
 namespace scd::cpu
 {
 
@@ -102,6 +107,13 @@ class TimingModel
 
     /** The model's BTB, if it has one (component access for tests). */
     virtual branch::Btb *btb() { return nullptr; }
+
+    /**
+     * Attach a pipeline event-trace buffer (src/obs/trace.hh). Models
+     * without trace hooks ignore the call; hook emission additionally
+     * requires an SCD_TRACE=ON build (obs::kTraceHooksCompiled).
+     */
+    virtual void attachTrace(obs::TraceBuffer *) {}
 
     /**
      * Shadow structures for the functional-only fast path (see

@@ -99,12 +99,24 @@ runGrid(const cpu::CoreConfig &machine, InputSize size,
         const std::vector<core::Scheme> &schemes, bool verbose,
         unsigned jobs)
 {
+    return runGridSet(machine, size, vms, schemes, verbose, jobs).grid;
+}
+
+GridRun
+runGridSet(const cpu::CoreConfig &machine, InputSize size,
+           const std::vector<VmKind> &vms,
+           const std::vector<core::Scheme> &schemes, bool verbose,
+           unsigned jobs)
+{
     ExperimentPlan plan;
     plan.addGrid(machine, size, vms, schemes);
     RunOptions options;
     options.jobs = jobs;
     options.verbose = verbose;
-    return gridFromSet(runPlan(plan, options));
+    GridRun run;
+    run.set = runPlan(plan, options);
+    run.grid = gridFromSet(run.set);
+    return run;
 }
 
 std::string

@@ -81,6 +81,23 @@ Grid runGrid(const cpu::CoreConfig &machine, InputSize size,
              const std::vector<core::Scheme> &schemes,
              bool verbose = false, unsigned jobs = 0);
 
+/** An executed grid together with the raw set it was folded from. */
+struct GridRun
+{
+    ExperimentSet set;
+    Grid grid;
+};
+
+/**
+ * runGrid() that also hands back the executed ExperimentSet, for
+ * binaries that render figures *and* export the raw points to JSON
+ * (harness/json_export.hh).
+ */
+GridRun runGridSet(const cpu::CoreConfig &machine, InputSize size,
+                   const std::vector<VmKind> &vms,
+                   const std::vector<core::Scheme> &schemes,
+                   bool verbose = false, unsigned jobs = 0);
+
 /**
  * Fold an executed ExperimentSet into a Grid, enforcing the cross-scheme
  * output-equality correctness net in plan order.

@@ -1,0 +1,39 @@
+#include "json_export.hh"
+
+#include "core/scheme.hh"
+
+namespace scd::harness
+{
+
+obs::SetRecord &
+exportSet(obs::StatsSink &sink, const std::string &label,
+          const ExperimentSet &set)
+{
+    obs::SetRecord &rec = sink.addSet(label);
+    rec.points.reserve(set.points.size());
+    for (size_t i = 0; i < set.points.size(); ++i) {
+        const ExperimentPoint &point = set.points[i];
+        const ExperimentResult &result = set.at(i);
+        obs::PointRecord p;
+        p.vm = vmName(point.vm);
+        if (point.workload)
+            p.workload = point.workload->name;
+        p.scheme = core::schemeName(point.scheme);
+        p.machine = point.machine.name;
+        p.instructions = result.run.instructions;
+        p.cycles = result.run.cycles;
+        p.counters = result.stats;
+        rec.points.push_back(std::move(p));
+    }
+    return rec;
+}
+
+bool
+writeJsonIfRequested(const obs::StatsSink &sink, const std::string &path)
+{
+    if (path.empty())
+        return true;
+    return sink.writeTo(path);
+}
+
+} // namespace scd::harness

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bridge from executed experiment sets to the machine-readable stats
+ * export (src/obs/stats_sink.hh). The obs library knows nothing about
+ * the harness; this header is where ExperimentSet points become neutral
+ * PointRecords, so every bench binary can honour --json=<path> with a
+ * couple of calls:
+ *
+ *   obs::StatsSink sink("fig07_10_overall", bench::sizeName(size));
+ *   exportSet(sink, "overall", set);
+ *   writeJsonIfRequested(sink, jsonPath);
+ */
+
+#ifndef SCD_HARNESS_JSON_EXPORT_HH
+#define SCD_HARNESS_JSON_EXPORT_HH
+
+#include <string>
+
+#include "experiment.hh"
+#include "obs/stats_sink.hh"
+
+namespace scd::harness
+{
+
+/**
+ * Append every point of @p set to @p sink as one SetRecord labelled
+ * @p label. Only deterministic fields are recorded (no wall times, no
+ * job counts): serial and parallel runs of the same plan export
+ * byte-identical documents.
+ */
+obs::SetRecord &exportSet(obs::StatsSink &sink, const std::string &label,
+                          const ExperimentSet &set);
+
+/**
+ * writeTo(@p path) when @p path is non-empty and the sink has content.
+ * Returns false only on an actual I/O failure.
+ */
+bool writeJsonIfRequested(const obs::StatsSink &sink,
+                          const std::string &path);
+
+} // namespace scd::harness
+
+#endif // SCD_HARNESS_JSON_EXPORT_HH

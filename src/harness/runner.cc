@@ -46,7 +46,8 @@ ExperimentResult::branchMpki() const
 
 ExperimentResult
 runExperiment(VmKind vm, const std::string &source, core::Scheme scheme,
-              const cpu::CoreConfig &machine, uint64_t maxInstructions)
+              const cpu::CoreConfig &machine, uint64_t maxInstructions,
+              obs::TraceBuffer *trace)
 {
     guest::GuestProgram program;
     if (vm == VmKind::Rlua) {
@@ -62,6 +63,8 @@ runExperiment(VmKind vm, const std::string &source, core::Scheme scheme,
     cpu::Core core(core::withScheme(machine, scheme), memory);
     core.loadProgram(program.text);
     core.setDispatchMeta(program.meta);
+    if (trace)
+        core.timing().attachTrace(trace);
 
     ExperimentResult result;
     auto simStart = std::chrono::steady_clock::now();
@@ -86,10 +89,10 @@ runExperiment(VmKind vm, const std::string &source, core::Scheme scheme,
 ExperimentResult
 runWorkload(VmKind vm, const Workload &workload, InputSize size,
             core::Scheme scheme, const cpu::CoreConfig &machine,
-            uint64_t maxInstructions)
+            uint64_t maxInstructions, obs::TraceBuffer *trace)
 {
     return runExperiment(vm, workload.text(size), scheme, machine,
-                         maxInstructions);
+                         maxInstructions, trace);
 }
 
 } // namespace scd::harness

@@ -16,6 +16,11 @@
 #include "cpu/core.hh"
 #include "workloads.hh"
 
+namespace scd::obs
+{
+class TraceBuffer;
+}
+
 namespace scd::harness
 {
 
@@ -83,17 +88,21 @@ struct ExperimentResult
  * Run @p source under @p vm with @p scheme on a core derived from
  * @p machine. The scheme picks both the interpreter binary (jump
  * threading is a software variant) and the hardware knobs (SCD / VBBI).
+ * A non-null @p trace is attached to the core's timing model before the
+ * run (pipeline event tracing; meaningful in SCD_TRACE=ON builds).
  */
 ExperimentResult runExperiment(VmKind vm, const std::string &source,
                                core::Scheme scheme,
                                const cpu::CoreConfig &machine,
-                               uint64_t maxInstructions = 0);
+                               uint64_t maxInstructions = 0,
+                               obs::TraceBuffer *trace = nullptr);
 
 /** Convenience: run a Table III workload at the given input size. */
 ExperimentResult runWorkload(VmKind vm, const Workload &workload,
                              InputSize size, core::Scheme scheme,
                              const cpu::CoreConfig &machine,
-                             uint64_t maxInstructions = 0);
+                             uint64_t maxInstructions = 0,
+                             obs::TraceBuffer *trace = nullptr);
 
 } // namespace scd::harness
 

@@ -66,6 +66,38 @@ TEST(Stats, SnapshotAndDiff)
     EXPECT_EQ(group.get("missing"), 0u);
 }
 
+TEST(Stats, CounterReferencesSurviveGrowth)
+{
+    // counter() hands out long-lived references (exportStats implementors
+    // hold them across further registrations); they must stay valid while
+    // the group grows arbitrarily.
+    StatGroup group;
+    uint64_t &first = group.counter("first");
+    first = 1;
+    for (int n = 0; n < 1000; ++n)
+        group.counter("filler." + std::to_string(n)) = uint64_t(n);
+    uint64_t &again = group.counter("first");
+    EXPECT_EQ(&first, &again);
+    first = 42;
+    EXPECT_EQ(group.get("first"), 42u);
+    EXPECT_EQ(group.get("filler.999"), 999u);
+    EXPECT_EQ(group.all().size(), 1001u);
+}
+
+TEST(Stats, AllIsNameSorted)
+{
+    StatGroup group;
+    group.counter("zeta") = 1;
+    group.counter("alpha") = 2;
+    group.counter("mid") = 3;
+    auto all = group.all();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0].first, "alpha");
+    EXPECT_EQ(all[1].first, "mid");
+    EXPECT_EQ(all[2].first, "zeta");
+    EXPECT_EQ(all[1].second, 3u);
+}
+
 TEST(Stats, Geomean)
 {
     EXPECT_DOUBLE_EQ(geomean({}), 1.0);
