@@ -9,12 +9,20 @@
  *      bloat penalty appears at a smaller capacity).
  *   3. The rop-forwarding distance (how early the .op load must execute
  *      for a stall-free bop).
+ *
+ * All ablation steps run as one combined plan so the execute-once,
+ * time-many engine shares functional executions across machine variants
+ * (each step's baseline half, in particular, re-times the same stream);
+ * --no-replay runs every point directly instead. The printed report and
+ * the --json export are bit-identical either way.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "fig11_plan.hh"
 #include "harness/figures.hh"
 #include "harness/json_export.hh"
 #include "harness/machines.hh"
@@ -28,43 +36,64 @@ namespace
 const std::vector<std::string> kSubset = {"fibo", "n-sieve",
                                           "binary-trees", "fannkuch-redux"};
 
-unsigned gJobs = 0;             ///< --jobs, shared by every ablation below
-obs::StatsSink *gSink = nullptr; ///< --json stats sink (always set)
-
 /**
- * Subset geomean speedup of @p scheme over baseline on @p machine. Each
- * call is exported to the stats sink as one set labelled @p label, with
- * the geomean itself recorded as the metric "ablation.<label>".
+ * One ablation step: @p scheme on @p machine, measured as the subset
+ * geomean speedup over baseline on the same machine.
  */
-double
-geoSpeedup(const std::string &label, const cpu::CoreConfig &machine,
-           InputSize size, VmKind vm, core::Scheme scheme)
+struct AblationStep
 {
-    // Baseline/scheme pairs for the whole subset run as one plan.
-    ExperimentPlan plan;
-    for (const auto &name : kSubset) {
-        for (core::Scheme s : {core::Scheme::Baseline, scheme}) {
-            ExperimentPoint p;
-            p.vm = vm;
-            p.workload = &workload(name);
-            p.size = size;
-            p.scheme = s;
-            p.machine = machine;
-            plan.add(std::move(p));
-        }
+    std::string label; ///< exportSet label and "ablation.<label>" metric
+    cpu::CoreConfig machine;
+    core::Scheme scheme;
+};
+
+/** Every step of the report, in export order. */
+std::vector<AblationStep>
+ablationSteps()
+{
+    std::vector<AblationStep> steps;
+
+    // 1. bop policy: use a long forwarding distance so the Rop producer
+    // is still in flight when bop reaches fetch and the two policies
+    // diverge.
+    cpu::CoreConfig stall = minorConfig();
+    stall.bopPolicy = cpu::BopStallPolicy::Stall;
+    stall.ropForwardDistance = 7;
+    cpu::CoreConfig fall = stall;
+    fall.bopPolicy = cpu::BopStallPolicy::FallThrough;
+    steps.push_back({"bop-stall", stall, core::Scheme::Scd});
+    steps.push_back({"bop-fallthrough", fall, core::Scheme::Scd});
+
+    // 2. jump threading vs I-cache size.
+    for (unsigned kb : {16u, 8u, 4u}) {
+        cpu::CoreConfig machine = minorConfig();
+        machine.icache.sizeBytes = kb * 1024;
+        steps.push_back({"jt-icache-" + std::to_string(kb) + "kb", machine,
+                         core::Scheme::JumpThreading});
     }
-    RunOptions options;
-    options.jobs = gJobs;
-    ExperimentSet set = runPlan(plan, options);
-    std::vector<double> speedups;
-    for (size_t i = 0; i < set.points.size(); i += 2) {
-        speedups.push_back(double(set.at(i).run.cycles) /
-                           double(set.at(i + 1).run.cycles));
+
+    // extra. indirect-predictor comparison.
+    cpu::CoreConfig ittage = minorConfig();
+    ittage.ittageEnabled = true;
+    steps.push_back({"predictor-vbbi", minorConfig(), core::Scheme::Vbbi});
+    steps.push_back({"predictor-ittage", ittage, core::Scheme::Baseline});
+    steps.push_back({"predictor-scd", minorConfig(), core::Scheme::Scd});
+
+    // extra. BTB overlay vs dedicated CBT-style table.
+    cpu::CoreConfig dedicated = minorConfig();
+    dedicated.scdDedicatedTable = true;
+    dedicated.dedicatedJteEntries = 64;
+    steps.push_back({"jte-overlay", minorConfig(), core::Scheme::Scd});
+    steps.push_back({"jte-dedicated", dedicated, core::Scheme::Scd});
+
+    // 3. rop forwarding distance.
+    for (unsigned dist : {3u, 5u, 7u}) {
+        cpu::CoreConfig machine = minorConfig();
+        machine.ropForwardDistance = dist;
+        steps.push_back({"rop-distance-" + std::to_string(dist), machine,
+                         core::Scheme::Scd});
     }
-    double speedup = geomean(speedups);
-    exportSet(*gSink, label, set);
-    gSink->addMetric("ablation." + label, speedup);
-    return speedup;
+    return steps;
 }
 
 } // namespace
@@ -73,109 +102,100 @@ int
 main(int argc, char **argv)
 {
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
-    gJobs = bench::parseJobs(argc, argv);
+    unsigned jobs = bench::parseJobs(argc, argv);
     std::string jsonPath = bench::parseJsonPath(argc, argv);
+    bool noReplay = bench::parseNoReplay(argc, argv);
     obs::StatsSink sink("ablation_scd", bench::sizeName(size));
-    gSink = &sink;
 
-    // --- 1. bop policy ------------------------------------------------------
-    std::fprintf(stderr, "ablation: bop stall policy...\n");
-    {
-        // Use a long forwarding distance so the Rop producer is still in
-        // flight when bop reaches fetch and the two policies diverge.
-        cpu::CoreConfig stall = minorConfig();
-        stall.bopPolicy = cpu::BopStallPolicy::Stall;
-        stall.ropForwardDistance = 7;
-        cpu::CoreConfig fall = stall;
-        fall.bopPolicy = cpu::BopStallPolicy::FallThrough;
-        double sStall = geoSpeedup("bop-stall", stall, size, VmKind::Rlua,
-                                   core::Scheme::Scd);
-        double sFall = geoSpeedup("bop-fallthrough", fall, size,
-                                  VmKind::Rlua, core::Scheme::Scd);
-        std::printf("Ablation 1: bop policy (RLua, subset geomean)\n");
-        std::printf("  stall-on-Rop (paper default): %+5.1f%%\n",
-                    100.0 * (sStall - 1.0));
-        std::printf("  fall-through:                 %+5.1f%%\n\n",
-                    100.0 * (sFall - 1.0));
-    }
-
-    // --- 2. jump threading vs I-cache size ---------------------------------
-    std::fprintf(stderr, "ablation: JT vs I-cache size...\n");
-    {
-        std::printf("Ablation 2: jump threading vs I-cache capacity "
-                    "(RLua, subset geomean)\n");
-        for (unsigned kb : {16u, 8u, 4u}) {
-            cpu::CoreConfig machine = minorConfig();
-            machine.icache.sizeBytes = kb * 1024;
-            double s = geoSpeedup("jt-icache-" + std::to_string(kb) + "kb",
-                                  machine, size, VmKind::Rlua,
-                                  core::Scheme::JumpThreading);
-            std::printf("  %2u KB I$: JT speedup %+5.1f%%\n", kb,
-                        100.0 * (s - 1.0));
+    // Baseline/scheme pairs for the whole subset, all steps as one plan.
+    std::vector<AblationStep> steps = ablationSteps();
+    ExperimentPlan plan;
+    for (const AblationStep &step : steps) {
+        for (const auto &name : kSubset) {
+            for (core::Scheme s : {core::Scheme::Baseline, step.scheme}) {
+                ExperimentPoint p;
+                p.vm = VmKind::Rlua;
+                p.workload = &workload(name);
+                p.size = size;
+                p.scheme = s;
+                p.machine = step.machine;
+                plan.add(std::move(p));
+            }
         }
-        std::printf("  (the paper's production-Lua interpreter is large "
-                    "enough to hit this at 16 KB)\n\n");
+    }
+    std::fprintf(stderr,
+                 "ablation: %zu points across %zu ablation steps%s...\n",
+                 plan.size(), steps.size(), noReplay ? " (direct)" : "");
+    RunOptions options;
+    options.jobs = jobs;
+    options.replay = !noReplay;
+    ExperimentSet all = runPlan(plan, options);
+
+    // Subset geomean speedup of each step's scheme over its baseline,
+    // exported to the stats sink as one set per step with the geomean
+    // recorded as the metric "ablation.<label>".
+    const size_t perStep = all.points.size() / steps.size();
+    std::vector<double> speedup;
+    for (size_t i = 0; i < steps.size(); ++i) {
+        ExperimentSet slice = bench::sliceSet(all, i * perStep, perStep);
+        std::vector<double> speedups;
+        for (size_t k = 0; k < slice.points.size(); k += 2) {
+            speedups.push_back(double(slice.at(k).run.cycles) /
+                               double(slice.at(k + 1).run.cycles));
+        }
+        speedup.push_back(geomean(speedups));
+        exportSet(sink, steps[i].label, slice);
+        sink.addMetric("ablation." + steps[i].label, speedup.back());
     }
 
-    // --- extra. indirect-predictor comparison --------------------------------
-    std::fprintf(stderr, "ablation: indirect predictor comparison...\n");
-    {
-        std::printf("Ablation: prediction-only schemes vs SCD "
-                    "(RLua, subset geomean)\n");
-        cpu::CoreConfig plain = minorConfig();
-        cpu::CoreConfig ittage = minorConfig();
-        ittage.ittageEnabled = true;
-        double sVbbi = geoSpeedup("predictor-vbbi", plain, size,
-                                  VmKind::Rlua, core::Scheme::Vbbi);
-        double sIttage = geoSpeedup("predictor-ittage", ittage, size,
-                                    VmKind::Rlua, core::Scheme::Baseline);
-        double sScd = geoSpeedup("predictor-scd", plain, size,
-                                 VmKind::Rlua, core::Scheme::Scd);
-        std::printf("  VBBI (HPCA'10):          %+5.1f%%\n",
-                    100.0 * (sVbbi - 1.0));
-        std::printf("  ITTAGE-style (JILP'06):  %+5.1f%%\n",
-                    100.0 * (sIttage - 1.0));
-        std::printf("  SCD (this paper):        %+5.1f%%\n",
-                    100.0 * (sScd - 1.0));
-        std::printf("  (predictors fix mispredictions only; SCD also "
-                    "removes the dispatch instructions)\n\n");
-    }
+    // Step layout (ablationSteps order): 0-1 bop policy, 2-4 JT vs I$,
+    // 5-7 predictors, 8-9 JTE storage, 10-12 rop distance.
+    std::printf("Ablation 1: bop policy (RLua, subset geomean)\n");
+    std::printf("  stall-on-Rop (paper default): %+5.1f%%\n",
+                100.0 * (speedup[0] - 1.0));
+    std::printf("  fall-through:                 %+5.1f%%\n\n",
+                100.0 * (speedup[1] - 1.0));
 
-    // --- extra. BTB overlay vs dedicated CBT-style table ---------------------
-    std::fprintf(stderr, "ablation: overlay vs dedicated table...\n");
+    std::printf("Ablation 2: jump threading vs I-cache capacity "
+                "(RLua, subset geomean)\n");
     {
-        std::printf("Ablation: JTE storage — BTB overlay (paper) vs "
-                    "dedicated table (Kaeli-Emma CBT style)\n");
-        cpu::CoreConfig overlay = minorConfig();
-        cpu::CoreConfig dedicated = minorConfig();
-        dedicated.scdDedicatedTable = true;
-        dedicated.dedicatedJteEntries = 64;
-        double sOverlay = geoSpeedup("jte-overlay", overlay, size,
-                                     VmKind::Rlua, core::Scheme::Scd);
-        double sDedicated = geoSpeedup("jte-dedicated", dedicated, size,
-                                       VmKind::Rlua, core::Scheme::Scd);
-        std::printf("  overlay on BTB:    %+5.1f%% (no extra table)\n",
-                    100.0 * (sOverlay - 1.0));
-        std::printf("  dedicated 64-entry:%+5.1f%% (extra ~0.6KB "
-                    "storage)\n",
-                    100.0 * (sDedicated - 1.0));
-        std::printf("  (performance parity justifies the paper's "
-                    "overlay, which is nearly free)\n\n");
+        size_t i = 2;
+        for (unsigned kb : {16u, 8u, 4u}) {
+            std::printf("  %2u KB I$: JT speedup %+5.1f%%\n", kb,
+                        100.0 * (speedup[i++] - 1.0));
+        }
     }
+    std::printf("  (the paper's production-Lua interpreter is large "
+                "enough to hit this at 16 KB)\n\n");
 
-    // --- 3. rop forwarding distance -----------------------------------------
-    std::fprintf(stderr, "ablation: rop forwarding distance...\n");
+    std::printf("Ablation: prediction-only schemes vs SCD "
+                "(RLua, subset geomean)\n");
+    std::printf("  VBBI (HPCA'10):          %+5.1f%%\n",
+                100.0 * (speedup[5] - 1.0));
+    std::printf("  ITTAGE-style (JILP'06):  %+5.1f%%\n",
+                100.0 * (speedup[6] - 1.0));
+    std::printf("  SCD (this paper):        %+5.1f%%\n",
+                100.0 * (speedup[7] - 1.0));
+    std::printf("  (predictors fix mispredictions only; SCD also "
+                "removes the dispatch instructions)\n\n");
+
+    std::printf("Ablation: JTE storage — BTB overlay (paper) vs "
+                "dedicated table (Kaeli-Emma CBT style)\n");
+    std::printf("  overlay on BTB:    %+5.1f%% (no extra table)\n",
+                100.0 * (speedup[8] - 1.0));
+    std::printf("  dedicated 64-entry:%+5.1f%% (extra ~0.6KB "
+                "storage)\n",
+                100.0 * (speedup[9] - 1.0));
+    std::printf("  (performance parity justifies the paper's "
+                "overlay, which is nearly free)\n\n");
+
+    std::printf("Ablation 3: Rop forwarding distance (stall cycles "
+                "when bop trails the .op load closely)\n");
     {
-        std::printf("Ablation 3: Rop forwarding distance (stall cycles "
-                    "when bop trails the .op load closely)\n");
+        size_t i = 10;
         for (unsigned dist : {3u, 5u, 7u}) {
-            cpu::CoreConfig machine = minorConfig();
-            machine.ropForwardDistance = dist;
-            double s = geoSpeedup("rop-distance-" + std::to_string(dist),
-                                  machine, size, VmKind::Rlua,
-                                  core::Scheme::Scd);
             std::printf("  distance %u: SCD speedup %+5.1f%%\n", dist,
-                        100.0 * (s - 1.0));
+                        100.0 * (speedup[i++] - 1.0));
         }
     }
     if (!writeJsonIfRequested(sink, jsonPath))

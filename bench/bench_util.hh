@@ -96,6 +96,21 @@ parseJsonPath(int argc, char **argv)
     return "";
 }
 
+/**
+ * Parse --no-replay: disable the execute-once, time-many plan executor
+ * and run every experiment point directly (docs/SIMULATOR.md). The
+ * cross-check escape hatch; results are bit-identical either way.
+ */
+inline bool
+parseNoReplay(int argc, char **argv)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strcmp(argv[n], "--no-replay") == 0)
+            return true;
+    }
+    return false;
+}
+
 inline const char *
 sizeName(harness::InputSize size)
 {

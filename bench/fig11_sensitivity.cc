@@ -3,16 +3,21 @@
  * Regenerates Figure 11: SCD speedup sensitivity to (a,b) BTB capacity
  * {64,128,256,512} for both VMs, and (c,d) the maximum JTE cap {8,16,inf}
  * with the smallest (64-entry) BTB.
+ *
+ * All 16 sweep steps run as one combined plan (bench/fig11_plan.hh) so
+ * the execute-once, time-many engine shares functional executions across
+ * the whole figure; --no-replay runs every point directly instead. The
+ * rendered tables and the --json export are bit-identical either way.
  */
 
-#include <climits>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "fig11_plan.hh"
 #include "harness/figures.hh"
 #include "harness/json_export.hh"
-#include "harness/machines.hh"
 
 using namespace scd;
 using namespace scd::harness;
@@ -20,50 +25,44 @@ using namespace scd::harness;
 namespace
 {
 
+/** One speedup table: four sweep columns of @p grids for @p vm. */
 void
-btbSweep(VmKind vm, InputSize size, unsigned jobs, obs::StatsSink &sink)
+sweepTable(VmKind vm, const std::vector<std::string> &columnTitles,
+           const Grid *grids)
 {
-    std::printf("Figure 11(%s): SCD speedup vs BTB size [%s]\n",
-                vm == VmKind::Rlua ? "a" : "b",
-                vm == VmKind::Rlua ? "Lua-style VM" : "JS-style VM");
-    std::printf("Paper: benefits shrink with a small BTB but remain "
-                "positive at 64 entries.\n\n");
     TextTable t;
-    t.header({"benchmark", "btb=64", "btb=128", "btb=256", "btb=512"});
-    std::vector<std::map<std::string, double>> columns;
-    for (unsigned entries : {64u, 128u, 256u, 512u}) {
-        std::fprintf(stderr, "fig11: %s btb=%u...\n", vmName(vm), entries);
-        cpu::CoreConfig machine = minorConfig();
-        machine.btb.entries = entries;
-        GridRun run = runGridSet(machine, size, {vm},
-                                 {core::Scheme::Baseline,
-                                  core::Scheme::Scd},
-                                 /*verbose=*/false, jobs);
-        const Grid &grid = run.grid;
-        exportSet(sink,
-                  std::string(vmName(vm)) + "/btb=" +
-                      std::to_string(entries),
-                  run.set);
-        std::map<std::string, double> col;
-        for (const auto &name : workloadNames())
-            col[name] = grid.speedup(vm, name, core::Scheme::Scd);
-        col["GEOMEAN"] =
-            grid.geomeanSpeedup(vm, workloadNames(), core::Scheme::Scd);
-        columns.push_back(std::move(col));
-    }
+    std::vector<std::string> header = {"benchmark"};
+    header.insert(header.end(), columnTitles.begin(), columnTitles.end());
+    t.header(header);
     auto names = workloadNames();
     names.push_back("GEOMEAN");
     for (const auto &name : names) {
         std::vector<std::string> row = {name};
-        for (auto &col : columns)
-            row.push_back(TextTable::fixed(col[name], 3));
+        for (size_t c = 0; c < columnTitles.size(); ++c) {
+            double v = name == "GEOMEAN"
+                           ? grids[c].geomeanSpeedup(vm, workloadNames(),
+                                                     core::Scheme::Scd)
+                           : grids[c].speedup(vm, name, core::Scheme::Scd);
+            row.push_back(TextTable::fixed(v, 3));
+        }
         t.row(row);
     }
     std::printf("%s\n", t.render().c_str());
 }
 
 void
-capSweep(VmKind vm, InputSize size, unsigned jobs, obs::StatsSink &sink)
+btbTables(VmKind vm, const Grid *grids)
+{
+    std::printf("Figure 11(%s): SCD speedup vs BTB size [%s]\n",
+                vm == VmKind::Rlua ? "a" : "b",
+                vm == VmKind::Rlua ? "Lua-style VM" : "JS-style VM");
+    std::printf("Paper: benefits shrink with a small BTB but remain "
+                "positive at 64 entries.\n\n");
+    sweepTable(vm, {"btb=64", "btb=128", "btb=256", "btb=512"}, grids);
+}
+
+void
+capTables(VmKind vm, const Grid *grids)
 {
     std::printf("Figure 11(%s): SCD speedup vs JTE cap at a 64-entry BTB "
                 "[%s]\n",
@@ -71,45 +70,7 @@ capSweep(VmKind vm, InputSize size, unsigned jobs, obs::StatsSink &sink)
                 vm == VmKind::Rlua ? "Lua-style VM" : "JS-style VM");
     std::printf("Paper: capping helps some scripts (e.g. n-sieve) by "
                 "protecting BTB entries of direct branches.\n\n");
-    TextTable t;
-    t.header({"benchmark", "cap=8", "cap=16", "cap=inf", "adaptive"});
-    std::vector<std::map<std::string, double>> columns;
-    // 0 = unlimited; UINT_MAX selects the adaptive policy (the cap
-    // selection the paper leaves to future work).
-    for (unsigned cap : {8u, 16u, 0u, UINT_MAX}) {
-        std::string label =
-            cap == UINT_MAX ? "adaptive" : std::to_string(cap);
-        std::fprintf(stderr, "fig11: %s cap=%s...\n", vmName(vm),
-                     label.c_str());
-        cpu::CoreConfig machine = minorConfig();
-        machine.btb.entries = 64;
-        if (cap == UINT_MAX)
-            machine.btb.adaptiveJteCap = true;
-        else
-            machine.btb.jteCap = cap;
-        GridRun run = runGridSet(machine, size, {vm},
-                                 {core::Scheme::Baseline,
-                                  core::Scheme::Scd},
-                                 /*verbose=*/false, jobs);
-        const Grid &grid = run.grid;
-        exportSet(sink, std::string(vmName(vm)) + "/cap=" + label,
-                  run.set);
-        std::map<std::string, double> col;
-        for (const auto &name : workloadNames())
-            col[name] = grid.speedup(vm, name, core::Scheme::Scd);
-        col["GEOMEAN"] =
-            grid.geomeanSpeedup(vm, workloadNames(), core::Scheme::Scd);
-        columns.push_back(std::move(col));
-    }
-    auto names = workloadNames();
-    names.push_back("GEOMEAN");
-    for (const auto &name : names) {
-        std::vector<std::string> row = {name};
-        for (auto &col : columns)
-            row.push_back(TextTable::fixed(col[name], 3));
-        t.row(row);
-    }
-    std::printf("%s\n", t.render().c_str());
+    sweepTable(vm, {"cap=8", "cap=16", "cap=inf", "adaptive"}, grids);
 }
 
 } // namespace
@@ -120,11 +81,34 @@ main(int argc, char **argv)
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
     unsigned jobs = bench::parseJobs(argc, argv);
     std::string jsonPath = bench::parseJsonPath(argc, argv);
+    bool noReplay = bench::parseNoReplay(argc, argv);
     obs::StatsSink sink("fig11_sensitivity", bench::sizeName(size));
-    btbSweep(VmKind::Rlua, size, jobs, sink);
-    btbSweep(VmKind::Sjs, size, jobs, sink);
-    capSweep(VmKind::Rlua, size, jobs, sink);
-    capSweep(VmKind::Sjs, size, jobs, sink);
+
+    std::vector<bench::Fig11Step> steps = bench::fig11Steps();
+    ExperimentPlan plan = bench::fig11Plan(steps, size);
+    std::fprintf(stderr, "fig11: %zu points across %zu sweep steps%s...\n",
+                 plan.size(), steps.size(), noReplay ? " (direct)" : "");
+    RunOptions options;
+    options.jobs = jobs;
+    options.replay = !noReplay;
+    ExperimentSet all = runPlan(plan, options);
+
+    const size_t perStep = all.points.size() / steps.size();
+    std::vector<Grid> grids;
+    grids.reserve(steps.size());
+    for (size_t i = 0; i < steps.size(); ++i) {
+        ExperimentSet slice = bench::sliceSet(all, i * perStep, perStep);
+        grids.push_back(gridFromSet(slice));
+        exportSet(sink, steps[i].label, slice);
+    }
+
+    // Step layout (fig11Steps order): [0,4) rlua BTB sweep, [4,8) sjs
+    // BTB sweep, [8,12) rlua cap sweep, [12,16) sjs cap sweep.
+    btbTables(VmKind::Rlua, &grids[0]);
+    btbTables(VmKind::Sjs, &grids[4]);
+    capTables(VmKind::Rlua, &grids[8]);
+    capTables(VmKind::Sjs, &grids[12]);
+
     if (!writeJsonIfRequested(sink, jsonPath))
         return 1;
     return 0;

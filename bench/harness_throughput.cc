@@ -15,17 +15,25 @@
  * >10%, and the per-experiment minimum is the usual noise-robust
  * estimator of the achievable speed.
  *
+ * A final pair of passes times the execute-once, time-many plan executor
+ * on its reference workload — the Figure 11 sweep (bench/fig11_plan.hh),
+ * whose 16 machine variants per (vm, scheme) are exactly the shape replay
+ * accelerates — once directly and once replayed, recording the wall
+ * times and their ratio (fig11_replay_speedup).
+ *
  * --functional (or SCD_FUNCTIONAL=1) skips the timed passes entirely:
  * the plan runs once under NullTiming, for quick workload validation.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "bench_util.hh"
+#include "fig11_plan.hh"
 #include "harness/experiment.hh"
 #include "harness/machines.hh"
 
@@ -149,6 +157,31 @@ main(int argc, char **argv)
         parallel = runPlan(plan, parallelOpts);
     }
 
+    // Replay-engine measurement: the fig11 sweep wall-clocked direct
+    // then replayed. The guest compile cache is warm either way (the
+    // passes above compiled every (vm, workload, dispatch) already), so
+    // the ratio isolates the execute-once, time-many win.
+    double fig11Direct = 0.0, fig11Replay = 0.0;
+    if (!funcOnly) {
+        ExperimentPlan fig11 = bench::fig11Plan(bench::fig11Steps(), size);
+        RunOptions fig11Opts;
+        fig11Opts.jobs = jobs;
+        std::fprintf(stderr,
+                     "harness_throughput: fig11 direct pass (%zu points, "
+                     "%u jobs)...\n",
+                     fig11.size(), jobs);
+        fig11Opts.replay = false;
+        auto t0 = std::chrono::steady_clock::now();
+        runPlan(fig11, fig11Opts);
+        auto t1 = std::chrono::steady_clock::now();
+        std::fprintf(stderr, "harness_throughput: fig11 replay pass...\n");
+        fig11Opts.replay = true;
+        runPlan(fig11, fig11Opts);
+        auto t2 = std::chrono::steady_clock::now();
+        fig11Direct = std::chrono::duration<double>(t1 - t0).count();
+        fig11Replay = std::chrono::duration<double>(t2 - t1).count();
+    }
+
     double speedup = 0.0;
     if (!funcOnly && parallel.totalSeconds > 0)
         speedup = serial.totalSeconds / parallel.totalSeconds;
@@ -178,6 +211,10 @@ main(int argc, char **argv)
         std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
         std::fprintf(f, "  \"timed_instructions_per_second\": %.0f,\n",
                      timedIps);
+        std::fprintf(f, "  \"fig11_direct_seconds\": %.6f,\n", fig11Direct);
+        std::fprintf(f, "  \"fig11_replay_seconds\": %.6f,\n", fig11Replay);
+        std::fprintf(f, "  \"fig11_replay_speedup\": %.3f,\n",
+                     fig11Replay > 0 ? fig11Direct / fig11Replay : 0.0);
     }
     std::fprintf(f, "  \"functional_seconds\": %.6f,\n",
                  functional.totalSeconds);
@@ -219,10 +256,12 @@ main(int argc, char **argv)
     } else {
         std::printf("harness throughput: %zu points, serial %.2fs, "
                     "%u jobs %.2fs, speedup %.2fx, functional %.2fs "
-                    "(%.1fx inst/s) -> %s\n",
+                    "(%.1fx inst/s), fig11 replay %.2fx -> %s\n",
                     plan.size(), serial.totalSeconds, parallel.jobs,
                     parallel.totalSeconds, speedup,
-                    functional.totalSeconds, functionalSpeedup, path);
+                    functional.totalSeconds, functionalSpeedup,
+                    fig11Replay > 0 ? fig11Direct / fig11Replay : 0.0,
+                    path);
     }
     return 0;
 }

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
     unsigned jobs = bench::parseJobs(argc, argv);
     std::string jsonPath = bench::parseJsonPath(argc, argv);
+    bool noReplay = bench::parseNoReplay(argc, argv);
     cpu::CoreConfig config = cortexA8Config();
     // The A8-like machine runs on WideInOrderTiming; --width=N widens
     // (or narrows) the issue stage without touching the rest of the
@@ -34,7 +35,7 @@ main(int argc, char **argv)
     GridRun run = runGridSet(config, size,
                              {VmKind::Rlua, VmKind::Sjs},
                              {core::Scheme::Baseline, core::Scheme::Scd},
-                             /*verbose=*/true, jobs);
+                             /*verbose=*/true, jobs, !noReplay);
     const Grid &grid = run.grid;
 
     std::printf("Higher-end dual-issue core (Section VI-C2)\n");

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     InputSize size = bench::parseSize(argc, argv, InputSize::Fpga);
     unsigned jobs = bench::parseJobs(argc, argv);
     std::string jsonPath = bench::parseJsonPath(argc, argv);
+    bool noReplay = bench::parseNoReplay(argc, argv);
     std::fprintf(stderr,
                  "table4: running 11x3 rocket-config simulations (%s)...\n",
                  bench::sizeName(size));
@@ -30,7 +31,7 @@ main(int argc, char **argv)
                              {core::Scheme::Baseline,
                               core::Scheme::JumpThreading,
                               core::Scheme::Scd},
-                             /*verbose=*/true, jobs);
+                             /*verbose=*/true, jobs, !noReplay);
     std::printf("%s\n", renderTable4(run.grid).c_str());
 
     obs::StatsSink sink("table4_rocket", bench::sizeName(size));

@@ -27,7 +27,7 @@ FunctionalCore::FunctionalCore(const CoreConfig &config,
     // which instructions retire, i.e. under SCD; for the other schemes
     // the guest has no bop/jru and the BTB is architecturally inert, so
     // the fast path skips the mirroring entirely.
-    if (config.scdEnabled) {
+    if (config_.scdEnabled) {
         ArchShadow shadow = timing.archShadow();
         shadowBtb_ = shadow.btb;
         shadowVbbi_ = shadow.vbbi;
@@ -212,6 +212,8 @@ FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
     uint64_t hintValue = 0;
     uint32_t ropStall = 0;
     bool jteIns = false;
+    bool bopProbed = false;
+    bool bopHit = false;
     uint64_t jteOpcode = 0;
 
     auto srs1 = static_cast<int64_t>(x_[inst.rs1]);
@@ -467,6 +469,13 @@ FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
         }
         std::optional<uint64_t> target;
         if (eligible) {
+            // Record the probe for replay: jteOpcode keeps the probed Rop
+            // value (a hit invalidates the bank's copy below), and
+            // bopProbed marks where a replay consumer must perform the
+            // same lookup against its own JTE state — the one place
+            // timing-model state feeds the architectural stream.
+            bopProbed = true;
+            jteOpcode = bank.ropData;
             if constexpr (!kHasRi) {
                 // Probe the shadow structures directly (inlinable) rather
                 // than through the virtual JTE port.
@@ -480,6 +489,7 @@ FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
             } else {
                 target = timing_.jteLookup(inst.bank, bank.ropData);
             }
+            bopHit = target.has_value();
         }
         if (target) {
             nextPc = *target;
@@ -611,6 +621,8 @@ FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
         ri->hintReg = hintReg;
         ri->hintValue = hintValue;
         ri->ropStall = ropStall;
+        ri->bopProbed = bopProbed;
+        ri->bopHit = bopHit;
         ri->jteInsert = jteIns;
         ri->jteOpcode = jteOpcode;
         ri->jteTarget = nextPc;

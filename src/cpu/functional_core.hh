@@ -111,6 +111,24 @@ class FunctionalCore
     /** Fold the architectural counters into @p group. */
     void exportStats(StatGroup &group) const;
 
+    /**
+     * Per-slot flag word cached at load time so step() never consults
+     * the opcodeInfo table: the low bits are the opcode's isa::OpFlags,
+     * the high bits the core-private dispatch-metadata flags below. The
+     * word is exported verbatim in RetireInfo::flags; replay consumers
+     * reconstruct dispatchInstructions from PcFlagInDispatchRange.
+     */
+    static constexpr unsigned kDispatchRangeShift = 24;
+    static constexpr unsigned kVbbiHintShift = 26;
+    enum PcFlags : uint32_t
+    {
+        /** Counts toward Figure 3 (see kDispatchRangeShift). */
+        PcFlagInDispatchRange = 1u << kDispatchRangeShift,
+        PcFlagDispatchJump = 1u << 25, ///< the dispatch indirect jump
+        // Bits [31:26] hold the VBBI hint register + 1 (0 = unmarked),
+        // packed here so a Slot stays 16 bytes.
+    };
+
   private:
     struct ScdBank
     {
@@ -182,22 +200,6 @@ class FunctionalCore
     }
 
     [[noreturn]] void badFetch(uint64_t pc) const;
-
-    /**
-     * Per-slot flag word cached at load time so step() never consults
-     * the opcodeInfo table: the low bits are the opcode's isa::OpFlags,
-     * the high bits the core-private dispatch-metadata flags below.
-     */
-    static constexpr unsigned kDispatchRangeShift = 24;
-    static constexpr unsigned kVbbiHintShift = 26;
-    enum PcFlags : uint32_t
-    {
-        /** Counts toward Figure 3 (see kDispatchRangeShift). */
-        PcFlagInDispatchRange = 1u << kDispatchRangeShift,
-        PcFlagDispatchJump = 1u << 25, ///< the dispatch indirect jump
-        // Bits [31:26] hold the VBBI hint register + 1 (0 = unmarked),
-        // packed here so a Slot stays 16 bytes.
-    };
 
     static int16_t
     vbbiHintOf(uint32_t flags)

@@ -43,6 +43,19 @@ class InOrderTiming : public TimingModel
 
     bool needsRetireInfo() const override { return true; }
     void retire(const RetireInfo &ri) override;
+
+    /**
+     * Batched retirement for the replay consumer path: one virtual call
+     * per bop-free span, with the per-instruction retire() devirtualized
+     * inside the loop (WideInOrderTiming shares the same retire body).
+     */
+    void
+    consume(const RetireInfo *ri, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i)
+            InOrderTiming::retire(ri[i]);
+    }
+
     uint64_t cycles() const override { return cycle_; }
     void exportStats(StatGroup &group) const override;
     branch::Btb *btb() override { return btb_.get(); }

@@ -73,17 +73,7 @@ class NullTiming : public TimingModel
     }
 
     bool needsRetireInfo() const override { return false; }
-
-    void
-    retire(const RetireInfo &ri) override
-    {
-        // Tolerate being driven through the RetireInfo path anyway: only
-        // the JTE maintenance events matter.
-        if (ri.ctrl == CtrlKind::JteFlush)
-            jteFlush();
-        else if (ri.jteInsert)
-            jteInsert(ri.bank, ri.jteOpcode, ri.jteTarget);
-    }
+    void retire(const RetireInfo &) override {}
 
     uint64_t cycles() const override { return 0; }
     void exportStats(StatGroup &group) const override { (void)group; }

@@ -89,6 +89,16 @@ struct RetireInfo
     /** bop: fetch-stall cycles because the Rop producer was in flight. */
     uint32_t ropStall = 0;
 
+    /**
+     * bop: an eligible bop probed the JTE port (and, on a hit, nextPc is
+     * the JTE target). jteOpcode carries the probed Rop value so a replay
+     * consumer can re-verify the probe against its own JTE state — the
+     * only point where timing-model state feeds back into the
+     * architectural stream (see cpu/retire_stream.hh).
+     */
+    bool bopProbed = false;
+    bool bopHit = false;
+
     /** jru: a JTE insertion to perform (after the PC-BTB update). */
     bool jteInsert = false;
     uint64_t jteOpcode = 0; ///< masked Rop value keying the JTE

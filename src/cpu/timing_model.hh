@@ -25,6 +25,7 @@
 #ifndef SCD_CPU_TIMING_MODEL_HH
 #define SCD_CPU_TIMING_MODEL_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -98,6 +99,19 @@ class TimingModel
 
     /** Account one retired instruction. */
     virtual void retire(const RetireInfo &ri) = 0;
+
+    /**
+     * Account @p n consecutive retired instructions. Replay consumers
+     * feed whole bop-free chunk spans through this so a model can
+     * devirtualize its own retire() in the loop; the default simply
+     * iterates. Semantically identical to n retire() calls.
+     */
+    virtual void
+    consume(const RetireInfo *ri, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            retire(ri[i]);
+    }
 
     /** Cycles accumulated so far (0 for untimed models). */
     virtual uint64_t cycles() const = 0;

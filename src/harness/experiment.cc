@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "pool.hh"
+#include "replay.hh"
 
 namespace scd::harness
 {
@@ -62,6 +63,9 @@ resolveJobs(unsigned requested)
 ExperimentSet
 runPlan(const ExperimentPlan &plan, const RunOptions &options)
 {
+    if (replayEnabled(options))
+        return runPlanReplay(plan, options);
+
     using clock = std::chrono::steady_clock;
 
     ExperimentSet set;
@@ -74,16 +78,7 @@ runPlan(const ExperimentPlan &plan, const RunOptions &options)
 
     auto planStart = clock::now();
     parallelFor(set.jobs, set.points.size(), [&](size_t i) {
-        const ExperimentPoint &p = set.points[i];
-        SCD_ASSERT(p.workload, "experiment point without a workload");
-        if (options.verbose)
-            std::fprintf(stderr, "  running %s...\n", p.label().c_str());
-        auto start = clock::now();
-        set.runs[i].result = runWorkload(p.vm, *p.workload, p.size,
-                                         p.scheme, p.machine,
-                                         p.maxInstructions);
-        set.runs[i].seconds =
-            std::chrono::duration<double>(clock::now() - start).count();
+        set.runs[i] = runPointDirect(set.points[i], options.verbose);
     });
     set.totalSeconds =
         std::chrono::duration<double>(clock::now() - planStart).count();

@@ -89,6 +89,15 @@ struct RunOptions
     /** 0 = auto: SCD_JOBS if set, else std::thread::hardware_concurrency. */
     unsigned jobs = 0;
     bool verbose = false; ///< per-point progress on stderr
+
+    /**
+     * Execute-once, time-many: points sharing a functional key run one
+     * FunctionalCore and replay its retired-instruction stream through
+     * every timing model (src/harness/replay.hh). Results are
+     * bit-identical to direct execution. Setting SCD_NO_REPLAY in the
+     * environment also disables it (the CLI escape hatch --no-replay).
+     */
+    bool replay = true;
 };
 
 /**

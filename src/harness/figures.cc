@@ -97,22 +97,24 @@ Grid
 runGrid(const cpu::CoreConfig &machine, InputSize size,
         const std::vector<VmKind> &vms,
         const std::vector<core::Scheme> &schemes, bool verbose,
-        unsigned jobs)
+        unsigned jobs, bool replay)
 {
-    return runGridSet(machine, size, vms, schemes, verbose, jobs).grid;
+    return runGridSet(machine, size, vms, schemes, verbose, jobs, replay)
+        .grid;
 }
 
 GridRun
 runGridSet(const cpu::CoreConfig &machine, InputSize size,
            const std::vector<VmKind> &vms,
            const std::vector<core::Scheme> &schemes, bool verbose,
-           unsigned jobs)
+           unsigned jobs, bool replay)
 {
     ExperimentPlan plan;
     plan.addGrid(machine, size, vms, schemes);
     RunOptions options;
     options.jobs = jobs;
     options.verbose = verbose;
+    options.replay = replay;
     GridRun run;
     run.set = runPlan(plan, options);
     run.grid = gridFromSet(run.set);

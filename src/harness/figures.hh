@@ -79,7 +79,7 @@ class Grid
 Grid runGrid(const cpu::CoreConfig &machine, InputSize size,
              const std::vector<VmKind> &vms,
              const std::vector<core::Scheme> &schemes,
-             bool verbose = false, unsigned jobs = 0);
+             bool verbose = false, unsigned jobs = 0, bool replay = true);
 
 /** An executed grid together with the raw set it was folded from. */
 struct GridRun
@@ -96,7 +96,8 @@ struct GridRun
 GridRun runGridSet(const cpu::CoreConfig &machine, InputSize size,
                    const std::vector<VmKind> &vms,
                    const std::vector<core::Scheme> &schemes,
-                   bool verbose = false, unsigned jobs = 0);
+                   bool verbose = false, unsigned jobs = 0,
+                   bool replay = true);
 
 /**
  * Fold an executed ExperimentSet into a Grid, enforcing the cross-scheme

@@ -1,0 +1,503 @@
+#include "replay.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/scheme.hh"
+#include "cpu/functional_core.hh"
+#include "cpu/retire_stream.hh"
+#include "cpu/timing_model.hh"
+#include "guest/guest_program.hh"
+#include "isa/opcode.hh"
+#include "mem/memory.hh"
+#include "pool.hh"
+
+namespace scd::harness
+{
+
+namespace
+{
+
+using steady = std::chrono::steady_clock;
+
+double
+secondsSince(steady::time_point start)
+{
+    return std::chrono::duration<double>(steady::now() - start).count();
+}
+
+/**
+ * One buffered write per progress line: concurrent tasks then interleave
+ * whole lines on stderr instead of tearing mid-line through stdio's
+ * character-level buffering.
+ */
+void
+printProgress(const ExperimentPoint &point)
+{
+    std::string line = "  running " + point.label() + "...\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+/**
+ * The grouping key: points with equal keys retire identical instruction
+ * streams whatever their timing models. VM + interpreter binary (dispatch
+ * kind) + workload source pin the guest; for SCD binaries the two
+ * architecturally-visible SCD knobs — bop's in-flight policy and the Rop
+ * forwarding distance — are baked into the stream (they decide bop
+ * eligibility and the recorded ropStall) and join the key. Every other
+ * machine knob is timing-only.
+ */
+std::string
+functionalKey(const ExperimentPoint &p)
+{
+    std::string key = vmName(p.vm);
+    key += '|';
+    key += std::to_string(int(dispatchForScheme(p.scheme)));
+    if (p.scheme == core::Scheme::Scd) {
+        key += '|';
+        key += std::to_string(int(p.machine.bopPolicy));
+        key += ':';
+        key += std::to_string(p.machine.ropForwardDistance);
+    }
+    key += '|';
+    key += p.workload->text(p.size);
+    return key;
+}
+
+void
+addCacheSignature(std::string &s, const cache::CacheConfig &c)
+{
+    s += std::to_string(c.sizeBytes);
+    s += ',';
+    s += std::to_string(c.associativity);
+    s += ',';
+    s += std::to_string(c.blockBytes);
+    s += ',';
+    s += std::to_string(int(c.replacement));
+    s += ';';
+}
+
+/**
+ * Serialization of every timing-relevant CoreConfig field (the machine
+ * name is presentation-only). Two group members with equal signatures
+ * deterministically produce equal results, so the second becomes a copy
+ * of the first instead of running a timing model. The SCD-side knobs are
+ * only observable when JTEs exist (branch/btb.cc touches jteCap and the
+ * adaptive-cap state exclusively on the JTE insert path), so they are
+ * gated out for non-SCD members — a BTB-size sweep's baseline points
+ * dedup against an equal-geometry cap sweep's baseline points.
+ */
+std::string
+timingSignature(const cpu::CoreConfig &c)
+{
+    std::string s;
+    auto add = [&s](uint64_t v) {
+        s += std::to_string(v);
+        s += ',';
+    };
+    add(uint64_t(c.timingKind));
+    add(c.issueWidth);
+    add(c.mispredictPenalty);
+    add(c.btbMissTakenPenalty);
+    add(c.aluLatency);
+    add(c.mulLatency);
+    add(c.divLatency);
+    add(c.fpLatency);
+    add(c.fpDivLatency);
+    add(c.loadHitLatency);
+    addCacheSignature(s, c.icache);
+    addCacheSignature(s, c.dcache);
+    add(c.hasL2);
+    if (c.hasL2) {
+        addCacheSignature(s, c.l2cache);
+        add(c.l2HitLatency);
+    }
+    add(c.memLatency);
+    add(c.itlbEntries);
+    add(c.dtlbEntries);
+    add(c.tlbMissPenalty);
+    add(c.btb.entries);
+    add(c.btb.associativity);
+    add(c.btb.lruReplacement);
+    add(uint64_t(c.predictor));
+    add(c.globalPredictorEntries);
+    add(c.localPredictorEntries);
+    add(c.gshareEntries);
+    add(c.rasDepth);
+    add(c.scdEnabled);
+    add(c.vbbiEnabled);
+    add(c.ittageEnabled);
+    if (c.scdEnabled) {
+        add(c.btb.jteCap);
+        add(c.btb.adaptiveJteCap);
+        add(c.btb.adaptEpoch);
+        add(uint64_t(c.bopPolicy));
+        add(c.ropForwardDistance);
+        add(c.scdDedicatedTable);
+        add(c.dedicatedJteEntries);
+    }
+    return s;
+}
+
+/** One timing model riding a group's shared stream. */
+struct Member
+{
+    size_t idx = 0;      ///< plan (and result) index
+    cpu::CoreConfig cfg; ///< withScheme() applied; referenced by timing
+    std::string sig;
+    int copyOf = -1; ///< members index whose result this point shares
+    std::unique_ptr<cpu::TimingModel> timing;
+
+    /**
+     * The stream no longer describes this member (a malformed skip
+     * span); it re-runs directly after the group finishes. A guard, not
+     * an expected path: the interpreters' dispatch sequences are
+     * side-effect-free by construction.
+     */
+    bool fellBack = false;
+
+    // Hit-span skip state; persists across chunk boundaries.
+    bool skipping = false;
+    uint64_t skipTarget = 0;
+    unsigned skipLen = 0;
+
+    // Reconstructed functional statistics (SCD groups only; other
+    // groups consume every entry and share the producer's counters).
+    uint64_t retired = 0;
+    uint64_t dispatch = 0;
+    uint64_t branchCount[size_t(cpu::BranchClass::NumClasses)] = {};
+    uint64_t bopFastHits = 0;
+    uint64_t bopMisses = 0;
+    uint64_t jteInserts = 0;
+
+    double seconds = 0.0; ///< consumption wall time of this member
+};
+
+/** Functional-statistics accumulation for one consumed stream entry. */
+inline void
+accumulate(Member &m, const cpu::RetireInfo &ri)
+{
+    using cpu::CtrlKind;
+    ++m.retired;
+    m.dispatch += (ri.flags >> cpu::FunctionalCore::kDispatchRangeShift) & 1;
+    if (ri.ctrl == CtrlKind::None || ri.ctrl == CtrlKind::JteFlush)
+        return;
+    ++m.branchCount[size_t(ri.cls)];
+    if (ri.ctrl == CtrlKind::Bop)
+        ++m.bopMisses; // ineligible bop: recorded and replayed as a miss
+    else if (ri.ctrl == CtrlKind::Jru && ri.jteInsert)
+        ++m.jteInserts;
+}
+
+/**
+ * Skipped entries must be the dispatch slow path and nothing else: pure
+ * scratch-register computation ending in the jru. Stores, syscalls, and
+ * any SCD-state instruction (setmask, .op loads, a nested bop, the
+ * terminating jru aside) inside a skip span mean the stream does not
+ * describe this member's hit path — fall back to direct execution.
+ */
+constexpr uint32_t kSkipGuardFlags =
+    isa::FlagStore | isa::FlagSystem | isa::FlagScd;
+
+/** A generous bound on dispatch-sequence length (they are ~10 insts). */
+constexpr unsigned kMaxSkipSpan = 64;
+
+/**
+ * Feed one chunk of an SCD group's stream to @p m. At every recorded
+ * probe the member performs the real JTE lookup against its own timing
+ * model — the same virtual call, at the same point in the retire order,
+ * as direct execution's mid-instruction probe. A hit retires a
+ * synthesized hit-bop and skips the slow path the producer recorded
+ * (always-miss superset stream); a miss retires the recorded entries
+ * unchanged. Bop-free spans flow through TimingModel::consume() in one
+ * virtual call so the per-instruction retire devirtualizes.
+ */
+void
+consumeScd(Member &m, const cpu::RetireChunk &chunk)
+{
+    using cpu::CtrlKind;
+    const cpu::RetireInfo *e = chunk.entries;
+    const size_t n = chunk.count;
+    size_t i = 0;
+    while (i < n) {
+        if (m.skipping) {
+            const cpu::RetireInfo &ri = e[i];
+            if (ri.ctrl == CtrlKind::Jru) {
+                if (ri.nextPc != m.skipTarget) {
+                    m.fellBack = true;
+                    return;
+                }
+                m.skipping = false;
+                ++i;
+                continue;
+            }
+            if ((ri.flags & kSkipGuardFlags) != 0 ||
+                ++m.skipLen > kMaxSkipSpan) {
+                m.fellBack = true;
+                return;
+            }
+            ++i;
+            continue;
+        }
+
+        // Scan ahead to the next probed bop, folding the functional
+        // statistics into the same pass over the entries.
+        size_t start = i;
+        while (i < n && !(e[i].ctrl == CtrlKind::Bop && e[i].bopProbed)) {
+            accumulate(m, e[i]);
+            ++i;
+        }
+        if (i > start)
+            m.timing->consume(e + start, i - start);
+        if (i == n)
+            break;
+
+        const cpu::RetireInfo &bop = e[i];
+        auto target = m.timing->jteLookup(bop.bank, bop.jteOpcode);
+        ++m.retired;
+        m.dispatch +=
+            (bop.flags >> cpu::FunctionalCore::kDispatchRangeShift) & 1;
+        ++m.branchCount[size_t(cpu::BranchClass::Bop)];
+        if (target) {
+            cpu::RetireInfo hit = bop;
+            hit.nextPc = *target;
+            hit.bopHit = true;
+            hit.jteTarget = *target;
+            m.timing->retire(hit);
+            ++m.bopFastHits;
+            m.skipping = true;
+            m.skipTarget = *target;
+            m.skipLen = 0;
+        } else {
+            m.timing->retire(bop);
+            ++m.bopMisses;
+        }
+        ++i;
+    }
+}
+
+/**
+ * Execute one multi-member group: one producer run, every member's
+ * timing model stepped off the shared stream in lockstep, chunk by
+ * chunk.
+ */
+void
+runGroup(const std::vector<size_t> &indices, ExperimentSet &set,
+         bool verbose)
+{
+    const std::vector<ExperimentPoint> &points = set.points;
+    const ExperimentPoint &first = points[indices[0]];
+    const bool scdGroup = first.scheme == core::Scheme::Scd;
+
+    // Build every member before creating any timing model: the models
+    // hold references into their member's CoreConfig, so the vector must
+    // never reallocate once the first model exists.
+    std::vector<Member> members;
+    members.reserve(indices.size());
+    for (size_t idx : indices) {
+        Member m;
+        m.idx = idx;
+        m.cfg = core::withScheme(points[idx].machine, points[idx].scheme);
+        m.sig = timingSignature(m.cfg);
+        members.push_back(std::move(m));
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = 0; j < i; ++j) {
+            if (members[j].copyOf < 0 && members[j].sig == members[i].sig) {
+                members[i].copyOf = int(j);
+                break;
+            }
+        }
+        if (members[i].copyOf < 0)
+            members[i].timing = cpu::makeTimingModel(members[i].cfg);
+        if (verbose)
+            printProgress(points[members[i].idx]);
+    }
+
+    // The producer: one functional execution against a permanently-empty
+    // JTE port (RecorderTiming), so the stream records the slow dispatch
+    // path at every dispatch — the superset every member replays from.
+    auto program = compileGuest(first.vm, first.workload->text(first.size),
+                                dispatchForScheme(first.scheme));
+    mem::GuestMemory memory;
+    program->loadInto(memory);
+    cpu::RecorderTiming recorder;
+    cpu::FunctionalCore func(members[0].cfg, memory, recorder);
+    func.loadProgram(program->text);
+    func.setDispatchMeta(program->meta);
+
+    cpu::RetireStream stream;
+    double producerSeconds = 0.0;
+    bool exhausted = false;
+    while (!exhausted) {
+        cpu::RetireChunk &chunk = stream.produceSlot();
+        auto fillStart = steady::now();
+        while (chunk.count < cpu::RetireChunk::kCapacity) {
+            bool live = func.step(&chunk.entries[chunk.count]);
+            ++chunk.count;
+            if (!live) {
+                exhausted = true;
+                break;
+            }
+        }
+        producerSeconds += secondsSince(fillStart);
+
+        bool anyLive = false;
+        for (Member &m : members) {
+            if (m.copyOf >= 0 || m.fellBack)
+                continue;
+            auto drainStart = steady::now();
+            if (scdGroup)
+                consumeScd(m, chunk);
+            else
+                m.timing->consume(chunk.entries, chunk.count);
+            m.seconds += secondsSince(drainStart);
+            if (!m.fellBack)
+                anyLive = true;
+        }
+        if (!anyLive)
+            break; // everyone needs the direct path; stop producing
+    }
+    if (exhausted && func.exitCode() != 0) {
+        fatal("guest exited with code ", func.exitCode(), " (replay group ",
+              first.label(), "): ", func.output());
+    }
+    for (Member &m : members) {
+        if (m.copyOf < 0 && !m.fellBack && m.skipping)
+            m.fellBack = true; // stream ended inside a skip span
+    }
+
+    StatGroup funcStats;
+    func.exportStats(funcStats);
+    size_t liveCount = 0;
+    for (const Member &m : members)
+        liveCount += m.copyOf < 0 && !m.fellBack;
+    double producerShare =
+        liveCount ? producerSeconds / double(liveCount) : 0.0;
+
+    for (Member &m : members) {
+        if (m.copyOf >= 0)
+            continue;
+        if (m.fellBack) {
+            set.runs[m.idx] = runPointDirect(points[m.idx], false);
+            continue;
+        }
+        ExperimentResult r;
+        r.run.exitCode = func.exitCode();
+        r.run.exited = func.exited();
+        r.run.instructions = scdGroup ? m.retired : func.retired();
+        r.run.cycles = m.timing->cycles();
+        if (scdGroup) {
+            r.stats.counter("instructions") = m.retired;
+            r.stats.counter("dispatchInstructions") = m.dispatch;
+            for (size_t c = 0; c < size_t(cpu::BranchClass::NumClasses);
+                 ++c) {
+                std::string name =
+                    cpu::branchClassName(cpu::BranchClass(c));
+                r.stats.counter("branch." + name + ".count") =
+                    m.branchCount[c];
+            }
+            r.stats.counter("scd.bopFastHits") = m.bopFastHits;
+            r.stats.counter("scd.bopMisses") = m.bopMisses;
+            // Forced fall-throughs are decided by the .op-to-bop
+            // distance, which hit-path skipping never changes (both
+            // sit inside one handler body) — path-independent, so the
+            // producer's count is every member's count.
+            r.stats.counter("scd.bopFallThroughForced") =
+                funcStats.get("scd.bopFallThroughForced");
+            r.stats.counter("scd.jteInserts") = m.jteInserts;
+        } else {
+            r.stats = funcStats;
+        }
+        r.stats.counter("cycles") = r.run.cycles;
+        m.timing->exportStats(r.stats);
+        r.output = func.output();
+        r.interpreterTextBytes = program->textBytes();
+        r.simSeconds = m.seconds + producerShare;
+        set.runs[m.idx].seconds = r.simSeconds;
+        set.runs[m.idx].result = std::move(r);
+    }
+    for (Member &m : members) {
+        if (m.copyOf < 0)
+            continue;
+        set.runs[m.idx].result = set.runs[members[m.copyOf].idx].result;
+        set.runs[m.idx].seconds = 0.0; // no wall time of its own
+    }
+}
+
+} // namespace
+
+bool
+replayEnabled(const RunOptions &options)
+{
+    return options.replay && std::getenv("SCD_NO_REPLAY") == nullptr;
+}
+
+ExperimentRun
+runPointDirect(const ExperimentPoint &point, bool verbose)
+{
+    SCD_ASSERT(point.workload, "experiment point without a workload");
+    if (verbose)
+        printProgress(point);
+    auto start = steady::now();
+    ExperimentRun run;
+    run.result = runWorkload(point.vm, *point.workload, point.size,
+                             point.scheme, point.machine,
+                             point.maxInstructions);
+    run.seconds = secondsSince(start);
+    return run;
+}
+
+ExperimentSet
+runPlanReplay(const ExperimentPlan &plan, const RunOptions &options)
+{
+    ExperimentSet set;
+    set.points = plan.points();
+    set.runs.resize(set.points.size());
+
+    // Group points by functional key. Points the stream cannot describe
+    // — instruction-limited runs (their stop point depends on the
+    // member's own retire count) and functional-only timing (NullTiming
+    // replays nothing, its JTE state lives on the producer side) — run
+    // direct as singleton tasks, as do groups of one.
+    std::map<std::string, std::vector<size_t>> byKey;
+    std::vector<std::vector<size_t>> tasks;
+    for (size_t i = 0; i < set.points.size(); ++i) {
+        const ExperimentPoint &p = set.points[i];
+        SCD_ASSERT(p.workload, "experiment point without a workload");
+        if (p.maxInstructions != 0 ||
+            p.machine.timingKind == cpu::TimingKind::Null) {
+            tasks.push_back({i});
+            continue;
+        }
+        byKey[functionalKey(p)].push_back(i);
+    }
+    for (auto &entry : byKey)
+        tasks.push_back(std::move(entry.second));
+
+    set.jobs = resolveJobs(options.jobs);
+    if (tasks.size() < set.jobs)
+        set.jobs = tasks.empty() ? 1 : unsigned(tasks.size());
+
+    auto planStart = steady::now();
+    parallelFor(set.jobs, tasks.size(), [&](size_t t) {
+        const std::vector<size_t> &indices = tasks[t];
+        if (indices.size() == 1) {
+            set.runs[indices[0]] =
+                runPointDirect(set.points[indices[0]], options.verbose);
+            return;
+        }
+        runGroup(indices, set, options.verbose);
+    });
+    set.totalSeconds = secondsSince(planStart);
+    return set;
+}
+
+} // namespace scd::harness

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The execute-once, time-many plan executor (docs/SIMULATOR.md).
+ *
+ * Points of an ExperimentPlan that share a functional key — VM,
+ * interpreter binary (dispatch kind), workload source, and the
+ * architecturally-visible SCD knobs — retire the same instruction
+ * stream on every machine configuration. runPlanReplay() executes each
+ * such group's FunctionalCore once and feeds the recorded stream to
+ * every member's timing model, so a 16-machine sensitivity sweep pays
+ * for one functional execution instead of sixteen. Results are
+ * bit-identical to direct execution (tests/replay_test.cc); the
+ * --no-replay escape hatch and the SCD_NO_REPLAY environment variable
+ * select the direct path for cross-checking.
+ */
+
+#ifndef SCD_HARNESS_REPLAY_HH
+#define SCD_HARNESS_REPLAY_HH
+
+#include "experiment.hh"
+
+namespace scd::harness
+{
+
+/** Whether runPlan() should group-and-replay (options + environment). */
+bool replayEnabled(const RunOptions &options);
+
+/** Execute one point directly (no replay), timing its wall clock. */
+ExperimentRun runPointDirect(const ExperimentPoint &point, bool verbose);
+
+/** The replay-mode implementation behind runPlan(). */
+ExperimentSet runPlanReplay(const ExperimentPlan &plan,
+                            const RunOptions &options);
+
+} // namespace scd::harness
+
+#endif // SCD_HARNESS_REPLAY_HH

@@ -8,12 +8,15 @@
 #ifndef SCD_HARNESS_RUNNER_HH
 #define SCD_HARNESS_RUNNER_HH
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/stats.hh"
 #include "core/scheme.hh"
 #include "cpu/config.hh"
 #include "cpu/core.hh"
+#include "guest/guest_program.hh"
 #include "workloads.hh"
 
 namespace scd::obs
@@ -103,6 +106,32 @@ ExperimentResult runWorkload(VmKind vm, const Workload &workload,
                              const cpu::CoreConfig &machine,
                              uint64_t maxInstructions = 0,
                              obs::TraceBuffer *trace = nullptr);
+
+/** The interpreter binary variant a scheme runs on. */
+guest::DispatchKind dispatchForScheme(core::Scheme scheme);
+
+/**
+ * Compile @p source for @p vm with @p kind dispatch, memoized in a
+ * process-global cache keyed by (vm, source hash, dispatch kind) — the
+ * guest binary depends on nothing else. Thread-safe; compilation of a
+ * new key happens outside the lock so concurrent first touches of
+ * different keys do not serialize.
+ */
+std::shared_ptr<const guest::GuestProgram>
+compileGuest(VmKind vm, const std::string &source,
+             guest::DispatchKind kind);
+
+/** Hit/compile counters of the guest compile cache (for tests). */
+struct GuestCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t compiles = 0;
+};
+
+GuestCacheStats guestCacheStats();
+
+/** Drop all cached guests and zero the counters (tests). */
+void resetGuestCache();
 
 } // namespace scd::harness
 
