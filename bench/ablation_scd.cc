@@ -96,15 +96,28 @@ ablationSteps()
     return steps;
 }
 
+/**
+ * "%+5.1f%%" of a speedup as a percentage delta, or kFailedCell when
+ * the step had no usable baseline/scheme pair to measure (speedup 0).
+ */
+std::string
+pctOrFailed(double speedup)
+{
+    if (speedup <= 0.0)
+        return kFailedCell;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%+5.1f%%", 100.0 * (speedup - 1.0));
+    return buf;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
-    unsigned jobs = bench::parseJobs(argc, argv);
+    RunOptions options = bench::parseRunOptions(argc, argv);
     std::string jsonPath = bench::parseJsonPath(argc, argv);
-    bool noReplay = bench::parseNoReplay(argc, argv);
     obs::StatsSink sink("ablation_scd", bench::sizeName(size));
 
     // Baseline/scheme pairs for the whole subset, all steps as one plan.
@@ -125,10 +138,8 @@ main(int argc, char **argv)
     }
     std::fprintf(stderr,
                  "ablation: %zu points across %zu ablation steps%s...\n",
-                 plan.size(), steps.size(), noReplay ? " (direct)" : "");
-    RunOptions options;
-    options.jobs = jobs;
-    options.replay = !noReplay;
+                 plan.size(), steps.size(),
+                 options.replay ? "" : " (direct)");
     ExperimentSet all = runPlan(plan, options);
 
     // Subset geomean speedup of each step's scheme over its baseline,
@@ -140,29 +151,36 @@ main(int argc, char **argv)
         ExperimentSet slice = bench::sliceSet(all, i * perStep, perStep);
         std::vector<double> speedups;
         for (size_t k = 0; k < slice.points.size(); k += 2) {
+            // Skip pairs with a failed/timed-out half; a step with no
+            // surviving pair renders as FAILED and exports no metric.
+            if (!slice.runs[k].usable() || !slice.runs[k + 1].usable() ||
+                slice.at(k + 1).run.cycles == 0) {
+                continue;
+            }
             speedups.push_back(double(slice.at(k).run.cycles) /
                                double(slice.at(k + 1).run.cycles));
         }
-        speedup.push_back(geomean(speedups));
+        speedup.push_back(speedups.empty() ? 0.0 : geomean(speedups));
         exportSet(sink, steps[i].label, slice);
-        sink.addMetric("ablation." + steps[i].label, speedup.back());
+        if (!speedups.empty())
+            sink.addMetric("ablation." + steps[i].label, speedup.back());
     }
 
     // Step layout (ablationSteps order): 0-1 bop policy, 2-4 JT vs I$,
     // 5-7 predictors, 8-9 JTE storage, 10-12 rop distance.
     std::printf("Ablation 1: bop policy (RLua, subset geomean)\n");
-    std::printf("  stall-on-Rop (paper default): %+5.1f%%\n",
-                100.0 * (speedup[0] - 1.0));
-    std::printf("  fall-through:                 %+5.1f%%\n\n",
-                100.0 * (speedup[1] - 1.0));
+    std::printf("  stall-on-Rop (paper default): %s\n",
+                pctOrFailed(speedup[0]).c_str());
+    std::printf("  fall-through:                 %s\n\n",
+                pctOrFailed(speedup[1]).c_str());
 
     std::printf("Ablation 2: jump threading vs I-cache capacity "
                 "(RLua, subset geomean)\n");
     {
         size_t i = 2;
         for (unsigned kb : {16u, 8u, 4u}) {
-            std::printf("  %2u KB I$: JT speedup %+5.1f%%\n", kb,
-                        100.0 * (speedup[i++] - 1.0));
+            std::printf("  %2u KB I$: JT speedup %s\n", kb,
+                        pctOrFailed(speedup[i++]).c_str());
         }
     }
     std::printf("  (the paper's production-Lua interpreter is large "
@@ -170,22 +188,22 @@ main(int argc, char **argv)
 
     std::printf("Ablation: prediction-only schemes vs SCD "
                 "(RLua, subset geomean)\n");
-    std::printf("  VBBI (HPCA'10):          %+5.1f%%\n",
-                100.0 * (speedup[5] - 1.0));
-    std::printf("  ITTAGE-style (JILP'06):  %+5.1f%%\n",
-                100.0 * (speedup[6] - 1.0));
-    std::printf("  SCD (this paper):        %+5.1f%%\n",
-                100.0 * (speedup[7] - 1.0));
+    std::printf("  VBBI (HPCA'10):          %s\n",
+                pctOrFailed(speedup[5]).c_str());
+    std::printf("  ITTAGE-style (JILP'06):  %s\n",
+                pctOrFailed(speedup[6]).c_str());
+    std::printf("  SCD (this paper):        %s\n",
+                pctOrFailed(speedup[7]).c_str());
     std::printf("  (predictors fix mispredictions only; SCD also "
                 "removes the dispatch instructions)\n\n");
 
     std::printf("Ablation: JTE storage — BTB overlay (paper) vs "
                 "dedicated table (Kaeli-Emma CBT style)\n");
-    std::printf("  overlay on BTB:    %+5.1f%% (no extra table)\n",
-                100.0 * (speedup[8] - 1.0));
-    std::printf("  dedicated 64-entry:%+5.1f%% (extra ~0.6KB "
+    std::printf("  overlay on BTB:    %s (no extra table)\n",
+                pctOrFailed(speedup[8]).c_str());
+    std::printf("  dedicated 64-entry:%s (extra ~0.6KB "
                 "storage)\n",
-                100.0 * (speedup[9] - 1.0));
+                pctOrFailed(speedup[9]).c_str());
     std::printf("  (performance parity justifies the paper's "
                 "overlay, which is nearly free)\n\n");
 
@@ -194,11 +212,11 @@ main(int argc, char **argv)
     {
         size_t i = 10;
         for (unsigned dist : {3u, 5u, 7u}) {
-            std::printf("  distance %u: SCD speedup %+5.1f%%\n", dist,
-                        100.0 * (speedup[i++] - 1.0));
+            std::printf("  distance %u: SCD speedup %s\n", dist,
+                        pctOrFailed(speedup[i++]).c_str());
         }
     }
     if (!writeJsonIfRequested(sink, jsonPath))
         return 1;
-    return 0;
+    return reportTroubledPoints({&all});
 }

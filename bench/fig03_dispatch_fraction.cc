@@ -18,18 +18,17 @@ main(int argc, char **argv)
     using namespace scd::harness;
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
-    unsigned jobs = bench::parseJobs(argc, argv);
+    RunOptions options = bench::parseRunOptions(argc, argv);
     std::string jsonPath = bench::parseJsonPath(argc, argv);
     std::fprintf(stderr, "fig03: running 11 baseline simulations (%s)\n",
                  bench::sizeName(size));
     GridRun run = runGridSet(minorConfig(), size, {VmKind::Rlua},
-                             {core::Scheme::Baseline}, /*verbose=*/false,
-                             jobs);
+                             {core::Scheme::Baseline}, options);
     std::printf("%s\n", renderFig3(run.grid).c_str());
 
     obs::StatsSink sink("fig03_dispatch_fraction", bench::sizeName(size));
     exportSet(sink, "baseline-dispatch", run.set);
     if (!writeJsonIfRequested(sink, jsonPath))
         return 1;
-    return 0;
+    return reportTroubledPoints({&run.set});
 }

@@ -20,18 +20,19 @@ main(int argc, char **argv)
     using namespace scd::harness;
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
-    unsigned jobs = bench::parseJobs(argc, argv);
+    RunOptions options = bench::parseRunOptions(argc, argv);
+    options.verbose = true;
     std::string jsonPath = bench::parseJsonPath(argc, argv);
     std::fprintf(stderr,
                  "fig07-10: running the 2x11x4 simulation grid (%s, %u "
                  "jobs)...\n",
-                 bench::sizeName(size), resolveJobs(jobs));
+                 bench::sizeName(size), resolveJobs(options.jobs));
     GridRun run = runGridSet(minorConfig(), size,
                              {VmKind::Rlua, VmKind::Sjs},
                              {core::Scheme::Baseline,
                               core::Scheme::JumpThreading,
                               core::Scheme::Vbbi, core::Scheme::Scd},
-                             /*verbose=*/true, jobs);
+                             options);
     std::printf("%s\n", renderFig7(run.grid).c_str());
     std::printf("%s\n", renderFig8(run.grid).c_str());
     std::printf("%s\n", renderFig9(run.grid).c_str());
@@ -41,5 +42,5 @@ main(int argc, char **argv)
     exportSet(sink, "overall", run.set);
     if (!writeJsonIfRequested(sink, jsonPath))
         return 1;
-    return 0;
+    return reportTroubledPoints({&run.set});
 }

@@ -39,11 +39,18 @@ sweepTable(VmKind vm, const std::vector<std::string> &columnTitles,
     for (const auto &name : names) {
         std::vector<std::string> row = {name};
         for (size_t c = 0; c < columnTitles.size(); ++c) {
-            double v = name == "GEOMEAN"
-                           ? grids[c].geomeanSpeedup(vm, workloadNames(),
-                                                     core::Scheme::Scd)
-                           : grids[c].speedup(vm, name, core::Scheme::Scd);
-            row.push_back(TextTable::fixed(v, 3));
+            if (name == "GEOMEAN") {
+                row.push_back(TextTable::fixed(
+                    grids[c].geomeanSpeedup(vm, workloadNames(),
+                                            core::Scheme::Scd),
+                    3));
+            } else if (!grids[c].has(vm, name, core::Scheme::Baseline) ||
+                       !grids[c].has(vm, name, core::Scheme::Scd)) {
+                row.push_back(kFailedCell);
+            } else {
+                row.push_back(TextTable::fixed(
+                    grids[c].speedup(vm, name, core::Scheme::Scd), 3));
+            }
         }
         t.row(row);
     }
@@ -79,18 +86,15 @@ int
 main(int argc, char **argv)
 {
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
-    unsigned jobs = bench::parseJobs(argc, argv);
+    RunOptions options = bench::parseRunOptions(argc, argv);
     std::string jsonPath = bench::parseJsonPath(argc, argv);
-    bool noReplay = bench::parseNoReplay(argc, argv);
     obs::StatsSink sink("fig11_sensitivity", bench::sizeName(size));
 
     std::vector<bench::Fig11Step> steps = bench::fig11Steps();
     ExperimentPlan plan = bench::fig11Plan(steps, size);
     std::fprintf(stderr, "fig11: %zu points across %zu sweep steps%s...\n",
-                 plan.size(), steps.size(), noReplay ? " (direct)" : "");
-    RunOptions options;
-    options.jobs = jobs;
-    options.replay = !noReplay;
+                 plan.size(), steps.size(),
+                 options.replay ? "" : " (direct)");
     ExperimentSet all = runPlan(plan, options);
 
     const size_t perStep = all.points.size() / steps.size();
@@ -111,5 +115,5 @@ main(int argc, char **argv)
 
     if (!writeJsonIfRequested(sink, jsonPath))
         return 1;
-    return 0;
+    return reportTroubledPoints({&all});
 }

@@ -263,5 +263,6 @@ main(int argc, char **argv)
                     fig11Replay > 0 ? fig11Direct / fig11Replay : 0.0,
                     path);
     }
-    return 0;
+    return reportTroubledPoints(
+        {&functional, &functional2, &serial, &parallel});
 }

@@ -21,9 +21,9 @@ main(int argc, char **argv)
     using namespace scd::harness;
 
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
-    unsigned jobs = bench::parseJobs(argc, argv);
+    RunOptions options = bench::parseRunOptions(argc, argv);
+    options.verbose = true;
     std::string jsonPath = bench::parseJsonPath(argc, argv);
-    bool noReplay = bench::parseNoReplay(argc, argv);
     cpu::CoreConfig config = cortexA8Config();
     // The A8-like machine runs on WideInOrderTiming; --width=N widens
     // (or narrows) the issue stage without touching the rest of the
@@ -35,7 +35,7 @@ main(int argc, char **argv)
     GridRun run = runGridSet(config, size,
                              {VmKind::Rlua, VmKind::Sjs},
                              {core::Scheme::Baseline, core::Scheme::Scd},
-                             /*verbose=*/true, jobs, !noReplay);
+                             options);
     const Grid &grid = run.grid;
 
     std::printf("Higher-end dual-issue core (Section VI-C2)\n");
@@ -45,19 +45,20 @@ main(int argc, char **argv)
     t.header({"benchmark", "rlua speedup", "rlua inst ratio",
               "sjs speedup", "sjs inst ratio"});
     for (const auto &name : workloadNames()) {
-        t.row({name,
-               TextTable::percent(
-                   grid.speedup(VmKind::Rlua, name, core::Scheme::Scd) -
-                       1.0, 1),
-               TextTable::fixed(
-                   grid.instRatio(VmKind::Rlua, name, core::Scheme::Scd),
-                   3),
-               TextTable::percent(
-                   grid.speedup(VmKind::Sjs, name, core::Scheme::Scd) -
-                       1.0, 1),
-               TextTable::fixed(
-                   grid.instRatio(VmKind::Sjs, name, core::Scheme::Scd),
-                   3)});
+        std::vector<std::string> row = {name};
+        for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
+            if (!grid.has(vm, name, core::Scheme::Baseline) ||
+                !grid.has(vm, name, core::Scheme::Scd)) {
+                row.push_back(kFailedCell);
+                row.push_back(kFailedCell);
+                continue;
+            }
+            row.push_back(TextTable::percent(
+                grid.speedup(vm, name, core::Scheme::Scd) - 1.0, 1));
+            row.push_back(TextTable::fixed(
+                grid.instRatio(vm, name, core::Scheme::Scd), 3));
+        }
+        t.row(row);
     }
     t.row({"GEOMEAN",
            TextTable::percent(grid.geomeanSpeedup(VmKind::Rlua,
@@ -77,5 +78,5 @@ main(int argc, char **argv)
     exportSet(sink, "higherend", run.set);
     if (!writeJsonIfRequested(sink, jsonPath))
         return 1;
-    return 0;
+    return reportTroubledPoints({&run.set});
 }

@@ -21,9 +21,9 @@ main(int argc, char **argv)
     // The paper ran these with large inputs on FPGA; pass --size=sim for
     // a faster approximation.
     InputSize size = bench::parseSize(argc, argv, InputSize::Fpga);
-    unsigned jobs = bench::parseJobs(argc, argv);
+    RunOptions options = bench::parseRunOptions(argc, argv);
+    options.verbose = true;
     std::string jsonPath = bench::parseJsonPath(argc, argv);
-    bool noReplay = bench::parseNoReplay(argc, argv);
     std::fprintf(stderr,
                  "table4: running 11x3 rocket-config simulations (%s)...\n",
                  bench::sizeName(size));
@@ -31,12 +31,12 @@ main(int argc, char **argv)
                              {core::Scheme::Baseline,
                               core::Scheme::JumpThreading,
                               core::Scheme::Scd},
-                             /*verbose=*/true, jobs, !noReplay);
+                             options);
     std::printf("%s\n", renderTable4(run.grid).c_str());
 
     obs::StatsSink sink("table4_rocket", bench::sizeName(size));
     exportSet(sink, "rocket", run.set);
     if (!writeJsonIfRequested(sink, jsonPath))
         return 1;
-    return 0;
+    return reportTroubledPoints({&run.set});
 }

@@ -52,14 +52,14 @@ main(int argc, char **argv)
 
     // Measure the rocket-config SCD speedup to derive the EDP number.
     InputSize size = bench::parseSize(argc, argv, InputSize::Sim);
-    unsigned jobs = bench::parseJobs(argc, argv);
+    RunOptions options = bench::parseRunOptions(argc, argv);
     std::string jsonPath = bench::parseJsonPath(argc, argv);
     std::fprintf(stderr,
                  "table5: measuring rocket SCD speedup (%s inputs)...\n",
                  bench::sizeName(size));
     GridRun run = runGridSet(rocketConfig(), size, {VmKind::Rlua},
                              {core::Scheme::Baseline, core::Scheme::Scd},
-                             /*verbose=*/false, jobs);
+                             options);
     double speedup =
         run.grid.geomeanSpeedup(VmKind::Rlua, workloadNames(),
                                 core::Scheme::Scd);
@@ -78,5 +78,5 @@ main(int argc, char **argv)
                    100.0 * model.edpImprovement(speedup));
     if (!writeJsonIfRequested(sink, jsonPath))
         return 1;
-    return 0;
+    return reportTroubledPoints({&run.set});
 }

@@ -44,6 +44,18 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string &what) : std::runtime_error(what) {}
 };
 
+/**
+ * Thrown when a per-point wall-clock deadline expires (see
+ * cpu::Watchdog). A subclass of FatalError so generic containment
+ * still catches it, while callers that care can classify the point as
+ * timed-out rather than failed.
+ */
+class TimeoutError : public FatalError
+{
+  public:
+    explicit TimeoutError(const std::string &what) : FatalError(what) {}
+};
+
 /** Report an internal simulator bug and abort. */
 template <typename... Args>
 [[noreturn]] void
@@ -62,22 +74,29 @@ fatal(Args &&...args)
     throw FatalError(detail::formatMessage(std::forward<Args>(args)...));
 }
 
-/** Report a survivable anomaly. */
+/**
+ * Report a survivable anomaly. The whole line is formatted up front and
+ * emitted with one fwrite so concurrent warnings from parallel runPlan
+ * workers cannot interleave mid-line.
+ */
 template <typename... Args>
 void
 warn(Args &&...args)
 {
-    std::string msg = detail::formatMessage(std::forward<Args>(args)...);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::string line =
+        "warn: " + detail::formatMessage(std::forward<Args>(args)...) + "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
-/** Emit a status message. */
+/** Emit a status message (tear-free, like warn()). */
 template <typename... Args>
 void
 inform(Args &&...args)
 {
-    std::string msg = detail::formatMessage(std::forward<Args>(args)...);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::string line =
+        "info: " + detail::formatMessage(std::forward<Args>(args)...) + "\n";
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fflush(stdout);
 }
 
 /** panic() unless the given condition holds. */

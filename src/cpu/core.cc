@@ -17,6 +17,7 @@ RunResult
 Core::run(uint64_t maxInstructions)
 {
     if (timing_->needsRetireInfo()) {
+        const Watchdog &watchdog = functional_.watchdog();
         RetireInfo ri;
         while (!functional_.exited()) {
             if (maxInstructions != 0 &&
@@ -25,6 +26,7 @@ Core::run(uint64_t maxInstructions)
             }
             functional_.step(&ri);
             timing_->retire(ri);
+            watchdog.maybeExpire(functional_.retired());
         }
     } else {
         functional_.runFunctional(maxInstructions);

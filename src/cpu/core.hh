@@ -69,6 +69,9 @@ class Core
         functional_.setTraceHook(std::move(hook));
     }
 
+    /** Arm the per-point wall-clock watchdog (<= 0 disarms). */
+    void armWatchdog(double seconds) { functional_.armWatchdog(seconds); }
+
     /**
      * Run until the guest exits or @p maxInstructions retire
      * (0 = unlimited).

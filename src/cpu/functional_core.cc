@@ -80,7 +80,10 @@ FunctionalCore::setDispatchMeta(const DispatchMeta &meta)
 void
 FunctionalCore::badFetch(uint64_t pc) const
 {
-    panic("instruction fetch outside text at pc=", pc);
+    // Reachable from a malformed guest program (e.g. a computed jump
+    // past the text segment), so this is a guest error, not a
+    // simulator bug: throw instead of aborting the whole plan.
+    fatal("instruction fetch outside text at pc=", pc);
 }
 
 inline uint64_t
@@ -176,7 +179,8 @@ FunctionalCore::handleSyscall()
         break;
       }
       default:
-        panic("unknown syscall ", x_[17]);
+        // Guest-controlled register value: a guest error, not a bug.
+        fatal("unknown syscall ", x_[17]);
     }
 }
 
@@ -443,7 +447,8 @@ FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
         handleSyscall();
         break;
       case Opcode::EBREAK:
-        panic("ebreak executed at pc=", pc);
+        // Guest-placed trap instruction: contain it as a guest error.
+        fatal("ebreak executed at pc=", pc);
         break;
 
       case Opcode::SETMASK:
@@ -534,7 +539,9 @@ FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
         break;
 
       default:
-        panic("unimplemented opcode ", isa::mnemonic(inst.op), " at pc=",
+        // Decoded from guest text, so malformed bytecode lands here:
+        // a guest error, not a simulator bug.
+        fatal("unimplemented opcode ", isa::mnemonic(inst.op), " at pc=",
               pc);
     }
 
@@ -644,7 +651,30 @@ void
 FunctionalCore::runFunctional(uint64_t maxInstructions)
 {
     HotState hs{pc_, retired_, dispatchInstructions_};
-    if (trace_) {
+    if (watchdog_.armed()) {
+        // Watchdog-armed runs step in bounded bursts so the deadline is
+        // checked every kCheckInterval instructions without touching
+        // the unarmed fast loops below. A TimeoutError propagates with
+        // the hot state already folded back by the catch block.
+        try {
+            bool live = true;
+            while (live &&
+                   (maxInstructions == 0 || hs.retired < maxInstructions)) {
+                uint64_t burst = hs.retired + Watchdog::kCheckInterval;
+                if (maxInstructions != 0 && burst > maxInstructions)
+                    burst = maxInstructions;
+                while (hs.retired < burst &&
+                       (live = stepImpl<false, true>(nullptr, hs))) {
+                }
+                watchdog_.expire();
+            }
+        } catch (...) {
+            pc_ = hs.pc;
+            retired_ = hs.retired;
+            dispatchInstructions_ = hs.dispatchInstructions;
+            throw;
+        }
+    } else if (trace_) {
         // Rare: tracing a functional-only run. Keep the hook probe.
         while ((maxInstructions == 0 || hs.retired < maxInstructions) &&
                stepImpl<false, true>(nullptr, hs)) {

@@ -24,6 +24,7 @@
 #include "isa/program.hh"
 #include "mem/memory.hh"
 #include "retire_info.hh"
+#include "watchdog.hh"
 
 namespace scd::branch
 {
@@ -100,6 +101,13 @@ class FunctionalCore
     bool exited() const { return exited_; }
     int exitCode() const { return exitCode_; }
     uint64_t retired() const { return retired_; }
+
+    /**
+     * Arm the cooperative wall-clock watchdog: the run loops throw
+     * TimeoutError once @p seconds elapse (<= 0 disarms).
+     */
+    void armWatchdog(double seconds) { watchdog_.arm(seconds); }
+    const Watchdog &watchdog() const { return watchdog_; }
 
     /** Accumulated guest console output. */
     const std::string &output() const { return output_; }
@@ -248,6 +256,7 @@ class FunctionalCore
     bool exited_ = false;
     int exitCode_ = 0;
     TraceHook trace_;
+    Watchdog watchdog_;
 };
 
 } // namespace scd::cpu

@@ -6,11 +6,55 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "journal.hh"
 #include "pool.hh"
 #include "replay.hh"
 
 namespace scd::harness
 {
+
+const char *
+pointStatusName(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::Ok:
+        return "ok";
+      case PointStatus::Failed:
+        return "failed";
+      case PointStatus::TimedOut:
+        return "timed_out";
+      case PointStatus::Degraded:
+        return "degraded";
+    }
+    return "unknown";
+}
+
+size_t
+ExperimentSet::troubled() const
+{
+    size_t n = 0;
+    for (const ExperimentRun &run : runs)
+        n += run.status != PointStatus::Ok;
+    return n;
+}
+
+int
+reportTroubledPoints(const std::vector<const ExperimentSet *> &sets)
+{
+    size_t troubled = 0;
+    for (const ExperimentSet *set : sets) {
+        for (size_t i = 0; i < set->runs.size(); ++i) {
+            const ExperimentRun &run = set->runs[i];
+            if (run.status == PointStatus::Ok)
+                continue;
+            ++troubled;
+            warn("point ", set->points[i].label(), " ",
+                 pointStatusName(run.status),
+                 run.error.empty() ? "" : ": ", run.error);
+        }
+    }
+    return troubled == 0 ? 0 : 2;
+}
 
 std::string
 ExperimentPoint::label() const
@@ -60,26 +104,65 @@ resolveJobs(unsigned requested)
     return hw > 0 ? hw : 1;
 }
 
+double
+resolvePointTimeout(double requested)
+{
+    if (requested > 0.0)
+        return requested;
+    if (const char *env = std::getenv("SCD_POINT_TIMEOUT")) {
+        char *end = nullptr;
+        double v = std::strtod(env, &end);
+        if (end && end != env && *end == '\0' && v > 0.0)
+            return v;
+        warn("ignoring SCD_POINT_TIMEOUT='", env,
+             "' (want a positive number of seconds)");
+    }
+    return 0.0;
+}
+
 ExperimentSet
 runPlan(const ExperimentPlan &plan, const RunOptions &options)
 {
-    if (replayEnabled(options))
-        return runPlanReplay(plan, options);
-
     using clock = std::chrono::steady_clock;
+
+    RunOptions opts = options;
+    opts.pointTimeout = resolvePointTimeout(options.pointTimeout);
 
     ExperimentSet set;
     set.points = plan.points();
     set.runs.resize(set.points.size());
-    set.jobs = resolveJobs(options.jobs);
-    // No point spinning up more workers than there are simulations.
-    if (set.points.size() < set.jobs)
-        set.jobs = set.points.empty() ? 1 : unsigned(set.points.size());
+
+    // Restore journaled points before anything runs: a resumed point
+    // never touches the pool, the replay grouper, or the guest compile
+    // cache.
+    RunJournal journal;
+    std::vector<size_t> pending;
+    pending.reserve(set.points.size());
+    if (!opts.journalPath.empty() && opts.resume) {
+        std::map<std::string, ExperimentRun> restored =
+            loadJournal(opts.journalPath);
+        for (size_t i = 0; i < set.points.size(); ++i) {
+            auto it = restored.find(pointKey(set.points[i]));
+            if (it != restored.end()) {
+                set.runs[i] = it->second;
+                ++set.resumed;
+            } else {
+                pending.push_back(i);
+            }
+        }
+    } else {
+        for (size_t i = 0; i < set.points.size(); ++i)
+            pending.push_back(i);
+    }
+    if (!opts.journalPath.empty())
+        journal.open(opts.journalPath, /*truncate=*/!opts.resume);
 
     auto planStart = clock::now();
-    parallelFor(set.jobs, set.points.size(), [&](size_t i) {
-        set.runs[i] = runPointDirect(set.points[i], options.verbose);
-    });
+    if (replayEnabled(opts))
+        runPlanReplay(set, pending, opts, &journal);
+    else
+        runPlanDirect(set, pending, opts, &journal);
+    set.executed = pending.size();
     set.totalSeconds =
         std::chrono::duration<double>(clock::now() - planStart).count();
     return set;

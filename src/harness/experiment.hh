@@ -61,11 +61,37 @@ class ExperimentPlan
     std::vector<ExperimentPoint> points_;
 };
 
+/**
+ * How one point of a plan ended. A point is usable (its result holds
+ * real data) when Ok or Degraded; Failed and TimedOut points carry a
+ * default-constructed result plus diagnostic text in
+ * ExperimentRun::error.
+ */
+enum class PointStatus
+{
+    Ok,       ///< completed normally
+    Failed,   ///< FatalError / guest failure / allocation failure
+    TimedOut, ///< cancelled by the per-point wall-clock watchdog
+    Degraded, ///< replay path failed; direct-path fallback succeeded
+};
+
+/** Stable lower-case name, as exported in the failure manifest. */
+const char *pointStatusName(PointStatus status);
+
 /** One executed point: the simulation result plus its wall time. */
 struct ExperimentRun
 {
     ExperimentResult result;
     double seconds = 0.0; ///< wall time of this point
+    PointStatus status = PointStatus::Ok;
+    std::string error; ///< diagnostic text for non-Ok statuses
+
+    /** True when result holds real data (Ok or Degraded). */
+    bool
+    usable() const
+    {
+        return status == PointStatus::Ok || status == PointStatus::Degraded;
+    }
 };
 
 /** All results of a plan, in plan order. */
@@ -75,13 +101,26 @@ struct ExperimentSet
     std::vector<ExperimentRun> runs; ///< parallel array to points
     unsigned jobs = 1;               ///< worker count actually used
     double totalSeconds = 0.0;       ///< wall time of the whole plan
+    size_t executed = 0; ///< points simulated by this process
+    size_t resumed = 0;  ///< points restored from a --resume journal
 
     const ExperimentResult &
     at(size_t i) const
     {
         return runs[i].result;
     }
+
+    /** Count of points that did not finish cleanly (status != Ok). */
+    size_t troubled() const;
 };
+
+/**
+ * Print one warn() line per non-Ok point of each set and return a
+ * process exit code: 0 when every point of every set is Ok, 2
+ * otherwise. The bench drivers call this so a degraded or partial
+ * figure never masquerades as a clean run.
+ */
+int reportTroubledPoints(const std::vector<const ExperimentSet *> &sets);
 
 /** Execution knobs for runPlan(). */
 struct RunOptions
@@ -98,6 +137,23 @@ struct RunOptions
      * environment also disables it (the CLI escape hatch --no-replay).
      */
     bool replay = true;
+
+    /**
+     * Per-point wall-clock deadline in seconds; expired points are
+     * classified TimedOut instead of aborting the plan. 0 = no deadline
+     * requested here, fall back to $SCD_POINT_TIMEOUT, else unlimited.
+     */
+    double pointTimeout = 0.0;
+
+    /**
+     * Crash-safe journal of completed points (src/harness/journal.hh).
+     * Non-empty: every finished point is appended as it completes. With
+     * resume=true the journal is first read back and every point found
+     * in it is restored instead of re-run (--resume=<path>); otherwise
+     * the file is truncated (--journal=<path>).
+     */
+    std::string journalPath;
+    bool resume = false;
 };
 
 /**
@@ -106,7 +162,18 @@ struct RunOptions
  */
 unsigned resolveJobs(unsigned requested);
 
-/** Execute every point of @p plan; results land in plan order. */
+/**
+ * Resolve the per-point deadline: a positive @p requested wins, then a
+ * positive number in $SCD_POINT_TIMEOUT, else 0 (unlimited).
+ */
+double resolvePointTimeout(double requested);
+
+/**
+ * Execute every point of @p plan; results land in plan order. Point
+ * failures (guest errors, timeouts, allocation failures) are contained:
+ * the failing point is recorded with a non-Ok PointStatus and the rest
+ * of the plan still runs. Internal simulator bugs (panic) still abort.
+ */
 ExperimentSet runPlan(const ExperimentPlan &plan,
                       const RunOptions &options = {});
 

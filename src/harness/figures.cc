@@ -56,9 +56,13 @@ double
 Grid::geomeanSpeedup(VmKind vm, const std::vector<std::string> &names,
                      core::Scheme scheme) const
 {
+    // Failed points are absent from the grid; the geomean covers the
+    // workloads whose (baseline, scheme) pair completed.
     std::vector<double> values;
-    for (const auto &name : names)
-        values.push_back(speedup(vm, name, scheme));
+    for (const auto &name : names) {
+        if (has(vm, name, core::Scheme::Baseline) && has(vm, name, scheme))
+            values.push_back(speedup(vm, name, scheme));
+    }
     return geomean(values);
 }
 
@@ -77,9 +81,13 @@ gridFromSet(const ExperimentSet &set)
     Grid grid;
     // Cross-scheme output equality is the correctness net under every
     // experiment; checking in plan order keeps the reference stable no
-    // matter which point finished first.
+    // matter which point finished first. Failed or timed-out points
+    // carry no data: they are skipped here and surface as kFailedCell
+    // markers in the rendered figures.
     std::map<std::pair<VmKind, std::string>, const std::string *> refs;
     for (size_t i = 0; i < set.points.size(); ++i) {
+        if (!set.runs[i].usable())
+            continue;
         const ExperimentPoint &p = set.points[i];
         ExperimentResult r = set.at(i);
         auto [it, fresh] = refs.try_emplace({p.vm, p.workload->name});
@@ -109,12 +117,21 @@ runGridSet(const cpu::CoreConfig &machine, InputSize size,
            const std::vector<core::Scheme> &schemes, bool verbose,
            unsigned jobs, bool replay)
 {
-    ExperimentPlan plan;
-    plan.addGrid(machine, size, vms, schemes);
     RunOptions options;
     options.jobs = jobs;
     options.verbose = verbose;
     options.replay = replay;
+    return runGridSet(machine, size, vms, schemes, options);
+}
+
+GridRun
+runGridSet(const cpu::CoreConfig &machine, InputSize size,
+           const std::vector<VmKind> &vms,
+           const std::vector<core::Scheme> &schemes,
+           const RunOptions &options)
+{
+    ExperimentPlan plan;
+    plan.addGrid(machine, size, vms, schemes);
     GridRun run;
     run.set = runPlan(plan, options);
     run.grid = gridFromSet(run.set);
@@ -134,6 +151,11 @@ renderFig2(const Grid &grid)
               "directJump", "total"});
     std::vector<double> dispatchShare;
     for (const auto &name : workloadNames()) {
+        if (!grid.has(VmKind::Rlua, name, core::Scheme::Baseline)) {
+            t.row({name, kFailedCell, kFailedCell, kFailedCell,
+                   kFailedCell, kFailedCell, kFailedCell});
+            continue;
+        }
         const auto &r = grid.at(VmKind::Rlua, name, core::Scheme::Baseline);
         double dispatch = r.mpki("branch.indirectDispatch.mispredicted");
         double cond = r.mpki("branch.conditional.mispredicted");
@@ -168,13 +190,21 @@ renderFig3(const Grid &grid)
     TextTable t;
     t.header({"benchmark", "dispatch fraction"});
     double sum = 0;
+    size_t counted = 0;
     for (const auto &name : workloadNames()) {
+        if (!grid.has(VmKind::Rlua, name, core::Scheme::Baseline)) {
+            t.row({name, kFailedCell});
+            continue;
+        }
         const auto &r = grid.at(VmKind::Rlua, name, core::Scheme::Baseline);
         double frac = r.dispatchFraction();
         sum += frac;
+        ++counted;
         t.row({name, TextTable::percent(frac, 1)});
     }
-    t.row({"MEAN", TextTable::percent(sum / workloadNames().size(), 1)});
+    t.row({"MEAN",
+           counted ? TextTable::percent(sum / double(counted), 1)
+                   : std::string(kFailedCell)});
     out += t.render();
     return out;
 }
@@ -182,7 +212,12 @@ renderFig3(const Grid &grid)
 namespace
 {
 
-/** Shared renderer for the per-scheme figure tables. */
+/**
+ * Shared renderer for the per-scheme figure tables. A cell whose point
+ * failed — or, for @p needsBaseline renderers (ratios against the
+ * baseline), whose baseline failed — prints kFailedCell instead of
+ * calling @p cell.
+ */
 std::string
 renderSchemeTable(
     const Grid &grid, const std::string &title,
@@ -190,7 +225,7 @@ renderSchemeTable(
     const std::function<std::string(const Grid &, VmKind,
                                     const std::string &, core::Scheme)>
         &cell,
-    bool includeBaseline)
+    bool includeBaseline, bool needsBaseline)
 {
     std::string out = title + "\n" + paperNote + "\n";
     for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
@@ -211,7 +246,11 @@ renderSchemeTable(
             for (core::Scheme s : kAllSchemes) {
                 if (!includeBaseline && s == core::Scheme::Baseline)
                     continue;
-                row.push_back(cell(grid, vm, name, s));
+                bool ok = grid.has(vm, name, s) &&
+                          (!needsBaseline ||
+                           grid.has(vm, name, core::Scheme::Baseline));
+                row.push_back(ok ? cell(grid, vm, name, s)
+                                 : std::string(kFailedCell));
             }
             t.row(row);
         }
@@ -231,7 +270,7 @@ renderFig7(const Grid &grid)
         "JS  JT +7.3%  VBBI +5.3%  SCD +14.1%",
         [](const Grid &g, VmKind vm, const std::string &name,
            core::Scheme s) { return pct(g.speedup(vm, name, s)); },
-        /*includeBaseline=*/false);
+        /*includeBaseline=*/false, /*needsBaseline=*/true);
     for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
         out += std::string(vm == VmKind::Rlua ? "RLua" : "SJS ") +
                " geomean:";
@@ -257,7 +296,7 @@ renderFig8(const Grid &grid)
            core::Scheme s) {
             return TextTable::fixed(g.instRatio(vm, name, s), 3);
         },
-        /*includeBaseline=*/false);
+        /*includeBaseline=*/false, /*needsBaseline=*/true);
 }
 
 std::string
@@ -270,7 +309,7 @@ renderFig9(const Grid &grid)
            core::Scheme s) {
             return TextTable::fixed(g.at(vm, name, s).branchMpki(), 2);
         },
-        /*includeBaseline=*/true);
+        /*includeBaseline=*/true, /*needsBaseline=*/false);
 }
 
 std::string
@@ -284,7 +323,7 @@ renderFig10(const Grid &grid)
            core::Scheme s) {
             return TextTable::fixed(g.at(vm, name, s).icacheMpki(), 2);
         },
-        /*includeBaseline=*/true);
+        /*includeBaseline=*/true, /*needsBaseline=*/false);
 }
 
 std::string
@@ -306,6 +345,14 @@ renderTable4(const Grid &grid)
         return std::string(buf);
     };
     for (const auto &name : workloadNames()) {
+        if (!grid.has(VmKind::Rlua, name, core::Scheme::Baseline) ||
+            !grid.has(VmKind::Rlua, name, core::Scheme::JumpThreading) ||
+            !grid.has(VmKind::Rlua, name, core::Scheme::Scd)) {
+            t.row({name, kFailedCell, kFailedCell, kFailedCell,
+                   kFailedCell, kFailedCell, kFailedCell, kFailedCell,
+                   kFailedCell, kFailedCell, kFailedCell});
+            continue;
+        }
         const auto &base =
             grid.at(VmKind::Rlua, name, core::Scheme::Baseline);
         const auto &jt =

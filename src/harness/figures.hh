@@ -100,10 +100,25 @@ GridRun runGridSet(const cpu::CoreConfig &machine, InputSize size,
                    bool replay = true);
 
 /**
+ * runGridSet() with the full RunOptions (timeout, journal/resume, ...)
+ * instead of the individual knobs.
+ */
+GridRun runGridSet(const cpu::CoreConfig &machine, InputSize size,
+                   const std::vector<VmKind> &vms,
+                   const std::vector<core::Scheme> &schemes,
+                   const RunOptions &options);
+
+/**
  * Fold an executed ExperimentSet into a Grid, enforcing the cross-scheme
- * output-equality correctness net in plan order.
+ * output-equality correctness net in plan order. Failed or timed-out
+ * points are left out of the grid — the renderers print an explicit
+ * failure marker (kFailedCell) for the missing cells instead of
+ * aborting the figure.
  */
 Grid gridFromSet(const ExperimentSet &set);
+
+/** Cell marker rendered in place of a failed or timed-out point. */
+inline constexpr const char *kFailedCell = "FAILED";
 
 /** Names of all workloads, in paper order. */
 std::vector<std::string> workloadNames();

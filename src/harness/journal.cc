@@ -1,0 +1,166 @@
+#include "journal.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace scd::harness
+{
+
+namespace
+{
+
+PointStatus
+statusFromName(const std::string &name)
+{
+    if (name == "degraded")
+        return PointStatus::Degraded;
+    if (name == "failed")
+        return PointStatus::Failed;
+    if (name == "timed_out")
+        return PointStatus::TimedOut;
+    return PointStatus::Ok;
+}
+
+} // namespace
+
+RunJournal::~RunJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+RunJournal::open(const std::string &path, bool truncate)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_)
+        std::fclose(file_);
+    file_ = std::fopen(path.c_str(), truncate ? "w" : "a");
+    if (!file_) {
+        fatal("cannot open journal ", path, ": ", std::strerror(errno));
+    }
+}
+
+void
+RunJournal::append(const std::string &key, const ExperimentRun &run)
+{
+    if (!file_ || !run.usable())
+        return;
+    std::string line = journalLine(key, run);
+    line += '\n';
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    // One flush per point: the line reaches the OS before the next
+    // point starts, so kill -9 loses only in-flight work.
+    std::fflush(file_);
+}
+
+std::string
+journalLine(const std::string &key, const ExperimentRun &run)
+{
+    using obs::JsonWriter;
+    const ExperimentResult &r = run.result;
+    std::string line = "{\"schema\":";
+    line += JsonWriter::quote(kJournalSchema);
+    line += ",\"key\":";
+    line += JsonWriter::quote(key);
+    line += ",\"status\":";
+    line += JsonWriter::quote(pointStatusName(run.status));
+    if (!run.error.empty()) {
+        line += ",\"error\":";
+        line += JsonWriter::quote(run.error);
+    }
+    line += ",\"exitCode\":";
+    line += std::to_string(r.run.exitCode);
+    line += ",\"exited\":";
+    line += r.run.exited ? "true" : "false";
+    line += ",\"instructions\":";
+    line += std::to_string(r.run.instructions);
+    line += ",\"cycles\":";
+    line += std::to_string(r.run.cycles);
+    line += ",\"textBytes\":";
+    line += std::to_string(r.interpreterTextBytes);
+    line += ",\"simSeconds\":";
+    line += JsonWriter::number(r.simSeconds);
+    line += ",\"seconds\":";
+    line += JsonWriter::number(run.seconds);
+    line += ",\"output\":";
+    line += JsonWriter::quote(r.output);
+    line += ",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : r.stats.all()) {
+        if (!first)
+            line += ',';
+        first = false;
+        line += JsonWriter::quote(name);
+        line += ':';
+        line += std::to_string(value);
+    }
+    line += "}}";
+    return line;
+}
+
+std::map<std::string, ExperimentRun>
+loadJournal(const std::string &path)
+{
+    std::map<std::string, ExperimentRun> restored;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return restored;
+
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+
+    size_t lineNo = 0;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t end = text.find('\n', pos);
+        bool truncated = end == std::string::npos;
+        std::string line =
+            text.substr(pos, truncated ? std::string::npos : end - pos);
+        pos = truncated ? text.size() : end + 1;
+        ++lineNo;
+        if (line.empty())
+            continue;
+
+        std::string error;
+        obs::JsonValue doc = obs::JsonValue::parse(line, &error);
+        if (!doc.isObject() ||
+            doc.stringOr("schema", "") != kJournalSchema ||
+            !doc.has("key")) {
+            // The crash window: a partially-written final line. Anything
+            // malformed mid-file is reported too — the points are simply
+            // re-run.
+            warn("journal ", path, " line ", lineNo,
+                 truncated ? ": truncated record ignored"
+                           : ": malformed record ignored");
+            continue;
+        }
+
+        ExperimentRun run;
+        run.status = statusFromName(doc.stringOr("status", "ok"));
+        run.error = doc.stringOr("error", "");
+        run.seconds = doc.numberOr("seconds", 0.0);
+        ExperimentResult &r = run.result;
+        r.run.exitCode = int(doc.numberOr("exitCode", 0));
+        r.run.exited = doc.at("exited").asBool();
+        r.run.instructions = doc.at("instructions").asUint();
+        r.run.cycles = doc.at("cycles").asUint();
+        r.interpreterTextBytes = doc.at("textBytes").asUint();
+        r.simSeconds = doc.numberOr("simSeconds", 0.0);
+        r.output = doc.stringOr("output", "");
+        for (const auto &[name, value] : doc.at("counters").members())
+            r.stats.counter(name) = value.asUint();
+        restored[doc.at("key").asString()] = std::move(run);
+    }
+    return restored;
+}
+
+} // namespace scd::harness

@@ -13,7 +13,21 @@ exportSet(obs::StatsSink &sink, const std::string &label,
     rec.points.reserve(set.points.size());
     for (size_t i = 0; i < set.points.size(); ++i) {
         const ExperimentPoint &point = set.points[i];
-        const ExperimentResult &result = set.at(i);
+        const ExperimentRun &run = set.runs[i];
+        if (run.status != PointStatus::Ok) {
+            obs::FailureRecord f;
+            f.vm = vmName(point.vm);
+            if (point.workload)
+                f.workload = point.workload->name;
+            f.scheme = core::schemeName(point.scheme);
+            f.machine = point.machine.name;
+            f.status = pointStatusName(run.status);
+            f.error = run.error;
+            rec.failures.push_back(std::move(f));
+        }
+        if (!run.usable())
+            continue; // failed/timed-out points carry no data
+        const ExperimentResult &result = run.result;
         obs::PointRecord p;
         p.vm = vmName(point.vm);
         if (point.workload)

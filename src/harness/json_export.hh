@@ -26,7 +26,9 @@ namespace scd::harness
  * Append every point of @p set to @p sink as one SetRecord labelled
  * @p label. Only deterministic fields are recorded (no wall times, no
  * job counts): serial and parallel runs of the same plan export
- * byte-identical documents.
+ * byte-identical documents. Failed and timed-out points are left out
+ * of the points array; every non-Ok point (including degraded ones) is
+ * named in the set's failure manifest instead.
  */
 obs::SetRecord &exportSet(obs::StatsSink &sink, const std::string &label,
                           const ExperimentSet &set);

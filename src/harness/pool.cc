@@ -1,6 +1,10 @@
 #include "pool.hh"
 
 #include <exception>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
 
 namespace scd::harness
 {
@@ -98,7 +102,11 @@ parallelFor(unsigned jobs, size_t count,
         return;
     }
 
-    std::exception_ptr firstError;
+    // Every worker exception is collected; a lone failure rethrows the
+    // original exception (type preserved for callers that classify it),
+    // while multiple failures are folded into one FatalError carrying
+    // the count and the first few messages.
+    std::vector<std::exception_ptr> errors;
     std::mutex errorMutex;
     {
         ThreadPool pool(jobs);
@@ -108,15 +116,35 @@ parallelFor(unsigned jobs, size_t count,
                     fn(i);
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(errorMutex);
-                    if (!firstError)
-                        firstError = std::current_exception();
+                    errors.push_back(std::current_exception());
                 }
             });
         }
         pool.wait();
     }
-    if (firstError)
-        std::rethrow_exception(firstError);
+    if (errors.empty())
+        return;
+    if (errors.size() == 1)
+        std::rethrow_exception(errors.front());
+
+    constexpr size_t kMaxQuoted = 3;
+    std::string msg = std::to_string(errors.size()) +
+                      " parallel tasks failed; first messages:";
+    for (size_t n = 0; n < errors.size() && n < kMaxQuoted; ++n) {
+        try {
+            std::rethrow_exception(errors[n]);
+        } catch (const std::exception &e) {
+            msg += std::string("\n  [") + std::to_string(n + 1) + "] " +
+                   e.what();
+        } catch (...) {
+            msg += std::string("\n  [") + std::to_string(n + 1) +
+                   "] (non-standard exception)";
+        }
+    }
+    if (errors.size() > kMaxQuoted)
+        msg += "\n  ... and " + std::to_string(errors.size() - kMaxQuoted) +
+               " more";
+    throw FatalError(msg);
 }
 
 } // namespace scd::harness

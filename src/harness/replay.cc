@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_inject.hh"
 #include "common/logging.hh"
 #include "core/scheme.hh"
 #include "cpu/functional_core.hh"
@@ -16,6 +17,7 @@
 #include "cpu/timing_model.hh"
 #include "guest/guest_program.hh"
 #include "isa/opcode.hh"
+#include "journal.hh"
 #include "mem/memory.hh"
 #include "pool.hh"
 
@@ -286,149 +288,181 @@ consumeScd(Member &m, const cpu::RetireChunk &chunk)
 /**
  * Execute one multi-member group: one producer run, every member's
  * timing model stepped off the shared stream in lockstep, chunk by
- * chunk.
+ * chunk. Contained: any failure of the shared producer (guest error,
+ * watchdog timeout, injected fault) falls every member back onto its
+ * own one-shot direct execution — surviving fallbacks are recorded as
+ * PointStatus::Degraded, so a poisoned group never takes down the
+ * plan, but never masquerades as a clean run either.
  */
 void
 runGroup(const std::vector<size_t> &indices, ExperimentSet &set,
-         bool verbose)
+         const RunOptions &options)
 {
     const std::vector<ExperimentPoint> &points = set.points;
-    const ExperimentPoint &first = points[indices[0]];
-    const bool scdGroup = first.scheme == core::Scheme::Scd;
+    try {
+        SCD_FAULT_POINT("point-oom");
+        const ExperimentPoint &first = points[indices[0]];
+        const bool scdGroup = first.scheme == core::Scheme::Scd;
 
-    // Build every member before creating any timing model: the models
-    // hold references into their member's CoreConfig, so the vector must
-    // never reallocate once the first model exists.
-    std::vector<Member> members;
-    members.reserve(indices.size());
-    for (size_t idx : indices) {
-        Member m;
-        m.idx = idx;
-        m.cfg = core::withScheme(points[idx].machine, points[idx].scheme);
-        m.sig = timingSignature(m.cfg);
-        members.push_back(std::move(m));
-    }
-    for (size_t i = 0; i < members.size(); ++i) {
-        for (size_t j = 0; j < i; ++j) {
-            if (members[j].copyOf < 0 && members[j].sig == members[i].sig) {
-                members[i].copyOf = int(j);
-                break;
-            }
+        // Build every member before creating any timing model: the
+        // models hold references into their member's CoreConfig, so the
+        // vector must never reallocate once the first model exists.
+        std::vector<Member> members;
+        members.reserve(indices.size());
+        for (size_t idx : indices) {
+            Member m;
+            m.idx = idx;
+            m.cfg =
+                core::withScheme(points[idx].machine, points[idx].scheme);
+            m.sig = timingSignature(m.cfg);
+            members.push_back(std::move(m));
         }
-        if (members[i].copyOf < 0)
-            members[i].timing = cpu::makeTimingModel(members[i].cfg);
-        if (verbose)
-            printProgress(points[members[i].idx]);
-    }
-
-    // The producer: one functional execution against a permanently-empty
-    // JTE port (RecorderTiming), so the stream records the slow dispatch
-    // path at every dispatch — the superset every member replays from.
-    auto program = compileGuest(first.vm, first.workload->text(first.size),
-                                dispatchForScheme(first.scheme));
-    mem::GuestMemory memory;
-    program->loadInto(memory);
-    cpu::RecorderTiming recorder;
-    cpu::FunctionalCore func(members[0].cfg, memory, recorder);
-    func.loadProgram(program->text);
-    func.setDispatchMeta(program->meta);
-
-    cpu::RetireStream stream;
-    double producerSeconds = 0.0;
-    bool exhausted = false;
-    while (!exhausted) {
-        cpu::RetireChunk &chunk = stream.produceSlot();
-        auto fillStart = steady::now();
-        while (chunk.count < cpu::RetireChunk::kCapacity) {
-            bool live = func.step(&chunk.entries[chunk.count]);
-            ++chunk.count;
-            if (!live) {
-                exhausted = true;
-                break;
+        for (size_t i = 0; i < members.size(); ++i) {
+            for (size_t j = 0; j < i; ++j) {
+                if (members[j].copyOf < 0 &&
+                    members[j].sig == members[i].sig) {
+                    members[i].copyOf = int(j);
+                    break;
+                }
             }
+            if (members[i].copyOf < 0)
+                members[i].timing = cpu::makeTimingModel(members[i].cfg);
+            if (options.verbose)
+                printProgress(points[members[i].idx]);
         }
-        producerSeconds += secondsSince(fillStart);
 
-        bool anyLive = false;
+        // The producer: one functional execution against a
+        // permanently-empty JTE port (RecorderTiming), so the stream
+        // records the slow dispatch path at every dispatch — the
+        // superset every member replays from.
+        auto program = compileGuest(first.vm,
+                                    first.workload->text(first.size),
+                                    dispatchForScheme(first.scheme));
+        mem::GuestMemory memory;
+        program->loadInto(memory);
+        cpu::RecorderTiming recorder;
+        cpu::FunctionalCore func(members[0].cfg, memory, recorder);
+        func.loadProgram(program->text);
+        func.setDispatchMeta(program->meta);
+        func.armWatchdog(options.pointTimeout);
+
+        cpu::RetireStream stream;
+        double producerSeconds = 0.0;
+        bool exhausted = false;
+        while (!exhausted) {
+            SCD_FAULT_POINT("replay-ring");
+            cpu::RetireChunk &chunk = stream.produceSlot();
+            auto fillStart = steady::now();
+            while (chunk.count < cpu::RetireChunk::kCapacity) {
+                bool live = func.step(&chunk.entries[chunk.count]);
+                ++chunk.count;
+                if (!live) {
+                    exhausted = true;
+                    break;
+                }
+            }
+            producerSeconds += secondsSince(fillStart);
+            // Cooperative cancellation, checked once per chunk (the
+            // fill is bounded by the chunk capacity, the drains by the
+            // fill).
+            func.watchdog().expire();
+
+            bool anyLive = false;
+            for (Member &m : members) {
+                if (m.copyOf >= 0 || m.fellBack)
+                    continue;
+                auto drainStart = steady::now();
+                if (scdGroup)
+                    consumeScd(m, chunk);
+                else
+                    m.timing->consume(chunk.entries, chunk.count);
+                m.seconds += secondsSince(drainStart);
+                if (!m.fellBack)
+                    anyLive = true;
+            }
+            if (!anyLive)
+                break; // everyone needs the direct path; stop producing
+        }
+        SCD_FAULT_POINT("guest-trap");
+        if (exhausted && func.exitCode() != 0) {
+            fatal("guest exited with code ", func.exitCode(),
+                  " (replay group ", first.label(), "): ", func.output());
+        }
         for (Member &m : members) {
-            if (m.copyOf >= 0 || m.fellBack)
+            if (m.copyOf < 0 && !m.fellBack && m.skipping)
+                m.fellBack = true; // stream ended inside a skip span
+        }
+
+        StatGroup funcStats;
+        func.exportStats(funcStats);
+        size_t liveCount = 0;
+        for (const Member &m : members)
+            liveCount += m.copyOf < 0 && !m.fellBack;
+        double producerShare =
+            liveCount ? producerSeconds / double(liveCount) : 0.0;
+
+        for (Member &m : members) {
+            if (m.copyOf >= 0)
                 continue;
-            auto drainStart = steady::now();
-            if (scdGroup)
-                consumeScd(m, chunk);
-            else
-                m.timing->consume(chunk.entries, chunk.count);
-            m.seconds += secondsSince(drainStart);
-            if (!m.fellBack)
-                anyLive = true;
-        }
-        if (!anyLive)
-            break; // everyone needs the direct path; stop producing
-    }
-    if (exhausted && func.exitCode() != 0) {
-        fatal("guest exited with code ", func.exitCode(), " (replay group ",
-              first.label(), "): ", func.output());
-    }
-    for (Member &m : members) {
-        if (m.copyOf < 0 && !m.fellBack && m.skipping)
-            m.fellBack = true; // stream ended inside a skip span
-    }
-
-    StatGroup funcStats;
-    func.exportStats(funcStats);
-    size_t liveCount = 0;
-    for (const Member &m : members)
-        liveCount += m.copyOf < 0 && !m.fellBack;
-    double producerShare =
-        liveCount ? producerSeconds / double(liveCount) : 0.0;
-
-    for (Member &m : members) {
-        if (m.copyOf >= 0)
-            continue;
-        if (m.fellBack) {
-            set.runs[m.idx] = runPointDirect(points[m.idx], false);
-            continue;
-        }
-        ExperimentResult r;
-        r.run.exitCode = func.exitCode();
-        r.run.exited = func.exited();
-        r.run.instructions = scdGroup ? m.retired : func.retired();
-        r.run.cycles = m.timing->cycles();
-        if (scdGroup) {
-            r.stats.counter("instructions") = m.retired;
-            r.stats.counter("dispatchInstructions") = m.dispatch;
-            for (size_t c = 0; c < size_t(cpu::BranchClass::NumClasses);
-                 ++c) {
-                std::string name =
-                    cpu::branchClassName(cpu::BranchClass(c));
-                r.stats.counter("branch." + name + ".count") =
-                    m.branchCount[c];
+            if (m.fellBack) {
+                // The pre-existing benign fallback: the stream cannot
+                // describe this member (malformed skip span). A clean
+                // direct run stays Ok — results are bit-identical.
+                set.runs[m.idx] = runPointContained(points[m.idx], options);
+                continue;
             }
-            r.stats.counter("scd.bopFastHits") = m.bopFastHits;
-            r.stats.counter("scd.bopMisses") = m.bopMisses;
-            // Forced fall-throughs are decided by the .op-to-bop
-            // distance, which hit-path skipping never changes (both
-            // sit inside one handler body) — path-independent, so the
-            // producer's count is every member's count.
-            r.stats.counter("scd.bopFallThroughForced") =
-                funcStats.get("scd.bopFallThroughForced");
-            r.stats.counter("scd.jteInserts") = m.jteInserts;
-        } else {
-            r.stats = funcStats;
+            ExperimentResult r;
+            r.run.exitCode = func.exitCode();
+            r.run.exited = func.exited();
+            r.run.instructions = scdGroup ? m.retired : func.retired();
+            r.run.cycles = m.timing->cycles();
+            if (scdGroup) {
+                r.stats.counter("instructions") = m.retired;
+                r.stats.counter("dispatchInstructions") = m.dispatch;
+                for (size_t c = 0;
+                     c < size_t(cpu::BranchClass::NumClasses); ++c) {
+                    std::string name =
+                        cpu::branchClassName(cpu::BranchClass(c));
+                    r.stats.counter("branch." + name + ".count") =
+                        m.branchCount[c];
+                }
+                r.stats.counter("scd.bopFastHits") = m.bopFastHits;
+                r.stats.counter("scd.bopMisses") = m.bopMisses;
+                // Forced fall-throughs are decided by the .op-to-bop
+                // distance, which hit-path skipping never changes (both
+                // sit inside one handler body) — path-independent, so
+                // the producer's count is every member's count.
+                r.stats.counter("scd.bopFallThroughForced") =
+                    funcStats.get("scd.bopFallThroughForced");
+                r.stats.counter("scd.jteInserts") = m.jteInserts;
+            } else {
+                r.stats = funcStats;
+            }
+            r.stats.counter("cycles") = r.run.cycles;
+            m.timing->exportStats(r.stats);
+            r.output = func.output();
+            r.interpreterTextBytes = program->textBytes();
+            r.simSeconds = m.seconds + producerShare;
+            set.runs[m.idx].seconds = r.simSeconds;
+            set.runs[m.idx].result = std::move(r);
+            set.runs[m.idx].status = PointStatus::Ok;
+            set.runs[m.idx].error.clear();
         }
-        r.stats.counter("cycles") = r.run.cycles;
-        m.timing->exportStats(r.stats);
-        r.output = func.output();
-        r.interpreterTextBytes = program->textBytes();
-        r.simSeconds = m.seconds + producerShare;
-        set.runs[m.idx].seconds = r.simSeconds;
-        set.runs[m.idx].result = std::move(r);
-    }
-    for (Member &m : members) {
-        if (m.copyOf < 0)
-            continue;
-        set.runs[m.idx].result = set.runs[members[m.copyOf].idx].result;
-        set.runs[m.idx].seconds = 0.0; // no wall time of its own
+        for (Member &m : members) {
+            if (m.copyOf < 0)
+                continue;
+            const ExperimentRun &src = set.runs[members[m.copyOf].idx];
+            set.runs[m.idx] = src;
+            set.runs[m.idx].seconds = 0.0; // no wall time of its own
+        }
+    } catch (const std::exception &e) {
+        // The shared producer (or group setup) failed; every member of
+        // the group gets one direct-path attempt of its own.
+        std::string reason = e.what();
+        for (size_t idx : indices) {
+            set.runs[idx] =
+                runPointContained(points[idx], options, reason.c_str());
+        }
     }
 }
 
@@ -441,35 +475,99 @@ replayEnabled(const RunOptions &options)
 }
 
 ExperimentRun
-runPointDirect(const ExperimentPoint &point, bool verbose)
+runPointDirect(const ExperimentPoint &point, const RunOptions &options)
 {
     SCD_ASSERT(point.workload, "experiment point without a workload");
-    if (verbose)
+    if (options.verbose)
         printProgress(point);
     auto start = steady::now();
     ExperimentRun run;
     run.result = runWorkload(point.vm, *point.workload, point.size,
                              point.scheme, point.machine,
-                             point.maxInstructions);
+                             point.maxInstructions, nullptr,
+                             options.pointTimeout);
     run.seconds = secondsSince(start);
     return run;
 }
 
-ExperimentSet
-runPlanReplay(const ExperimentPlan &plan, const RunOptions &options)
+ExperimentRun
+runPointContained(const ExperimentPoint &point, const RunOptions &options,
+                  const char *degradedFrom)
 {
-    ExperimentSet set;
-    set.points = plan.points();
-    set.runs.resize(set.points.size());
+    auto diagnose = [&](const char *what) {
+        return degradedFrom ? std::string(degradedFrom) +
+                                  "; direct fallback: " + what
+                            : std::string(what);
+    };
+    ExperimentRun run;
+    auto start = steady::now();
+    try {
+        SCD_FAULT_POINT("point-oom");
+        run = runPointDirect(point, options);
+        if (degradedFrom) {
+            run.status = PointStatus::Degraded;
+            run.error = degradedFrom;
+        }
+        return run;
+    } catch (const TimeoutError &e) {
+        run = ExperimentRun{};
+        run.status = PointStatus::TimedOut;
+        run.error = diagnose(e.what());
+    } catch (const FatalError &e) {
+        run = ExperimentRun{};
+        run.status = PointStatus::Failed;
+        run.error = diagnose(e.what());
+    } catch (const std::bad_alloc &) {
+        run = ExperimentRun{};
+        run.status = PointStatus::Failed;
+        run.error = diagnose("out of memory");
+    }
+    run.seconds = secondsSince(start);
+    return run;
+}
 
-    // Group points by functional key. Points the stream cannot describe
-    // — instruction-limited runs (their stop point depends on the
-    // member's own retire count) and functional-only timing (NullTiming
-    // replays nothing, its JTE state lives on the producer side) — run
-    // direct as singleton tasks, as do groups of one.
+std::string
+pointKey(const ExperimentPoint &point)
+{
+    std::string key = point.label();
+    key += '|';
+    key += std::to_string(int(point.size));
+    key += '|';
+    key += std::to_string(point.maxInstructions);
+    key += '|';
+    key += timingSignature(core::withScheme(point.machine, point.scheme));
+    return key;
+}
+
+void
+runPlanDirect(ExperimentSet &set, const std::vector<size_t> &pending,
+              const RunOptions &options, RunJournal *journal)
+{
+    set.jobs = resolveJobs(options.jobs);
+    // No point spinning up more workers than there are simulations.
+    if (pending.size() < set.jobs)
+        set.jobs = pending.empty() ? 1 : unsigned(pending.size());
+
+    parallelFor(set.jobs, pending.size(), [&](size_t n) {
+        size_t i = pending[n];
+        set.runs[i] = runPointContained(set.points[i], options);
+        if (journal)
+            journal->append(pointKey(set.points[i]), set.runs[i]);
+    });
+}
+
+void
+runPlanReplay(ExperimentSet &set, const std::vector<size_t> &pending,
+              const RunOptions &options, RunJournal *journal)
+{
+    // Group pending points by functional key. Points the stream cannot
+    // describe — instruction-limited runs (their stop point depends on
+    // the member's own retire count) and functional-only timing
+    // (NullTiming replays nothing, its JTE state lives on the producer
+    // side) — run direct as singleton tasks, as do groups of one.
     std::map<std::string, std::vector<size_t>> byKey;
     std::vector<std::vector<size_t>> tasks;
-    for (size_t i = 0; i < set.points.size(); ++i) {
+    for (size_t i : pending) {
         const ExperimentPoint &p = set.points[i];
         SCD_ASSERT(p.workload, "experiment point without a workload");
         if (p.maxInstructions != 0 ||
@@ -486,18 +584,19 @@ runPlanReplay(const ExperimentPlan &plan, const RunOptions &options)
     if (tasks.size() < set.jobs)
         set.jobs = tasks.empty() ? 1 : unsigned(tasks.size());
 
-    auto planStart = steady::now();
     parallelFor(set.jobs, tasks.size(), [&](size_t t) {
         const std::vector<size_t> &indices = tasks[t];
         if (indices.size() == 1) {
             set.runs[indices[0]] =
-                runPointDirect(set.points[indices[0]], options.verbose);
-            return;
+                runPointContained(set.points[indices[0]], options);
+        } else {
+            runGroup(indices, set, options);
         }
-        runGroup(indices, set, options.verbose);
+        if (journal) {
+            for (size_t idx : indices)
+                journal->append(pointKey(set.points[idx]), set.runs[idx]);
+        }
     });
-    set.totalSeconds = secondsSince(planStart);
-    return set;
 }
 
 } // namespace scd::harness

@@ -22,15 +22,50 @@
 namespace scd::harness
 {
 
+class RunJournal;
+
 /** Whether runPlan() should group-and-replay (options + environment). */
 bool replayEnabled(const RunOptions &options);
 
-/** Execute one point directly (no replay), timing its wall clock. */
-ExperimentRun runPointDirect(const ExperimentPoint &point, bool verbose);
+/**
+ * Execute one point directly (no replay), timing its wall clock.
+ * Failures propagate as exceptions; runPlan() wraps this in the
+ * containment layer (runPointContained).
+ */
+ExperimentRun runPointDirect(const ExperimentPoint &point,
+                             const RunOptions &options);
 
-/** The replay-mode implementation behind runPlan(). */
-ExperimentSet runPlanReplay(const ExperimentPlan &plan,
-                            const RunOptions &options);
+/**
+ * Contained direct execution: FatalError, TimeoutError, and bad_alloc
+ * become a non-Ok PointStatus with diagnostic text instead of
+ * propagating. @p degradedFrom non-null marks a successful run as
+ * Degraded with that text (the replay->direct fallback path).
+ */
+ExperimentRun runPointContained(const ExperimentPoint &point,
+                                const RunOptions &options,
+                                const char *degradedFrom = nullptr);
+
+/**
+ * Stable identity of a point's full configuration — label, input size,
+ * instruction limit, and the timing-relevant machine fields — used as
+ * the journal key. Two points with equal keys deterministically produce
+ * equal results.
+ */
+std::string pointKey(const ExperimentPoint &point);
+
+/**
+ * The replay-mode executor behind runPlan(): fills set.runs[i] for
+ * every index in @p pending (a subset of the set's points, in plan
+ * order). The caller has already restored non-pending runs from a
+ * journal; completed points are appended to @p journal (may be null)
+ * as they finish.
+ */
+void runPlanReplay(ExperimentSet &set, const std::vector<size_t> &pending,
+                   const RunOptions &options, RunJournal *journal);
+
+/** The direct-mode executor behind runPlan(), same contract. */
+void runPlanDirect(ExperimentSet &set, const std::vector<size_t> &pending,
+                   const RunOptions &options, RunJournal *journal);
 
 } // namespace scd::harness
 

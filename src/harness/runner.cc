@@ -6,6 +6,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/fault_inject.hh"
 #include "common/logging.hh"
 #include "guest/rlua_guest.hh"
 #include "guest/sjs_guest.hh"
@@ -139,7 +140,7 @@ ExperimentResult::branchMpki() const
 ExperimentResult
 runExperiment(VmKind vm, const std::string &source, core::Scheme scheme,
               const cpu::CoreConfig &machine, uint64_t maxInstructions,
-              obs::TraceBuffer *trace)
+              obs::TraceBuffer *trace, double timeoutSeconds)
 {
     std::shared_ptr<const guest::GuestProgram> program =
         compileGuest(vm, source, dispatchForScheme(scheme));
@@ -151,6 +152,7 @@ runExperiment(VmKind vm, const std::string &source, core::Scheme scheme,
     core.setDispatchMeta(program->meta);
     if (trace)
         core.timing().attachTrace(trace);
+    core.armWatchdog(timeoutSeconds);
 
     ExperimentResult result;
     auto simStart = std::chrono::steady_clock::now();
@@ -163,6 +165,7 @@ runExperiment(VmKind vm, const std::string &source, core::Scheme scheme,
         warn("experiment hit the instruction limit (", maxInstructions,
              ") before completing");
     }
+    SCD_FAULT_POINT("guest-trap");
     if (result.run.exitCode != 0)
         fatal("guest exited with code ", result.run.exitCode, ": ",
               core.output());
@@ -175,10 +178,11 @@ runExperiment(VmKind vm, const std::string &source, core::Scheme scheme,
 ExperimentResult
 runWorkload(VmKind vm, const Workload &workload, InputSize size,
             core::Scheme scheme, const cpu::CoreConfig &machine,
-            uint64_t maxInstructions, obs::TraceBuffer *trace)
+            uint64_t maxInstructions, obs::TraceBuffer *trace,
+            double timeoutSeconds)
 {
     return runExperiment(vm, workload.text(size), scheme, machine,
-                         maxInstructions, trace);
+                         maxInstructions, trace, timeoutSeconds);
 }
 
 } // namespace scd::harness

@@ -93,19 +93,23 @@ struct ExperimentResult
  * threading is a software variant) and the hardware knobs (SCD / VBBI).
  * A non-null @p trace is attached to the core's timing model before the
  * run (pipeline event tracing; meaningful in SCD_TRACE=ON builds).
+ * A positive @p timeoutSeconds arms the core's cooperative watchdog:
+ * the run throws TimeoutError when the deadline expires.
  */
 ExperimentResult runExperiment(VmKind vm, const std::string &source,
                                core::Scheme scheme,
                                const cpu::CoreConfig &machine,
                                uint64_t maxInstructions = 0,
-                               obs::TraceBuffer *trace = nullptr);
+                               obs::TraceBuffer *trace = nullptr,
+                               double timeoutSeconds = 0.0);
 
 /** Convenience: run a Table III workload at the given input size. */
 ExperimentResult runWorkload(VmKind vm, const Workload &workload,
                              InputSize size, core::Scheme scheme,
                              const cpu::CoreConfig &machine,
                              uint64_t maxInstructions = 0,
-                             obs::TraceBuffer *trace = nullptr);
+                             obs::TraceBuffer *trace = nullptr,
+                             double timeoutSeconds = 0.0);
 
 /** The interpreter binary variant a scheme runs on. */
 guest::DispatchKind dispatchForScheme(core::Scheme scheme);

@@ -25,7 +25,10 @@ Assembler::bind(Label label)
 {
     SCD_ASSERT(label.valid() && label.id < labels_.size(), "bad label");
     LabelInfo &info = labels_[label.id];
-    SCD_ASSERT(!info.bound, "label '", info.name, "' bound twice");
+    // Reachable from assembly text (a label defined twice), so this is
+    // a structured input error rather than an internal invariant.
+    if (info.bound)
+        fatal("label '", info.name, "' bound twice");
     info.bound = true;
     info.item = static_cast<uint32_t>(items_.size());
 }
@@ -523,12 +526,12 @@ Assembler::finish()
             continue;
         // Unbound labels are fine as long as nothing references them.
         for (const Item &item : items_) {
-            SCD_ASSERT(item.target == UINT32_MAX ||
-                       labels_[item.target].bound,
-                       "reference to unbound label '",
-                       item.target == UINT32_MAX
-                           ? ""
-                           : labels_[item.target].name, "'");
+            // Assembly text can reference a label that is never
+            // defined; fail with a structured error naming it.
+            if (item.target != UINT32_MAX && !labels_[item.target].bound) {
+                fatal("reference to unbound label '",
+                      labels_[item.target].name, "'");
+            }
         }
     }
 
@@ -575,8 +578,8 @@ Assembler::finish()
         }
         uint64_t target = labels_[item.target].address;
         if (item.isLa) {
-            SCD_ASSERT(target < (uint64_t(1) << 31),
-                       "la target out of range");
+            if (target >= (uint64_t(1) << 31))
+                fatal("la target out of range: ", target);
             item.inst.imm = static_cast<int32_t>(target >> 13);
             prog.words.push_back(encode(item.inst));
         } else if (item.isLaLo) {

@@ -27,8 +27,12 @@ constexpr unsigned kBankShift = 12;
 uint32_t
 checkImm(int64_t imm, unsigned width, const Instruction &inst)
 {
-    SCD_ASSERT(fitsSigned(imm, width), "immediate ", imm,
-               " does not fit in ", width, " bits for ", mnemonic(inst.op));
+    // Immediates come straight from assembly text or compiler input,
+    // so an over-wide value is an input error, not an invariant.
+    if (!fitsSigned(imm, width)) {
+        fatal("immediate ", imm, " does not fit in ", width,
+              " bits for ", mnemonic(inst.op));
+    }
     return static_cast<uint32_t>(imm & ((uint64_t(1) << width) - 1));
 }
 

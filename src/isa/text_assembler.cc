@@ -84,7 +84,16 @@ parseMemOperand(const std::string &tok, int64_t &off, std::string &base)
         return false;
     }
     std::string offStr = trim(tok.substr(0, open));
-    off = offStr.empty() ? 0 : std::strtoll(offStr.c_str(), nullptr, 0);
+    if (offStr.empty()) {
+        off = 0;
+    } else {
+        // Reject trailing junk ("12x(sp)") instead of silently
+        // truncating it the way a bare strtoll would.
+        char *end = nullptr;
+        off = std::strtoll(offStr.c_str(), &end, 0);
+        if (!end || *end != '\0')
+            return false;
+    }
     base = trim(tok.substr(open + 1, close - open - 1));
     return true;
 }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <map>
 
+#include "common/fault_inject.hh"
+#include "common/logging.hh"
 #include "json.hh"
 
 namespace scd::obs
@@ -147,6 +149,21 @@ StatsSink::render() const
         }
         json.endArray();
 
+        if (!set.failures.empty()) {
+            json.key("failures").beginArray();
+            for (const FailureRecord &f : set.failures) {
+                json.beginObject();
+                json.member("vm", f.vm);
+                json.member("workload", f.workload);
+                json.member("scheme", f.scheme);
+                json.member("machine", f.machine);
+                json.member("status", f.status);
+                json.member("error", f.error);
+                json.endObject();
+            }
+            json.endArray();
+        }
+
         DerivedMap derived = deriveRatios(set);
         if (!derived.empty()) {
             json.key("derived").beginObject();
@@ -179,7 +196,15 @@ StatsSink::render() const
 bool
 StatsSink::writeTo(const std::string &path) const
 {
-    std::string text = render();
+    std::string text;
+    try {
+        SCD_FAULT_POINT("json-write");
+        text = render();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "stats sink: cannot render %s: %s\n",
+                     path.c_str(), e.what());
+        return false;
+    }
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "stats sink: cannot write %s\n",

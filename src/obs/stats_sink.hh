@@ -26,6 +26,12 @@
  *            "machine": "...", "instructions": N, "cycles": N,
  *            "counters": {"<stat>": N, ...}}
  *         ],
+ *         "failures": [                           // only when non-empty:
+ *           {"vm": "...", "workload": "...",      // points that did not
+ *            "scheme": "...", "machine": "...",   // finish cleanly
+ *            "status": "failed|timed_out|degraded",
+ *            "error": "<diagnostic>"}
+ *         ],
  *         "derived": {                            // present when a
  *           "<vm>": {                             // baseline point exists
  *             "<scheme>": {
@@ -71,11 +77,29 @@ struct PointRecord
     StatGroup counters;
 };
 
+/**
+ * One point that did not finish cleanly. Failed and timed-out points
+ * carry no data (they are absent from the points array); degraded
+ * points appear in both — real data in points, the diagnostic here.
+ */
+struct FailureRecord
+{
+    std::string vm;
+    std::string workload;
+    std::string scheme;
+    std::string machine;
+    std::string status; ///< pointStatusName(): failed|timed_out|degraded
+    std::string error;  ///< diagnostic text from the harness
+};
+
 /** One named group of points (one executed plan, one sweep step, ...). */
 struct SetRecord
 {
     std::string label;
     std::vector<PointRecord> points;
+    /** Failure manifest; rendered only when non-empty so clean runs
+     *  serialize byte-identically to pre-manifest documents. */
+    std::vector<FailureRecord> failures;
 };
 
 /** Collects experiment records and renders the versioned JSON document. */

@@ -126,6 +126,7 @@ class Parser
     StatPtr
     statement()
     {
+        DepthGuard guard(depth_, peek().line);
         int line = peek().line;
         if (match(Tok::Semi))
             return statement();
@@ -246,9 +247,30 @@ class Parser
         return s;
     }
 
+    /**
+     * Guards the recursive productions (expression() and statement())
+     * against stack exhaustion on adversarial input — deeply nested
+     * parentheses or blocks fail with a structured FatalError instead
+     * of overflowing the host stack.
+     */
+    struct DepthGuard
+    {
+        DepthGuard(unsigned &depth, int line) : depth_(depth)
+        {
+            if (++depth_ > kMaxDepth) {
+                fatal("line ", line, ": expression or block nesting "
+                      "exceeds the limit of ", kMaxDepth);
+            }
+        }
+        ~DepthGuard() { --depth_; }
+        static constexpr unsigned kMaxDepth = 200;
+        unsigned &depth_;
+    };
+
     ExprPtr
     expression(int minPrec = 1)
     {
+        DepthGuard guard(depth_, peek().line);
         ExprPtr left = unaryExpr();
         while (true) {
             int prec = precedence(peek().kind);
@@ -272,6 +294,7 @@ class Parser
     ExprPtr
     unaryExpr()
     {
+        DepthGuard guard(depth_, peek().line);
         int line = peek().line;
         UnOp op;
         if (match(Tok::Minus)) {
@@ -417,6 +440,7 @@ class Parser
 
     std::vector<Token> tokens_;
     size_t pos_ = 0;
+    unsigned depth_ = 0;
 };
 
 } // namespace

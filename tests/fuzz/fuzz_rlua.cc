@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fuzz target for the RLua front end: lexer -> parser -> bytecode
+ * compiler. Malformed scripts must raise FatalError (caught and
+ * swallowed here); anything else — abort, crash, stack overflow — is a
+ * finding.
+ */
+
+#include "fuzz_util.hh"
+
+#include "common/logging.hh"
+#include "vm/rlua_compiler.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    if (size > kMaxFuzzInput)
+        return 0;
+    std::string source(reinterpret_cast<const char *>(data), size);
+    try {
+        scd::vm::rlua::compileSource(source);
+    } catch (const scd::FatalError &) {
+        // Structured rejection of malformed input — the contract.
+    }
+    return 0;
+}
+
+SCD_FUZZ_MAIN

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fuzz target for the SJS front end: lexer -> parser -> stack-bytecode
+ * compiler. Same contract as fuzz_rlua: malformed input raises
+ * FatalError, nothing else.
+ */
+
+#include "fuzz_util.hh"
+
+#include "common/logging.hh"
+#include "vm/sjs_compiler.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    if (size > kMaxFuzzInput)
+        return 0;
+    std::string source(reinterpret_cast<const char *>(data), size);
+    try {
+        scd::vm::sjs::compileSource(source);
+    } catch (const scd::FatalError &) {
+        // Structured rejection of malformed input — the contract.
+    }
+    return 0;
+}
+
+SCD_FUZZ_MAIN

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fuzz target for the text assembler (isa::assembleText): register and
+ * immediate parsing, memory operands, label binding/relaxation.
+ * Malformed assembly must raise FatalError, nothing else.
+ */
+
+#include "fuzz_util.hh"
+
+#include "common/logging.hh"
+#include "isa/text_assembler.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    if (size > kMaxFuzzInput)
+        return 0;
+    std::string source(reinterpret_cast<const char *>(data), size);
+    try {
+        scd::isa::assembleText(source);
+    } catch (const scd::FatalError &) {
+        // Structured rejection of malformed input — the contract.
+    }
+    return 0;
+}
+
+SCD_FUZZ_MAIN

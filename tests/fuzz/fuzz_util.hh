@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared scaffolding for the front-end fuzz targets. Each target
+ * defines one LLVMFuzzerTestOneInput() over a guest-facing entry point
+ * (lexer+parser+compiler, or the text assembler) and asserts the
+ * hardening contract: malformed input must surface as a structured
+ * FatalError — never a panic/abort, a crash, or unbounded recursion.
+ *
+ * Built two ways:
+ *   - clang + SCD_FUZZ:  -fsanitize=fuzzer provides main(); the target
+ *     is a real libFuzzer binary (SCD_FUZZ_LIBFUZZER is defined).
+ *   - any other compiler: SCD_FUZZ_MAIN expands to a standalone main()
+ *     that replays files given on the command line (or stdin when none
+ *     are given), so corpora stay usable as regression inputs even
+ *     where libFuzzer is unavailable.
+ */
+
+#ifndef SCD_TESTS_FUZZ_FUZZ_UTIL_HH
+#define SCD_TESTS_FUZZ_FUZZ_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *data, size_t size);
+
+/** Inputs larger than this are ignored: big inputs slow exploration
+ *  without reaching new front-end states. */
+inline constexpr size_t kMaxFuzzInput = 64 * 1024;
+
+#ifdef SCD_FUZZ_LIBFUZZER
+#define SCD_FUZZ_MAIN
+#else
+#define SCD_FUZZ_MAIN                                                       \
+    int main(int argc, char **argv)                                         \
+    {                                                                       \
+        return scd_fuzz_replay_main(argc, argv);                            \
+    }
+#endif
+
+/** Replay driver for non-libFuzzer builds: one input per file arg. */
+inline int
+scd_fuzz_replay_main(int argc, char **argv)
+{
+    auto runOne = [](const std::string &input, const char *name) {
+        LLVMFuzzerTestOneInput(
+            reinterpret_cast<const uint8_t *>(input.data()), input.size());
+        std::fprintf(stderr, "fuzz replay ok: %s (%zu bytes)\n", name,
+                     input.size());
+    };
+    if (argc < 2) {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        runOne(ss.str(), "<stdin>");
+        return 0;
+    }
+    for (int n = 1; n < argc; ++n) {
+        std::ifstream f(argv[n], std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "fuzz replay: cannot open %s\n", argv[n]);
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        runOne(ss.str(), argv[n]);
+    }
+    return 0;
+}
+
+#endif // SCD_TESTS_FUZZ_FUZZ_UTIL_HH
