@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "cpu/dispatch_tier.hh"
 #include "harness/experiment.hh"
 #include "harness/workloads.hh"
 
@@ -135,6 +136,28 @@ parsePointTimeout(int argc, char **argv)
 }
 
 /**
+ * Parse --dispatch-tier=switch|threaded into RunOptions::dispatchTier:
+ * the functional execution engine (cpu/dispatch_tier.hh). Absent flag
+ * keeps the RunOptions default ($SCD_DISPATCH_TIER, else threaded).
+ * Host-speed only; results are bit-identical across tiers.
+ */
+inline void
+parseDispatchTier(int argc, char **argv, harness::RunOptions &options)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], "--dispatch-tier=", 16) == 0) {
+            if (auto tier = cpu::parseDispatchTier(argv[n] + 16)) {
+                options.dispatchTier = *tier;
+            } else {
+                std::fprintf(stderr,
+                             "ignoring bad --dispatch-tier value '%s'\n",
+                             argv[n] + 16);
+            }
+        }
+    }
+}
+
+/**
  * Parse --journal=<path> / --resume=<path> into RunOptions journal
  * fields. --journal starts a fresh crash-safe journal at <path>;
  * --resume reads <path> back first, skips every point already recorded
@@ -165,7 +188,7 @@ parseJournal(int argc, char **argv, harness::RunOptions &options)
 
 /**
  * Assemble the RunOptions every figure driver shares: --jobs,
- * --no-replay, --point-timeout and --journal/--resume.
+ * --no-replay, --point-timeout, --dispatch-tier and --journal/--resume.
  */
 inline harness::RunOptions
 parseRunOptions(int argc, char **argv)
@@ -174,6 +197,7 @@ parseRunOptions(int argc, char **argv)
     options.jobs = parseJobs(argc, argv);
     options.replay = !parseNoReplay(argc, argv);
     options.pointTimeout = parsePointTimeout(argc, argv);
+    parseDispatchTier(argc, argv, options);
     parseJournal(argc, argv, options);
     return options;
 }

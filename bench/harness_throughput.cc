@@ -5,11 +5,15 @@
  * in BENCH_harness.json so the perf trajectory is tracked across PRs.
  *
  * The plan is the fig07-10 grid shape (2 VMs x 11 workloads x 4 schemes)
- * at the chosen input size. The same plan runs twice under the
- * functional-only NullTiming model, then serially (--jobs=1), then on the
- * requested worker count; the JSON records per-experiment wall time, the
- * total wall times, the parallel speedup, and the timed-vs-functional
- * instruction throughput (instructions/sec). Each mode's throughput is
+ * at the chosen input size. The same plan runs under the functional-only
+ * NullTiming model twice per dispatch tier — threaded and the reference
+ * switch interpreter, interleaved so allocator drift hits both equally —
+ * then twice serially (--jobs=1) and twice on the requested worker count
+ * with the timed model; the JSON records per-experiment wall time, the
+ * total wall times, the parallel speedup, the timed-vs-functional
+ * instruction throughput (instructions/sec), and the threaded tier's
+ * speedup over the switch tier (functional_threaded_speedup, the number
+ * the CI bench-regression gate watches). Each mode's throughput is
  * the best of its two passes per experiment — the runs are short enough
  * that scheduler noise on a shared machine swings single measurements by
  * >10%, and the per-experiment minimum is the usual noise-robust
@@ -31,8 +35,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "bench_util.hh"
+#include "cpu/dispatch_tier.hh"
 #include "fig11_plan.hh"
 #include "harness/experiment.hh"
 #include "harness/machines.hh"
@@ -129,32 +135,58 @@ main(int argc, char **argv)
     // The functional passes run before the timed ones: 88 timed
     // experiments leave the allocator and page tables in a state that
     // measurably slows later short runs, and the functional mode — being
-    // ~5x faster — is the one short enough to be hurt by it.
+    // ~5x faster — is the one short enough to be hurt by it. The two
+    // tiers interleave (threaded, switch, threaded, switch) so that
+    // drift degrades both tiers' best-of-two equally instead of biasing
+    // the tier ratio.
     std::fprintf(stderr,
                  "harness_throughput: %zu points (%s), functional pass "
-                 "(NullTiming)...\n",
+                 "(NullTiming, threaded)...\n",
                  plan.size(), bench::sizeName(size));
+    RunOptions threadedOpts;
+    threadedOpts.jobs = 1;
+    threadedOpts.dispatchTier = cpu::DispatchTier::Threaded;
     RunOptions functionalOpts;
     functionalOpts.jobs = 1;
-    ExperimentSet functional = runPlan(functionalPlan, functionalOpts);
+    functionalOpts.dispatchTier = cpu::DispatchTier::Switch;
+    ExperimentSet threaded = runPlan(functionalPlan, threadedOpts);
 
-    ExperimentSet functional2, serial, parallel;
-    if (!funcOnly) {
+    ExperimentSet threaded2, functional, functional2, serial, serial2,
+        parallel, parallel2;
+    if (funcOnly) {
+        functional = runPlan(functionalPlan, functionalOpts);
+    } else {
         std::fprintf(stderr,
-                     "harness_throughput: functional pass 2...\n");
+                     "harness_throughput: functional pass (switch)...\n");
+        functional = runPlan(functionalPlan, functionalOpts);
+        std::fprintf(stderr,
+                     "harness_throughput: functional pass 2 (threaded)"
+                     "...\n");
+        threaded2 = runPlan(functionalPlan, threadedOpts);
+        std::fprintf(stderr,
+                     "harness_throughput: functional pass 2 (switch)...\n");
         functional2 = runPlan(functionalPlan, functionalOpts);
 
-        std::fprintf(stderr, "harness_throughput: serial pass...\n");
+        // The serial/parallel pair also interleaves, and the speedup is
+        // taken over each mode's best total: on a loaded (or single-CPU)
+        // host a single pass per mode measures scheduler luck more than
+        // the pool.
         RunOptions serialOpts;
         serialOpts.jobs = 1;
+        RunOptions parallelOpts;
+        parallelOpts.jobs = jobs;
+        std::fprintf(stderr, "harness_throughput: serial pass...\n");
         serial = runPlan(plan, serialOpts);
-
         std::fprintf(stderr,
                      "harness_throughput: parallel pass (%u jobs)...\n",
                      jobs);
-        RunOptions parallelOpts;
-        parallelOpts.jobs = jobs;
         parallel = runPlan(plan, parallelOpts);
+        std::fprintf(stderr, "harness_throughput: serial pass 2...\n");
+        serial2 = runPlan(plan, serialOpts);
+        std::fprintf(stderr,
+                     "harness_throughput: parallel pass 2 (%u jobs)...\n",
+                     jobs);
+        parallel2 = runPlan(plan, parallelOpts);
     }
 
     // Replay-engine measurement: the fig11 sweep wall-clocked direct
@@ -182,13 +214,21 @@ main(int argc, char **argv)
         fig11Replay = std::chrono::duration<double>(t2 - t1).count();
     }
 
-    double speedup = 0.0;
-    if (!funcOnly && parallel.totalSeconds > 0)
-        speedup = serial.totalSeconds / parallel.totalSeconds;
+    double serialSeconds = 0.0, parallelSeconds = 0.0, speedup = 0.0;
+    if (!funcOnly) {
+        serialSeconds = std::min(serial.totalSeconds, serial2.totalSeconds);
+        parallelSeconds =
+            std::min(parallel.totalSeconds, parallel2.totalSeconds);
+        if (parallelSeconds > 0)
+            speedup = serialSeconds / parallelSeconds;
+    }
     double timedIps =
         funcOnly ? 0.0 : instructionsPerSecond(serial, parallel);
     double functionalIps = instructionsPerSecond(functional, functional2);
+    double threadedIps = instructionsPerSecond(threaded, threaded2);
     double functionalSpeedup = timedIps > 0 ? functionalIps / timedIps : 0.0;
+    double threadedSpeedup =
+        functionalIps > 0 ? threadedIps / functionalIps : 0.0;
 
     const char *path = jsonPath.c_str();
     std::FILE *f = std::fopen(path, "w");
@@ -202,12 +242,15 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"points\": %zu,\n", plan.size());
     std::fprintf(f, "  \"functional_only\": %s,\n",
                  funcOnly ? "true" : "false");
+    std::fprintf(f, "  \"host_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"threaded_dispatch\": \"%s\",\n",
+                 cpu::threadedTierUsesComputedGoto() ? "computed-goto"
+                                                     : "switch-fallback");
     if (!funcOnly) {
         std::fprintf(f, "  \"jobs\": %u,\n", parallel.jobs);
-        std::fprintf(f, "  \"serial_seconds\": %.6f,\n",
-                     serial.totalSeconds);
-        std::fprintf(f, "  \"parallel_seconds\": %.6f,\n",
-                     parallel.totalSeconds);
+        std::fprintf(f, "  \"serial_seconds\": %.6f,\n", serialSeconds);
+        std::fprintf(f, "  \"parallel_seconds\": %.6f,\n", parallelSeconds);
         std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
         std::fprintf(f, "  \"timed_instructions_per_second\": %.0f,\n",
                      timedIps);
@@ -221,6 +264,9 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"functional_instructions_per_second\": %.0f,\n",
                  functionalIps);
     std::fprintf(f, "  \"functional_speedup\": %.3f,\n", functionalSpeedup);
+    std::fprintf(f, "  \"functional_threaded_ips\": %.0f,\n", threadedIps);
+    std::fprintf(f, "  \"functional_threaded_speedup\": %.3f,\n",
+                 threadedSpeedup);
     std::fprintf(f, "  \"experiments\": [\n");
     if (!funcOnly) {
         for (size_t i = 0; i < parallel.points.size(); ++i) {
@@ -250,19 +296,20 @@ main(int argc, char **argv)
 
     if (funcOnly) {
         std::printf("harness throughput (functional only): %zu points, "
-                    "%.2fs, %.0f Minst/s -> %s\n",
+                    "%.2fs, %.0f Minst/s (threaded %.2fx) -> %s\n",
                     functionalPlan.size(), functional.totalSeconds,
-                    functionalIps / 1e6, path);
-    } else {
-        std::printf("harness throughput: %zu points, serial %.2fs, "
-                    "%u jobs %.2fs, speedup %.2fx, functional %.2fs "
-                    "(%.1fx inst/s), fig11 replay %.2fx -> %s\n",
-                    plan.size(), serial.totalSeconds, parallel.jobs,
-                    parallel.totalSeconds, speedup,
-                    functional.totalSeconds, functionalSpeedup,
-                    fig11Replay > 0 ? fig11Direct / fig11Replay : 0.0,
-                    path);
+                    functionalIps / 1e6, threadedSpeedup, path);
+        return reportTroubledPoints({&threaded, &functional});
     }
-    return reportTroubledPoints(
-        {&functional, &functional2, &serial, &parallel});
+    std::printf("harness throughput: %zu points, serial %.2fs, "
+                "%u jobs %.2fs, speedup %.2fx, functional %.2fs "
+                "(%.1fx inst/s), threaded tier %.2fx, "
+                "fig11 replay %.2fx -> %s\n",
+                plan.size(), serialSeconds, parallel.jobs,
+                parallelSeconds, speedup, functional.totalSeconds,
+                functionalSpeedup, threadedSpeedup,
+                fig11Replay > 0 ? fig11Direct / fig11Replay : 0.0, path);
+    return reportTroubledPoints({&threaded, &threaded2, &functional,
+                                 &functional2, &serial, &serial2,
+                                 &parallel, &parallel2});
 }

@@ -72,6 +72,14 @@ class Core
     /** Arm the per-point wall-clock watchdog (<= 0 disarms). */
     void armWatchdog(double seconds) { functional_.armWatchdog(seconds); }
 
+    /** Select the functional execution tier (see cpu/dispatch_tier.hh). */
+    void
+    setDispatchTier(DispatchTier tier)
+    {
+        functional_.setDispatchTier(tier);
+    }
+    DispatchTier dispatchTier() const { return functional_.dispatchTier(); }
+
     /**
      * Run until the guest exits or @p maxInstructions retire
      * (0 = unlimited).

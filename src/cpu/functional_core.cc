@@ -1,17 +1,16 @@
 #include "functional_core.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 
-#include "branch/btb.hh"
-#include "branch/jte_table.hh"
-#include "branch/vbbi.hh"
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "functional_core_inl.hh"
 #include "syscalls.hh"
-#include "timing_model.hh"
+#include "threaded_tier.hh"
 
 namespace scd::cpu
 {
@@ -35,9 +34,21 @@ FunctionalCore::FunctionalCore(const CoreConfig &config,
     }
 }
 
+// Out of line so ThreadedTier is complete where unique_ptr destroys it.
+FunctionalCore::~FunctionalCore() = default;
+
+ThreadedTier &
+FunctionalCore::ensureThreaded()
+{
+    if (!threaded_)
+        threaded_ = std::make_unique<ThreadedTier>(*this);
+    return *threaded_;
+}
+
 void
 FunctionalCore::loadProgram(const isa::Program &prog)
 {
+    threaded_.reset(); // translation is per-program
     textBase_ = prog.base;
     slots_.clear();
     slots_.reserve(prog.words.size());
@@ -58,6 +69,8 @@ void
 FunctionalCore::setDispatchMeta(const DispatchMeta &meta)
 {
     SCD_ASSERT(!slots_.empty(), "setDispatchMeta before loadProgram");
+    threaded_.reset(); // slot flags feed the translation
+
     for (auto [lo, hi] : meta.dispatchRanges) {
         for (uint64_t pc = lo; pc < hi; pc += 4) {
             size_t idx = (pc - textBase_) / 4;
@@ -84,6 +97,30 @@ FunctionalCore::badFetch(uint64_t pc) const
     // past the text segment), so this is a guest error, not a
     // simulator bug: throw instead of aborting the whole plan.
     fatal("instruction fetch outside text at pc=", pc);
+}
+
+void
+FunctionalCore::textWritten(uint64_t addr, unsigned width)
+{
+    // Clamp the written span to the text segment; noteIfTextWrite's fringe
+    // admits stores that merely straddle its edges, rejected here.
+    uint64_t end = addr + width;
+    if (end <= textBase_ || addr - textBase_ >= textLimit_)
+        return;
+    uint64_t lo = addr > textBase_ ? addr - textBase_ : 0;
+    uint64_t hi = std::min(end - textBase_, textLimit_);
+    size_t first = size_t(lo >> 2);
+    size_t last = size_t((hi + 3) >> 2); // slot index bound, exclusive
+    for (size_t i = first; i < last; ++i) {
+        Slot &slot = slots_[i];
+        // Keep the dispatch-metadata bits: guest builders assign them per
+        // PC range, which self-modification does not move.
+        uint32_t meta = slot.flags & 0xFF000000u;
+        slot.inst = isa::decode(mem_.read32(textBase_ + uint64_t(i) * 4));
+        slot.flags = isa::opcodeInfo(slot.inst.op).flags | meta;
+    }
+    if (threaded_)
+        threaded_->noteTextWrite(first, last);
 }
 
 inline uint64_t
@@ -120,22 +157,28 @@ inline void
 FunctionalCore::storeValue(const Instruction &inst, uint64_t addr)
 {
     uint64_t v = x_[inst.rs2];
+    unsigned width;
     switch (inst.op) {
       case Opcode::SB:
         mem_.write8(addr, static_cast<uint8_t>(v));
+        width = 1;
         break;
       case Opcode::SH:
         mem_.write16(addr, static_cast<uint16_t>(v));
+        width = 2;
         break;
       case Opcode::SW:
         mem_.write32(addr, static_cast<uint32_t>(v));
+        width = 4;
         break;
       case Opcode::SD:
         mem_.write64(addr, v);
+        width = 8;
         break;
       default:
         panic("not a store: ", isa::mnemonic(inst.op));
     }
+    noteIfTextWrite(addr, width);
 }
 
 void
@@ -347,6 +390,7 @@ FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
         uint64_t raw;
         std::memcpy(&raw, &f_[inst.rs2], sizeof(raw));
         mem_.write64(addr, raw);
+        noteIfTextWrite(addr, 8);
         hasMem = true;
         memIsStore = true;
         memAddr = addr;
@@ -456,74 +500,21 @@ FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
         break;
 
       case Opcode::BOP: {
-        ScdBank &bank = banks_[inst.bank];
-        bool eligible = config_.scdEnabled && bank.rbopPc == pc &&
-                        bank.ropValid;
-        if (eligible) {
-            uint64_t dist = hs.retired - bank.ropWriteIndex;
-            bool inFlight = dist < config_.ropForwardDistance;
-            if (inFlight &&
-                config_.bopPolicy == BopStallPolicy::FallThrough) {
-                // The fetch stage could not see Rop in time; take the slow
-                // path this once.
-                eligible = false;
-                ++bopFallThroughForced_;
-            } else if (inFlight) {
-                ropStall = config_.ropForwardDistance - unsigned(dist);
-            }
-        }
-        std::optional<uint64_t> target;
-        if (eligible) {
-            // Record the probe for replay: jteOpcode keeps the probed Rop
-            // value (a hit invalidates the bank's copy below), and
-            // bopProbed marks where a replay consumer must perform the
-            // same lookup against its own JTE state — the one place
-            // timing-model state feeds the architectural stream.
-            bopProbed = true;
-            jteOpcode = bank.ropData;
-            if constexpr (!kHasRi) {
-                // Probe the shadow structures directly (inlinable) rather
-                // than through the virtual JTE port.
-                if (shadowJtes_)
-                    target = shadowJtes_->lookup(inst.bank, bank.ropData);
-                else if (shadowBtb_)
-                    target =
-                        shadowBtb_->lookupJteFast(inst.bank, bank.ropData);
-                else
-                    target = timing_.jteLookup(inst.bank, bank.ropData);
-            } else {
-                target = timing_.jteLookup(inst.bank, bank.ropData);
-            }
-            bopHit = target.has_value();
-        }
-        if (target) {
+        if (auto target = bopExec<kHasRi>(inst.bank, pc, hs.retired,
+                                          ropStall, bopProbed, bopHit,
+                                          jteOpcode))
             nextPc = *target;
-            bank.ropValid = false;
-            ++bopFastHits_;
-        } else {
-            ++bopMisses_;
-        }
         // A bop never causes a pipeline redirect: the JTE hit is known at
         // fetch, and a miss falls through sequentially.
         ctrl = CtrlKind::Bop;
         cls = BranchClass::Bop;
         countBranch(cls);
-        bank.rbopPc = pc;
         break;
       }
 
       case Opcode::JRU: {
-        uint64_t target = urs1;
-        ScdBank &bank = banks_[inst.bank];
-        if (config_.scdEnabled && bank.ropValid) {
-            jteIns = true;
-            jteOpcode = bank.ropData;
-            ++jteInserts_;
-            bank.ropValid = false;
-            // The insertion itself happens in the post-switch shadow
-            // block, after the B entry, matching the timed retire order.
-        }
-        nextPc = target;
+        jteIns = jruConsume(inst.bank, jteOpcode);
+        nextPc = urs1;
         ctrl = CtrlKind::Jru;
         cls = BranchClass::IndirectDispatch;
         countBranch(cls);
@@ -549,46 +540,22 @@ FunctionalCore::stepImpl(RetireInfo *ri, HotState &hs)
         // Functional-only mode: mirror the timed front end's
         // architecturally-determined BTB writes so the branch entries
         // sharing sets with JTEs evolve identically and bop sees the same
-        // residency as under InOrderTiming (see ArchShadow). A jru's B
-        // entry goes in before its JTE, matching the timed retire order.
-        // Probe-then-insert: nothing in this mode ever reads a B entry's
-        // target or recency, so the refresh that insert() would do on a
-        // hit is unobservable and skipped.
-        auto insertB = [this](uint64_t bpc, uint64_t target) {
-            if (shadowBtb_ && !shadowBtb_->containsBranchKey(bpc))
-                shadowBtb_->insertPc(bpc, target);
-        };
+        // residency as under InOrderTiming (see ArchShadow). Bodies are in
+        // functional_core_inl.hh, shared with the threaded tier.
         switch (ctrl) {
           case CtrlKind::Conditional:
             if (taken)
-                insertB(pc, nextPc);
+                shadowInsertB(pc, nextPc);
             break;
           case CtrlKind::Jal:
-            insertB(pc, nextPc);
+            shadowInsertB(pc, nextPc);
             break;
           case CtrlKind::Jalr:
-            if (isReturn)
-                break;
-            if (config_.vbbiEnabled && hintReg >= 0) {
-                if (shadowVbbi_)
-                    shadowVbbi_->update(pc, hintValue, nextPc);
-            } else if (!config_.ittageEnabled) {
-                insertB(pc, nextPc);
-            }
+            if (!isReturn)
+                shadowJalr(pc, nextPc, hintReg, hintValue);
             break;
           case CtrlKind::Jru:
-            insertB(pc, nextPc);
-            if (jteIns) {
-                if (shadowJtes_) {
-                    shadowJtes_->insert(inst.bank, jteOpcode, nextPc);
-                } else if (shadowBtb_) {
-                    if (!shadowBtb_->tryRefreshJte(inst.bank, jteOpcode,
-                                                   nextPc))
-                        shadowBtb_->insertJte(inst.bank, jteOpcode, nextPc);
-                } else {
-                    timing_.jteInsert(inst.bank, jteOpcode, nextPc);
-                }
-            }
+            shadowJru(inst.bank, pc, nextPc, jteIns, jteOpcode);
             break;
           default:
             break;
@@ -650,6 +617,12 @@ __attribute__((flatten))
 void
 FunctionalCore::runFunctional(uint64_t maxInstructions)
 {
+    if (tier_ == DispatchTier::Threaded && !trace_) {
+        // Tracing wants the per-instruction hook probe; keep it on the
+        // reference interpreter, whose semantics the trace documents.
+        ensureThreaded().runFunctional(maxInstructions);
+        return;
+    }
     HotState hs{pc_, retired_, dispatchInstructions_};
     if (watchdog_.armed()) {
         // Watchdog-armed runs step in bounded bursts so the deadline is
@@ -690,6 +663,22 @@ FunctionalCore::runFunctional(uint64_t maxInstructions)
     pc_ = hs.pc;
     retired_ = hs.retired;
     dispatchInstructions_ = hs.dispatchInstructions;
+}
+
+size_t
+FunctionalCore::runRecorded(RetireInfo *out, size_t cap)
+{
+    if (tier_ == DispatchTier::Threaded && !trace_)
+        return ensureThreaded().runRecorded(out, cap);
+    HotState hs{pc_, retired_, dispatchInstructions_};
+    size_t n = 0;
+    bool live = true;
+    while (live && n < cap)
+        live = stepImpl<true, true>(&out[n++], hs);
+    pc_ = hs.pc;
+    retired_ = hs.retired;
+    dispatchInstructions_ = hs.dispatchInstructions;
+    return n;
 }
 
 void

@@ -11,15 +11,19 @@
 #ifndef SCD_CPU_FUNCTIONAL_CORE_HH
 #define SCD_CPU_FUNCTIONAL_CORE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "config.hh"
+#include "dispatch_tier.hh"
 #include "isa/instruction.hh"
 #include "isa/program.hh"
 #include "mem/memory.hh"
@@ -37,6 +41,7 @@ namespace scd::cpu
 {
 
 class TimingModel;
+class ThreadedTier;
 
 /**
  * Program metadata supplied by the guest builders: which PC ranges belong
@@ -62,12 +67,21 @@ class FunctionalCore
      */
     FunctionalCore(const CoreConfig &config, mem::GuestMemory &memory,
                    TimingModel &timing);
+    ~FunctionalCore();
 
     /** Pre-decode and map the text segment; resets the PC to its entry. */
     void loadProgram(const isa::Program &prog);
 
     /** Attach interpreter metadata (may be empty). */
     void setDispatchMeta(const DispatchMeta &meta);
+
+    /**
+     * Select the execution tier used by runFunctional()/runRecorded()
+     * (default: defaultDispatchTier()). step() always runs the reference
+     * interpreter; the tiers retire bit-identical streams either way.
+     */
+    void setDispatchTier(DispatchTier tier) { tier_ = tier; }
+    DispatchTier dispatchTier() const { return tier_; }
 
     /** Optional per-instruction hook (pc, instruction), for tracing. */
     using TraceHook = std::function<void(uint64_t, const isa::Instruction &)>;
@@ -97,6 +111,16 @@ class FunctionalCore
      * the step body so the whole fast path inlines into one frame.
      */
     void runFunctional(uint64_t maxInstructions);
+
+    /**
+     * Execute and record: fill up to @p cap RetireInfo records (the
+     * stream a timing model or replay consumer would see) and return the
+     * number filled. Stops early only when the guest exits; a partial
+     * fill with exited() == false never happens. Equivalent to a step()
+     * loop but runs on the selected dispatch tier, which is what makes
+     * replay's execute-once producers fast.
+     */
+    size_t runRecorded(RetireInfo *out, size_t cap);
 
     bool exited() const { return exited_; }
     int exitCode() const { return exitCode_; }
@@ -176,6 +200,47 @@ class FunctionalCore
     uint64_t loadValue(const isa::Instruction &inst, uint64_t addr);
     void storeValue(const isa::Instruction &inst, uint64_t addr);
     void countBranch(BranchClass cls) { ++branchCount_[size_t(cls)]; }
+
+    // ---- semantics helpers shared by both dispatch tiers ----------------
+    // Defined inline in functional_core_inl.hh and included by both
+    // functional_core.cc and threaded_tier.cc: one body per semantic
+    // rule, so the tiers cannot drift apart. The shadow* helpers mirror
+    // the timed front end's architecturally-determined BTB writes in
+    // functional-only mode (see the shadowBtb_ comment below).
+    inline void shadowInsertB(uint64_t pc, uint64_t target);
+    inline void shadowJalr(uint64_t pc, uint64_t nextPc, int16_t hintReg,
+                           uint64_t hintValue);
+    inline void shadowJru(uint8_t bank, uint64_t pc, uint64_t nextPc,
+                          bool jteIns, uint64_t jteOpcode);
+    /** jru's Rop consumption; returns whether a JTE insert is due. */
+    inline bool jruConsume(uint8_t bank, uint64_t &jteOpcode);
+    /**
+     * The bop instruction minus control flow: eligibility, the JTE
+     * probe, counters, and the Rbop-pc update. @p retiredIdx is the
+     * retire index of the bop itself. Returns the short-circuit target
+     * on a hit.
+     */
+    template <bool kHasRi>
+    inline std::optional<uint64_t>
+    bopExec(uint8_t bank, uint64_t pc, uint64_t retiredIdx,
+            uint32_t &ropStall, bool &bopProbed, bool &bopHit,
+            uint64_t &jteOpcode);
+
+    /**
+     * Guest self-modification hook, called after every store: when the
+     * stored bytes can overlap the text segment, re-decode the touched
+     * slots from memory (keeping the dispatch-metadata flag bits) and
+     * invalidate the threaded tier's translation of them. The fast-path
+     * cost is one subtract + compare; the ±8-byte fringe keeps that
+     * reject branch-free for spanning stores.
+     */
+    void
+    noteIfTextWrite(uint64_t addr, unsigned width)
+    {
+        if (addr - (textBase_ - 8) < textLimit_ + 16) [[unlikely]]
+            textWritten(addr, width);
+    }
+    void textWritten(uint64_t addr, unsigned width);
 
     /**
      * One pre-decoded text slot: the instruction fused with the cached
@@ -257,6 +322,14 @@ class FunctionalCore
     int exitCode_ = 0;
     TraceHook trace_;
     Watchdog watchdog_;
+
+    // The threaded execution tier (src/cpu/threaded_tier.hh), built
+    // lazily on first threaded run and discarded on loadProgram(). The
+    // tier reads and writes the architectural state above directly.
+    friend class ThreadedTier;
+    DispatchTier tier_ = defaultDispatchTier();
+    std::unique_ptr<ThreadedTier> threaded_;
+    ThreadedTier &ensureThreaded();
 };
 
 } // namespace scd::cpu

@@ -146,6 +146,15 @@ struct RunOptions
     double pointTimeout = 0.0;
 
     /**
+     * Functional execution tier for every point (and for replay's shared
+     * producer). Host-speed only — results are bit-identical across
+     * tiers (cpu/dispatch_tier.hh) — so it is not part of the replay
+     * grouping key or the resume journal key. CLI: --dispatch-tier=...,
+     * default $SCD_DISPATCH_TIER, else threaded.
+     */
+    cpu::DispatchTier dispatchTier = cpu::defaultDispatchTier();
+
+    /**
      * Crash-safe journal of completed points (src/harness/journal.hh).
      * Non-empty: every finished point is appended as it completes. With
      * resume=true the journal is first read back and every point found

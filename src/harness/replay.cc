@@ -1,6 +1,7 @@
 #include "replay.hh"
 
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -344,6 +345,7 @@ runGroup(const std::vector<size_t> &indices, ExperimentSet &set,
         cpu::FunctionalCore func(members[0].cfg, memory, recorder);
         func.loadProgram(program->text);
         func.setDispatchMeta(program->meta);
+        func.setDispatchTier(options.dispatchTier);
         func.armWatchdog(options.pointTimeout);
 
         cpu::RetireStream stream;
@@ -353,14 +355,10 @@ runGroup(const std::vector<size_t> &indices, ExperimentSet &set,
             SCD_FAULT_POINT("replay-ring");
             cpu::RetireChunk &chunk = stream.produceSlot();
             auto fillStart = steady::now();
-            while (chunk.count < cpu::RetireChunk::kCapacity) {
-                bool live = func.step(&chunk.entries[chunk.count]);
-                ++chunk.count;
-                if (!live) {
-                    exhausted = true;
-                    break;
-                }
-            }
+            chunk.count = func.runRecorded(chunk.entries,
+                                           cpu::RetireChunk::kCapacity);
+            if (func.exited() || chunk.count == 0)
+                exhausted = true;
             producerSeconds += secondsSince(fillStart);
             // Cooperative cancellation, checked once per chunk (the
             // fill is bounded by the chunk capacity, the drains by the
@@ -485,7 +483,7 @@ runPointDirect(const ExperimentPoint &point, const RunOptions &options)
     run.result = runWorkload(point.vm, *point.workload, point.size,
                              point.scheme, point.machine,
                              point.maxInstructions, nullptr,
-                             options.pointTimeout);
+                             options.pointTimeout, options.dispatchTier);
     run.seconds = secondsSince(start);
     return run;
 }
@@ -539,6 +537,27 @@ pointKey(const ExperimentPoint &point)
     return key;
 }
 
+/**
+ * Split @p count work items into at most jobs*8 contiguous batches, one
+ * pool task per batch. Small simulation points (the test-size grids the
+ * unit tests run) take microseconds each, so at one point per task the
+ * pool's queue mutex and condition-variable wakeups dominate and a
+ * parallel plan loses to a serial one; batching amortizes the per-task
+ * overhead while the 8x over-decomposition keeps the tail balanced when
+ * point costs are skewed. Results still land at their plan index, so
+ * collection order — and every artifact derived from it — is unchanged.
+ */
+std::vector<std::pair<size_t, size_t>>
+batchRanges(size_t count, unsigned jobs)
+{
+    std::vector<std::pair<size_t, size_t>> ranges;
+    size_t batches = std::min(count, size_t(jobs) * 8);
+    ranges.reserve(batches);
+    for (size_t b = 0; b < batches; ++b)
+        ranges.emplace_back(count * b / batches, count * (b + 1) / batches);
+    return ranges;
+}
+
 void
 runPlanDirect(ExperimentSet &set, const std::vector<size_t> &pending,
               const RunOptions &options, RunJournal *journal)
@@ -548,11 +567,14 @@ runPlanDirect(ExperimentSet &set, const std::vector<size_t> &pending,
     if (pending.size() < set.jobs)
         set.jobs = pending.empty() ? 1 : unsigned(pending.size());
 
-    parallelFor(set.jobs, pending.size(), [&](size_t n) {
-        size_t i = pending[n];
-        set.runs[i] = runPointContained(set.points[i], options);
-        if (journal)
-            journal->append(pointKey(set.points[i]), set.runs[i]);
+    auto ranges = batchRanges(pending.size(), set.jobs);
+    parallelFor(set.jobs, ranges.size(), [&](size_t b) {
+        for (size_t n = ranges[b].first; n < ranges[b].second; ++n) {
+            size_t i = pending[n];
+            set.runs[i] = runPointContained(set.points[i], options);
+            if (journal)
+                journal->append(pointKey(set.points[i]), set.runs[i]);
+        }
     });
 }
 
@@ -567,30 +589,44 @@ runPlanReplay(ExperimentSet &set, const std::vector<size_t> &pending,
     // side) — run direct as singleton tasks, as do groups of one.
     std::map<std::string, std::vector<size_t>> byKey;
     std::vector<std::vector<size_t>> tasks;
+    std::vector<size_t> singles;
     for (size_t i : pending) {
         const ExperimentPoint &p = set.points[i];
         SCD_ASSERT(p.workload, "experiment point without a workload");
         if (p.maxInstructions != 0 ||
             p.machine.timingKind == cpu::TimingKind::Null) {
-            tasks.push_back({i});
+            singles.push_back(i);
             continue;
         }
         byKey[functionalKey(p)].push_back(i);
     }
-    for (auto &entry : byKey)
-        tasks.push_back(std::move(entry.second));
+    for (auto &entry : byKey) {
+        if (entry.second.size() == 1)
+            singles.push_back(entry.second.front());
+        else
+            tasks.push_back(std::move(entry.second));
+    }
 
+    // Tasks [0, groupTasks) are replay groups (one producer, shared
+    // stream); the rest are contiguous batches of direct-path singleton
+    // points, batched for the same task-overhead reason as
+    // runPlanDirect().
+    const size_t groupTasks = tasks.size();
     set.jobs = resolveJobs(options.jobs);
+    for (auto [lo, hi] : batchRanges(singles.size(), set.jobs)) {
+        tasks.emplace_back(singles.begin() + ptrdiff_t(lo),
+                           singles.begin() + ptrdiff_t(hi));
+    }
     if (tasks.size() < set.jobs)
         set.jobs = tasks.empty() ? 1 : unsigned(tasks.size());
 
     parallelFor(set.jobs, tasks.size(), [&](size_t t) {
         const std::vector<size_t> &indices = tasks[t];
-        if (indices.size() == 1) {
-            set.runs[indices[0]] =
-                runPointContained(set.points[indices[0]], options);
-        } else {
+        if (t < groupTasks) {
             runGroup(indices, set, options);
+        } else {
+            for (size_t idx : indices)
+                set.runs[idx] = runPointContained(set.points[idx], options);
         }
         if (journal) {
             for (size_t idx : indices)

@@ -1,0 +1,12 @@
+-- Seed: integer arithmetic, while/for loops, nested locals.
+local sum = 0
+local i = 1
+while i <= 40 do
+  local sq = i * i
+  sum = sum + sq - (i / 2) + (i % 3)
+  i = i + 1
+end
+for j = 1, 10 do
+  sum = sum - j
+end
+print(sum)

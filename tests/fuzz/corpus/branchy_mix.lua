@@ -1,0 +1,19 @@
+-- Seed: dense data-dependent branching over a small LCG stream.
+local seed = 42
+local hits = 0
+local miss = 0
+for i = 1, 200 do
+  seed = (seed * 3877 + 29573) % 139968
+  local v = seed % 7
+  if v == 0 then
+    hits = hits + 3
+  end
+  if v == 1 then
+    hits = hits + 1
+  end
+  if v > 4 then
+    miss = miss + v
+  end
+end
+print(hits)
+print(miss)

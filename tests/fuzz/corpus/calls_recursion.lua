@@ -1,0 +1,15 @@
+-- Seed: function definitions, recursion, early returns.
+function gcd(a, b)
+  if b == 0 then
+    return a
+  end
+  return gcd(b, a % b)
+end
+function fib(n)
+  if n < 2 then
+    return n
+  end
+  return fib(n - 1) + fib(n - 2)
+end
+print(gcd(462, 1071))
+print(fib(12))

@@ -1,0 +1,13 @@
+-- Seed: double-precision arithmetic and mixed int/float comparisons.
+local x = 0.5
+local acc = 0.0
+for i = 1, 20 do
+  local term = (x * i) / (i + 1.0)
+  if term > 1.0 then
+    acc = acc + term
+  else
+    acc = acc - term
+  end
+  x = x * 1.25
+end
+print(acc)

@@ -1,0 +1,14 @@
+-- Seed: table construction, string keys, concatenation.
+local counts = {}
+local keys = { "aa", "ab", "ba", "bb" }
+for i = 1, 4 do
+  counts[keys[i]] = 0
+end
+local seq = { "a", "b", "a", "a", "b", "b", "a", "b" }
+for i = 1, 7 do
+  local k = seq[i] .. seq[i + 1]
+  counts[k] = counts[k] + 1
+end
+for i = 1, 4 do
+  print(counts[keys[i]])
+end
