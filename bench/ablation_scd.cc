@@ -131,7 +131,8 @@ main(int argc, char **argv)
                 p.workload = &workload(name);
                 p.size = size;
                 p.scheme = s;
-                p.machine = step.machine;
+                p.machine =
+                    bench::applyFrontendFlag(argc, argv, step.machine);
                 plan.add(std::move(p));
             }
         }

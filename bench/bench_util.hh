@@ -12,8 +12,11 @@
 #include <cstring>
 #include <string>
 
+#include <utility>
+
 #include "cpu/dispatch_tier.hh"
 #include "harness/experiment.hh"
+#include "harness/machines.hh"
 #include "harness/workloads.hh"
 
 namespace scd::bench
@@ -78,6 +81,38 @@ parseWidth(int argc, char **argv, unsigned fallback)
         }
     }
     return fallback;
+}
+
+/**
+ * Parse --frontend=<spec>: the frontend organization every timed machine
+ * in the driver fetches through (branch::frontendFromSpec — "ideal",
+ * "mlbtb", "mlbtb+tag6+fdip", ...). Returns the spec, or an empty string
+ * when the flag is absent (keep the machine's own default).
+ */
+inline std::string
+parseFrontend(int argc, char **argv)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], "--frontend=", 11) == 0) {
+            if (argv[n][11] != '\0')
+                return argv[n] + 11;
+            std::fprintf(stderr, "ignoring empty --frontend value\n");
+        }
+    }
+    return "";
+}
+
+/**
+ * Apply a --frontend= flag to an already-built machine configuration
+ * (harness::withFrontend); a missing flag leaves it untouched.
+ */
+inline cpu::CoreConfig
+applyFrontendFlag(int argc, char **argv, cpu::CoreConfig config)
+{
+    std::string spec = parseFrontend(argc, argv);
+    if (!spec.empty())
+        config = harness::withFrontend(std::move(config), spec);
+    return config;
 }
 
 /**

@@ -23,8 +23,9 @@ main(int argc, char **argv)
     std::string jsonPath = bench::parseJsonPath(argc, argv);
     std::fprintf(stderr, "fig02: running 11 baseline simulations (%s)\n",
                  bench::sizeName(size));
-    GridRun run = runGridSet(minorConfig(), size, {VmKind::Rlua},
-                             {core::Scheme::Baseline}, options);
+    GridRun run =
+        runGridSet(bench::applyFrontendFlag(argc, argv, minorConfig()),
+                   size, {VmKind::Rlua}, {core::Scheme::Baseline}, options);
     std::printf("%s\n", renderFig2(run.grid).c_str());
 
     obs::StatsSink sink("fig02_mpki_breakdown", bench::sizeName(size));

@@ -27,8 +27,9 @@ main(int argc, char **argv)
                  "fig07-10: running the 2x11x4 simulation grid (%s, %u "
                  "jobs)...\n",
                  bench::sizeName(size), resolveJobs(options.jobs));
-    GridRun run = runGridSet(minorConfig(), size,
-                             {VmKind::Rlua, VmKind::Sjs},
+    GridRun run = runGridSet(bench::applyFrontendFlag(argc, argv,
+                                                      minorConfig()),
+                             size, {VmKind::Rlua, VmKind::Sjs},
                              {core::Scheme::Baseline,
                               core::Scheme::JumpThreading,
                               core::Scheme::Vbbi, core::Scheme::Scd},

@@ -91,6 +91,8 @@ main(int argc, char **argv)
     obs::StatsSink sink("fig11_sensitivity", bench::sizeName(size));
 
     std::vector<bench::Fig11Step> steps = bench::fig11Steps();
+    for (bench::Fig11Step &step : steps)
+        step.machine = bench::applyFrontendFlag(argc, argv, step.machine);
     ExperimentPlan plan = bench::fig11Plan(steps, size);
     std::fprintf(stderr, "fig11: %zu points across %zu sweep steps%s...\n",
                  plan.size(), steps.size(),

@@ -24,7 +24,8 @@ main(int argc, char **argv)
     RunOptions options = bench::parseRunOptions(argc, argv);
     options.verbose = true;
     std::string jsonPath = bench::parseJsonPath(argc, argv);
-    cpu::CoreConfig config = cortexA8Config();
+    cpu::CoreConfig config =
+        bench::applyFrontendFlag(argc, argv, cortexA8Config());
     // The A8-like machine runs on WideInOrderTiming; --width=N widens
     // (or narrows) the issue stage without touching the rest of the
     // configuration. Default 2 matches the paper's dual-issue study.

@@ -9,10 +9,12 @@
 
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "branch/btb.hh"
 #include "branch/direction.hh"
+#include "branch/frontend.hh"
 #include "cache/cache.hh"
 #include "cpu/core.hh"
 #include "guest/rlua_guest.hh"
@@ -30,6 +32,19 @@ namespace
 {
 
 using namespace scd;
+
+/** --frontend=<spec> from the command line (empty = machine default),
+ *  applied to the whole-simulation benchmarks. */
+std::string gFrontendSpec;
+
+cpu::CoreConfig
+simMachine()
+{
+    cpu::CoreConfig config = harness::minorConfig();
+    if (!gFrontendSpec.empty())
+        config = harness::withFrontend(std::move(config), gFrontendSpec);
+    return config;
+}
 
 void
 BM_BtbLookupPc(benchmark::State &state)
@@ -58,6 +73,25 @@ BM_BtbJteLookup(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BtbJteLookup);
+
+/** The BM_BtbJteLookup op mix through a FrontendModel: Arg(0) = the
+ *  ideal organization (interface cost over the raw Btb above), Arg(1) =
+ *  the multi-level organization (micro-BTB hit path). */
+void
+BM_FrontendJteProbe(benchmark::State &state)
+{
+    branch::FrontendConfig fc =
+        branch::frontendFromSpec(state.range(0) ? "mlbtb" : "ideal");
+    auto frontend = branch::makeFrontendModel(fc, {256, 2, false, 0});
+    for (uint64_t op = 0; op < 47; ++op)
+        frontend->insertJte(0, op, 0x4000 + op * 64);
+    uint64_t op = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(frontend->probeJte(0, op));
+        op = (op + 1) % 47;
+    }
+}
+BENCHMARK(BM_FrontendJteProbe)->Arg(0)->Arg(1);
 
 void
 BM_TournamentPredictor(benchmark::State &state)
@@ -155,7 +189,7 @@ BM_SimulatorThroughput(benchmark::State &state)
     for (auto _ : state) {
         auto r = harness::runWorkload(
             harness::VmKind::Rlua, harness::workload("fibo"),
-            harness::InputSize::Test, scheme, harness::minorConfig());
+            harness::InputSize::Test, scheme, simMachine());
         instructions += r.run.instructions;
     }
     state.counters["guest_mips"] = benchmark::Counter(
@@ -178,6 +212,10 @@ main(int argc, char **argv)
     for (int n = 1; n < argc; ++n) {
         if (std::strncmp(argv[n], "--json=", 7) == 0 && argv[n][7]) {
             outFlag = std::string("--benchmark_out=") + (argv[n] + 7);
+            continue;
+        }
+        if (std::strncmp(argv[n], "--frontend=", 11) == 0 && argv[n][11]) {
+            gFrontendSpec = argv[n] + 11;
             continue;
         }
         args.push_back(argv[n]);

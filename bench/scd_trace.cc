@@ -106,7 +106,8 @@ main(int argc, char **argv)
     obs::TraceBuffer trace(events ? events : 1);
     ExperimentResult result =
         runWorkload(vm, workload(workloadName), size, scheme,
-                    minorConfig(), /*maxInstructions=*/0, &trace);
+                    bench::applyFrontendFlag(argc, argv, minorConfig()),
+                    /*maxInstructions=*/0, &trace);
 
     std::printf("%s", obs::profileReport(trace, opName).c_str());
     std::printf("\nrun: %llu instructions, %llu cycles; trace recorded "

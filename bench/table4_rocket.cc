@@ -27,7 +27,9 @@ main(int argc, char **argv)
     std::fprintf(stderr,
                  "table4: running 11x3 rocket-config simulations (%s)...\n",
                  bench::sizeName(size));
-    GridRun run = runGridSet(rocketConfig(), size, {VmKind::Rlua},
+    GridRun run = runGridSet(bench::applyFrontendFlag(argc, argv,
+                                                      rocketConfig()),
+                             size, {VmKind::Rlua},
                              {core::Scheme::Baseline,
                               core::Scheme::JumpThreading,
                               core::Scheme::Scd},

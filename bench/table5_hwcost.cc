@@ -57,7 +57,9 @@ main(int argc, char **argv)
     std::fprintf(stderr,
                  "table5: measuring rocket SCD speedup (%s inputs)...\n",
                  bench::sizeName(size));
-    GridRun run = runGridSet(rocketConfig(), size, {VmKind::Rlua},
+    GridRun run = runGridSet(bench::applyFrontendFlag(argc, argv,
+                                                      rocketConfig()),
+                             size, {VmKind::Rlua},
                              {core::Scheme::Baseline, core::Scheme::Scd},
                              options);
     double speedup =

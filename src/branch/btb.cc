@@ -6,16 +6,37 @@
 namespace scd::branch
 {
 
-Btb::Btb(const BtbConfig &config) : config_(config)
+void
+validateBtbConfig(const BtbConfig &config)
 {
-    SCD_ASSERT(config.associativity > 0 &&
-               config.entries % config.associativity == 0,
-               "bad BTB geometry");
-    numSets_ = config.entries / config.associativity;
+    if (config.associativity == 0)
+        fatal("BTB associativity must be at least 1");
+    if (config.entries == 0)
+        fatal("BTB must have at least one entry");
+    if (config.entries % config.associativity != 0) {
+        fatal("BTB entries (", config.entries,
+              ") must be divisible by associativity (",
+              config.associativity, ")");
+    }
+    unsigned sets = config.entries / config.associativity;
     // A fully-associative BTB (rocket config) has one set; otherwise the
     // set count must be a power of two for index extraction.
-    SCD_ASSERT(numSets_ == 1 || isPowerOf2(numSets_),
-               "BTB set count must be a power of two");
+    if (sets != 1 && !isPowerOf2(sets)) {
+        fatal("BTB set count (", sets, " = ", config.entries, "/",
+              config.associativity, ") must be a power of two");
+    }
+    if (config.jteCap > config.entries) {
+        fatal("BTB jteCap (", config.jteCap,
+              ") exceeds the entry count (", config.entries, ")");
+    }
+    if (config.adaptiveJteCap && config.adaptEpoch == 0)
+        fatal("BTB adaptEpoch must be at least 1 when the cap is adaptive");
+}
+
+Btb::Btb(const BtbConfig &config) : config_(config)
+{
+    validateBtbConfig(config);
+    numSets_ = config.entries / config.associativity;
     entries_.resize(config.entries);
     rrNext_.resize(numSets_, 0);
 }

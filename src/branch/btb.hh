@@ -45,6 +45,15 @@ struct BtbConfig
     unsigned adaptEpoch = 8192;
 };
 
+/**
+ * Check @p config for a constructible geometry: a nonzero associativity
+ * dividing a nonzero entry count, a power-of-two (or single) set count,
+ * and a JTE cap no larger than the structure. Throws FatalError naming
+ * the offending field; called by the Btb constructor and the frontend
+ * factory so a bad sweep axis fails loudly instead of misbehaving.
+ */
+void validateBtbConfig(const BtbConfig &config);
+
 /** Distinguishes the two entry kinds sharing the structure. */
 enum class EntryKind : uint8_t
 {

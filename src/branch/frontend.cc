@@ -1,0 +1,519 @@
+#include "frontend.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace scd::branch
+{
+
+FrontendModel::~FrontendModel() = default;
+
+const char *
+frontendKindName(FrontendKind kind)
+{
+    switch (kind) {
+      case FrontendKind::Ideal: return "ideal";
+      case FrontendKind::MultiLevel: return "multilevel";
+    }
+    return "?";
+}
+
+std::string
+FrontendConfig::label() const
+{
+    std::string s = kind == FrontendKind::Ideal ? "ideal" : "mlbtb";
+    if (fdip)
+        s += "+fdip";
+    return s;
+}
+
+void
+validateFrontendConfig(const FrontendConfig &config, const BtbConfig &btb)
+{
+    validateBtbConfig(btb);
+    if (config.kind == FrontendKind::MultiLevel) {
+        if (config.partialTagBits < 1 || config.partialTagBits > 32) {
+            fatal("frontend partialTagBits must be in [1, 32], got ",
+                  config.partialTagBits);
+        }
+        if (config.microEntries == 0)
+            fatal("frontend microEntries must be at least 1");
+        if (config.mainBanks == 0 || !isPowerOf2(config.mainBanks)) {
+            fatal("frontend mainBanks must be a power of two, got ",
+                  config.mainBanks);
+        }
+    }
+    if (config.fdip) {
+        if (config.ftqDepth == 0)
+            fatal("frontend ftqDepth must be at least 1");
+        if (config.ftqTimelyDistance == 0)
+            fatal("frontend ftqTimelyDistance must be at least 1");
+    }
+}
+
+std::unique_ptr<FrontendModel>
+makeFrontendModel(const FrontendConfig &config, const BtbConfig &btb)
+{
+    validateFrontendConfig(config, btb);
+    std::unique_ptr<FrontendModel> model;
+    if (config.kind == FrontendKind::Ideal)
+        model = std::make_unique<IdealBtb>(btb);
+    else
+        model = std::make_unique<MultiLevelBtb>(config, btb);
+    if (config.fdip)
+        model = std::make_unique<FdipFrontend>(config, std::move(model));
+    return model;
+}
+
+FrontendConfig
+frontendFromSpec(const std::string &spec)
+{
+    FrontendConfig config;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t end = spec.find('+', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string tok = spec.substr(pos, end - pos);
+        auto numberAfter = [&tok](size_t prefixLen) {
+            char *endp = nullptr;
+            long v = std::strtol(tok.c_str() + prefixLen, &endp, 10);
+            if (endp == tok.c_str() + prefixLen || *endp != '\0' || v < 0)
+                fatal("bad frontend spec token '", tok, "'");
+            return unsigned(v);
+        };
+        if (tok.empty() || tok == "ideal") {
+            config.kind = FrontendKind::Ideal;
+        } else if (tok == "mlbtb" || tok == "multilevel") {
+            config.kind = FrontendKind::MultiLevel;
+        } else if (tok == "fdip") {
+            config.fdip = true;
+        } else if (tok.rfind("tag", 0) == 0) {
+            config.partialTagBits = numberAfter(3);
+        } else if (tok.rfind("micro", 0) == 0) {
+            config.microEntries = numberAfter(5);
+        } else if (tok.rfind("banks", 0) == 0) {
+            config.mainBanks = numberAfter(5);
+        } else if (tok.rfind("ftq", 0) == 0) {
+            config.ftqDepth = numberAfter(3);
+        } else if (tok.rfind("dist", 0) == 0) {
+            config.ftqTimelyDistance = numberAfter(4);
+        } else {
+            fatal("unknown frontend spec token '", tok, "' in '", spec,
+                  "' (expected ideal|mlbtb|fdip|tagN|microN|banksN|"
+                  "ftqN|distN)");
+        }
+        pos = end + 1;
+    }
+    return config;
+}
+
+// ---------------------------------------------------------------------------
+// MultiLevelBtb
+// ---------------------------------------------------------------------------
+
+MultiLevelBtb::MultiLevelBtb(const FrontendConfig &config,
+                             const BtbConfig &btb)
+    : config_(config), btbConfig_(btb)
+{
+    validateFrontendConfig(config, btb);
+    numSets_ = btb.entries / btb.associativity;
+    setBits_ = 0;
+    while ((1u << setBits_) < numSets_)
+        ++setBits_;
+    main_.resize(btb.entries);
+    micro_.resize(config.microEntries);
+    rrNext_.resize(numSets_, 0);
+}
+
+uint64_t
+MultiLevelBtb::partialTag(uint64_t key) const
+{
+    // XOR-folded partial tag (the organization the Arm reverse-engineering
+    // work documents): every 13-bit stripe of the key folds into the tag,
+    // then the result truncates to the configured width. Two keys whose
+    // folded images agree on the low partialTagBits bits are
+    // indistinguishable to the hardware — the aliasing under study.
+    uint64_t h = key ^ (key >> 13) ^ (key >> 26) ^ (key >> 39) ^ (key >> 52);
+    return h & ((uint64_t(1) << config_.partialTagBits) - 1);
+}
+
+unsigned
+MultiLevelBtb::setOf(EntryKind kind, uint64_t key) const
+{
+    if (numSets_ == 1)
+        return 0;
+    if (kind == EntryKind::Jte) {
+        uint64_t bank = key >> 40;
+        return static_cast<unsigned>(((key & 0xFF) ^ (bank * 29)) &
+                                     (numSets_ - 1));
+    }
+    return static_cast<unsigned>((key >> 2) & (numSets_ - 1));
+}
+
+unsigned
+MultiLevelBtb::bankOf(unsigned set) const
+{
+    return set & (config_.mainBanks - 1);
+}
+
+uint64_t
+MultiLevelBtb::jteKey(uint8_t bank, uint64_t opcode)
+{
+    return opcode | (uint64_t(bank) + 1) << 40;
+}
+
+unsigned
+MultiLevelBtb::effectiveJteCap() const
+{
+    if (btbConfig_.adaptiveJteCap)
+        return adaptiveCap_;
+    return btbConfig_.jteCap;
+}
+
+void
+MultiLevelBtb::adaptTick()
+{
+    if (++epochLookups_ < btbConfig_.adaptEpoch)
+        return;
+    epochLookups_ = 0;
+    uint64_t pressure =
+        (jteEvictedBranch_ + branchInsertDropped_) - epochPressureBase_;
+    epochPressureBase_ = jteEvictedBranch_ + branchInsertDropped_;
+    if (pressure > btbConfig_.adaptEpoch / 512) {
+        unsigned current = adaptiveCap_ ? adaptiveCap_ : jteCount_;
+        adaptiveCap_ = std::max(8u, current / 2);
+    } else if (pressure == 0 && adaptiveCap_ != 0) {
+        adaptiveCap_ *= 2;
+        if (adaptiveCap_ >= btbConfig_.entries)
+            adaptiveCap_ = 0;
+    }
+}
+
+FrontendProbe
+MultiLevelBtb::probe(EntryKind kind, uint64_t key)
+{
+    ++useClock_;
+    unsigned set = setOf(kind, key);
+    unsigned bank = bankOf(set);
+    unsigned bubbles = 0;
+    // The SCD overlay dual-probes the structure (a bop's JTE probe
+    // alongside the next fetch-direction probe); banking keeps that
+    // conflict-free only when the consecutive probes land in different
+    // banks.
+    if (haveLastProbe_ && bank == lastBank_ && kind != lastProbeKind_) {
+        ++bankConflicts_;
+        ++bubbles;
+    }
+    haveLastProbe_ = true;
+    lastBank_ = bank;
+    lastProbeKind_ = kind;
+
+    // Micro-BTB: fully associative, full tags, zero-bubble hits.
+    for (Entry &e : micro_) {
+        if (e.valid && e.kind == kind && e.key == key) {
+            e.lastUse = useClock_;
+            ++microHits_;
+            return {e.target, false, bubbles};
+        }
+    }
+
+    // Main BTB: the hardware matches only the folded partial tag, so an
+    // aliased entry hits as if it were our own.
+    uint64_t tag = partialTag(key);
+    Entry *base = &main_[set * btbConfig_.associativity];
+    for (unsigned w = 0; w < btbConfig_.associativity; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.kind == kind && e.tag == tag) {
+            e.lastUse = useClock_;
+            bubbles += config_.mainHitBubbles;
+            if (e.key != key) {
+                if (kind == EntryKind::Jte)
+                    ++falseHitsJte_;
+                else
+                    ++falseHitsBranch_;
+                SCD_TRACE_HOOK(trace_,
+                               obs::TraceEventKind::FrontendFalseHit, key,
+                               e.key, 0,
+                               kind == EntryKind::Jte ? 1 : 0);
+                return {e.target, true, bubbles};
+            }
+            ++mainHits_;
+            promote(e);
+            return {e.target, false, bubbles};
+        }
+    }
+    ++misses_;
+    return {std::nullopt, false, bubbles};
+}
+
+void
+MultiLevelBtb::promote(const Entry &e)
+{
+    Entry *victim = &micro_[0];
+    for (Entry &m : micro_) {
+        if (!m.valid) {
+            victim = &m;
+            break;
+        }
+        if (m.lastUse < victim->lastUse)
+            victim = &m;
+    }
+    *victim = e;
+    victim->lastUse = useClock_;
+}
+
+void
+MultiLevelBtb::insert(EntryKind kind, uint64_t key, uint64_t target)
+{
+    ++useClock_;
+
+    // Keep any promoted micro copy coherent with the new target.
+    for (Entry &e : micro_) {
+        if (e.valid && e.kind == kind && e.key == key) {
+            e.target = target;
+            e.lastUse = useClock_;
+            break;
+        }
+    }
+
+    unsigned set = setOf(kind, key);
+    uint64_t tag = partialTag(key);
+    Entry *base = &main_[set * btbConfig_.associativity];
+
+    // Tag-visible refresh: the hardware cannot tell an aliased entry from
+    // its own, so a matching partial tag is overwritten in place. When the
+    // full keys differ this silently displaces the previous owner — the
+    // aliasing half of the false-hit ping-pong the sweep measures.
+    for (unsigned w = 0; w < btbConfig_.associativity; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.kind == kind && e.tag == tag) {
+            if (e.key != key && kind == EntryKind::Jte)
+                ++jteAliased_;
+            e.key = key;
+            e.target = target;
+            e.lastUse = useClock_;
+            return;
+        }
+    }
+
+    unsigned cap = effectiveJteCap();
+    if (kind == EntryKind::Jte && cap != 0 && jteCount_ >= cap) {
+        // At the cap a new JTE may only displace another JTE in its set.
+        Entry *victim = nullptr;
+        for (unsigned w = 0; w < btbConfig_.associativity; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.kind == EntryKind::Jte &&
+                (!victim || e.lastUse < victim->lastUse)) {
+                victim = &e;
+            }
+        }
+        if (!victim)
+            return;
+        victim->key = key;
+        victim->tag = tag;
+        victim->target = target;
+        victim->lastUse = useClock_;
+        return;
+    }
+
+    for (unsigned w = 0; w < btbConfig_.associativity; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            e.valid = true;
+            e.kind = kind;
+            e.key = key;
+            e.tag = tag;
+            e.target = target;
+            e.lastUse = useClock_;
+            if (kind == EntryKind::Jte) {
+                ++jteCount_;
+                jteHighWater_ = std::max(jteHighWater_, jteCount_);
+            }
+            return;
+        }
+    }
+
+    // JTE replacement priority carries over from the single-level design:
+    // a B entry may never evict a JTE.
+    Entry *victim = nullptr;
+    if (btbConfig_.lruReplacement) {
+        for (unsigned w = 0; w < btbConfig_.associativity; ++w) {
+            Entry &e = base[w];
+            if (kind == EntryKind::Branch && e.kind == EntryKind::Jte)
+                continue;
+            if (!victim || e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+    } else {
+        unsigned start = rrNext_[set];
+        for (unsigned n = 0; n < btbConfig_.associativity; ++n) {
+            unsigned w = (start + n) % btbConfig_.associativity;
+            Entry &e = base[w];
+            if (kind == EntryKind::Branch && e.kind == EntryKind::Jte)
+                continue;
+            victim = &e;
+            rrNext_[set] = (w + 1) % btbConfig_.associativity;
+            break;
+        }
+    }
+
+    if (!victim) {
+        ++branchInsertDropped_;
+        return;
+    }
+
+    if (kind == EntryKind::Jte && victim->kind == EntryKind::Branch) {
+        ++jteEvictedBranch_;
+        ++jteCount_;
+        jteHighWater_ = std::max(jteHighWater_, jteCount_);
+        SCD_TRACE_HOOK(trace_, obs::TraceEventKind::JteEvict, key,
+                       victim->key);
+    }
+    victim->valid = true;
+    victim->kind = kind;
+    victim->key = key;
+    victim->tag = tag;
+    victim->target = target;
+    victim->lastUse = useClock_;
+}
+
+FrontendProbe
+MultiLevelBtb::probePc(uint64_t pc)
+{
+    if (btbConfig_.adaptiveJteCap)
+        adaptTick();
+    return probe(EntryKind::Branch, pc);
+}
+
+void
+MultiLevelBtb::insertPc(uint64_t pc, uint64_t target)
+{
+    insert(EntryKind::Branch, pc, target);
+}
+
+FrontendProbe
+MultiLevelBtb::probeJte(uint8_t bank, uint64_t opcode)
+{
+    return probe(EntryKind::Jte, jteKey(bank, opcode));
+}
+
+void
+MultiLevelBtb::insertJte(uint8_t bank, uint64_t opcode, uint64_t target)
+{
+    insert(EntryKind::Jte, jteKey(bank, opcode), target);
+}
+
+void
+MultiLevelBtb::flushJtes()
+{
+    for (Entry &e : main_) {
+        if (e.valid && e.kind == EntryKind::Jte)
+            e.valid = false;
+    }
+    for (Entry &e : micro_) {
+        if (e.valid && e.kind == EntryKind::Jte)
+            e.valid = false;
+    }
+    jteCount_ = 0;
+}
+
+std::optional<uint64_t>
+MultiLevelBtb::lookupHashed(uint64_t key)
+{
+    return probe(EntryKind::Branch, key).target;
+}
+
+void
+MultiLevelBtb::updateHashed(uint64_t key, uint64_t target)
+{
+    insert(EntryKind::Branch, key, target);
+}
+
+void
+MultiLevelBtb::exportStats(StatGroup &group) const
+{
+    group.counter("frontend.microHits") = microHits_;
+    group.counter("frontend.mainHits") = mainHits_;
+    group.counter("frontend.misses") = misses_;
+    group.counter("frontend.falseHits.branch") = falseHitsBranch_;
+    group.counter("frontend.falseHits.jte") = falseHitsJte_;
+    group.counter("frontend.jteAliased") = jteAliased_;
+    group.counter("frontend.bankConflicts") = bankConflicts_;
+    group.counter("btb.jteHighWater") = jteHighWater_;
+    group.counter("btb.jteEvictedBranch") = jteEvictedBranch_;
+    group.counter("btb.branchInsertDropped") = branchInsertDropped_;
+}
+
+// ---------------------------------------------------------------------------
+// FdipFrontend
+// ---------------------------------------------------------------------------
+
+FdipFrontend::FdipFrontend(const FrontendConfig &config,
+                           std::unique_ptr<FrontendModel> base)
+    : config_(config), base_(std::move(base))
+{
+    ftq_.resize(config.ftqDepth);
+}
+
+FrontendProbe
+FdipFrontend::probePc(uint64_t pc)
+{
+    ++probeClock_;
+    FrontendProbe p = base_->probePc(pc);
+    if (p.target)
+        return p;
+    // The runahead walker may already have discovered this target; the
+    // prefetch only helps when it was issued long enough ago to land.
+    for (const FtqEntry &e : ftq_) {
+        if (e.valid && e.pc == pc) {
+            if (probeClock_ - e.discoveredAt >= config_.ftqTimelyDistance) {
+                ++ftqHits_;
+                SCD_TRACE_HOOK(trace_, obs::TraceEventKind::FtqPrefetch,
+                               pc, e.target);
+                return {e.target, false, p.bubbles};
+            }
+            ++ftqLate_;
+            return p;
+        }
+    }
+    ++ftqMisses_;
+    return p;
+}
+
+void
+FdipFrontend::insertPc(uint64_t pc, uint64_t target)
+{
+    base_->insertPc(pc, target);
+    for (FtqEntry &e : ftq_) {
+        if (e.valid && e.pc == pc) {
+            // Retrain the target but keep the discovery stamp: the
+            // prefetch for this pc is already in flight.
+            e.target = target;
+            return;
+        }
+    }
+    ftq_[ftqNext_] = {pc, target, probeClock_, true};
+    ftqNext_ = (ftqNext_ + 1) % ftq_.size();
+}
+
+void
+FdipFrontend::setTrace(obs::TraceBuffer *trace)
+{
+    trace_ = trace;
+    base_->setTrace(trace);
+}
+
+void
+FdipFrontend::exportStats(StatGroup &group) const
+{
+    base_->exportStats(group);
+    group.counter("frontend.ftqHits") = ftqHits_;
+    group.counter("frontend.ftqLate") = ftqLate_;
+    group.counter("frontend.ftqMisses") = ftqMisses_;
+}
+
+} // namespace scd::branch

@@ -18,6 +18,7 @@
 
 #include "btb.hh"
 #include "common/bitutil.hh"
+#include "frontend.hh"
 
 namespace scd::branch
 {
@@ -54,6 +55,38 @@ class Vbbi
 
   private:
     Btb &btb_;
+};
+
+/**
+ * VBBI re-homed onto the FrontendModel interface: the same composite
+ * key and training policy as Vbbi, but the storage is whatever frontend
+ * organization the timing model fetches through — so VBBI entries suffer
+ * the same partial-tag aliasing and multi-level placement as every other
+ * B entry. Over the ideal frontend this is operation-for-operation
+ * identical to Vbbi over the raw Btb (which the functional-only shadow
+ * fast path keeps using for inlining).
+ */
+class FrontendVbbi
+{
+  public:
+    explicit FrontendVbbi(FrontendModel &frontend) : frontend_(frontend) {}
+
+    /** Predict the target of a marked indirect jump. */
+    std::optional<uint64_t>
+    predict(uint64_t pc, uint64_t hint)
+    {
+        return frontend_.lookupHashed(Vbbi::key(pc, hint));
+    }
+
+    /** Train with the resolved target. */
+    void
+    update(uint64_t pc, uint64_t hint, uint64_t target)
+    {
+        frontend_.updateHashed(Vbbi::key(pc, hint), target);
+    }
+
+  private:
+    FrontendModel &frontend_;
 };
 
 } // namespace scd::branch

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "branch/btb.hh"
+#include "branch/frontend.hh"
 #include "cache/cache.hh"
 
 namespace scd::cpu
@@ -83,6 +84,13 @@ struct CoreConfig
 
     // Branch prediction.
     branch::BtbConfig btb{256, 2, /*lru=*/false, /*cap=*/0};
+    /**
+     * Frontend organization the timed models fetch through (see
+     * branch/frontend.hh). The default IdealBtb wraps @ref btb with
+     * bit-identical behaviour; functional-only (Null) timing always uses
+     * the raw single-level structure regardless of this setting.
+     */
+    branch::FrontendConfig frontend;
     PredictorKind predictor = PredictorKind::Tournament;
     unsigned globalPredictorEntries = 512;
     unsigned localPredictorEntries = 128;

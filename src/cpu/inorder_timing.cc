@@ -19,7 +19,14 @@ InOrderTiming::InOrderTiming(const CoreConfig &config)
       itlb_(config.itlbEntries),
       dtlb_(config.dtlbEntries)
 {
-    btb_ = std::make_unique<branch::Btb>(config.btb);
+    frontend_ = branch::makeFrontendModel(config.frontend, config.btb);
+    // Devirtualize the default path. Gate on the configuration, not on
+    // idealBtb() alone: FDIP-over-ideal forwards idealBtb() for
+    // component access but must keep its FTQ timing in the loop.
+    if (config.frontend.kind == branch::FrontendKind::Ideal &&
+        !config.frontend.fdip) {
+        idealFast_ = frontend_->idealBtb();
+    }
     if (config.scdDedicatedTable) {
         dedicatedJtes_ =
             std::make_unique<branch::JteTable>(config.dedicatedJteEntries);
@@ -34,7 +41,7 @@ InOrderTiming::InOrderTiming(const CoreConfig &config)
             std::make_unique<branch::GsharePredictor>(config.gshareEntries);
     }
     ras_ = std::make_unique<branch::ReturnAddressStack>(config.rasDepth);
-    vbbi_ = std::make_unique<branch::Vbbi>(*btb_);
+    vbbi_ = std::make_unique<branch::FrontendVbbi>(*frontend_);
     icache_ = std::make_unique<cache::Cache>(config.icache);
     dcache_ = std::make_unique<cache::Cache>(config.dcache);
     if (config.hasL2)
@@ -46,7 +53,21 @@ InOrderTiming::jteLookup(uint8_t bank, uint64_t opcode)
 {
     if (dedicatedJtes_)
         return dedicatedJtes_->lookup(bank, opcode);
-    return btb_->lookupJte(bank, opcode);
+    if (idealFast_)
+        return idealFast_->lookupJte(bank, opcode);
+    branch::FrontendProbe p = frontend_->probeJte(bank, opcode);
+    cycle_ += p.bubbles;
+    if (p.falseHit) {
+        // A partial-tag alias dispatched fetch to another opcode's
+        // handler. The JTE target contract (architecturally exact) is
+        // broken, so the dispatch falls back to the slow path — the
+        // caller sees a miss and retires the same stream as one — and
+        // the wrong-path fetch costs a full resteer.
+        ++jteFalseResteers_;
+        cycle_ += config_.mispredictPenalty;
+        return std::nullopt;
+    }
+    return p.target;
 }
 
 void
@@ -56,13 +77,17 @@ InOrderTiming::jteInsert(uint8_t bank, uint64_t opcode, uint64_t target)
         dedicatedJtes_->insert(bank, opcode, target);
         return;
     }
-    btb_->insertJte(bank, opcode, target);
+    if (idealFast_) {
+        idealFast_->insertJte(bank, opcode, target);
+        return;
+    }
+    frontend_->insertJte(bank, opcode, target);
 }
 
 void
 InOrderTiming::jteFlush()
 {
-    btb_->flushJtes();
+    frontend_->flushJtes();
     if (dedicatedJtes_)
         dedicatedJtes_->flush();
 }
@@ -122,7 +147,7 @@ void
 InOrderTiming::attachTrace(obs::TraceBuffer *trace)
 {
     trace_ = trace;
-    btb_->setTrace(trace);
+    frontend_->setTrace(trace);
 }
 
 void
@@ -206,12 +231,20 @@ InOrderTiming::retire(const RetireInfo &ri)
       case CtrlKind::Conditional: {
         bool predTaken = direction_->predict(ri.pc);
         bool effectiveTaken = false;
-        if (predTaken)
-            effectiveTaken = btb_->lookupPc(ri.pc).has_value();
-        bool mispredict = effectiveTaken != ri.taken;
+        bool falseTarget = false;
+        if (predTaken) {
+            branch::FrontendProbe p = fetchProbe(ri.pc);
+            cycle_ += p.bubbles;
+            effectiveTaken = p.target.has_value();
+            falseTarget = p.falseHit;
+        }
+        // A false hit steered a predicted-taken fetch to an aliased
+        // target: wrong even when the direction guess was right.
+        bool mispredict =
+            effectiveTaken != ri.taken || (effectiveTaken && falseTarget);
         direction_->update(ri.pc, ri.taken);
         if (ri.taken)
-            btb_->insertPc(ri.pc, ri.nextPc);
+            fetchInsert(ri.pc, ri.nextPc);
         recordMiss(ri, mispredict);
         if (mispredict)
             redirect(config_.mispredictPenalty);
@@ -219,13 +252,19 @@ InOrderTiming::retire(const RetireInfo &ri)
       }
 
       case CtrlKind::Jal: {
-        bool hit = btb_->lookupPc(ri.pc).has_value();
-        btb_->insertPc(ri.pc, ri.nextPc);
+        branch::FrontendProbe p = fetchProbe(ri.pc);
+        cycle_ += p.bubbles;
+        bool hit = p.target.has_value() && !p.falseHit;
+        fetchInsert(ri.pc, ri.nextPc);
         if (ri.rd == isa::reg::ra)
             ras_->push(ri.pc + 4);
         recordMiss(ri, !hit);
-        if (!hit)
-            redirect(config_.btbMissTakenPenalty);
+        if (!hit) {
+            // An aliased hit fetched down a wrong path and costs a full
+            // execute-stage redirect; a plain miss only the decode one.
+            redirect(p.falseHit ? config_.mispredictPenalty
+                                : config_.btbMissTakenPenalty);
+        }
         break;
       }
 
@@ -242,9 +281,10 @@ InOrderTiming::retire(const RetireInfo &ri)
             mispredict = !pred || *pred != ri.nextPc;
             ittage_->update(ri.pc, ri.nextPc);
         } else {
-            auto pred = btb_->lookupPc(ri.pc);
-            mispredict = !pred || *pred != ri.nextPc;
-            btb_->insertPc(ri.pc, ri.nextPc);
+            branch::FrontendProbe p = fetchProbe(ri.pc);
+            cycle_ += p.bubbles;
+            mispredict = !p.target || *p.target != ri.nextPc;
+            fetchInsert(ri.pc, ri.nextPc);
         }
         if (ri.rd == isa::reg::ra)
             ras_->push(ri.pc + 4);
@@ -266,9 +306,10 @@ InOrderTiming::retire(const RetireInfo &ri)
         break;
 
       case CtrlKind::Jru: {
-        auto pred = btb_->lookupPc(ri.pc);
-        bool mispredict = !pred || *pred != ri.nextPc;
-        btb_->insertPc(ri.pc, ri.nextPc);
+        branch::FrontendProbe p = fetchProbe(ri.pc);
+        cycle_ += p.bubbles;
+        bool mispredict = !p.target || *p.target != ri.nextPc;
+        fetchInsert(ri.pc, ri.nextPc);
         if (ri.jteInsert) {
             SCD_TRACE_HOOK(trace_, obs::TraceEventKind::JteInsert, ri.pc,
                            ri.jteOpcode, ri.op, uint8_t(ri.cls));
@@ -309,7 +350,16 @@ InOrderTiming::exportStats(StatGroup &group) const
         l2cache_->exportStats(group);
     group.counter("itlb.misses") = itlb_.misses();
     group.counter("dtlb.misses") = dtlb_.misses();
-    btb_->exportStats(group, "btb");
+    frontend_->exportStats(group);
+    // Only non-ideal organizations can resteer on a false JTE hit; the
+    // counters stay out of the default export so the ideal frontend's
+    // rendered documents remain byte-identical to the pre-refactor ones.
+    if (config_.frontend.kind != branch::FrontendKind::Ideal ||
+        config_.frontend.fdip) {
+        group.counter("frontend.jteFalseResteers") = jteFalseResteers_;
+        group.counter("frontend.jteFalseResteerCycles") =
+            jteFalseResteers_ * config_.mispredictPenalty;
+    }
 }
 
 WideInOrderTiming::WideInOrderTiming(const CoreConfig &config,

@@ -2,11 +2,17 @@
  * @file
  * The in-order scoreboard timing model extracted from the original
  * monolithic core: an issue model with a register scoreboard, front-end
- * redirect penalties, branch prediction (BTB with the SCD JTE overlay,
- * tournament/gshare direction, RAS, optional VBBI and ITTAGE), caches and
- * TLBs. Consumes one RetireInfo per retired instruction; the sequence of
- * operations per instruction mirrors the original Core::step() exactly so
- * statistics are bit-identical to the pre-split simulator.
+ * redirect penalties, branch prediction (a pluggable FrontendModel
+ * carrying the SCD JTE overlay — ideal single-level BTB by default,
+ * optionally multi-level/FDIP — plus tournament/gshare direction, RAS,
+ * optional VBBI and ITTAGE), caches and TLBs. Consumes one RetireInfo per
+ * retired instruction; the sequence of operations per instruction mirrors
+ * the original Core::step() exactly, and under the default ideal frontend
+ * statistics are bit-identical to the pre-split simulator. Non-ideal
+ * frontends add probe bubbles and treat a false JTE hit as a slow-path
+ * dispatch plus a resteer penalty (jteLookup reports such probes as
+ * misses, so direct execution and the replay consumers retire the same
+ * stream).
  */
 
 #ifndef SCD_CPU_INORDER_TIMING_HH
@@ -18,6 +24,7 @@
 
 #include "branch/btb.hh"
 #include "branch/direction.hh"
+#include "branch/frontend.hh"
 #include "branch/ittage.hh"
 #include "branch/jte_table.hh"
 #include "branch/vbbi.hh"
@@ -58,8 +65,11 @@ class InOrderTiming : public TimingModel
 
     uint64_t cycles() const override { return cycle_; }
     void exportStats(StatGroup &group) const override;
-    branch::Btb *btb() override { return btb_.get(); }
+    branch::Btb *btb() override { return frontend_->idealBtb(); }
     void attachTrace(obs::TraceBuffer *trace) override;
+
+    /** The frontend organization this pipeline fetches through. */
+    branch::FrontendModel &frontend() { return *frontend_; }
 
     /** Effective issue width (slots per cycle). */
     unsigned issueWidth() const { return width_; }
@@ -73,6 +83,30 @@ class InOrderTiming : public TimingModel
     uint64_t dataAccess(uint64_t addr, bool write);
     void redirect(unsigned penalty);
     void recordMiss(const RetireInfo &ri, bool mispredicted);
+
+    /**
+     * B-entry port with the default organization devirtualized: when the
+     * configured frontend is exactly the ideal single-level BTB (no
+     * FDIP), idealFast_ caches the underlying structure at construction
+     * and these helpers bypass the virtual boundary — the default
+     * machines keep the pre-refactor codegen on the hottest path. The
+     * harness_throughput frontend-overhead gate pins this.
+     */
+    branch::FrontendProbe
+    fetchProbe(uint64_t pc)
+    {
+        if (idealFast_)
+            return {idealFast_->lookupPc(pc), false, 0};
+        return frontend_->probePc(pc);
+    }
+    void
+    fetchInsert(uint64_t pc, uint64_t target)
+    {
+        if (idealFast_)
+            idealFast_->insertPc(pc, target);
+        else
+            frontend_->insertPc(pc, target);
+    }
 
     const CoreConfig &config_;
     unsigned width_;
@@ -90,11 +124,12 @@ class InOrderTiming : public TimingModel
     bool branchIssuedThisCycle_ = false;
 
     // Components.
-    std::unique_ptr<branch::Btb> btb_;
+    std::unique_ptr<branch::FrontendModel> frontend_;
+    branch::Btb *idealFast_ = nullptr; ///< non-null iff ideal, no FDIP
     std::unique_ptr<branch::JteTable> dedicatedJtes_;
     std::unique_ptr<branch::DirectionPredictor> direction_;
     std::unique_ptr<branch::ReturnAddressStack> ras_;
-    std::unique_ptr<branch::Vbbi> vbbi_;
+    std::unique_ptr<branch::FrontendVbbi> vbbi_;
     std::unique_ptr<branch::Ittage> ittage_;
     std::unique_ptr<cache::Cache> icache_;
     std::unique_ptr<cache::Cache> dcache_;
@@ -106,6 +141,7 @@ class InOrderTiming : public TimingModel
     uint64_t branchMisses_[size_t(BranchClass::NumClasses)] = {};
     uint64_t ropStallCycles_ = 0;
     uint64_t loadUseStalls_ = 0;
+    uint64_t jteFalseResteers_ = 0; ///< false JTE hits resteered (non-ideal)
 };
 
 /**

@@ -1,5 +1,10 @@
 #include "machines.hh"
 
+#include <utility>
+
+#include "branch/frontend.hh"
+#include "common/logging.hh"
+
 namespace scd::harness
 {
 
@@ -68,6 +73,38 @@ cortexA8Config()
     c.localPredictorEntries = 128;
     c.rasDepth = 8;
     return c;
+}
+
+cpu::CoreConfig
+withFrontend(cpu::CoreConfig config, const std::string &spec)
+{
+    config.frontend = branch::frontendFromSpec(spec);
+    if (!spec.empty() && spec != "ideal")
+        config.name += "+" + spec;
+    return config;
+}
+
+cpu::CoreConfig
+machineByName(const std::string &name)
+{
+    std::string base = name;
+    std::string spec;
+    if (size_t plus = name.find('+'); plus != std::string::npos) {
+        base = name.substr(0, plus);
+        spec = name.substr(plus + 1);
+    }
+    cpu::CoreConfig config;
+    if (base == "minor")
+        config = minorConfig();
+    else if (base == "rocket")
+        config = rocketConfig();
+    else if (base == "a8")
+        config = cortexA8Config();
+    else
+        fatal("unknown machine '", base, "' (expected minor|rocket|a8)");
+    if (!spec.empty())
+        config = withFrontend(std::move(config), spec);
+    return config;
 }
 
 } // namespace scd::harness

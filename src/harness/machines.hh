@@ -23,6 +23,19 @@ cpu::CoreConfig rocketConfig();
 /** Dual-issue Cortex-A8-like core with an L2 (Section VI-C2). */
 cpu::CoreConfig cortexA8Config();
 
+/**
+ * Apply a frontend spec (branch::frontendFromSpec, e.g. "ideal",
+ * "mlbtb", "mlbtb+tag6+fdip") to a machine configuration. Non-default
+ * specs suffix the machine name ("minor+mlbtb") so labels and exported
+ * documents distinguish the variants; throws FatalError on a bad spec.
+ */
+cpu::CoreConfig withFrontend(cpu::CoreConfig config,
+                             const std::string &spec);
+
+/** The named machine: "minor", "rocket", or "a8", optionally suffixed
+ *  with a frontend spec after '+' (e.g. "minor+mlbtb+fdip"). */
+cpu::CoreConfig machineByName(const std::string &name);
+
 } // namespace scd::harness
 
 #endif // SCD_HARNESS_MACHINES_HH

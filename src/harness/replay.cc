@@ -129,6 +129,21 @@ timingSignature(const cpu::CoreConfig &c)
     add(c.btb.entries);
     add(c.btb.associativity);
     add(c.btb.lruReplacement);
+    // Frontend organization: parameters join only when their organization
+    // is active, so an ideal-frontend sweep point still dedups against a
+    // pre-frontend-sweep point with equal geometry.
+    add(uint64_t(c.frontend.kind));
+    add(c.frontend.fdip);
+    if (c.frontend.kind != branch::FrontendKind::Ideal) {
+        add(c.frontend.microEntries);
+        add(c.frontend.mainBanks);
+        add(c.frontend.partialTagBits);
+        add(c.frontend.mainHitBubbles);
+    }
+    if (c.frontend.fdip) {
+        add(c.frontend.ftqDepth);
+        add(c.frontend.ftqTimelyDistance);
+    }
     add(uint64_t(c.predictor));
     add(c.globalPredictorEntries);
     add(c.localPredictorEntries);

@@ -19,6 +19,8 @@ traceEventName(TraceEventKind kind)
       case TraceEventKind::JteInsert: return "jteInsert";
       case TraceEventKind::JteEvict: return "jteEvict";
       case TraceEventKind::JteFlush: return "jteFlush";
+      case TraceEventKind::FrontendFalseHit: return "frontendFalseHit";
+      case TraceEventKind::FtqPrefetch: return "ftqPrefetch";
       case TraceEventKind::NumKinds: break;
     }
     return "?";

@@ -39,6 +39,9 @@ enum class TraceEventKind : uint8_t
     JteInsert,    ///< jru inserted/refreshed a JTE (arg = masked opcode)
     JteEvict,     ///< a JTE insertion displaced a live branch entry
     JteFlush,     ///< jte.flush invalidated all JTEs
+    FrontendFalseHit, ///< partial-tag alias hit (pc = probe key,
+                      ///< arg = resident key, cls = 1 for a JTE alias)
+    FtqPrefetch,  ///< FDIP converted a BTB miss into a prefetch hit
     NumKinds
 };
 

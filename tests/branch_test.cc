@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "branch/btb.hh"
 #include "branch/direction.hh"
 #include "branch/vbbi.hh"
+#include "common/logging.hh"
 
 namespace
 {
@@ -217,6 +219,104 @@ TEST(Ras, OverflowWrapsKeepingNewest)
     ras.push(3); // overwrites the oldest
     EXPECT_EQ(ras.pop(), 3u);
     EXPECT_EQ(ras.pop(), 2u);
+}
+
+TEST(BtbConfigValidation, RejectsBadGeometry)
+{
+    using scd::FatalError;
+    EXPECT_THROW(validateBtbConfig({256, 0, false, 0}), FatalError);
+    EXPECT_THROW(validateBtbConfig({0, 2, false, 0}), FatalError);
+    // Entries not divisible by associativity.
+    EXPECT_THROW(validateBtbConfig({100, 3, false, 0}), FatalError);
+    // 96/2 = 48 sets: not a power of two.
+    EXPECT_THROW(validateBtbConfig({96, 2, false, 0}), FatalError);
+    // Cap larger than the whole structure.
+    EXPECT_THROW(validateBtbConfig({64, 2, false, 65}), FatalError);
+    // Adaptive cap needs a nonzero epoch.
+    BtbConfig adaptive{256, 2, false, 0, true, 0};
+    EXPECT_THROW(validateBtbConfig(adaptive), FatalError);
+    // The constructor performs the same validation.
+    EXPECT_THROW(Btb({96, 2, false, 0}), FatalError);
+}
+
+TEST(BtbConfigValidation, AcceptsWorkingGeometries)
+{
+    EXPECT_NO_THROW(validateBtbConfig({256, 2, false, 0}));
+    // Fully associative with a non-power-of-two entry count (rocket's
+    // 62-entry BTB): one set is explicitly allowed.
+    EXPECT_NO_THROW(Btb({62, 62, false, 0}));
+    BtbConfig adaptive{256, 2, false, 0, true, 512};
+    EXPECT_NO_THROW(validateBtbConfig(adaptive));
+}
+
+/** Displace >= 2 B entries with JTEs: enough epoch pressure (> epoch/512)
+ *  for adaptTick to tighten the cap at the next boundary. */
+void
+generateJtePressure(Btb &btb)
+{
+    for (uint64_t pc = 0; pc < 64 * 4; pc += 4)
+        btb.insertPc(0x1000 + pc, 1);
+    for (uint64_t op = 0; op < 40; ++op)
+        btb.insertJte(0, op, 2);
+}
+
+TEST(BtbAdaptiveCap, TightensOnlyAtTheEpochBoundary)
+{
+    // adaptTick runs on PC lookups only; inserts never advance the epoch.
+    Btb btb({64, 2, false, 0, true, 512});
+    generateJtePressure(btb);
+    ASSERT_GE(btb.jteEvictedBranch(), 2u);
+    EXPECT_EQ(btb.effectiveJteCap(), 0u); // starts unlimited
+
+    for (unsigned n = 0; n < 511; ++n)
+        btb.lookupPc(0x1000);
+    EXPECT_EQ(btb.effectiveJteCap(), 0u); // one lookup short: no tick yet
+
+    btb.lookupPc(0x1000); // the 512th lookup closes the epoch
+    unsigned cap = btb.effectiveJteCap();
+    EXPECT_NE(cap, 0u);
+    // First tightening halves the resident population, floored at 8.
+    EXPECT_EQ(cap, std::max(8u, btb.jteCount() / 2));
+}
+
+TEST(BtbAdaptiveCap, SustainedContentionCollapsesToTheFloor)
+{
+    Btb btb({64, 2, false, 0, true, 512});
+    for (int epoch = 0; epoch < 12; ++epoch) {
+        // Refill B entries and displace some with JTEs every epoch so
+        // the pressure never subsides.
+        btb.flushJtes();
+        generateJtePressure(btb);
+        for (unsigned n = 0; n < 512; ++n)
+            btb.lookupPc(0x1000);
+    }
+    // Halving every epoch bottoms out at the 8-entry floor, never 0
+    // (which would mean "unlimited", not "none").
+    EXPECT_EQ(btb.effectiveJteCap(), 8u);
+}
+
+TEST(BtbAdaptiveCap, RelaxesBackToUnlimitedWhenContentionStops)
+{
+    Btb btb({64, 2, false, 0, true, 512});
+    generateJtePressure(btb);
+    for (unsigned n = 0; n < 512; ++n)
+        btb.lookupPc(0x1000);
+    ASSERT_NE(btb.effectiveJteCap(), 0u);
+
+    // Pressure-free epochs double the cap until it covers the whole
+    // structure, at which point it relaxes to unlimited (0).
+    unsigned last = btb.effectiveJteCap();
+    for (int epoch = 0; epoch < 10 && btb.effectiveJteCap() != 0;
+         ++epoch) {
+        for (unsigned n = 0; n < 512; ++n)
+            btb.lookupPc(0x9999);
+        unsigned cap = btb.effectiveJteCap();
+        if (cap != 0) {
+            EXPECT_EQ(cap, last * 2); // strict doubling per quiet epoch
+            last = cap;
+        }
+    }
+    EXPECT_EQ(btb.effectiveJteCap(), 0u);
 }
 
 TEST(Vbbi, DistinguishesTargetsByHintValue)

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Differential gate for the pluggable-frontend refactor: the default
+ * (ideal single-level BTB) frontend must be bit-identical to the
+ * pre-refactor simulator. The golden file was generated from the
+ * monolithic-Btb tree immediately before the FrontendModel interface was
+ * introduced; this test re-runs the same 48-point matrix — all four
+ * schemes x both VMs x all three machines — and requires the rendered
+ * scd-stats-v1 document (which embeds every StatGroup counter, i.e.
+ * stats.all(), per point) to match the golden byte for byte.
+ *
+ * Regenerate with SCD_UPDATE_GOLDEN=1 only when an intentional
+ * behavioural change is being made; the diff is the review artifact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/json_export.hh"
+#include "harness/machines.hh"
+#include "obs/stats_sink.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::harness;
+
+constexpr const char *kGoldenPath =
+    SCD_GOLDEN_DIR "/frontend_refactor.json";
+
+/** Cap keeping each of the 48 points to a few milliseconds. */
+constexpr uint64_t kMaxInstructions = 200000;
+
+std::string
+renderMatrix()
+{
+    obs::StatsSink sink("frontend_refactor", "test");
+    sink.setMeta("gitRev", "golden"); // pin the only non-deterministic field
+
+    struct MachineCase
+    {
+        const char *label;
+        cpu::CoreConfig config;
+    };
+    const MachineCase machines[] = {
+        {"minor", minorConfig()},
+        {"rocket", rocketConfig()},
+        {"a8", cortexA8Config()},
+    };
+    for (const MachineCase &mc : machines) {
+        ExperimentPlan plan;
+        for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
+            for (const char *name : {"fibo", "n-sieve"}) {
+                for (core::Scheme scheme :
+                     {core::Scheme::Baseline, core::Scheme::JumpThreading,
+                      core::Scheme::Vbbi, core::Scheme::Scd}) {
+                    ExperimentPoint p;
+                    p.vm = vm;
+                    p.workload = &workload(name);
+                    p.size = InputSize::Test;
+                    p.scheme = scheme;
+                    p.machine = mc.config;
+                    p.maxInstructions = kMaxInstructions;
+                    plan.add(p);
+                }
+            }
+        }
+        ExperimentSet set = runPlan(plan);
+        exportSet(sink, mc.label, set);
+    }
+    return sink.render();
+}
+
+TEST(FrontendGolden, DefaultFrontendMatchesPreRefactorGolden)
+{
+    std::string current = renderMatrix();
+
+    if (std::getenv("SCD_UPDATE_GOLDEN")) {
+        std::ofstream out(kGoldenPath, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+        out << current;
+        GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+    }
+
+    std::ifstream in(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden " << kGoldenPath
+                           << " (run with SCD_UPDATE_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string golden = buf.str();
+
+    // Byte identity; on mismatch report the first diverging line so the
+    // offending machine/point/counter is visible in the failure message.
+    if (current != golden) {
+        std::istringstream a(golden), b(current);
+        std::string la, lb;
+        size_t line = 0;
+        while (std::getline(a, la) && std::getline(b, lb)) {
+            ++line;
+            ASSERT_EQ(la, lb) << "first divergence at line " << line;
+        }
+        FAIL() << "documents differ in length (golden " << golden.size()
+               << " bytes, current " << current.size() << " bytes)";
+    }
+    SUCCEED();
+}
+
+} // namespace

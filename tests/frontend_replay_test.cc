@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Replay-validity tests for the non-ideal frontend organizations: the
+ * execute-once, time-many executor must stay byte-identical to direct
+ * execution when the timing members fetch through a multi-level BTB
+ * (including an aliasing-heavy partial-tag geometry, whose false JTE
+ * hits charge resteer penalties mid-stream) and through FDIP. These
+ * machines also must not share timing signatures with the ideal
+ * organization — a dedup collision would silently reuse another
+ * frontend's cycle counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/json_export.hh"
+#include "harness/machines.hh"
+#include "obs/stats_sink.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::harness;
+
+const std::vector<std::string> kWorkloads = {"fibo", "n-sieve"};
+const std::vector<core::Scheme> kSchemes = {
+    core::Scheme::Baseline, core::Scheme::JumpThreading,
+    core::Scheme::Vbbi, core::Scheme::Scd};
+
+/**
+ * Frontend organizations the replay consumers must reproduce exactly:
+ * the default multi-level machine, the 64-entry/4-bit-tag geometry where
+ * JTE probes falsely hit and resteer mid-dispatch, and FDIP over both
+ * the ideal and multi-level bases.
+ */
+std::vector<cpu::CoreConfig>
+frontendMachines()
+{
+    std::vector<cpu::CoreConfig> machines;
+    machines.push_back(withFrontend(minorConfig(), "mlbtb"));
+
+    cpu::CoreConfig alias = withFrontend(minorConfig(), "mlbtb+tag4");
+    alias.btb.entries = 64;
+    machines.push_back(alias);
+
+    machines.push_back(withFrontend(minorConfig(), "fdip"));
+    machines.push_back(withFrontend(minorConfig(), "mlbtb+fdip"));
+    return machines;
+}
+
+TEST(FrontendReplay, ByteIdenticalToDirectUnderEveryOrganization)
+{
+    ExperimentPlan plan;
+    for (const cpu::CoreConfig &machine : frontendMachines()) {
+        for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
+            for (const auto &name : kWorkloads) {
+                for (core::Scheme scheme : kSchemes) {
+                    ExperimentPoint p;
+                    p.vm = vm;
+                    p.workload = &workload(name);
+                    p.size = InputSize::Test;
+                    p.scheme = scheme;
+                    p.machine = machine;
+                    plan.add(std::move(p));
+                }
+            }
+        }
+    }
+
+    RunOptions direct;
+    direct.jobs = 4;
+    direct.replay = false;
+    RunOptions replay;
+    replay.jobs = 4;
+    replay.replay = true;
+    ExperimentSet a = runPlan(plan, direct);
+    ExperimentSet b = runPlan(plan, replay);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    bool sawFalseHit = false;
+    for (size_t i = 0; i < a.points.size(); ++i) {
+        SCOPED_TRACE(a.points[i].label());
+        EXPECT_EQ(a.at(i).run.cycles, b.at(i).run.cycles);
+        EXPECT_EQ(a.at(i).run.instructions, b.at(i).run.instructions);
+        EXPECT_EQ(a.at(i).run.exitCode, b.at(i).run.exitCode);
+        EXPECT_EQ(a.at(i).output, b.at(i).output);
+        EXPECT_EQ(a.at(i).stats.all(), b.at(i).stats.all());
+        sawFalseHit |= a.at(i).stats.get("frontend.falseHits.jte") > 0;
+    }
+    // The aliasing geometry must actually exercise the false-hit resteer
+    // path this test exists to validate.
+    EXPECT_TRUE(sawFalseHit);
+
+    obs::StatsSink directSink("frontend_replay_test", "test");
+    obs::StatsSink replaySink("frontend_replay_test", "test");
+    exportSet(directSink, "matrix", a);
+    exportSet(replaySink, "matrix", b);
+    EXPECT_EQ(directSink.render(), replaySink.render());
+}
+
+TEST(FrontendReplay, OrganizationsDoNotShareTimingSignatures)
+{
+    // One functional execution, five timing members that differ only in
+    // their frontend. If the timing signature ignored the frontend
+    // fields, the dedup layer would hand several of them the same cycle
+    // count; distinct cycles prove distinct signatures end to end.
+    ExperimentPlan plan;
+    std::vector<cpu::CoreConfig> machines = frontendMachines();
+    machines.insert(machines.begin(), minorConfig()); // ideal reference
+    for (const cpu::CoreConfig &machine : machines) {
+        ExperimentPoint p;
+        p.vm = VmKind::Rlua;
+        p.workload = &workload("fibo");
+        p.size = InputSize::Test;
+        p.scheme = core::Scheme::Scd;
+        p.machine = machine;
+        plan.add(std::move(p));
+    }
+    RunOptions replay;
+    replay.jobs = 2;
+    replay.replay = true;
+    ExperimentSet set = runPlan(plan, replay);
+    ASSERT_EQ(set.points.size(), machines.size());
+    // ideal vs mlbtb vs the alias geometry must all time differently;
+    // fdip variants may coincide with their base only if the FTQ never
+    // converts a miss, so assert just the pairs that must differ.
+    EXPECT_NE(set.at(0).run.cycles, set.at(1).run.cycles); // ideal/mlbtb
+    EXPECT_NE(set.at(1).run.cycles, set.at(2).run.cycles); // mlbtb/alias
+    EXPECT_NE(set.at(0).run.cycles, set.at(2).run.cycles);
+}
+
+} // namespace
