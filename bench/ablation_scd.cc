@@ -217,7 +217,5 @@ main(int argc, char **argv)
                         pctOrFailed(speedup[i++]).c_str());
         }
     }
-    if (!writeJsonIfRequested(sink, jsonPath))
-        return 1;
-    return reportTroubledPoints({&all});
+    return finishRun(sink, jsonPath, {&all});
 }

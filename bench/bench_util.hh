@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "cpu/dispatch_tier.hh"
+#include "farm/coordinator.hh"
 #include "harness/experiment.hh"
 #include "harness/machines.hh"
 #include "harness/workloads.hh"
@@ -237,18 +238,53 @@ parseRunOptions(int argc, char **argv)
     return options;
 }
 
+/**
+ * Parse --farm=N: run the plan across N worker subprocesses via the
+ * sweep-farm coordinator (src/farm/coordinator.hh) instead of
+ * in-process threads. Returns 0 when absent — the ordinary runPlan()
+ * path. The merged output is byte-identical either way.
+ */
+inline unsigned
+parseFarm(int argc, char **argv)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], "--farm=", 7) == 0) {
+            long v = std::strtol(argv[n] + 7, nullptr, 10);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+            std::fprintf(stderr, "ignoring bad --farm value '%s'\n",
+                         argv[n] + 7);
+        }
+    }
+    return 0;
+}
+
+/**
+ * Parse --manifest=<path> (scd-farm-v1 shard manifest) and
+ * --log=<path> (coordinator event log) into farm options, and hook
+ * coordinator progress lines to stderr. Only meaningful with --farm.
+ */
+inline void
+parseFarmOptions(int argc, char **argv, farm::FarmOptions &options)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], "--manifest=", 11) == 0 &&
+            argv[n][11] != '\0') {
+            options.manifestPath = argv[n] + 11;
+        } else if (std::strncmp(argv[n], "--log=", 6) == 0 &&
+                   argv[n][6] != '\0') {
+            options.logPath = argv[n] + 6;
+        }
+    }
+    options.onProgress = [](const std::string &line) {
+        std::fprintf(stderr, "farm: %s\n", line.c_str());
+    };
+}
+
 inline const char *
 sizeName(harness::InputSize size)
 {
-    switch (size) {
-      case harness::InputSize::Test:
-        return "test";
-      case harness::InputSize::Sim:
-        return "sim";
-      case harness::InputSize::Fpga:
-        return "fpga";
-    }
-    return "?";
+    return harness::inputSizeName(size);
 }
 
 } // namespace scd::bench

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The named experiment plans the bench drivers share with the sweep
+ * farm (src/farm/plans.hh). A farm worker is the driver binary
+ * re-executed with --worker: it rebuilds its plan from one of these
+ * registrations, so the builders here must be deterministic and must
+ * match exactly what the driver's own serial path runs — each driver
+ * therefore builds its plan *through* the registry rather than beside
+ * it.
+ */
+
+#ifndef SCD_BENCH_FARM_PLANS_HH
+#define SCD_BENCH_FARM_PLANS_HH
+
+#include "farm/plans.hh"
+#include "fig11_plan.hh"
+#include "harness/machines.hh"
+
+namespace scd::bench
+{
+
+/** Apply a frontend spec when present (the --frontend flag). */
+inline cpu::CoreConfig
+frontendFor(cpu::CoreConfig machine, const farm::PlanParams &params)
+{
+    if (!params.frontend.empty())
+        machine = harness::withFrontend(std::move(machine),
+                                        params.frontend);
+    return machine;
+}
+
+/** The Figure 11 sweep: 16 steps x 11 workloads x {Baseline, Scd}. */
+inline void
+registerFig11Plan()
+{
+    farm::registerPlan("fig11", [](const farm::PlanParams &params) {
+        std::vector<Fig11Step> steps = fig11Steps();
+        for (Fig11Step &step : steps)
+            step.machine = frontendFor(std::move(step.machine), params);
+        return fig11Plan(steps, params.size);
+    });
+}
+
+/** The Figures 7-10 grid: 2 VMs x 11 workloads x 4 schemes on minor. */
+inline void
+registerOverallPlan()
+{
+    farm::registerPlan("overall", [](const farm::PlanParams &params) {
+        harness::ExperimentPlan plan;
+        plan.addGrid(frontendFor(harness::minorConfig(), params),
+                     params.size,
+                     {harness::VmKind::Rlua, harness::VmKind::Sjs},
+                     {core::Scheme::Baseline, core::Scheme::JumpThreading,
+                      core::Scheme::Vbbi, core::Scheme::Scd});
+        return plan;
+    });
+}
+
+/** A small smoke plan (2 VMs x 11 workloads x {Baseline, Scd}). */
+inline void
+registerMiniPlan()
+{
+    farm::registerPlan("mini", [](const farm::PlanParams &params) {
+        harness::ExperimentPlan plan;
+        plan.addGrid(frontendFor(harness::minorConfig(), params),
+                     params.size,
+                     {harness::VmKind::Rlua, harness::VmKind::Sjs},
+                     {core::Scheme::Baseline, core::Scheme::Scd});
+        return plan;
+    });
+}
+
+/** Everything scd_farm (driver and daemon) serves. */
+inline void
+registerFarmPlans()
+{
+    registerFig11Plan();
+    registerOverallPlan();
+    registerMiniPlan();
+}
+
+} // namespace scd::bench
+
+#endif // SCD_BENCH_FARM_PLANS_HH

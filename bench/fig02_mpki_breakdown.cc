@@ -30,7 +30,5 @@ main(int argc, char **argv)
 
     obs::StatsSink sink("fig02_mpki_breakdown", bench::sizeName(size));
     exportSet(sink, "baseline-mpki", run.set);
-    if (!writeJsonIfRequested(sink, jsonPath))
-        return 1;
-    return reportTroubledPoints({&run.set});
+    return finishRun(sink, jsonPath, {&run.set});
 }

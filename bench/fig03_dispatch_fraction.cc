@@ -29,7 +29,5 @@ main(int argc, char **argv)
 
     obs::StatsSink sink("fig03_dispatch_fraction", bench::sizeName(size));
     exportSet(sink, "baseline-dispatch", run.set);
-    if (!writeJsonIfRequested(sink, jsonPath))
-        return 1;
-    return reportTroubledPoints({&run.set});
+    return finishRun(sink, jsonPath, {&run.set});
 }

@@ -182,7 +182,5 @@ main(int argc, char **argv)
     falseHitTable(VmKind::Rlua, &slices[0]);
     falseHitTable(VmKind::Sjs, &slices[4]);
 
-    if (!writeJsonIfRequested(sink, jsonPath))
-        return 1;
-    return reportTroubledPoints({&all});
+    return finishRun(sink, jsonPath, {&all});
 }

@@ -77,7 +77,5 @@ main(int argc, char **argv)
     obs::StatsSink sink("higherend_core", bench::sizeName(size));
     sink.setMeta("issueWidth", std::to_string(config.issueWidth));
     exportSet(sink, "higherend", run.set);
-    if (!writeJsonIfRequested(sink, jsonPath))
-        return 1;
-    return reportTroubledPoints({&run.set});
+    return finishRun(sink, jsonPath, {&run.set});
 }

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The sweep-farm driver (docs/SIMULATOR.md, "Running sweeps as a
+ * service"). One binary, four modes:
+ *
+ *   scd_farm --plan=fig11 --size=test --json=out.json
+ *       one-shot serial: build the named plan and run it in-process
+ *       (the reference for byte-identity checks)
+ *
+ *   scd_farm --plan=fig11 --size=test --farm=3 --json=out.json
+ *       one-shot sharded: run the plan across 3 worker subprocesses;
+ *       the --json output is byte-identical to the serial run
+ *       (--manifest= and --log= record how the shards went)
+ *
+ *   scd_farm --serve=/tmp/scd-farm.sock [--farm=N]
+ *       daemon: accept submissions and status polls over a unix
+ *       socket until a shutdown request (src/farm/service.hh)
+ *
+ *   scd_farm --connect=/tmp/scd-farm.sock --request='{"op":"ping"}'
+ *       client: send one request line, print the response line
+ *
+ * (--worker is the internal fifth mode: the coordinator re-executes
+ * this binary with it; never invoked by hand.)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "farm/coordinator.hh"
+#include "farm/protocol.hh"
+#include "farm/service.hh"
+#include "farm/worker.hh"
+#include "farm_plans.hh"
+#include "harness/json_export.hh"
+
+using namespace scd;
+using namespace scd::harness;
+
+namespace
+{
+
+const char *
+flagValue(int argc, char **argv, const char *name)
+{
+    size_t len = std::strlen(name);
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], name, len) == 0 &&
+            argv[n][len] != '\0') {
+            return argv[n] + len;
+        }
+    }
+    return nullptr;
+}
+
+/** Client mode: one request line out, one response line back. */
+int
+clientMode(const char *socketPath, const char *request)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("scd_farm: socket");
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath, sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        std::fprintf(stderr, "scd_farm: cannot connect to %s\n",
+                     socketPath);
+        ::close(fd);
+        return 1;
+    }
+    std::string line = request;
+    line += '\n';
+    if (!farm::writeAll(fd, line)) {
+        std::fprintf(stderr, "scd_farm: send failed\n");
+        ::close(fd);
+        return 1;
+    }
+    std::string response;
+    char buf[4096];
+    ssize_t got;
+    while (response.find('\n') == std::string::npos &&
+           (got = ::read(fd, buf, sizeof(buf))) > 0) {
+        response.append(buf, size_t(got));
+    }
+    ::close(fd);
+    size_t nl = response.find('\n');
+    if (nl == std::string::npos) {
+        std::fprintf(stderr, "scd_farm: no response\n");
+        return 1;
+    }
+    std::printf("%s\n", response.substr(0, nl).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerFarmPlans();
+    if (int rc = farm::maybeWorkerMain(argc, argv); rc >= 0)
+        return rc;
+
+    RunOptions options = bench::parseRunOptions(argc, argv);
+    farm::FarmOptions farmOptions;
+    farmOptions.workers = bench::parseFarm(argc, argv);
+    bench::parseFarmOptions(argc, argv, farmOptions);
+
+    if (const char *request = flagValue(argc, argv, "--request=")) {
+        const char *sock = flagValue(argc, argv, "--connect=");
+        if (!sock) {
+            std::fprintf(stderr,
+                         "scd_farm: --request needs --connect=<socket>\n");
+            return 1;
+        }
+        return clientMode(sock, request);
+    }
+
+    if (const char *sock = flagValue(argc, argv, "--serve=")) {
+        farm::ServiceOptions service;
+        service.socketPath = sock;
+        service.run = options;
+        service.farm = farmOptions;
+        if (service.farm.workers == 0)
+            service.farm.workers = 2;
+        return farm::serveFarm(service);
+    }
+
+    farm::PlanRef ref;
+    const char *planName = flagValue(argc, argv, "--plan=");
+    ref.name = planName ? planName : "mini";
+    if (!farm::havePlan(ref.name)) {
+        std::fprintf(stderr, "scd_farm: unknown plan '%s' (have:",
+                     ref.name.c_str());
+        for (const std::string &name : farm::planNames())
+            std::fprintf(stderr, " %s", name.c_str());
+        std::fprintf(stderr, ")\n");
+        return 1;
+    }
+    ref.params.size = bench::parseSize(argc, argv, InputSize::Test);
+    ref.params.frontend = bench::parseFrontend(argc, argv);
+    std::string jsonPath = bench::parseJsonPath(argc, argv);
+
+    ExperimentPlan plan = farm::buildPlan(ref);
+    ExperimentSet set;
+    if (farmOptions.workers > 0) {
+        std::fprintf(stderr,
+                     "scd_farm: plan '%s' (%zu points) across %u "
+                     "workers...\n",
+                     ref.name.c_str(), plan.size(), farmOptions.workers);
+        set = farm::runPlanFarm(plan, ref, options, farmOptions);
+    } else {
+        std::fprintf(stderr, "scd_farm: plan '%s' (%zu points) "
+                             "in-process...\n",
+                     ref.name.c_str(), plan.size());
+        set = runPlan(plan, options);
+    }
+
+    obs::StatsSink sink("scd_farm", inputSizeName(ref.params.size));
+    exportSet(sink, ref.name, set);
+    std::printf("scd_farm: %zu points (%zu executed, %zu resumed, %zu "
+                "troubled)\n",
+                set.points.size(), set.executed, set.resumed,
+                set.troubled());
+    return finishRun(sink, jsonPath, {&set});
+}

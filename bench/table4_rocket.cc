@@ -38,7 +38,5 @@ main(int argc, char **argv)
 
     obs::StatsSink sink("table4_rocket", bench::sizeName(size));
     exportSet(sink, "rocket", run.set);
-    if (!writeJsonIfRequested(sink, jsonPath))
-        return 1;
-    return reportTroubledPoints({&run.set});
+    return finishRun(sink, jsonPath, {&run.set});
 }

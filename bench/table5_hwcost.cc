@@ -78,7 +78,5 @@ main(int argc, char **argv)
                    100.0 * model.scdPowerDeltaMw() / base.totalPowerMw);
     sink.addMetric("hwcost.edpImprovementPct",
                    100.0 * model.edpImprovement(speedup));
-    if (!writeJsonIfRequested(sink, jsonPath))
-        return 1;
-    return reportTroubledPoints({&run.set});
+    return finishRun(sink, jsonPath, {&run.set});
 }

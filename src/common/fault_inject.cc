@@ -53,6 +53,11 @@ registeredSites()
         "replay-ring",
         "json-write",
         "point-oom",
+        // Fires inside a farm worker's point-completion hook; the
+        // worker turns it into a hard process death (_Exit) so the
+        // coordinator's kill-and-retry path can be exercised
+        // deterministically (src/farm/worker.cc).
+        "farm-worker",
     };
     return sites;
 }

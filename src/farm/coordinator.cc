@@ -1,0 +1,639 @@
+#include "coordinator.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "cpu/dispatch_tier.hh"
+#include "harness/journal.hh"
+#include "harness/json_export.hh"
+#include "harness/replay.hh"
+#include "obs/json.hh"
+#include "obs/stats_sink.hh"
+#include "protocol.hh"
+
+namespace scd::farm
+{
+
+namespace
+{
+
+double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/** One shard's lifecycle through the coordinator event loop. */
+struct Shard
+{
+    enum class State
+    {
+        Pending, ///< waiting to (re)spawn, possibly backing off
+        Running,
+        Done,
+        Failed, ///< retry budget exhausted
+    };
+
+    unsigned id = 0;
+    std::vector<size_t> indices;
+    State state = State::Pending;
+    unsigned attempts = 0; ///< worker processes started for this shard
+    pid_t pid = -1;
+    int outFd = -1;        ///< read end of the worker's stdout
+    LineBuffer buffer;
+    double deadline = 0.0;  ///< heartbeat deadline (monotonic seconds)
+    double respawnAt = 0.0; ///< earliest next spawn (backoff)
+
+    bool
+    finished() const
+    {
+        return state == State::Done || state == State::Failed;
+    }
+};
+
+/** Append-only event log: file (optional) + progress hook. */
+class FarmLog
+{
+  public:
+    FarmLog(const std::string &path,
+            const std::function<void(const std::string &)> &hook)
+        : hook_(hook)
+    {
+        if (!path.empty()) {
+            file_ = std::fopen(path.c_str(), "w");
+            if (!file_)
+                warn("farm: cannot open log ", path, ": ",
+                     std::strerror(errno));
+        }
+    }
+
+    ~FarmLog()
+    {
+        if (file_)
+            std::fclose(file_);
+    }
+
+    template <typename... Args>
+    void
+    line(Args &&...args)
+    {
+        std::string text =
+            detail::formatMessage(std::forward<Args>(args)...);
+        if (file_) {
+            std::fprintf(file_, "%s\n", text.c_str());
+            std::fflush(file_);
+        }
+        if (hook_)
+            hook_(text);
+    }
+
+  private:
+    std::FILE *file_ = nullptr;
+    const std::function<void(const std::string &)> &hook_;
+};
+
+/** The worker argv for one shard attempt, as std::strings. */
+std::vector<std::string>
+workerArgv(const PlanRef &ref, const harness::RunOptions &run,
+           const FarmOptions &farm, unsigned workerJobs)
+{
+    std::vector<std::string> argv = farm.workerCommand;
+    if (argv.empty())
+        argv.push_back("/proc/self/exe");
+    argv.push_back("--worker");
+    argv.push_back("--plan=" + ref.name);
+    argv.push_back(std::string("--size=") +
+                   harness::inputSizeName(ref.params.size));
+    if (!ref.params.frontend.empty())
+        argv.push_back("--frontend=" + ref.params.frontend);
+    argv.push_back("--jobs=" + std::to_string(workerJobs));
+    argv.push_back("--heartbeat=" +
+                   std::to_string(farm.heartbeatInterval));
+    if (run.pointTimeout > 0) {
+        argv.push_back("--point-timeout=" +
+                       std::to_string(run.pointTimeout));
+    }
+    argv.push_back(std::string("--dispatch-tier=") +
+                   cpu::dispatchTierName(run.dispatchTier));
+    if (!run.replay)
+        argv.push_back("--no-replay");
+    argv.insert(argv.end(), farm.workerArgs.begin(),
+                farm.workerArgs.end());
+    return argv;
+}
+
+/**
+ * fork/exec one worker. Returns false when the fork itself failed;
+ * exec failure inside the child surfaces as an immediate death (exit
+ * 127), which the normal retry path handles.
+ */
+bool
+spawnWorker(Shard &shard, const std::vector<std::string> &argv,
+            const std::string &assign)
+{
+    int inPipe[2];  // coordinator -> worker stdin
+    int outPipe[2]; // worker stdout -> coordinator
+    if (::pipe(inPipe) != 0)
+        return false;
+    if (::pipe(outPipe) != 0) {
+        ::close(inPipe[0]);
+        ::close(inPipe[1]);
+        return false;
+    }
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        for (int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]})
+            ::close(fd);
+        return false;
+    }
+    if (pid == 0) {
+        ::dup2(inPipe[0], STDIN_FILENO);
+        ::dup2(outPipe[1], STDOUT_FILENO);
+        for (int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]})
+            ::close(fd);
+        std::vector<char *> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (const std::string &arg : argv)
+            cargv.push_back(const_cast<char *>(arg.c_str()));
+        cargv.push_back(nullptr);
+        ::execv(cargv[0], cargv.data());
+        std::_Exit(127); // exec failed; parent sees a dead worker
+    }
+
+    ::close(inPipe[0]);
+    ::close(outPipe[1]);
+
+    // Hand over the assignment and close stdin: the worker reads
+    // exactly one line. A worker that died already (or never reads,
+    // like /bin/false) makes this write fail with EPIPE — harmless,
+    // the event loop sees the EOF and retries.
+    std::string line = assign;
+    line += '\n';
+    writeAll(inPipe[1], line);
+    ::close(inPipe[1]);
+
+    int flags = ::fcntl(outPipe[0], F_GETFL, 0);
+    ::fcntl(outPipe[0], F_SETFL, flags | O_NONBLOCK);
+
+    shard.pid = pid;
+    shard.outFd = outPipe[0];
+    return true;
+}
+
+void
+reapWorker(Shard &shard, int *exitStatus)
+{
+    if (shard.outFd >= 0) {
+        ::close(shard.outFd);
+        shard.outFd = -1;
+    }
+    if (shard.pid > 0) {
+        int status = 0;
+        ::waitpid(shard.pid, &status, 0);
+        if (exitStatus)
+            *exitStatus = status;
+        shard.pid = -1;
+    }
+}
+
+std::string
+describeExit(int status)
+{
+    if (WIFEXITED(status))
+        return "exit " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return "signal " + std::to_string(WTERMSIG(status));
+    return "status " + std::to_string(status);
+}
+
+void
+writeManifest(const std::string &path, const PlanRef &ref,
+              const FarmOptions &farm, const std::vector<Shard> &shards,
+              const FarmStats &stats, size_t resumed)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.member("schema", kFarmSchema);
+    w.member("plan", ref.name);
+    w.member("size", harness::inputSizeName(ref.params.size));
+    if (!ref.params.frontend.empty())
+        w.member("frontend", ref.params.frontend);
+    w.member("workers", farm.workers);
+    w.key("shards").beginArray();
+    for (const Shard &s : shards) {
+        w.beginObject();
+        w.member("shard", s.id);
+        w.member("points", uint64_t(s.indices.size()));
+        w.member("attempts", s.attempts);
+        w.member("status",
+                 s.state == Shard::State::Done ? "done" : "failed");
+        w.endObject();
+    }
+    w.endArray();
+    w.member("spawns", stats.spawns);
+    w.member("kills", stats.kills);
+    w.member("retries", stats.retries);
+    w.member("failedShards", stats.failedShards);
+    w.member("merged", uint64_t(stats.merged));
+    w.member("resumed", uint64_t(resumed));
+    w.endObject();
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("farm: cannot write manifest ", path, ": ",
+             std::strerror(errno));
+        return;
+    }
+    const std::string &text = w.str();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+}
+
+} // namespace
+
+std::vector<GroupPart>
+replayGroups(const std::vector<harness::ExperimentPoint> &points,
+             const std::vector<size_t> &pending)
+{
+    // Map key -> group, but order groups by first member index so the
+    // result is independent of key collation.
+    std::map<std::string, size_t> slot;
+    std::vector<GroupPart> groups;
+    for (size_t idx : pending) {
+        std::string key = harness::replayGroupKey(points[idx]);
+        auto [it, inserted] = slot.try_emplace(key, groups.size());
+        if (inserted)
+            groups.push_back({key, {}});
+        groups[it->second].indices.push_back(idx);
+    }
+    return groups;
+}
+
+std::vector<std::vector<size_t>>
+partitionIndices(const std::vector<harness::ExperimentPoint> &points,
+                 const std::vector<size_t> &pending, unsigned shards)
+{
+    std::vector<GroupPart> groups = replayGroups(points, pending);
+    if (shards == 0)
+        shards = 1;
+    size_t count = std::min<size_t>(shards, groups.size());
+    if (count == 0)
+        return {};
+
+    // LPT: biggest group first, onto the least-loaded shard. Stable
+    // tie-breaks (group order, lowest shard) keep the partition
+    // deterministic for a given plan.
+    std::vector<size_t> order(groups.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return groups[a].indices.size() > groups[b].indices.size();
+    });
+
+    std::vector<std::vector<size_t>> parts(count);
+    std::vector<size_t> load(count, 0);
+    for (size_t g : order) {
+        size_t best = 0;
+        for (size_t s = 1; s < count; ++s) {
+            if (load[s] < load[best])
+                best = s;
+        }
+        load[best] += groups[g].indices.size();
+        parts[best].insert(parts[best].end(), groups[g].indices.begin(),
+                           groups[g].indices.end());
+    }
+    for (std::vector<size_t> &part : parts)
+        std::sort(part.begin(), part.end());
+    return parts;
+}
+
+std::vector<std::vector<size_t>>
+partitionPlan(const harness::ExperimentPlan &plan, unsigned shards)
+{
+    std::vector<size_t> pending(plan.size());
+    for (size_t i = 0; i < pending.size(); ++i)
+        pending[i] = i;
+    return partitionIndices(plan.points(), pending, shards);
+}
+
+ShardMerger::ShardMerger(harness::ExperimentSet &set,
+                         const std::vector<size_t> &pending)
+    : set_(set), filled_(set.points.size(), true)
+{
+    for (size_t idx : pending) {
+        byKey_[harness::pointKey(set.points[idx])].push_back(idx);
+        filled_[idx] = false;
+        ++remaining_;
+    }
+}
+
+size_t
+ShardMerger::accept(const std::string &key, const harness::ExperimentRun &run)
+{
+    auto it = byKey_.find(key);
+    if (it == byKey_.end())
+        return 0;
+    size_t n = 0;
+    for (size_t idx : it->second) {
+        if (filled_[idx])
+            continue;
+        set_.runs[idx] = run;
+        filled_[idx] = true;
+        --remaining_;
+        ++n;
+    }
+    merged_ += n > 0;
+    return n;
+}
+
+harness::ExperimentSet
+runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
+            const harness::RunOptions &runOptions,
+            const FarmOptions &farmOptions)
+{
+    // A dead worker must not take the coordinator with it when a write
+    // races the death.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    harness::RunOptions runOpts = runOptions;
+    runOpts.pointTimeout = harness::resolvePointTimeout(runOpts.pointTimeout);
+    FarmOptions farm = farmOptions;
+    if (farm.workers == 0)
+        farm.workers = 1;
+
+    FarmLog log(farm.logPath, farm.onProgress);
+
+    harness::ExperimentSet set;
+    set.points = plan.points();
+    set.runs.resize(set.points.size());
+
+    std::vector<size_t> pending;
+    pending.reserve(set.points.size());
+    if (!runOpts.journalPath.empty() && runOpts.resume) {
+        set.resumed =
+            harness::restoreJournaledPoints(set, runOpts.journalPath,
+                                            pending);
+    } else {
+        for (size_t i = 0; i < set.points.size(); ++i)
+            pending.push_back(i);
+    }
+
+    harness::RunJournal journal;
+    if (!runOpts.journalPath.empty())
+        journal.open(runOpts.journalPath, /*truncate=*/!runOpts.resume);
+
+    std::vector<std::vector<size_t>> parts =
+        partitionIndices(set.points, pending, farm.workers);
+    std::vector<Shard> shards(parts.size());
+    for (size_t i = 0; i < parts.size(); ++i) {
+        shards[i].id = unsigned(i);
+        shards[i].indices = std::move(parts[i]);
+    }
+
+    unsigned workerJobs = std::max(
+        1u, harness::resolveJobs(runOpts.jobs) /
+                std::max(1u, unsigned(shards.size())));
+    std::vector<std::string> argv =
+        workerArgv(ref, runOpts, farm, workerJobs);
+    {
+        std::string cmd;
+        for (const std::string &a : argv) {
+            if (!cmd.empty())
+                cmd += ' ';
+            cmd += a;
+        }
+        log.line("plan ", ref.name, ": ", pending.size(), " points in ",
+                 shards.size(), " shards (", set.resumed, " resumed)");
+        log.line("worker command: ", cmd);
+    }
+
+    ShardMerger merger(set, pending);
+    FarmStats stats;
+    const double startTime = monotonicSeconds();
+
+    auto retryOrFail = [&](Shard &shard, const std::string &why) {
+        if (shard.attempts <= farm.maxRetries) {
+            double backoff =
+                farm.retryBackoff *
+                double(1u << std::min(shard.attempts - 1, 16u));
+            shard.state = Shard::State::Pending;
+            shard.respawnAt = monotonicSeconds() + backoff;
+            ++stats.retries;
+            log.line("shard ", shard.id, ": ", why, "; retry ",
+                     shard.attempts, "/", farm.maxRetries, " in ",
+                     backoff, "s");
+        } else {
+            shard.state = Shard::State::Failed;
+            ++stats.failedShards;
+            log.line("shard ", shard.id, ": ", why, "; retry budget (",
+                     farm.maxRetries, ") exhausted, giving up");
+        }
+    };
+
+    auto handleLine = [&](Shard &shard, const std::string &text) {
+        FarmLine msg;
+        switch (parseFarmLine(text, msg)) {
+          case LineKind::Point: {
+            size_t filledNow = merger.accept(msg.key, msg.run);
+            if (filledNow) {
+                stats.merged = merger.mergedPoints();
+                if (msg.run.usable())
+                    journal.append(msg.key, msg.run);
+                if (farm.onMerged) {
+                    farm.onMerged(set.points.size() - merger.remaining(),
+                                  set.points.size());
+                }
+            }
+            break;
+          }
+          case LineKind::Done:
+            shard.state = Shard::State::Done;
+            log.line("shard ", shard.id, ": done (", msg.points,
+                     " points, attempt ", shard.attempts, ")");
+            break;
+          case LineKind::Heartbeat:
+          case LineKind::Assign:
+          case LineKind::Unknown:
+            break; // liveness is tracked below for any traffic
+        }
+    };
+
+    size_t unfinished = shards.size();
+    while (unfinished > 0) {
+        double now = monotonicSeconds();
+
+        // (Re)spawn pending shards whose backoff expired.
+        for (Shard &shard : shards) {
+            if (shard.state != Shard::State::Pending ||
+                now < shard.respawnAt) {
+                continue;
+            }
+            ++shard.attempts;
+            std::string assign = assignLine(
+                shard.id, shard.attempts - 1, shard.indices);
+            if (!spawnWorker(shard, argv, assign)) {
+                retryOrFail(shard, "fork failed");
+                if (shard.state == Shard::State::Failed)
+                    --unfinished;
+                continue;
+            }
+            ++stats.spawns;
+            shard.state = Shard::State::Running;
+            shard.deadline = now + farm.heartbeatTimeout;
+            log.line("shard ", shard.id, ": spawned pid ", shard.pid,
+                     " (attempt ", shard.attempts, ", ",
+                     shard.indices.size(), " points)");
+        }
+
+        // Wait for traffic, the next heartbeat deadline, or the next
+        // scheduled respawn.
+        std::vector<pollfd> fds;
+        std::vector<size_t> fdShard;
+        double wake = now + 60.0;
+        for (size_t i = 0; i < shards.size(); ++i) {
+            Shard &shard = shards[i];
+            if (shard.state == Shard::State::Running) {
+                fds.push_back({shard.outFd, POLLIN, 0});
+                fdShard.push_back(i);
+                wake = std::min(wake, shard.deadline);
+            } else if (shard.state == Shard::State::Pending) {
+                wake = std::min(wake, shard.respawnAt);
+            }
+        }
+        int timeoutMs =
+            std::max(0, int((wake - monotonicSeconds()) * 1000) + 1);
+        int ready = fds.empty()
+                        ? 0
+                        : ::poll(fds.data(), nfds_t(fds.size()), timeoutMs);
+        if (fds.empty() && timeoutMs > 0) {
+            // Only backoff timers to wait for.
+            struct timespec ts;
+            ts.tv_sec = timeoutMs / 1000;
+            ts.tv_nsec = long(timeoutMs % 1000) * 1000000L;
+            ::nanosleep(&ts, nullptr);
+        }
+
+        now = monotonicSeconds();
+        for (size_t n = 0; ready > 0 && n < fds.size(); ++n) {
+            Shard &shard = shards[fdShard[n]];
+            if (!(fds[n].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+
+            bool eof = false;
+            char buf[8192];
+            for (;;) {
+                ssize_t got = ::read(shard.outFd, buf, sizeof(buf));
+                if (got > 0) {
+                    shard.deadline = now + farm.heartbeatTimeout;
+                    shard.buffer.feed(buf, size_t(got),
+                                      [&](const std::string &text) {
+                                          handleLine(shard, text);
+                                      });
+                    continue;
+                }
+                if (got == 0) {
+                    eof = true;
+                } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                    // drained
+                } else if (errno == EINTR) {
+                    continue;
+                } else {
+                    eof = true;
+                }
+                break;
+            }
+
+            if (shard.state == Shard::State::Done) {
+                reapWorker(shard, nullptr);
+                --unfinished;
+            } else if (eof) {
+                int status = 0;
+                reapWorker(shard, &status);
+                retryOrFail(shard, "worker died (" +
+                                       describeExit(status) +
+                                       ") before completing");
+                if (shard.state == Shard::State::Failed)
+                    --unfinished;
+            }
+        }
+
+        // Heartbeat silence: the worker process is wedged or frozen
+        // (a hung point is the in-process watchdog's job; this guards
+        // the process itself).
+        for (Shard &shard : shards) {
+            if (shard.state != Shard::State::Running ||
+                now < shard.deadline) {
+                continue;
+            }
+            log.line("shard ", shard.id, ": no heartbeat for ",
+                     farm.heartbeatTimeout, "s; killing pid ", shard.pid);
+            ::kill(shard.pid, SIGKILL);
+            ++stats.kills;
+            reapWorker(shard, nullptr);
+            retryOrFail(shard, "heartbeat timeout");
+            if (shard.state == Shard::State::Failed)
+                --unfinished;
+        }
+    }
+
+    // Surface what could not be recovered as Failed points with
+    // deterministic text (no pids, no durations): the export and its
+    // failure manifest stay reproducible.
+    for (Shard &shard : shards) {
+        if (shard.state != Shard::State::Failed)
+            continue;
+        for (size_t idx : shard.indices) {
+            if (merger.filled(idx))
+                continue;
+            harness::ExperimentRun &run = set.runs[idx];
+            run.status = harness::PointStatus::Failed;
+            run.error = "farm: shard " + std::to_string(shard.id) +
+                        " lost after " + std::to_string(shard.attempts) +
+                        " attempts";
+        }
+    }
+
+    set.executed = merger.mergedPoints();
+    set.jobs = unsigned(shards.size());
+    set.totalSeconds = monotonicSeconds() - startTime;
+    stats.merged = merger.mergedPoints();
+
+    log.line("merge complete: ", stats.merged, " points from ",
+             shards.size(), " shards, ", stats.retries, " retries, ",
+             stats.kills, " kills, ", stats.failedShards,
+             " failed shards");
+
+    if (!farm.manifestPath.empty())
+        writeManifest(farm.manifestPath, ref, farm, shards, stats,
+                      set.resumed);
+    if (farm.statsOut)
+        *farm.statsOut = stats;
+    return set;
+}
+
+bool
+writeStatsExport(const PlanRef &ref, const harness::ExperimentSet &set,
+                 const std::string &path)
+{
+    obs::StatsSink sink("scd_farm",
+                        harness::inputSizeName(ref.params.size));
+    harness::exportSet(sink, ref.name, set);
+    return harness::writeJsonIfRequested(sink, path);
+}
+
+} // namespace scd::farm

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The sweep-farm coordinator: executes an ExperimentPlan across N
+ * worker subprocesses and merges their journal-line streams back into
+ * one ExperimentSet that is byte-identical — through the scd-stats-v1
+ * export — to a serial in-process runPlan() of the same plan
+ * (docs/SIMULATOR.md, "Running sweeps as a service").
+ *
+ * Sharding: the plan's pending points are grouped by replayGroupKey()
+ * — a group must stay whole so the execute-once, time-many sharing
+ * survives the split — and the groups are packed onto shards
+ * longest-processing-time-first. Each shard is one worker subprocess
+ * (the same binary, --worker); results stream back as they complete,
+ * in any order across shards.
+ *
+ * Fault handling: a worker that exits without its done line, or that
+ * goes silent past the heartbeat timeout (SIGKILLed), has its whole
+ * shard reassigned to a fresh worker after an exponential backoff, up
+ * to maxRetries respawns. Points the dead worker already streamed are
+ * kept (the merger fills each point once); a shard that exhausts its
+ * budget surfaces its unfilled points as PointStatus::Failed with
+ * deterministic diagnostic text — the plan still completes and the
+ * driver exits kExitTroubled, never hangs.
+ */
+
+#ifndef SCD_FARM_COORDINATOR_HH
+#define SCD_FARM_COORDINATOR_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "plans.hh"
+
+namespace scd::farm
+{
+
+/** Counters the coordinator accumulates; exposed for tests and the
+ *  manifest. */
+struct FarmStats
+{
+    unsigned spawns = 0;       ///< worker processes started
+    unsigned kills = 0;        ///< workers SIGKILLed (heartbeat silence)
+    unsigned retries = 0;      ///< shard reassignments after a death
+    unsigned failedShards = 0; ///< shards that exhausted the budget
+    size_t merged = 0;         ///< points filled from worker streams
+};
+
+/** Coordinator knobs (the run itself is configured by RunOptions). */
+struct FarmOptions
+{
+    unsigned workers = 2; ///< worker subprocesses (and shards)
+
+    /**
+     * Seconds of total silence (no point, no heartbeat) after which a
+     * worker is declared hung and SIGKILLed. Workers beacon every
+     * heartbeatInterval seconds, so the timeout only fires when the
+     * process is truly wedged or frozen; a long-running point is kept
+     * alive by its worker's heartbeat thread.
+     */
+    double heartbeatTimeout = 30.0;
+    double heartbeatInterval = 1.0; ///< worker beacon period (seconds)
+
+    /** Respawns allowed per shard beyond its first attempt. */
+    unsigned maxRetries = 2;
+
+    /** Backoff before respawn k is 'retryBackoff * 2^(k-1)' seconds. */
+    double retryBackoff = 0.25;
+
+    /**
+     * argv prefix of the worker command. Empty: re-exec this binary
+     * (/proc/self/exe) — the normal same-binary mode. Tests substitute
+     * /bin/false or /bin/sleep to exercise the failure paths.
+     */
+    std::vector<std::string> workerCommand;
+
+    /** Extra argv appended to every worker (test knobs, --die-after). */
+    std::vector<std::string> workerArgs;
+
+    std::string logPath;      ///< coordinator event log (plain text)
+    std::string manifestPath; ///< scd-farm-v1 shard manifest (JSON)
+
+    /** Progress hook: one human-readable line per coordinator event. */
+    std::function<void(const std::string &)> onProgress;
+
+    /** Merge hook: (points filled so far, points total). */
+    std::function<void(size_t, size_t)> onMerged;
+
+    FarmStats *statsOut = nullptr; ///< filled at completion when set
+};
+
+/** One replay group: its key and its member plan indices (ascending). */
+struct GroupPart
+{
+    std::string key;
+    std::vector<size_t> indices;
+};
+
+/**
+ * Group @p pending (indices into @p points) by replayGroupKey(),
+ * groups ordered by first member index — deterministic whatever the
+ * key strings are.
+ */
+std::vector<GroupPart>
+replayGroups(const std::vector<harness::ExperimentPoint> &points,
+             const std::vector<size_t> &pending);
+
+/**
+ * Pack the replay groups of @p pending onto at most @p shards shards,
+ * largest group first onto the least-loaded shard (LPT). Groups are
+ * never split; empty shards are dropped, so fewer groups than shards
+ * yields fewer shards. Deterministic: ties break toward the
+ * lowest-numbered shard and groups order by first member index.
+ */
+std::vector<std::vector<size_t>>
+partitionIndices(const std::vector<harness::ExperimentPoint> &points,
+                 const std::vector<size_t> &pending, unsigned shards);
+
+/** partitionIndices() over every point of @p plan. */
+std::vector<std::vector<size_t>>
+partitionPlan(const harness::ExperimentPlan &plan, unsigned shards);
+
+/**
+ * Fill-once merge of worker point streams into an ExperimentSet.
+ * Points are matched by journal key (pointKey): a key may map to
+ * several plan indices (duplicate points), all filled from the one
+ * record; re-deliveries of a filled key (a retried shard re-streaming
+ * survivors) are ignored. Out-of-order and interleaved delivery across
+ * shards is the normal case.
+ */
+class ShardMerger
+{
+  public:
+    /**
+     * Merge into @p set; only the indices in @p pending are fillable
+     * (the rest were restored from a resume journal).
+     */
+    ShardMerger(harness::ExperimentSet &set,
+                const std::vector<size_t> &pending);
+
+    /**
+     * Record one streamed point. Returns the number of plan indices
+     * it filled (0 for unknown keys and re-deliveries).
+     */
+    size_t accept(const std::string &key, const harness::ExperimentRun &run);
+
+    bool filled(size_t index) const { return filled_[index]; }
+    size_t remaining() const { return remaining_; }
+    size_t mergedPoints() const { return merged_; }
+
+  private:
+    harness::ExperimentSet &set_;
+    std::map<std::string, std::vector<size_t>> byKey_;
+    std::vector<bool> filled_;
+    size_t remaining_ = 0;
+    size_t merged_ = 0;
+};
+
+/**
+ * Execute @p plan across farmOptions.workers subprocesses. @p ref must
+ * rebuild exactly @p plan through the registry — workers only receive
+ * the reference. Honours RunOptions journalPath/resume exactly like
+ * runPlan(): restored points are never re-executed and merged points
+ * are appended as they arrive. Returns the completed set in plan
+ * order; unrecoverable shards yield Failed points, not an exception.
+ */
+harness::ExperimentSet
+runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
+            const harness::RunOptions &runOptions,
+            const FarmOptions &farmOptions);
+
+/**
+ * The scd_farm stats export: sink "scd_farm"/<size>, one set labelled
+ * with the plan name. Shared by the one-shot driver and the daemon so
+ * both emit byte-identical documents for the same executed set.
+ */
+bool writeStatsExport(const PlanRef &ref,
+                      const harness::ExperimentSet &set,
+                      const std::string &path);
+
+} // namespace scd::farm
+
+#endif // SCD_FARM_COORDINATOR_HH

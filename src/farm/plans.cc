@@ -1,0 +1,64 @@
+#include "plans.hh"
+
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace scd::farm
+{
+
+namespace
+{
+
+std::mutex registryMutex;
+
+std::map<std::string, PlanBuilder> &
+registry()
+{
+    static std::map<std::string, PlanBuilder> plans;
+    return plans;
+}
+
+} // namespace
+
+void
+registerPlan(const std::string &name, PlanBuilder builder)
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    registry()[name] = std::move(builder);
+}
+
+bool
+havePlan(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    return registry().count(name) > 0;
+}
+
+std::vector<std::string>
+planNames()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const auto &[name, builder] : registry())
+        names.push_back(name);
+    return names;
+}
+
+harness::ExperimentPlan
+buildPlan(const PlanRef &ref)
+{
+    PlanBuilder builder;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex);
+        auto it = registry().find(ref.name);
+        if (it == registry().end())
+            fatal("unknown farm plan '", ref.name, "'");
+        builder = it->second;
+    }
+    return builder(ref.params);
+}
+
+} // namespace scd::farm

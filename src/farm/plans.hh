@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Named experiment-plan registry for the sweep farm.
+ *
+ * A farm worker is the same binary as its coordinator, re-executed with
+ * --worker: it cannot receive an ExperimentPlan object, so both sides
+ * instead agree on a plan *name* plus a small parameter set (input
+ * size, frontend spec) and rebuild the plan independently. Because
+ * every registered builder is deterministic — same PlanParams, same
+ * points in the same order — a worker's plan indices mean exactly what
+ * the coordinator's do, and the sharded run merges back byte-identical
+ * to a serial one (docs/SIMULATOR.md, "Running sweeps as a service").
+ *
+ * Drivers register their plans at startup (bench/farm_plans.hh) before
+ * calling farm::maybeWorkerMain(); tests register private plans the
+ * same way (tests/farm_test.cc).
+ */
+
+#ifndef SCD_FARM_PLANS_HH
+#define SCD_FARM_PLANS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/workloads.hh"
+
+namespace scd::farm
+{
+
+/** Parameters a plan builder receives; serialized as worker flags. */
+struct PlanParams
+{
+    harness::InputSize size = harness::InputSize::Test;
+    std::string frontend; ///< --frontend spec, empty = machine default
+};
+
+/** A plan identified by registry name + parameters. */
+struct PlanRef
+{
+    std::string name;
+    PlanParams params;
+};
+
+/** Deterministic plan factory: equal params must yield equal plans. */
+using PlanBuilder =
+    std::function<harness::ExperimentPlan(const PlanParams &)>;
+
+/**
+ * Register @p builder under @p name. Re-registering a name replaces
+ * the previous builder (tests re-register fixtures freely).
+ */
+void registerPlan(const std::string &name, PlanBuilder builder);
+
+/** True when @p name has a registered builder. */
+bool havePlan(const std::string &name);
+
+/** All registered plan names, sorted. */
+std::vector<std::string> planNames();
+
+/**
+ * Build the plan @p ref names. Throws FatalError for an unknown name —
+ * a coordinator/worker version skew or a typo, never a recoverable
+ * condition.
+ */
+harness::ExperimentPlan buildPlan(const PlanRef &ref);
+
+} // namespace scd::farm
+
+#endif // SCD_FARM_PLANS_HH

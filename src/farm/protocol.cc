@@ -1,0 +1,111 @@
+#include "protocol.hh"
+
+#include <cerrno>
+#include <unistd.h>
+
+#include "harness/journal.hh"
+#include "obs/json.hh"
+
+namespace scd::farm
+{
+
+std::string
+assignLine(unsigned shard, unsigned attempt,
+           const std::vector<size_t> &indices)
+{
+    std::string line = "{\"farm\":\"assign\",\"shard\":";
+    line += std::to_string(shard);
+    line += ",\"attempt\":";
+    line += std::to_string(attempt);
+    line += ",\"indices\":[";
+    for (size_t i = 0; i < indices.size(); ++i) {
+        if (i)
+            line += ',';
+        line += std::to_string(indices[i]);
+    }
+    line += "]}";
+    return line;
+}
+
+std::string
+heartbeatLine(unsigned shard)
+{
+    return "{\"farm\":\"heartbeat\",\"shard\":" + std::to_string(shard) +
+           "}";
+}
+
+std::string
+doneLine(unsigned shard, size_t points)
+{
+    return "{\"farm\":\"done\",\"shard\":" + std::to_string(shard) +
+           ",\"points\":" + std::to_string(points) + "}";
+}
+
+LineKind
+parseFarmLine(const std::string &line, FarmLine &out)
+{
+    out = FarmLine();
+    if (line.empty())
+        return LineKind::Unknown;
+
+    // The common case first: a journal point record. The journal parser
+    // rejects anything without its schema tag, so control lines fall
+    // through cheaply.
+    if (harness::parseJournalLine(line, out.key, out.run)) {
+        out.kind = LineKind::Point;
+        return out.kind;
+    }
+
+    obs::JsonValue doc = obs::JsonValue::parse(line);
+    if (!doc.isObject() || !doc.has("farm"))
+        return LineKind::Unknown;
+    std::string op = doc.stringOr("farm", "");
+    if (op == "heartbeat") {
+        out.kind = LineKind::Heartbeat;
+        out.shard = unsigned(doc.numberOr("shard", 0));
+    } else if (op == "done") {
+        out.kind = LineKind::Done;
+        out.shard = unsigned(doc.numberOr("shard", 0));
+        out.points = size_t(doc.numberOr("points", 0));
+    } else if (op == "assign") {
+        out.kind = LineKind::Assign;
+        out.shard = unsigned(doc.numberOr("shard", 0));
+        out.attempt = unsigned(doc.numberOr("attempt", 0));
+        for (const obs::JsonValue &v : doc.at("indices").elements())
+            out.indices.push_back(size_t(v.asUint()));
+    }
+    return out.kind;
+}
+
+bool
+writeAll(int fd, const std::string &text)
+{
+    size_t off = 0;
+    while (off < text.size()) {
+        ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+bool
+LineWriter::line(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (failed_)
+        return false;
+    std::string buf = text;
+    buf += '\n';
+    if (!writeAll(fd_, buf)) {
+        failed_ = true;
+        return false;
+    }
+    return true;
+}
+
+} // namespace scd::farm

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The coordinator <-> worker wire protocol of the sweep farm: newline-
+ * delimited JSON, one self-contained object per line, in both
+ * directions (docs/SIMULATOR.md, "Running sweeps as a service").
+ *
+ * Coordinator -> worker (stdin), exactly one line:
+ *
+ *   {"farm":"assign","shard":K,"attempt":A,"indices":[...]}
+ *
+ * Worker -> coordinator (stdout), as the run progresses:
+ *
+ *   <scd-journal-v1 point line>     one per completed point — the same
+ *                                   format the crash-safe resume
+ *                                   journal uses (harness/journal.hh),
+ *                                   so the merge layer is the already-
+ *                                   proven journal parser
+ *   {"farm":"heartbeat","shard":K}  periodic liveness beacon
+ *   {"farm":"done","shard":K,"points":N}   normal completion, last line
+ *
+ * Anything else on the stream (a crash backtrace, a stray print) is
+ * classified Unknown and ignored by the coordinator; worker death is
+ * detected by EOF-without-done or heartbeat silence, never by parsing.
+ *
+ * The daemon's client protocol (service.hh) reuses the same line
+ * transport over a unix socket.
+ */
+
+#ifndef SCD_FARM_PROTOCOL_HH
+#define SCD_FARM_PROTOCOL_HH
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace scd::farm
+{
+
+/** Schema tag of the farm manifest and the daemon protocol. */
+inline constexpr const char *kFarmSchema = "scd-farm-v1";
+
+/** What one protocol line turned out to be. */
+enum class LineKind
+{
+    Point,     ///< an scd-journal-v1 point record
+    Heartbeat, ///< worker liveness beacon
+    Done,      ///< worker finished its shard cleanly
+    Assign,    ///< coordinator -> worker shard assignment
+    Unknown,   ///< not protocol (ignored)
+};
+
+/** One parsed protocol line; only the fields of its kind are set. */
+struct FarmLine
+{
+    LineKind kind = LineKind::Unknown;
+    unsigned shard = 0;             ///< Assign / Heartbeat / Done
+    unsigned attempt = 0;           ///< Assign
+    std::vector<size_t> indices;    ///< Assign: plan indices of the shard
+    size_t points = 0;              ///< Done: points the worker ran
+    std::string key;                ///< Point: journal key
+    harness::ExperimentRun run;     ///< Point: the completed run
+};
+
+/** Serialize an assignment (no trailing newline). */
+std::string assignLine(unsigned shard, unsigned attempt,
+                       const std::vector<size_t> &indices);
+
+/** Serialize a heartbeat (no trailing newline). */
+std::string heartbeatLine(unsigned shard);
+
+/** Serialize a completion notice (no trailing newline). */
+std::string doneLine(unsigned shard, size_t points);
+
+/**
+ * Classify and parse one line. Returns the kind (also stored in
+ * @p out.kind); malformed or non-protocol text yields Unknown rather
+ * than an error.
+ */
+LineKind parseFarmLine(const std::string &line, FarmLine &out);
+
+/**
+ * write(2) the whole buffer, retrying on EINTR and short writes.
+ * Returns false on error (e.g. EPIPE after the reader died).
+ */
+bool writeAll(int fd, const std::string &text);
+
+/**
+ * Serialized line output to one fd. The worker's point stream and its
+ * heartbeat thread share stdout; the mutex plus one write(2) per line
+ * keep lines whole so the coordinator never sees a torn record.
+ */
+class LineWriter
+{
+  public:
+    explicit LineWriter(int fd) : fd_(fd) {}
+
+    /** Write @p text plus '\n' as one atomic-enough write. */
+    bool line(const std::string &text);
+
+    /** True once any write failed (reader gone); later lines no-op. */
+    bool failed() const { return failed_; }
+
+  private:
+    int fd_;
+    bool failed_ = false;
+    std::mutex mutex_;
+};
+
+/**
+ * Reassemble lines from arbitrary read(2) chunks. feed() buffers
+ * partial data and invokes the callback once per complete line
+ * (without the newline).
+ */
+class LineBuffer
+{
+  public:
+    template <typename Callback>
+    void
+    feed(const char *data, size_t n, Callback &&onLine)
+    {
+        pending_.append(data, n);
+        size_t start = 0;
+        size_t nl;
+        while ((nl = pending_.find('\n', start)) != std::string::npos) {
+            onLine(pending_.substr(start, nl - start));
+            start = nl + 1;
+        }
+        pending_.erase(0, start);
+    }
+
+    /** Unterminated tail (a torn final line after EOF). */
+    const std::string &remainder() const { return pending_; }
+
+  private:
+    std::string pending_;
+};
+
+} // namespace scd::farm
+
+#endif // SCD_FARM_PROTOCOL_HH

@@ -1,0 +1,316 @@
+#include "service.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "protocol.hh"
+
+namespace scd::farm
+{
+
+namespace
+{
+
+/** One submitted sweep and its progress, guarded by Daemon::mutex_. */
+struct Job
+{
+    unsigned id = 0;
+    std::string plan;
+    std::string state = "queued"; ///< queued | running | done | failed
+    size_t completed = 0;
+    size_t total = 0;
+    int exitCode = -1;
+    std::string error;
+};
+
+std::string
+errorResponse(const std::string &message)
+{
+    return "{\"ok\":false,\"error\":" + obs::JsonWriter::quote(message) +
+           "}";
+}
+
+class Daemon
+{
+  public:
+    explicit Daemon(const ServiceOptions &options) : options_(options) {}
+
+    int
+    run()
+    {
+        ::signal(SIGPIPE, SIG_IGN);
+
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0) {
+            warn("farm: socket: ", std::strerror(errno));
+            return harness::kExitExportFailure;
+        }
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
+            warn("farm: socket path too long: ", options_.socketPath);
+            ::close(listenFd_);
+            return harness::kExitExportFailure;
+        }
+        std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(options_.socketPath.c_str());
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(listenFd_, 8) != 0) {
+            warn("farm: cannot bind ", options_.socketPath, ": ",
+                 std::strerror(errno));
+            ::close(listenFd_);
+            return harness::kExitExportFailure;
+        }
+        inform("farm: serving on ", options_.socketPath);
+
+        while (!stopping_.load()) {
+            int fd = ::accept(listenFd_, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                break; // listen socket shut down
+            }
+            std::lock_guard<std::mutex> lock(mutex_);
+            clientFds_.push_back(fd);
+            clients_.emplace_back([this, fd] { serveClient(fd); });
+        }
+
+        // Drain: no new clients; wait for connections, then jobs.
+        for (std::thread &t : clients_)
+            t.join();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return runningJobs_ == 0; });
+        }
+        for (std::thread &t : jobThreads_)
+            t.join();
+        ::close(listenFd_);
+        ::unlink(options_.socketPath.c_str());
+        inform("farm: service stopped");
+        return harness::kExitOk;
+    }
+
+  private:
+    void
+    serveClient(int fd)
+    {
+        LineBuffer buffer;
+        char buf[4096];
+        for (;;) {
+            ssize_t got = ::read(fd, buf, sizeof(buf));
+            if (got < 0 && errno == EINTR)
+                continue;
+            if (got <= 0)
+                break;
+            bool closed = false;
+            buffer.feed(buf, size_t(got), [&](const std::string &line) {
+                if (closed || line.empty())
+                    return;
+                std::string response = handleRequest(line);
+                std::string out = response + "\n";
+                if (!writeAll(fd, out))
+                    closed = true;
+            });
+            if (closed)
+                break;
+        }
+        ::close(fd);
+    }
+
+    std::string
+    handleRequest(const std::string &line)
+    {
+        obs::JsonValue doc = obs::JsonValue::parse(line);
+        if (!doc.isObject())
+            return errorResponse("malformed request (want a JSON object)");
+        std::string op = doc.stringOr("op", "");
+        if (op == "ping") {
+            return std::string("{\"ok\":true,\"schema\":") +
+                   obs::JsonWriter::quote(kFarmSchema) + "}";
+        }
+        if (op == "plans") {
+            std::string out = "{\"ok\":true,\"plans\":[";
+            bool first = true;
+            for (const std::string &name : planNames()) {
+                if (!first)
+                    out += ',';
+                first = false;
+                out += obs::JsonWriter::quote(name);
+            }
+            return out + "]}";
+        }
+        if (op == "submit")
+            return submit(doc);
+        if (op == "status" || op == "wait")
+            return status(doc, /*block=*/op == "wait");
+        if (op == "shutdown") {
+            stop();
+            return "{\"ok\":true}";
+        }
+        return errorResponse("unknown op '" + op + "'");
+    }
+
+    std::string
+    submit(const obs::JsonValue &doc)
+    {
+        PlanRef ref;
+        ref.name = doc.stringOr("plan", "");
+        if (!havePlan(ref.name))
+            return errorResponse("unknown plan '" + ref.name + "'");
+        std::string sizeName = doc.stringOr("size", "test");
+        if (!harness::parseInputSize(sizeName, ref.params.size))
+            return errorResponse("unknown size '" + sizeName + "'");
+        ref.params.frontend = doc.stringOr("frontend", "");
+
+        FarmOptions farm = options_.farm;
+        unsigned workers = unsigned(doc.numberOr("farm", farm.workers));
+        if (workers > 0)
+            farm.workers = workers;
+        farm.manifestPath = doc.stringOr("manifest", "");
+        farm.logPath = doc.stringOr("log", "");
+        std::string jsonPath = doc.stringOr("json", "");
+
+        unsigned id;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            id = nextJob_++;
+            Job &job = jobs_[id];
+            job.id = id;
+            job.plan = ref.name;
+            ++runningJobs_;
+            jobThreads_.emplace_back([this, id, ref, farm, jsonPath] {
+                runJob(id, ref, farm, jsonPath);
+            });
+        }
+        return "{\"ok\":true,\"job\":" + std::to_string(id) + "}";
+    }
+
+    void
+    runJob(unsigned id, PlanRef ref, FarmOptions farm,
+           std::string jsonPath)
+    {
+        harness::ExperimentPlan plan;
+        try {
+            plan = buildPlan(ref);
+        } catch (const FatalError &e) {
+            finishJob(id, "failed", harness::kExitExportFailure,
+                      e.what());
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            Job &job = jobs_[id];
+            job.state = "running";
+            job.total = plan.size();
+        }
+        farm.onMerged = [this, id](size_t done, size_t total) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            Job &job = jobs_[id];
+            job.completed = done;
+            job.total = total;
+        };
+
+        harness::ExperimentSet set =
+            runPlanFarm(plan, ref, options_.run, farm);
+        int exitCode = harness::reportTroubledPoints({&set});
+        std::string error;
+        if (!jsonPath.empty() && !writeStatsExport(ref, set, jsonPath)) {
+            exitCode = harness::kExitExportFailure;
+            error = "cannot write stats export " + jsonPath;
+        }
+        finishJob(id, exitCode == harness::kExitOk ? "done" : "failed",
+                  exitCode, error);
+    }
+
+    void
+    finishJob(unsigned id, const std::string &state, int exitCode,
+              const std::string &error)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Job &job = jobs_[id];
+        job.state = state;
+        job.exitCode = exitCode;
+        job.error = error;
+        if (job.total == 0)
+            job.total = job.completed;
+        --runningJobs_;
+        cv_.notify_all();
+    }
+
+    std::string
+    status(const obs::JsonValue &doc, bool block)
+    {
+        if (!doc.has("job"))
+            return errorResponse("missing 'job'");
+        unsigned id = unsigned(doc.numberOr("job", 0));
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return errorResponse("unknown job " + std::to_string(id));
+        if (block) {
+            cv_.wait(lock, [&] {
+                const Job &job = jobs_[id];
+                return job.state == "done" || job.state == "failed";
+            });
+        }
+        const Job &job = jobs_[id];
+        std::string out = "{\"ok\":true,\"job\":" + std::to_string(id) +
+                          ",\"plan\":" + obs::JsonWriter::quote(job.plan) +
+                          ",\"state\":" + obs::JsonWriter::quote(job.state) +
+                          ",\"completed\":" + std::to_string(job.completed) +
+                          ",\"total\":" + std::to_string(job.total);
+        if (job.exitCode >= 0)
+            out += ",\"exit\":" + std::to_string(job.exitCode);
+        if (!job.error.empty())
+            out += ",\"error\":" + obs::JsonWriter::quote(job.error);
+        return out + "}";
+    }
+
+    void
+    stop()
+    {
+        stopping_.store(true);
+        // Break the accept loop; in-flight connections finish their
+        // own requests and close on client EOF.
+        ::shutdown(listenFd_, SHUT_RDWR);
+    }
+
+    ServiceOptions options_;
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::map<unsigned, Job> jobs_;
+    unsigned nextJob_ = 1;
+    unsigned runningJobs_ = 0;
+    std::vector<std::thread> clients_;
+    std::vector<int> clientFds_;
+    std::vector<std::thread> jobThreads_;
+};
+
+} // namespace
+
+int
+serveFarm(const ServiceOptions &options)
+{
+    Daemon daemon(options);
+    return daemon.run();
+}
+
+} // namespace scd::farm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The sweep-farm daemon: a long-running service that accepts sweep
+ * submissions and status polls over a local unix socket, so a machine
+ * can run experiment campaigns without anyone babysitting individual
+ * driver invocations (docs/SIMULATOR.md, "Running sweeps as a
+ * service").
+ *
+ * Transport: AF_UNIX stream socket, newline-delimited JSON — one
+ * request object per line, one response object per line. Clients are
+ * served concurrently (a thread per connection), and a connection may
+ * issue any number of requests. Operations:
+ *
+ *   {"op":"ping"}                     -> {"ok":true,"schema":"scd-farm-v1"}
+ *   {"op":"plans"}                    -> {"ok":true,"plans":[...]}
+ *   {"op":"submit","plan":"fig11",    -> {"ok":true,"job":N}
+ *    "size":"test","farm":3,
+ *    "json":"out.json", ...}
+ *   {"op":"status","job":N}           -> {"ok":true,"state":"running",
+ *                                         "completed":c,"total":t}
+ *   {"op":"wait","job":N}             -> blocks, then like status
+ *   {"op":"shutdown"}                 -> {"ok":true}; service stops
+ *
+ * Each submitted job runs farm::runPlanFarm() on its own thread with
+ * its own worker fleet; its stats export lands at the submitted
+ * "json" path via writeStatsExport(), byte-identical to what the
+ * one-shot scd_farm driver writes for the same plan.
+ */
+
+#ifndef SCD_FARM_SERVICE_HH
+#define SCD_FARM_SERVICE_HH
+
+#include <string>
+
+#include "coordinator.hh"
+
+namespace scd::farm
+{
+
+/** Daemon configuration. */
+struct ServiceOptions
+{
+    std::string socketPath; ///< unix socket to bind (unlinked first)
+    harness::RunOptions run;    ///< base run options for every job
+    FarmOptions farm;           ///< base farm options (workers etc.)
+};
+
+/**
+ * Run the daemon until a shutdown request (or stop() from another
+ * thread): binds the socket, serves clients, waits for in-flight jobs
+ * to finish, removes the socket. Returns kExitOk, or kExitExportFailure
+ * when the socket could not be bound.
+ */
+int serveFarm(const ServiceOptions &options);
+
+} // namespace scd::farm
+
+#endif // SCD_FARM_SERVICE_HH

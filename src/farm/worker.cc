@@ -1,0 +1,202 @@
+#include "worker.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/fault_inject.hh"
+#include "common/logging.hh"
+#include "cpu/dispatch_tier.hh"
+#include "harness/journal.hh"
+#include "harness/replay.hh"
+#include "plans.hh"
+#include "protocol.hh"
+
+namespace scd::farm
+{
+
+namespace
+{
+
+/** Everything the worker flags configure. */
+struct WorkerConfig
+{
+    PlanRef ref;
+    harness::RunOptions run;
+    double heartbeat = 1.0; ///< seconds between liveness beacons
+    /**
+     * Test knob: exit hard (as if crashed) after this many completed
+     * points — but only on the shard's first attempt, so the retry
+     * succeeds and byte-identity can be asserted without a fault-
+     * injection build (tests/farm_test.cc). 0 = never.
+     */
+    unsigned dieAfter = 0;
+};
+
+bool
+flagValue(const char *arg, const char *name, const char **value)
+{
+    size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0)
+        return false;
+    *value = arg + len;
+    return true;
+}
+
+WorkerConfig
+parseWorkerFlags(int argc, char **argv)
+{
+    WorkerConfig cfg;
+    for (int n = 1; n < argc; ++n) {
+        const char *v = nullptr;
+        if (flagValue(argv[n], "--plan=", &v)) {
+            cfg.ref.name = v;
+        } else if (flagValue(argv[n], "--size=", &v)) {
+            if (!harness::parseInputSize(v, cfg.ref.params.size))
+                fatal("worker: unknown --size value '", v, "'");
+        } else if (flagValue(argv[n], "--frontend=", &v)) {
+            cfg.ref.params.frontend = v;
+        } else if (flagValue(argv[n], "--jobs=", &v)) {
+            long jobs = std::strtol(v, nullptr, 10);
+            if (jobs > 0)
+                cfg.run.jobs = unsigned(jobs);
+        } else if (flagValue(argv[n], "--point-timeout=", &v)) {
+            cfg.run.pointTimeout = std::strtod(v, nullptr);
+        } else if (flagValue(argv[n], "--dispatch-tier=", &v)) {
+            if (auto tier = cpu::parseDispatchTier(v))
+                cfg.run.dispatchTier = *tier;
+            else
+                fatal("worker: bad --dispatch-tier value '", v, "'");
+        } else if (std::strcmp(argv[n], "--no-replay") == 0) {
+            cfg.run.replay = false;
+        } else if (flagValue(argv[n], "--heartbeat=", &v)) {
+            double s = std::strtod(v, nullptr);
+            if (s > 0)
+                cfg.heartbeat = s;
+        } else if (flagValue(argv[n], "--die-after=", &v)) {
+            long death = std::strtol(v, nullptr, 10);
+            if (death > 0)
+                cfg.dieAfter = unsigned(death);
+        }
+    }
+    if (cfg.ref.name.empty())
+        fatal("worker: --plan=<name> is required");
+    return cfg;
+}
+
+/** Periodic heartbeat until stopped; shares the point-line writer. */
+class HeartbeatThread
+{
+  public:
+    HeartbeatThread(LineWriter &writer, unsigned shard, double interval)
+        : writer_(writer), shard_(shard), interval_(interval)
+    {
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~HeartbeatThread()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto period = std::chrono::duration<double>(interval_);
+        while (!cv_.wait_for(lock, period, [this] { return stop_; }))
+            writer_.line(heartbeatLine(shard_));
+    }
+
+    LineWriter &writer_;
+    unsigned shard_;
+    double interval_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace
+
+int
+workerMain(int argc, char **argv)
+{
+    WorkerConfig cfg = parseWorkerFlags(argc, argv);
+
+    // The single assignment line the coordinator sends on stdin.
+    std::string line;
+    if (!std::getline(std::cin, line))
+        fatal("worker: no assignment on stdin");
+    FarmLine assign;
+    if (parseFarmLine(line, assign) != LineKind::Assign)
+        fatal("worker: expected an assign line, got: ", line);
+
+    // A retry attempt must not re-inherit the coordinator's armed
+    // fault or the crash-test knob: the first attempt proves the death
+    // path, the retry proves recovery.
+    if (assign.attempt > 0) {
+        ::unsetenv("SCD_FAULT");
+        cfg.dieAfter = 0;
+    }
+
+    harness::ExperimentPlan full = buildPlan(cfg.ref);
+    harness::ExperimentPlan sub;
+    for (size_t idx : assign.indices) {
+        if (idx >= full.size()) {
+            fatal("worker: assigned index ", idx, " out of range (plan '",
+                  cfg.ref.name, "' has ", full.size(), " points)");
+        }
+        sub.add(full.points()[idx]);
+    }
+
+    LineWriter writer(STDOUT_FILENO);
+    std::atomic<unsigned> completed{0};
+    const unsigned dieAfter = cfg.dieAfter;
+    cfg.run.onPoint = [&](size_t i, const harness::ExperimentRun &run) {
+        // Deterministic crash sites, checked before the line goes out
+        // so the coordinator must recover the point from the retry.
+        try {
+            SCD_FAULT_POINT("farm-worker");
+        } catch (const FatalError &) {
+            std::_Exit(70); // hard death: no done line, EOF mid-stream
+        }
+        unsigned soFar = completed.fetch_add(1) + 1;
+        if (dieAfter && soFar >= dieAfter)
+            std::_Exit(70);
+        writer.line(
+            harness::journalLine(harness::pointKey(sub.points()[i]), run));
+    };
+
+    {
+        HeartbeatThread heartbeat(writer, assign.shard, cfg.heartbeat);
+        harness::runPlan(sub, cfg.run);
+    }
+    writer.line(doneLine(assign.shard, sub.size()));
+    return writer.failed() ? 1 : harness::kExitOk;
+}
+
+int
+maybeWorkerMain(int argc, char **argv)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strcmp(argv[n], "--worker") == 0)
+            return workerMain(argc, argv);
+    }
+    return -1;
+}
+
+} // namespace scd::farm

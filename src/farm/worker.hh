@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The farm worker: the same bench binary re-executed with --worker.
+ *
+ * A worker reads one assignment line from stdin, rebuilds its plan
+ * from the registry (plans.hh), runs the assigned point subset with
+ * the ordinary in-process runPlan() — replay sharing, containment and
+ * watchdog included — and streams every completed point back over
+ * stdout as an scd-journal-v1 line, interleaved with heartbeats from a
+ * background thread. stderr stays the worker's own (progress, warns)
+ * and is inherited from the coordinator.
+ *
+ * Drivers call maybeWorkerMain() first thing in main(), after
+ * registering their plans: when --worker is present the process never
+ * returns to the driver's own logic.
+ */
+
+#ifndef SCD_FARM_WORKER_HH
+#define SCD_FARM_WORKER_HH
+
+namespace scd::farm
+{
+
+/**
+ * Run worker mode: parse --plan/--size/--frontend and the run-option
+ * flags from @p argv, read the assignment from stdin, execute, stream,
+ * and return the process exit code.
+ */
+int workerMain(int argc, char **argv);
+
+/**
+ * Dispatch to workerMain() when --worker appears in @p argv; returns
+ * -1 when it does not (the caller proceeds as a normal driver).
+ */
+int maybeWorkerMain(int argc, char **argv);
+
+} // namespace scd::farm
+
+#endif // SCD_FARM_WORKER_HH

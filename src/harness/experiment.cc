@@ -53,7 +53,7 @@ reportTroubledPoints(const std::vector<const ExperimentSet *> &sets)
                  run.error.empty() ? "" : ": ", run.error);
         }
     }
-    return troubled == 0 ? 0 : 2;
+    return troubled == 0 ? kExitOk : kExitTroubled;
 }
 
 std::string
@@ -139,17 +139,8 @@ runPlan(const ExperimentPlan &plan, const RunOptions &options)
     std::vector<size_t> pending;
     pending.reserve(set.points.size());
     if (!opts.journalPath.empty() && opts.resume) {
-        std::map<std::string, ExperimentRun> restored =
-            loadJournal(opts.journalPath);
-        for (size_t i = 0; i < set.points.size(); ++i) {
-            auto it = restored.find(pointKey(set.points[i]));
-            if (it != restored.end()) {
-                set.runs[i] = it->second;
-                ++set.resumed;
-            } else {
-                pending.push_back(i);
-            }
-        }
+        set.resumed =
+            restoreJournaledPoints(set, opts.journalPath, pending);
     } else {
         for (size_t i = 0; i < set.points.size(); ++i)
             pending.push_back(i);

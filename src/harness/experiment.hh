@@ -13,6 +13,7 @@
 #define SCD_HARNESS_EXPERIMENT_HH
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -115,10 +116,26 @@ struct ExperimentSet
 };
 
 /**
+ * The process exit-code contract every bench driver follows (see
+ * harness::finishRun in json_export.hh, which applies it in one place):
+ * kExitOk for a clean run, kExitExportFailure when the --json export
+ * could not be written, kExitTroubled when any experiment point ended
+ * non-Ok (degraded, failed, or timed out). Export failure outranks
+ * troubled points: a document that was never written is the more
+ * urgent signal.
+ */
+enum : int
+{
+    kExitOk = 0,
+    kExitExportFailure = 1,
+    kExitTroubled = 2,
+};
+
+/**
  * Print one warn() line per non-Ok point of each set and return a
- * process exit code: 0 when every point of every set is Ok, 2
- * otherwise. The bench drivers call this so a degraded or partial
- * figure never masquerades as a clean run.
+ * process exit code: kExitOk when every point of every set is Ok,
+ * kExitTroubled otherwise. The bench drivers call this so a degraded
+ * or partial figure never masquerades as a clean run.
  */
 int reportTroubledPoints(const std::vector<const ExperimentSet *> &sets);
 
@@ -163,6 +180,16 @@ struct RunOptions
      */
     std::string journalPath;
     bool resume = false;
+
+    /**
+     * Completion hook: called with the plan index and the finished run
+     * the moment a point completes (any status), right after the
+     * journal append. Invoked concurrently from pool workers, so the
+     * callback must be thread-safe; never called for points restored
+     * from a --resume journal. The farm worker streams journal lines
+     * to its coordinator through this hook (src/farm/worker.cc).
+     */
+    std::function<void(size_t, const ExperimentRun &)> onPoint;
 };
 
 /**

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "obs/json.hh"
+#include "replay.hh"
 
 namespace scd::harness
 {
@@ -103,6 +104,35 @@ journalLine(const std::string &key, const ExperimentRun &run)
     return line;
 }
 
+bool
+parseJournalLine(const std::string &line, std::string &key,
+                 ExperimentRun &run)
+{
+    obs::JsonValue doc = obs::JsonValue::parse(line);
+    if (!doc.isObject() || doc.stringOr("schema", "") != kJournalSchema ||
+        !doc.has("key")) {
+        return false;
+    }
+
+    ExperimentRun parsed;
+    parsed.status = statusFromName(doc.stringOr("status", "ok"));
+    parsed.error = doc.stringOr("error", "");
+    parsed.seconds = doc.numberOr("seconds", 0.0);
+    ExperimentResult &r = parsed.result;
+    r.run.exitCode = int(doc.numberOr("exitCode", 0));
+    r.run.exited = doc.at("exited").asBool();
+    r.run.instructions = doc.at("instructions").asUint();
+    r.run.cycles = doc.at("cycles").asUint();
+    r.interpreterTextBytes = doc.at("textBytes").asUint();
+    r.simSeconds = doc.numberOr("simSeconds", 0.0);
+    r.output = doc.stringOr("output", "");
+    for (const auto &[name, value] : doc.at("counters").members())
+        r.stats.counter(name) = value.asUint();
+    key = doc.at("key").asString();
+    run = std::move(parsed);
+    return true;
+}
+
 std::map<std::string, ExperimentRun>
 loadJournal(const std::string &path)
 {
@@ -130,11 +160,9 @@ loadJournal(const std::string &path)
         if (line.empty())
             continue;
 
-        std::string error;
-        obs::JsonValue doc = obs::JsonValue::parse(line, &error);
-        if (!doc.isObject() ||
-            doc.stringOr("schema", "") != kJournalSchema ||
-            !doc.has("key")) {
+        std::string key;
+        ExperimentRun run;
+        if (!parseJournalLine(line, key, run)) {
             // The crash window: a partially-written final line. Anything
             // malformed mid-file is reported too — the points are simply
             // re-run.
@@ -143,24 +171,27 @@ loadJournal(const std::string &path)
                            : ": malformed record ignored");
             continue;
         }
-
-        ExperimentRun run;
-        run.status = statusFromName(doc.stringOr("status", "ok"));
-        run.error = doc.stringOr("error", "");
-        run.seconds = doc.numberOr("seconds", 0.0);
-        ExperimentResult &r = run.result;
-        r.run.exitCode = int(doc.numberOr("exitCode", 0));
-        r.run.exited = doc.at("exited").asBool();
-        r.run.instructions = doc.at("instructions").asUint();
-        r.run.cycles = doc.at("cycles").asUint();
-        r.interpreterTextBytes = doc.at("textBytes").asUint();
-        r.simSeconds = doc.numberOr("simSeconds", 0.0);
-        r.output = doc.stringOr("output", "");
-        for (const auto &[name, value] : doc.at("counters").members())
-            r.stats.counter(name) = value.asUint();
-        restored[doc.at("key").asString()] = std::move(run);
+        restored[key] = std::move(run);
     }
     return restored;
+}
+
+size_t
+restoreJournaledPoints(ExperimentSet &set, const std::string &path,
+                       std::vector<size_t> &pending)
+{
+    std::map<std::string, ExperimentRun> restored = loadJournal(path);
+    size_t count = 0;
+    for (size_t i = 0; i < set.points.size(); ++i) {
+        auto it = restored.find(pointKey(set.points[i]));
+        if (it != restored.end()) {
+            set.runs[i] = it->second;
+            ++count;
+        } else {
+            pending.push_back(i);
+        }
+    }
+    return count;
 }
 
 } // namespace scd::harness

@@ -76,6 +76,26 @@ loadJournal(const std::string &path);
 /** Serialize one completed point as a single journal line (no '\n'). */
 std::string journalLine(const std::string &key, const ExperimentRun &run);
 
+/**
+ * Parse one scd-journal-v1 line back into (@p key, @p run). Returns
+ * false — leaving the outputs untouched — on malformed or truncated
+ * data and on schema mismatches. The farm coordinator merges worker
+ * streams through this (src/farm/coordinator.cc); loadJournal() is the
+ * whole-file wrapper.
+ */
+bool parseJournalLine(const std::string &line, std::string &key,
+                      ExperimentRun &run);
+
+/**
+ * Restore every point of @p set recorded in the journal at @p path and
+ * collect the plan indices still to run into @p pending (in plan
+ * order). Returns the number of restored points. Shared by runPlan()
+ * and the farm coordinator so --resume semantics cannot drift between
+ * the in-process and the sharded executors.
+ */
+size_t restoreJournaledPoints(ExperimentSet &set, const std::string &path,
+                              std::vector<size_t> &pending);
+
 } // namespace scd::harness
 
 #endif // SCD_HARNESS_JOURNAL_HH

@@ -50,4 +50,14 @@ writeJsonIfRequested(const obs::StatsSink &sink, const std::string &path)
     return sink.writeTo(path);
 }
 
+int
+finishRun(const obs::StatsSink &sink, const std::string &jsonPath,
+          const std::vector<const ExperimentSet *> &sets)
+{
+    int status = reportTroubledPoints(sets);
+    if (!writeJsonIfRequested(sink, jsonPath))
+        return kExitExportFailure;
+    return status;
+}
+
 } // namespace scd::harness

@@ -40,6 +40,19 @@ obs::SetRecord &exportSet(obs::StatsSink &sink, const std::string &label,
 bool writeJsonIfRequested(const obs::StatsSink &sink,
                           const std::string &path);
 
+/**
+ * The common tail of every bench driver: write the JSON export if
+ * requested, then report troubled points. Returns the process exit
+ * code — kExitExportFailure (1) when the export could not be written
+ * (the data is gone, the worst outcome), kExitTroubled (2) when the
+ * export succeeded but some points degraded, failed, or timed out, and
+ * kExitOk (0) otherwise. Keeping the precedence in one place is what
+ * makes the codes mean the same thing across all drivers
+ * (tests/farm_test.cc asserts them).
+ */
+int finishRun(const obs::StatsSink &sink, const std::string &jsonPath,
+              const std::vector<const ExperimentSet *> &sets);
+
 } // namespace scd::harness
 
 #endif // SCD_HARNESS_JSON_EXPORT_HH

@@ -48,32 +48,6 @@ printProgress(const ExperimentPoint &point)
     std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
-/**
- * The grouping key: points with equal keys retire identical instruction
- * streams whatever their timing models. VM + interpreter binary (dispatch
- * kind) + workload source pin the guest; for SCD binaries the two
- * architecturally-visible SCD knobs — bop's in-flight policy and the Rop
- * forwarding distance — are baked into the stream (they decide bop
- * eligibility and the recorded ropStall) and join the key. Every other
- * machine knob is timing-only.
- */
-std::string
-functionalKey(const ExperimentPoint &p)
-{
-    std::string key = vmName(p.vm);
-    key += '|';
-    key += std::to_string(int(dispatchForScheme(p.scheme)));
-    if (p.scheme == core::Scheme::Scd) {
-        key += '|';
-        key += std::to_string(int(p.machine.bopPolicy));
-        key += ':';
-        key += std::to_string(p.machine.ropForwardDistance);
-    }
-    key += '|';
-    key += p.workload->text(p.size);
-    return key;
-}
-
 void
 addCacheSignature(std::string &s, const cache::CacheConfig &c)
 {
@@ -487,6 +461,30 @@ replayEnabled(const RunOptions &options)
     return options.replay && std::getenv("SCD_NO_REPLAY") == nullptr;
 }
 
+/*
+ * VM + interpreter binary (dispatch kind) + workload source pin the
+ * guest; for SCD binaries the two architecturally-visible SCD knobs —
+ * bop's in-flight policy and the Rop forwarding distance — are baked
+ * into the stream (they decide bop eligibility and the recorded
+ * ropStall) and join the key. Every other machine knob is timing-only.
+ */
+std::string
+replayGroupKey(const ExperimentPoint &p)
+{
+    std::string key = vmName(p.vm);
+    key += '|';
+    key += std::to_string(int(dispatchForScheme(p.scheme)));
+    if (p.scheme == core::Scheme::Scd) {
+        key += '|';
+        key += std::to_string(int(p.machine.bopPolicy));
+        key += ':';
+        key += std::to_string(p.machine.ropForwardDistance);
+    }
+    key += '|';
+    key += p.workload->text(p.size);
+    return key;
+}
+
 ExperimentRun
 runPointDirect(const ExperimentPoint &point, const RunOptions &options)
 {
@@ -589,6 +587,8 @@ runPlanDirect(ExperimentSet &set, const std::vector<size_t> &pending,
             set.runs[i] = runPointContained(set.points[i], options);
             if (journal)
                 journal->append(pointKey(set.points[i]), set.runs[i]);
+            if (options.onPoint)
+                options.onPoint(i, set.runs[i]);
         }
     });
 }
@@ -613,7 +613,7 @@ runPlanReplay(ExperimentSet &set, const std::vector<size_t> &pending,
             singles.push_back(i);
             continue;
         }
-        byKey[functionalKey(p)].push_back(i);
+        byKey[replayGroupKey(p)].push_back(i);
     }
     for (auto &entry : byKey) {
         if (entry.second.size() == 1)
@@ -646,6 +646,10 @@ runPlanReplay(ExperimentSet &set, const std::vector<size_t> &pending,
         if (journal) {
             for (size_t idx : indices)
                 journal->append(pointKey(set.points[idx]), set.runs[idx]);
+        }
+        if (options.onPoint) {
+            for (size_t idx : indices)
+                options.onPoint(idx, set.runs[idx]);
         }
     });
 }

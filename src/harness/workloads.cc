@@ -478,6 +478,34 @@ Workload::input(InputSize size) const
     return simInput;
 }
 
+const char *
+inputSizeName(InputSize size)
+{
+    switch (size) {
+      case InputSize::Test:
+        return "test";
+      case InputSize::Sim:
+        return "sim";
+      case InputSize::Fpga:
+        return "fpga";
+    }
+    return "sim";
+}
+
+bool
+parseInputSize(const std::string &name, InputSize &size)
+{
+    if (name == "test")
+        size = InputSize::Test;
+    else if (name == "sim")
+        size = InputSize::Sim;
+    else if (name == "fpga")
+        size = InputSize::Fpga;
+    else
+        return false;
+    return true;
+}
+
 const std::vector<Workload> &
 workloads()
 {

@@ -43,6 +43,17 @@ struct Workload
     long input(InputSize size) const;
 };
 
+/** Canonical lowercase name of a size ("test", "sim", "fpga"). */
+const char *inputSizeName(InputSize size);
+
+/**
+ * Parse a size name back into the enum; returns false (leaving @p size
+ * untouched) for anything else. The inverse of inputSizeName(), shared
+ * by the bench --size flag and the farm worker/daemon protocol so a
+ * worker process reconstructs exactly the plan its coordinator built.
+ */
+bool parseInputSize(const std::string &name, InputSize &size);
+
 /** All 11 workloads, in the paper's order. */
 const std::vector<Workload> &workloads();
 

@@ -1,0 +1,566 @@
+/**
+ * @file
+ * Tests for the sharded sweep farm (src/farm): plan partitioning must
+ * keep replay groups whole, the shard merger must accept out-of-order
+ * and duplicate delivery, a farm run must be byte-identical to a
+ * serial run of the same plan — including after a worker crash and
+ * retry — a shard that exhausts its retry budget must surface Failed
+ * points (never hang), and the daemon must serve concurrent clients.
+ *
+ * This binary is its own worker fleet: main() registers the test plan
+ * and dispatches --worker before gtest sees argv, so the coordinator's
+ * default /proc/self/exe re-exec lands back here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/fault_inject.hh"
+#include "farm/coordinator.hh"
+#include "farm/plans.hh"
+#include "farm/protocol.hh"
+#include "farm/service.hh"
+#include "farm/worker.hh"
+#include "harness/journal.hh"
+#include "harness/json_export.hh"
+#include "harness/machines.hh"
+#include "harness/replay.hh"
+#include "obs/stats_sink.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::harness;
+
+std::string
+tempPath(const char *name)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+/**
+ * The registered test plan: 2 workloads x {Baseline, Scd} x 2 machines
+ * = 8 points in 4 replay groups of 2 (the two machines of one
+ * (workload, scheme) pair share a functional stream).
+ */
+ExperimentPlan
+farmTestPlan(InputSize size)
+{
+    ExperimentPlan plan;
+    for (const auto &name : {"fibo", "n-sieve"}) {
+        for (core::Scheme scheme :
+             {core::Scheme::Baseline, core::Scheme::Scd}) {
+            for (const cpu::CoreConfig &machine :
+                 {minorConfig(), rocketConfig()}) {
+                ExperimentPoint p;
+                p.vm = VmKind::Rlua;
+                p.workload = &workload(name);
+                p.size = size;
+                p.scheme = scheme;
+                p.machine = machine;
+                plan.add(std::move(p));
+            }
+        }
+    }
+    return plan;
+}
+
+farm::PlanRef
+testRef()
+{
+    farm::PlanRef ref;
+    ref.name = "farmtest";
+    ref.params.size = InputSize::Test;
+    return ref;
+}
+
+/** Fast-turnaround farm knobs shared by the subprocess tests. */
+farm::FarmOptions
+quickFarm(unsigned workers)
+{
+    farm::FarmOptions options;
+    options.workers = workers;
+    options.retryBackoff = 0.01;
+    options.heartbeatInterval = 0.1;
+    return options;
+}
+
+std::string
+exportDoc(const ExperimentSet &set)
+{
+    obs::StatsSink sink("farm_test", "test");
+    exportSet(sink, "plan", set);
+    return sink.render();
+}
+
+TEST(FarmPartition, KeepsReplayGroupsWhole)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    std::vector<std::vector<size_t>> parts =
+        farm::partitionPlan(plan, 3);
+    ASSERT_FALSE(parts.empty());
+    EXPECT_LE(parts.size(), 3u);
+
+    // Every index exactly once.
+    std::vector<int> shardOf(plan.size(), -1);
+    for (size_t s = 0; s < parts.size(); ++s) {
+        for (size_t idx : parts[s]) {
+            ASSERT_LT(idx, plan.size());
+            EXPECT_EQ(shardOf[idx], -1) << "index assigned twice";
+            shardOf[idx] = int(s);
+        }
+    }
+    for (size_t i = 0; i < plan.size(); ++i)
+        EXPECT_NE(shardOf[i], -1) << "index " << i << " unassigned";
+
+    // Points sharing a replay group key must share a shard.
+    for (size_t i = 0; i < plan.size(); ++i) {
+        for (size_t j = i + 1; j < plan.size(); ++j) {
+            if (replayGroupKey(plan.points()[i]) ==
+                replayGroupKey(plan.points()[j])) {
+                EXPECT_EQ(shardOf[i], shardOf[j])
+                    << "replay group split across shards (" << i << ","
+                    << j << ")";
+            }
+        }
+    }
+
+    // The partition is deterministic.
+    EXPECT_EQ(parts, farm::partitionPlan(plan, 3));
+}
+
+TEST(FarmPartition, FewerGroupsThanShardsDropsEmptyShards)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    // 4 replay groups; asking for 16 shards must yield exactly 4.
+    std::vector<std::vector<size_t>> parts =
+        farm::partitionPlan(plan, 16);
+    EXPECT_EQ(parts.size(), 4u);
+    for (const std::vector<size_t> &part : parts)
+        EXPECT_EQ(part.size(), 2u);
+}
+
+TEST(FarmMerger, AcceptsOutOfOrderAndDuplicates)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    ExperimentSet set;
+    set.points = plan.points();
+    set.runs.resize(set.points.size());
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < set.points.size(); ++i)
+        pending.push_back(i);
+
+    farm::ShardMerger merger(set, pending);
+    EXPECT_EQ(merger.remaining(), set.points.size());
+
+    // Deliver in reverse plan order, as racing shards might.
+    for (size_t n = set.points.size(); n-- > 0;) {
+        ExperimentRun run;
+        run.result.run.instructions = 1000 + n;
+        run.result.run.exited = true;
+        EXPECT_EQ(merger.accept(pointKey(set.points[n]), run), 1u);
+    }
+    EXPECT_EQ(merger.remaining(), 0u);
+    for (size_t n = 0; n < set.runs.size(); ++n)
+        EXPECT_EQ(set.runs[n].result.run.instructions, 1000 + n);
+
+    // Re-delivery (a retried shard re-streaming survivors) is ignored.
+    ExperimentRun dup;
+    dup.result.run.instructions = 7;
+    EXPECT_EQ(merger.accept(pointKey(set.points[0]), dup), 0u);
+    EXPECT_EQ(set.runs[0].result.run.instructions, 1000u);
+
+    // Unknown keys (not in this plan) are ignored, not fatal.
+    EXPECT_EQ(merger.accept("no-such-point", dup), 0u);
+}
+
+TEST(FarmMerger, DuplicatePointsFillFromOneRecord)
+{
+    ExperimentPlan plan;
+    ExperimentPoint p;
+    p.vm = VmKind::Rlua;
+    p.workload = &workload("fibo");
+    p.size = InputSize::Test;
+    p.scheme = core::Scheme::Baseline;
+    p.machine = minorConfig();
+    plan.add(p);
+    plan.add(p); // same key on purpose
+
+    ExperimentSet set;
+    set.points = plan.points();
+    set.runs.resize(2);
+    farm::ShardMerger merger(set, {0, 1});
+    ExperimentRun run;
+    run.result.run.instructions = 42;
+    EXPECT_EQ(merger.accept(pointKey(set.points[0]), run), 2u);
+    EXPECT_EQ(merger.remaining(), 0u);
+    EXPECT_EQ(set.runs[1].result.run.instructions, 42u);
+}
+
+TEST(FarmProtocol, ControlLinesRoundTrip)
+{
+    farm::FarmLine line;
+    ASSERT_EQ(farm::parseFarmLine(farm::assignLine(3, 2, {5, 9, 11}),
+                                  line),
+              farm::LineKind::Assign);
+    EXPECT_EQ(line.shard, 3u);
+    EXPECT_EQ(line.attempt, 2u);
+    EXPECT_EQ(line.indices, (std::vector<size_t>{5, 9, 11}));
+
+    ASSERT_EQ(farm::parseFarmLine(farm::heartbeatLine(7), line),
+              farm::LineKind::Heartbeat);
+    EXPECT_EQ(line.shard, 7u);
+
+    ASSERT_EQ(farm::parseFarmLine(farm::doneLine(1, 44), line),
+              farm::LineKind::Done);
+    EXPECT_EQ(line.points, 44u);
+
+    // Garbage and non-protocol JSON are classified Unknown, never throw.
+    EXPECT_EQ(farm::parseFarmLine("not json at all", line),
+              farm::LineKind::Unknown);
+    EXPECT_EQ(farm::parseFarmLine("{\"other\":true}", line),
+              farm::LineKind::Unknown);
+    EXPECT_EQ(farm::parseFarmLine("", line), farm::LineKind::Unknown);
+}
+
+/** A journal point line is recognized as Point and round-trips. */
+TEST(FarmProtocol, PointLinesAreJournalLines)
+{
+    ExperimentRun run;
+    run.result.run.instructions = 123;
+    run.result.run.exited = true;
+    run.result.stats.counter("cycles.total") = 9;
+    farm::FarmLine line;
+    ASSERT_EQ(farm::parseFarmLine(journalLine("some|key", run), line),
+              farm::LineKind::Point);
+    EXPECT_EQ(line.key, "some|key");
+    EXPECT_EQ(line.run.result.run.instructions, 123u);
+    EXPECT_EQ(line.run.result.stats.counter("cycles.total"), 9u);
+}
+
+/** The tentpole guarantee: a 3-worker farm merges byte-identical to a
+ *  serial in-process run of the same plan. */
+TEST(FarmRun, MatchesSerialByteIdentical)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 2;
+    ExperimentSet serial = runPlan(plan, options);
+
+    farm::FarmStats stats;
+    farm::FarmOptions farmOptions = quickFarm(3);
+    farmOptions.statsOut = &stats;
+    ExperimentSet farmed =
+        farm::runPlanFarm(plan, testRef(), options, farmOptions);
+
+    EXPECT_EQ(stats.failedShards, 0u);
+    EXPECT_EQ(stats.retries, 0u);
+    EXPECT_GE(stats.spawns, 1u);
+    EXPECT_EQ(farmed.troubled(), 0u);
+    EXPECT_EQ(exportDoc(farmed), exportDoc(serial));
+}
+
+/** A worker that crashes mid-shard is retried; the retry completes the
+ *  shard and the merged result is still byte-identical. */
+TEST(FarmRun, WorkerCrashRetriesToByteIdentical)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 1;
+    ExperimentSet serial = runPlan(plan, options);
+
+    farm::FarmStats stats;
+    farm::FarmOptions farmOptions = quickFarm(2);
+    farmOptions.maxRetries = 3;
+    // Every first-attempt worker exits hard (as if SIGKILLed) after
+    // its first completed point; retries run clean (src/farm/worker.cc).
+    farmOptions.workerArgs = {"--die-after=1"};
+    farmOptions.statsOut = &stats;
+    ExperimentSet farmed =
+        farm::runPlanFarm(plan, testRef(), options, farmOptions);
+
+    EXPECT_GT(stats.retries, 0u);
+    EXPECT_EQ(stats.failedShards, 0u);
+    EXPECT_EQ(farmed.troubled(), 0u);
+    EXPECT_EQ(exportDoc(farmed), exportDoc(serial));
+}
+
+/** A shard whose workers never complete exhausts its retry budget and
+ *  surfaces Failed points with deterministic text — no hang, and the
+ *  driver exit code says kExitTroubled. */
+TEST(FarmRun, ShardFailsAfterRetryBudget)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 1;
+
+    farm::FarmStats stats;
+    farm::FarmOptions farmOptions = quickFarm(2);
+    farmOptions.maxRetries = 1;
+    farmOptions.workerCommand = {"/bin/false"};
+    farmOptions.statsOut = &stats;
+    ExperimentSet farmed =
+        farm::runPlanFarm(plan, testRef(), options, farmOptions);
+
+    EXPECT_EQ(stats.failedShards, farmed.jobs);
+    EXPECT_EQ(farmed.troubled(), farmed.points.size());
+    for (const ExperimentRun &run : farmed.runs) {
+        EXPECT_EQ(run.status, PointStatus::Failed);
+        EXPECT_NE(run.error.find("farm: shard"), std::string::npos);
+        EXPECT_NE(run.error.find("2 attempts"), std::string::npos);
+    }
+    EXPECT_EQ(reportTroubledPoints({&farmed}), kExitTroubled);
+}
+
+/** A worker that hangs without heartbeating is SIGKILLed at the
+ *  heartbeat deadline and the shard fails over the retry budget. */
+TEST(FarmRun, HeartbeatTimeoutKillsHungWorker)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 1;
+
+    farm::FarmStats stats;
+    farm::FarmOptions farmOptions = quickFarm(1);
+    farmOptions.maxRetries = 0;
+    farmOptions.heartbeatTimeout = 0.3;
+    // --hang makes this binary block forever without touching its
+    // pipes (see main below): a wedged worker process.
+    farmOptions.workerCommand = {"/proc/self/exe", "--hang"};
+    farmOptions.statsOut = &stats;
+    ExperimentSet farmed =
+        farm::runPlanFarm(plan, testRef(), options, farmOptions);
+
+    EXPECT_GE(stats.kills, 1u);
+    EXPECT_EQ(stats.failedShards, 1u);
+    EXPECT_EQ(farmed.troubled(), farmed.points.size());
+}
+
+/** Resume semantics: a farm run with --resume restores journaled
+ *  points and only farms out the rest; the export stays identical. */
+TEST(FarmRun, ResumeRestoresJournaledPoints)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 1;
+    ExperimentSet serial = runPlan(plan, options);
+
+    // Seed a journal with half the points.
+    std::string journalPath = tempPath("farm_resume.jsonl");
+    {
+        RunJournal journal;
+        journal.open(journalPath, /*truncate=*/true);
+        for (size_t i = 0; i < serial.points.size(); i += 2)
+            journal.append(pointKey(serial.points[i]), serial.runs[i]);
+    }
+
+    RunOptions resumeOptions = options;
+    resumeOptions.journalPath = journalPath;
+    resumeOptions.resume = true;
+    ExperimentSet farmed = farm::runPlanFarm(plan, testRef(),
+                                             resumeOptions, quickFarm(2));
+    EXPECT_EQ(farmed.resumed, serial.points.size() / 2);
+    EXPECT_EQ(exportDoc(farmed), exportDoc(serial));
+}
+
+/** The daemon serves two clients submitting concurrently; both sweeps
+ *  complete and both exports are byte-identical to serial. */
+class FarmServiceTest : public ::testing::Test
+{
+  protected:
+    static int
+    connectTo(const std::string &path)
+    {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        for (int tries = 0; tries < 100; ++tries) {
+            if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0) {
+                return fd;
+            }
+            ::usleep(50 * 1000);
+        }
+        ::close(fd);
+        return -1;
+    }
+
+    static std::string
+    request(int fd, const std::string &line)
+    {
+        std::string out = line + "\n";
+        if (!farm::writeAll(fd, out))
+            return "";
+        std::string response;
+        char buf[4096];
+        ssize_t got;
+        while (response.find('\n') == std::string::npos &&
+               (got = ::read(fd, buf, sizeof(buf))) > 0) {
+            response.append(buf, size_t(got));
+        }
+        size_t nl = response.find('\n');
+        return nl == std::string::npos ? response : response.substr(0, nl);
+    }
+};
+
+TEST_F(FarmServiceTest, DaemonAcceptsTwoConcurrentSubmissions)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 1;
+    ExperimentSet serial = runPlan(plan, options);
+    std::string serialPath = tempPath("farm_daemon_serial.json");
+    ASSERT_TRUE(farm::writeStatsExport(testRef(), serial, serialPath));
+
+    farm::ServiceOptions service;
+    service.socketPath = tempPath("farm_daemon.sock");
+    service.run = options;
+    service.farm = quickFarm(2);
+    std::thread daemon([&] { farm::serveFarm(service); });
+
+    int fd1 = connectTo(service.socketPath);
+    int fd2 = connectTo(service.socketPath);
+    ASSERT_GE(fd1, 0);
+    ASSERT_GE(fd2, 0);
+
+    EXPECT_NE(request(fd1, "{\"op\":\"ping\"}").find("scd-farm-v1"),
+              std::string::npos);
+    EXPECT_NE(request(fd2, "{\"op\":\"plans\"}").find("farmtest"),
+              std::string::npos);
+
+    std::string out1 = tempPath("farm_daemon_job1.json");
+    std::string out2 = tempPath("farm_daemon_job2.json");
+    std::string r1 = request(
+        fd1, "{\"op\":\"submit\",\"plan\":\"farmtest\",\"size\":\"test\","
+             "\"json\":\"" + out1 + "\"}");
+    std::string r2 = request(
+        fd2, "{\"op\":\"submit\",\"plan\":\"farmtest\",\"size\":\"test\","
+             "\"json\":\"" + out2 + "\"}");
+    EXPECT_NE(r1.find("\"job\":1"), std::string::npos) << r1;
+    EXPECT_NE(r2.find("\"job\":2"), std::string::npos) << r2;
+
+    // Cross-wait: each client waits for the other client's job too,
+    // proving jobs are daemon-global, not per-connection.
+    std::string w1 = request(fd1, "{\"op\":\"wait\",\"job\":2}");
+    std::string w2 = request(fd2, "{\"op\":\"wait\",\"job\":1}");
+    EXPECT_NE(w1.find("\"state\":\"done\""), std::string::npos) << w1;
+    EXPECT_NE(w2.find("\"state\":\"done\""), std::string::npos) << w2;
+    EXPECT_NE(w1.find("\"exit\":0"), std::string::npos) << w1;
+
+    // Unknown ops and jobs fail politely.
+    EXPECT_NE(request(fd1, "{\"op\":\"status\",\"job\":99}")
+                  .find("\"ok\":false"),
+              std::string::npos);
+
+    EXPECT_NE(request(fd1, "{\"op\":\"shutdown\"}").find("\"ok\":true"),
+              std::string::npos);
+    ::close(fd1);
+    ::close(fd2);
+    daemon.join();
+
+    // Both daemon exports match the serial document byte for byte.
+    auto slurp = [](const std::string &path) {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        EXPECT_NE(f, nullptr) << path;
+        std::string text;
+        if (f) {
+            char buf[4096];
+            size_t got;
+            while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+                text.append(buf, got);
+            std::fclose(f);
+        }
+        return text;
+    };
+    std::string reference = slurp(serialPath);
+    EXPECT_EQ(slurp(out1), reference);
+    EXPECT_EQ(slurp(out2), reference);
+}
+
+/** The exit-code contract finishRun() implements: export failure (1)
+ *  outranks troubled points (2); clean runs exit 0. */
+TEST(FarmExitCodes, FinishRunPrecedence)
+{
+    ExperimentPlan plan;
+    ExperimentPoint p;
+    p.vm = VmKind::Rlua;
+    p.workload = &workload("fibo");
+    p.size = InputSize::Test;
+    p.scheme = core::Scheme::Baseline;
+    p.machine = minorConfig();
+    plan.add(p);
+
+    ExperimentSet clean;
+    clean.points = plan.points();
+    clean.runs.resize(1);
+
+    ExperimentSet troubled = clean;
+    troubled.runs[0].status = PointStatus::Failed;
+    troubled.runs[0].error = "synthetic";
+
+    obs::StatsSink sink("farm_test", "test");
+    exportSet(sink, "clean", clean);
+
+    std::string good = tempPath("farm_exitcodes.json");
+    EXPECT_EQ(finishRun(sink, good, {&clean}), kExitOk);
+    EXPECT_EQ(finishRun(sink, good, {&troubled}), kExitTroubled);
+    // An unwritable path is kExitExportFailure even when points are
+    // troubled too: the lost document is the more urgent signal.
+    std::string bad = "/nonexistent-dir/farm_exitcodes.json";
+    EXPECT_EQ(finishRun(sink, bad, {&troubled}), kExitExportFailure);
+    EXPECT_EQ(finishRun(sink, bad, {&clean}), kExitExportFailure);
+    // No export requested: only the points decide.
+    EXPECT_EQ(finishRun(sink, "", {&troubled}), kExitTroubled);
+    EXPECT_EQ(finishRun(sink, "", {&clean}), kExitOk);
+}
+
+/** The farm-worker fault site is registered for CI's kill leg. */
+TEST(FarmFaultSite, Registered)
+{
+    const std::vector<std::string> &sites = faultinj::registeredSites();
+    EXPECT_NE(std::find(sites.begin(), sites.end(), "farm-worker"),
+              sites.end());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Test-only hung-worker mode: block forever, touching neither
+    // stdin nor stdout (HeartbeatTimeoutKillsHungWorker).
+    for (int n = 1; n < argc; ++n) {
+        if (std::strcmp(argv[n], "--hang") == 0) {
+            for (;;)
+                ::pause();
+        }
+    }
+
+    scd::farm::registerPlan("farmtest",
+                            [](const scd::farm::PlanParams &params) {
+                                return farmTestPlan(params.size);
+                            });
+    // Farm workers re-enter this test binary; never reaches gtest.
+    if (int rc = scd::farm::maybeWorkerMain(argc, argv); rc >= 0)
+        return rc;
+
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
