@@ -15,10 +15,12 @@
 #include <utility>
 
 #include "cpu/dispatch_tier.hh"
+#include "cpu/jit_tier.hh"
 #include "farm/coordinator.hh"
 #include "harness/experiment.hh"
 #include "harness/machines.hh"
 #include "harness/workloads.hh"
+#include "obs/stats_sink.hh"
 
 namespace scd::bench
 {
@@ -194,6 +196,48 @@ parseDispatchTier(int argc, char **argv, harness::RunOptions &options)
 }
 
 /**
+ * Parse --jit-threshold=N: the per-slot execution count at which the
+ * jit tier compiles a superblock head (cpu::setJitThreshold). Absent
+ * flag leaves the process default ($SCD_JIT_THRESHOLD, else 256).
+ * Only meaningful together with --dispatch-tier=jit.
+ */
+inline void
+parseJitThreshold(int argc, char **argv)
+{
+    for (int n = 1; n < argc; ++n) {
+        if (std::strncmp(argv[n], "--jit-threshold=", 16) == 0) {
+            long v = std::strtol(argv[n] + 16, nullptr, 10);
+            if (v > 0) {
+                cpu::setJitThreshold(static_cast<uint32_t>(v));
+            } else {
+                std::fprintf(stderr,
+                             "ignoring bad --jit-threshold value '%s'\n",
+                             argv[n] + 16);
+            }
+        }
+    }
+}
+
+/**
+ * Attach the jit tier's process-global counters to @p sink as the
+ * optional scd-stats-v1 "jit" section — only when @p options actually
+ * selected the jit tier and this build has the backend, so default-tier
+ * documents (and every checked-in golden) stay byte-identical.
+ */
+inline void
+exportJitSection(obs::StatsSink &sink, const harness::RunOptions &options)
+{
+    if (options.dispatchTier != cpu::DispatchTier::Jit ||
+        !cpu::jitTierAvailable())
+        return;
+    cpu::JitStats stats = cpu::jitStatsSnapshot();
+    sink.addJitStat("blocksCompiled", stats.blocksCompiled);
+    sink.addJitStat("blocksInvalidated", stats.blocksInvalidated);
+    sink.addJitStat("blockExecutions", stats.blockExecutions);
+    sink.addJitStat("codeBytes", stats.codeBytes);
+}
+
+/**
  * Parse --journal=<path> / --resume=<path> into RunOptions journal
  * fields. --journal starts a fresh crash-safe journal at <path>;
  * --resume reads <path> back first, skips every point already recorded
@@ -224,7 +268,8 @@ parseJournal(int argc, char **argv, harness::RunOptions &options)
 
 /**
  * Assemble the RunOptions every figure driver shares: --jobs,
- * --no-replay, --point-timeout, --dispatch-tier and --journal/--resume.
+ * --no-replay, --point-timeout, --dispatch-tier, --jit-threshold and
+ * --journal/--resume.
  */
 inline harness::RunOptions
 parseRunOptions(int argc, char **argv)
@@ -234,6 +279,7 @@ parseRunOptions(int argc, char **argv)
     options.replay = !parseNoReplay(argc, argv);
     options.pointTimeout = parsePointTimeout(argc, argv);
     parseDispatchTier(argc, argv, options);
+    parseJitThreshold(argc, argv);
     parseJournal(argc, argv, options);
     return options;
 }

@@ -136,5 +136,6 @@ main(int argc, char **argv)
     capTables(VmKind::Rlua, &grids[8]);
     capTables(VmKind::Sjs, &grids[12]);
 
+    bench::exportJitSection(sink, options);
     return finishRun(sink, jsonPath, {&all});
 }

@@ -182,5 +182,6 @@ main(int argc, char **argv)
     falseHitTable(VmKind::Rlua, &slices[0]);
     falseHitTable(VmKind::Sjs, &slices[4]);
 
+    bench::exportJitSection(sink, options);
     return finishRun(sink, jsonPath, {&all});
 }

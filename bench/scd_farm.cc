@@ -172,5 +172,6 @@ main(int argc, char **argv)
                 "troubled)\n",
                 set.points.size(), set.executed, set.resumed,
                 set.troubled());
+    bench::exportJitSection(sink, options);
     return finishRun(sink, jsonPath, {&set});
 }

@@ -58,6 +58,9 @@ registeredSites()
         // coordinator's kill-and-retry path can be exercised
         // deterministically (src/farm/worker.cc).
         "farm-worker",
+        // Fires in the JIT tier's code cache before the mmap; the tier
+        // reports the FatalError instead of degrading (jit_tier.cc).
+        "jit-codecache",
     };
     return sites;
 }

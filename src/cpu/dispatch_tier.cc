@@ -10,7 +10,14 @@ namespace scd::cpu
 const char *
 dispatchTierName(DispatchTier tier)
 {
-    return tier == DispatchTier::Switch ? "switch" : "threaded";
+    switch (tier) {
+      case DispatchTier::Switch:
+        return "switch";
+      case DispatchTier::Jit:
+        return "jit";
+      default:
+        return "threaded";
+    }
 }
 
 std::optional<DispatchTier>
@@ -20,6 +27,8 @@ parseDispatchTier(std::string_view name)
         return DispatchTier::Switch;
     if (name == "threaded")
         return DispatchTier::Threaded;
+    if (name == "jit")
+        return DispatchTier::Jit;
     return std::nullopt;
 }
 
@@ -33,7 +42,7 @@ defaultDispatchTier()
         if (auto parsed = parseDispatchTier(env))
             return *parsed;
         warn("SCD_DISPATCH_TIER='", env,
-             "' is not 'switch' or 'threaded'; using threaded");
+             "' is not 'switch', 'threaded', or 'jit'; using threaded");
         return DispatchTier::Threaded;
     }();
     return tier;

@@ -1,0 +1,1628 @@
+/**
+ * @file
+ * JIT execution tier of the FunctionalCore (see jit_tier.hh for the
+ * design). The file has four parts: the process-wide knobs and stats
+ * (compiled on every host), the W^X code cache, the superblock former +
+ * BlockCompiler (the per-opcode x86-64 emission), and the run loop that
+ * alternates profiled threaded bursts with compiled-block execution.
+ *
+ * SCD_JIT_X64 is defined (to 1) by the build system on x86-64 hosts when
+ * -DSCD_PORTABLE_DISPATCH=ON was not given; otherwise only the knobs and
+ * graceful-degrade stubs compile, and jitTierAvailable() reports false.
+ */
+
+#include "jit_tier.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "common/fault_inject.hh"
+#include "common/logging.hh"
+#include "functional_core_inl.hh"
+#include "isa/instruction.hh"
+#include "obs/trace.hh"
+#include "tslot.hh"
+#include "x64_emitter.hh"
+
+// The backend needs both the build-system opt-in and an x86-64 SysV host;
+// the second clause is belt-and-suspenders against a stale cache defining
+// SCD_JIT_X64 for the wrong target.
+#if defined(SCD_JIT_X64) && SCD_JIT_X64 && defined(__x86_64__) &&            \
+    !defined(_WIN32)
+#define SCD_JIT_BACKEND 1
+#else
+#define SCD_JIT_BACKEND 0
+#endif
+
+#if SCD_JIT_BACKEND
+#include <sys/mman.h>
+#endif
+
+namespace scd::cpu
+{
+
+// ---------------------------------------------------------------------------
+// Process-wide knobs and stats (compiled on every host).
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+std::atomic<uint64_t> gBlocksCompiled{0};
+std::atomic<uint64_t> gBlocksInvalidated{0};
+std::atomic<uint64_t> gBlockExecutions{0};
+std::atomic<uint64_t> gCodeBytes{0};
+std::atomic<uint32_t> gThreshold{0}; ///< 0 = fall back to the env default
+obs::TraceBuffer *gJitTrace = nullptr;
+
+} // namespace
+
+bool
+jitTierAvailable()
+{
+    return SCD_JIT_BACKEND != 0;
+}
+
+uint32_t
+jitThreshold()
+{
+    uint32_t t = gThreshold.load(std::memory_order_relaxed);
+    if (t != 0)
+        return t;
+    static const uint32_t envDefault = [] {
+        const char *env = std::getenv("SCD_JIT_THRESHOLD");
+        if (env && *env) {
+            char *end = nullptr;
+            long v = std::strtol(env, &end, 10);
+            if (end && *end == '\0' && v >= 1 && v <= INT32_MAX)
+                return uint32_t(v);
+            warn("SCD_JIT_THRESHOLD='", env,
+                 "' is not a positive int32; using 256");
+        }
+        // Low enough that short (test-size) guest runs spend most of
+        // their retirement in compiled code, high enough that one-shot
+        // startup code is never translated: compile cost is ~1us per
+        // superblock, paid back after a few hundred head executions.
+        return uint32_t(256);
+    }();
+    return envDefault;
+}
+
+void
+setJitThreshold(uint32_t threshold)
+{
+    gThreshold.store(threshold, std::memory_order_relaxed);
+}
+
+JitStats
+jitStatsSnapshot()
+{
+    JitStats s;
+    s.blocksCompiled = gBlocksCompiled.load(std::memory_order_relaxed);
+    s.blocksInvalidated = gBlocksInvalidated.load(std::memory_order_relaxed);
+    s.blockExecutions = gBlockExecutions.load(std::memory_order_relaxed);
+    s.codeBytes = gCodeBytes.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+resetJitStats()
+{
+    gBlocksCompiled.store(0, std::memory_order_relaxed);
+    gBlocksInvalidated.store(0, std::memory_order_relaxed);
+    gBlockExecutions.store(0, std::memory_order_relaxed);
+    gCodeBytes.store(0, std::memory_order_relaxed);
+}
+
+void
+setJitTraceBuffer(obs::TraceBuffer *buffer)
+{
+    gJitTrace = buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Code cache.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+constexpr size_t kCodeChunkBytes = size_t(1) << 20;
+}
+
+JitTier::CodeCache::~CodeCache()
+{
+#if SCD_JIT_BACKEND
+    for (Chunk &c : chunks_)
+        ::munmap(c.base, c.cap);
+#endif
+}
+
+void *
+JitTier::CodeCache::install(const uint8_t *code, size_t n)
+{
+#if SCD_JIT_BACKEND
+    // Structured failure injection: an armed "jit-codecache" site throws
+    // FatalError here, modelling an exec-page allocation denial that the
+    // caller reports instead of degrading silently.
+    SCD_FAULT_POINT("jit-codecache");
+    Chunk *ch = nullptr;
+    for (Chunk &c : chunks_) {
+        if (c.cap - c.used >= n) {
+            ch = &c;
+            break;
+        }
+    }
+    if (ch == nullptr) {
+        size_t cap = std::max(kCodeChunkBytes, (n + 0xfff) & ~size_t(0xfff));
+        void *p = ::mmap(nullptr, cap, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (p == MAP_FAILED)
+            return nullptr;
+        chunks_.push_back({static_cast<uint8_t *>(p), cap, 0});
+        ch = &chunks_.back();
+    } else {
+        // W^X: flip the whole chunk writable for the append, never RWX.
+        if (::mprotect(ch->base, ch->cap, PROT_READ | PROT_WRITE) != 0)
+            return nullptr;
+    }
+    uint8_t *addr = ch->base + ch->used;
+    std::memcpy(addr, code, n);
+    ch->used += (n + 15) & ~size_t(15);
+    if (::mprotect(ch->base, ch->cap, PROT_READ | PROT_EXEC) != 0)
+        return nullptr;
+    bytes_ += n;
+    gCodeBytes.fetch_add(n, std::memory_order_relaxed);
+    return addr;
+#else
+    (void)code;
+    (void)n;
+    return nullptr;
+#endif
+}
+
+#if SCD_JIT_BACKEND
+
+// ---------------------------------------------------------------------------
+// Out-of-line helpers called from compiled code.
+// ---------------------------------------------------------------------------
+
+uint64_t
+JitTier::helpRead8(mem::GuestMemory *m, uint64_t addr)
+{
+    return m->read8(addr);
+}
+
+uint64_t
+JitTier::helpRead16(mem::GuestMemory *m, uint64_t addr)
+{
+    return m->read16(addr);
+}
+
+uint64_t
+JitTier::helpRead32(mem::GuestMemory *m, uint64_t addr)
+{
+    return m->read32(addr);
+}
+
+uint64_t
+JitTier::helpRead64(mem::GuestMemory *m, uint64_t addr)
+{
+    return m->read64(addr);
+}
+
+void
+JitTier::helpWrite8(mem::GuestMemory *m, uint64_t addr, uint64_t v)
+{
+    m->write8(addr, uint8_t(v));
+}
+
+void
+JitTier::helpWrite16(mem::GuestMemory *m, uint64_t addr, uint64_t v)
+{
+    m->write16(addr, uint16_t(v));
+}
+
+void
+JitTier::helpWrite32(mem::GuestMemory *m, uint64_t addr, uint64_t v)
+{
+    m->write32(addr, uint32_t(v));
+}
+
+void
+JitTier::helpWrite64(mem::GuestMemory *m, uint64_t addr, uint64_t v)
+{
+    m->write64(addr, v);
+}
+
+uint64_t
+JitTier::helpSdiv(uint64_t a, uint64_t b)
+{
+    return sdivVal(int64_t(a), int64_t(b));
+}
+
+uint64_t
+JitTier::helpUdiv(uint64_t a, uint64_t b)
+{
+    return b == 0 ? ~uint64_t(0) : a / b;
+}
+
+uint64_t
+JitTier::helpSrem(uint64_t a, uint64_t b)
+{
+    return sremVal(int64_t(a), int64_t(b));
+}
+
+uint64_t
+JitTier::helpUrem(uint64_t a, uint64_t b)
+{
+    return b == 0 ? a : a % b;
+}
+
+double
+JitTier::helpFmin(double a, double b)
+{
+    return std::fmin(a, b);
+}
+
+double
+JitTier::helpFmax(double a, double b)
+{
+    return std::fmax(a, b);
+}
+
+void
+JitTier::helpShadowB(FunctionalCore *c, uint64_t pc, uint64_t target)
+{
+    c->shadowInsertB(pc, target);
+}
+
+uint64_t
+JitTier::helpJalr(FunctionalCore *c, uint64_t pc, uint64_t target,
+                  uint64_t hintValue, int64_t hintReg)
+{
+    c->shadowJalr(pc, target, int16_t(hintReg), hintValue);
+    return target;
+}
+
+uint64_t
+JitTier::helpJru(FunctionalCore *c, uint64_t pc, uint64_t target,
+                 uint64_t bank)
+{
+    uint64_t jteOpcode = 0;
+    bool jteIns = c->jruConsume(uint8_t(bank), jteOpcode);
+    c->shadowJru(uint8_t(bank), pc, target, jteIns, jteOpcode);
+    return target;
+}
+
+uint64_t
+JitTier::helpBop(FunctionalCore *c, uint64_t bank, uint64_t pc,
+                 uint64_t retiredIdx)
+{
+    uint32_t ropStall = 0;
+    bool bopProbed = false;
+    bool bopHit = false;
+    uint64_t jteOpcode = 0;
+    std::optional<uint64_t> target = c->bopExec<false>(
+        uint8_t(bank), pc, retiredIdx, ropStall, bopProbed, bopHit,
+        jteOpcode);
+    // pc + 4 doubles as the "fell through" sentinel: a JTE hit whose
+    // target *is* pc + 4 transfers control to the same place the
+    // fall-through would, so the collapse is architecturally invisible.
+    return target ? *target : pc + 4;
+}
+
+void
+JitTier::helpJteFlush(FunctionalCore *c)
+{
+    for (FunctionalCore::ScdBank &bk : c->banks_)
+        bk.ropValid = false;
+    c->timing_.jteFlush();
+}
+
+void
+JitTier::helpTextWritten(FunctionalCore *c, uint64_t addr, uint64_t width)
+{
+    c->textWritten(addr, unsigned(width));
+}
+
+// ---------------------------------------------------------------------------
+// The superblock compiler.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** Baked-address environment a BlockCompiler emits against. */
+struct JitEnv
+{
+    uint64_t textBase = 0;
+    uint64_t limitBytes = 0;  ///< nReal * 4
+    uint64_t fringeBase = 0;  ///< textBase - 8 (noteIfTextWrite's window)
+    uint64_t fringeLimit = 0; ///< textLimit + 16
+    uint64_t entriesBase = 0; ///< &entries_[0]
+    uint64_t dirtyAddr = 0;   ///< &dirty_
+    uint64_t branchCountBase = 0;
+    uint64_t bankBase = 0;
+    uint64_t bankStride = 0;
+    int32_t bankOffRmask = 0;
+    int32_t bankOffRopData = 0;
+    int32_t bankOffRopValid = 0;
+    int32_t bankOffRopWriteIndex = 0;
+    uint64_t epilogue = 0;
+    uint64_t execsAddr = 0; ///< &block.execs
+    bool shadowActive = false;
+};
+
+constexpr uint32_t kMaxTraceLen = 64;
+
+} // namespace
+
+/**
+ * Forms one superblock trace over the TSlot array and emits its x86-64
+ * body. Register convention inside a block: rbx = JitFrame*, r12 = x_
+ * base, r13 = f_ base, r14 = page-cache tags, r15 = page-cache pages
+ * (all callee-saved, loaded once by the entry stub); everything else is
+ * scratch, so out-of-line helper calls need no spills beyond the values
+ * the emission sequences keep in rax.
+ */
+class BlockCompiler
+{
+  public:
+    BlockCompiler(const JitEnv &env, const TSlot *slots, size_t nReal)
+        : env_(env), slots_(slots), nReal_(nReal)
+    {
+    }
+
+    /**
+     * Compile the superblock headed at @p head into @p a. Returns false
+     * when the head itself is uncompilable (trap/syscall slot) and
+     * should be banned.
+     */
+    bool compile(size_t head, X64Emitter &a);
+
+    uint32_t traceLen() const { return uint32_t(trace_.size()); }
+    size_t minIdx() const { return minIdx_; }
+    size_t maxIdx() const { return maxIdx_; }
+
+  private:
+    using Frame = JitTier::JitFrame;
+    static constexpr int32_t offX = int32_t(offsetof(Frame, x));
+    static constexpr int32_t offF = int32_t(offsetof(Frame, f));
+    static constexpr int32_t offTags = int32_t(offsetof(Frame, memTags));
+    static constexpr int32_t offPages = int32_t(offsetof(Frame, memPages));
+    static constexpr int32_t offCore = int32_t(offsetof(Frame, core));
+    static constexpr int32_t offMem = int32_t(offsetof(Frame, mem));
+    static constexpr int32_t offRetired = int32_t(offsetof(Frame, retired));
+    static constexpr int32_t offDispatch = int32_t(offsetof(Frame, dispatch));
+    static constexpr int32_t offBudget = int32_t(offsetof(Frame, budget));
+    static constexpr int32_t offBadPc =
+        int32_t(offsetof(Frame, pendingBadPc));
+    static constexpr int32_t offNextIdx = int32_t(offsetof(Frame, nextIdx));
+    static constexpr int32_t offExitKind = int32_t(offsetof(Frame, exitKind));
+
+    /** Running retire/class counters folded at every exit path. */
+    struct Account
+    {
+        uint32_t ret = 0;
+        uint32_t disp = 0;
+        uint32_t cls[size_t(BranchClass::NumClasses)] = {};
+    };
+
+    bool compilable(const TSlot &ts) const;
+    bool formTrace(size_t head);
+    bool visited(size_t idx) const;
+    void emit(X64Emitter &a);
+    void emitSlot(X64Emitter &a, size_t p);
+
+    Mem xReg(unsigned r) const { return mem(r12, int32_t(r) * 8); }
+    Mem fReg(unsigned r) const { return mem(r13, int32_t(r) * 8); }
+    Mem frameField(int32_t off) const { return mem(rbx, off); }
+    uint64_t pcOf(size_t idx) const { return env_.textBase + idx * 4; }
+
+    void loadX(X64Emitter &a, Reg dst, unsigned r) const
+    {
+        a.load(dst, xReg(r), 8, false);
+    }
+
+    template <typename Fn>
+    void
+    callHelper(X64Emitter &a, Fn *fn) const
+    {
+        a.movImm(rax, uint64_t(reinterpret_cast<uintptr_t>(fn)));
+        a.callR(rax);
+    }
+
+    /** Bump the running account for the slot about to be emitted. */
+    void
+    retireOne(const TSlot &ts, BranchClass *cls = nullptr)
+    {
+        ++acc_.ret;
+        acc_.disp += (ts.flags >> FunctionalCore::kDispatchRangeShift) & 1;
+        if (cls)
+            ++acc_.cls[size_t(*cls)];
+    }
+
+    void emitAccount(X64Emitter &a);
+    void emitEpilogueJump(X64Emitter &a);
+    void emitExit(X64Emitter &a, JitTier::ExitKind kind, int32_t nextIdx);
+    /** Account + transfer to a compile-time-known slot index. */
+    void emitStaticTransfer(X64Emitter &a, size_t target);
+    /** Account + transfer to the computed pc in rax. */
+    void emitComputedTransfer(X64Emitter &a);
+    /** Account + park the bad target pc in rax, exit via the sentinel. */
+    void emitBadPcExit(X64Emitter &a);
+    /** Guest-memory fast path: value in rax (zero-extended). */
+    void emitLoadValue(X64Emitter &a, const TSlot &ts, unsigned width);
+    /** Guest-memory store of rdx's low @p width bytes + text fringe. */
+    void emitStore(X64Emitter &a, const TSlot &ts, unsigned width, bool fp,
+                   size_t p);
+    void emitIntResult(X64Emitter &a, const TSlot &ts);
+
+    const JitEnv &env_;
+    const TSlot *slots_;
+    size_t nReal_;
+    size_t head_ = 0;
+    std::vector<size_t> trace_;
+    bool endsWithTerminator_ = false;
+    size_t fallIdx_ = 0; ///< valid when !endsWithTerminator_
+    size_t minIdx_ = 0;
+    size_t maxIdx_ = 0;
+    Account acc_;
+    Label headLabel_;
+};
+
+bool
+BlockCompiler::compilable(const TSlot &ts) const
+{
+    switch (HOp(ts.hop)) {
+      case HOp::ECALL:
+      case HOp::EBREAK:
+      case HOp::EndOfText:
+      case HOp::BadPc:
+        return false;
+      case HOp::LUI:
+        return true; // materialized with a 64-bit movabs
+      default:
+        // Everything else bakes imm as a sign-extended imm32 somewhere.
+        return ts.imm >= INT32_MIN && ts.imm <= INT32_MAX;
+    }
+}
+
+bool
+BlockCompiler::visited(size_t idx) const
+{
+    return std::find(trace_.begin(), trace_.end(), idx) != trace_.end();
+}
+
+bool
+BlockCompiler::formTrace(size_t head)
+{
+    head_ = head;
+    trace_.clear();
+    size_t idx = head;
+    for (;;) {
+        if (trace_.size() >= kMaxTraceLen || idx >= nReal_ || visited(idx) ||
+            !compilable(slots_[idx])) {
+            if (trace_.empty())
+                return false; // uncompilable head: ban it
+            endsWithTerminator_ = false;
+            fallIdx_ = idx;
+            break;
+        }
+        trace_.push_back(idx);
+        const TSlot &ts = slots_[idx];
+        if (HOp(ts.hop) == HOp::JALR || HOp(ts.hop) == HOp::JRU) {
+            endsWithTerminator_ = true;
+            break;
+        }
+        if (HOp(ts.hop) == HOp::JAL) {
+            // Follow the direct jump inline while the target is fresh;
+            // back-edges and revisits terminate with a static transfer.
+            if (ts.aux != kNoTarget && !visited(ts.aux) &&
+                trace_.size() < kMaxTraceLen) {
+                idx = ts.aux;
+                continue;
+            }
+            endsWithTerminator_ = true;
+            break;
+        }
+        idx = idx + 1;
+    }
+    minIdx_ = *std::min_element(trace_.begin(), trace_.end());
+    maxIdx_ = *std::max_element(trace_.begin(), trace_.end());
+    return true;
+}
+
+void
+BlockCompiler::emitAccount(X64Emitter &a)
+{
+    // rax is deliberately untouched: computed-transfer callers keep the
+    // target pc there across the accounting.
+    if (acc_.ret != 0) {
+        a.aluMI(Alu::Add, frameField(offRetired), int32_t(acc_.ret));
+        a.aluMI(Alu::Sub, frameField(offBudget), int32_t(acc_.ret));
+    }
+    if (acc_.disp != 0)
+        a.aluMI(Alu::Add, frameField(offDispatch), int32_t(acc_.disp));
+    for (size_t c = 0; c < size_t(BranchClass::NumClasses); ++c) {
+        if (acc_.cls[c] != 0) {
+            a.movImm(rsi, env_.branchCountBase + c * 8);
+            a.aluMI(Alu::Add, mem(rsi), int32_t(acc_.cls[c]));
+        }
+    }
+}
+
+void
+BlockCompiler::emitEpilogueJump(X64Emitter &a)
+{
+    a.movImm(rsi, env_.epilogue);
+    a.jmpR(rsi);
+}
+
+void
+BlockCompiler::emitExit(X64Emitter &a, JitTier::ExitKind kind,
+                        int32_t nextIdx)
+{
+    a.movMI(frameField(offExitKind), int32_t(kind));
+    if (nextIdx >= 0)
+        a.movMI(frameField(offNextIdx), nextIdx);
+    emitEpilogueJump(a);
+}
+
+void
+BlockCompiler::emitStaticTransfer(X64Emitter &a, size_t target)
+{
+    emitAccount(a);
+    if (target == head_) {
+        // Back-edge: re-enter at the head label, whose budget prologue
+        // re-checks that another full pass is still allowed.
+        a.jmp(headLabel_);
+        return;
+    }
+    a.movImm(rsi, env_.entriesBase + target * 8);
+    a.load(rsi, mem(rsi), 8, false);
+    a.testRR(rsi, rsi);
+    Label notCompiled;
+    a.jcc(Cond::E, notCompiled);
+    a.jmpR(rsi);
+    a.bind(notCompiled);
+    emitExit(a, JitTier::ExitNotCompiled, int32_t(target));
+}
+
+void
+BlockCompiler::emitComputedTransfer(X64Emitter &a)
+{
+    emitAccount(a);
+    Label bad, notCompiled;
+    a.movRR(rcx, rax);
+    a.movImm(rdx, env_.textBase);
+    a.aluRR(Alu::Sub, rcx, rdx);
+    a.movImm(rdx, env_.limitBytes);
+    a.aluRR(Alu::Cmp, rcx, rdx);
+    a.jcc(Cond::AE, bad);
+    a.movRR(rsi, rcx);
+    a.aluRI(Alu::And, rsi, 3);
+    a.jcc(Cond::NE, bad);
+    a.shiftRI(Shift::Shr, rcx, 2);
+    a.movImm(rdx, env_.entriesBase);
+    a.load(rdx, mem(rdx, rcx, 3), 8, false);
+    a.testRR(rdx, rdx);
+    a.jcc(Cond::E, notCompiled);
+    a.jmpR(rdx);
+
+    a.bind(notCompiled);
+    a.store(frameField(offNextIdx), rcx, 8);
+    a.movMI(frameField(offExitKind), int32_t(JitTier::ExitNotCompiled));
+    emitEpilogueJump(a);
+
+    a.bind(bad);
+    // Out-of-text target: the run loop parks it in the BadPc sentinel so
+    // the threaded substrate faults at the next fetch, like SCD_GOTO_PC.
+    a.store(frameField(offBadPc), rax, 8);
+    a.movMI(frameField(offExitKind), int32_t(JitTier::ExitBadPc));
+    emitEpilogueJump(a);
+}
+
+void
+BlockCompiler::emitBadPcExit(X64Emitter &a)
+{
+    emitAccount(a);
+    a.store(frameField(offBadPc), rax, 8);
+    a.movMI(frameField(offExitKind), int32_t(JitTier::ExitBadPc));
+    emitEpilogueJump(a);
+}
+
+void
+BlockCompiler::emitLoadValue(X64Emitter &a, const TSlot &ts, unsigned width)
+{
+    loadX(a, rdi, ts.rs1);
+    if (ts.imm != 0)
+        a.aluRI(Alu::Add, rdi, int32_t(ts.imm));
+    Label slow, done;
+    // Inline GuestMemory::tryReadFast: way = frame & 63, tag compare,
+    // straddle check, then a direct access through the cached page.
+    a.movRR(rcx, rdi);
+    a.shiftRI(Shift::Shr, rcx, mem::GuestMemory::kPageBits);
+    a.movRR(rsi, rcx);
+    a.aluRI(Alu::And, rsi, 63);
+    a.aluMR(Alu::Cmp, mem(r14, rsi, 3), rcx);
+    a.jcc(Cond::NE, slow);
+    a.movzxRR(rax, rdi, 2); // low 16 bits = page offset
+    if (width > 1) {
+        a.aluRI(Alu::Cmp, rax, int32_t(mem::GuestMemory::kPageSize - width));
+        a.jcc(Cond::A, slow);
+    }
+    a.load(rdx, mem(r15, rsi, 3), 8, false);
+    a.load(rcx, mem(rdx, rax, 0), width, false);
+    a.movRR(rax, rcx);
+    a.jmp(done);
+
+    a.bind(slow);
+    a.movRR(rsi, rdi);
+    a.load(rdi, frameField(offMem), 8, false);
+    switch (width) {
+      case 1:
+        callHelper(a, &JitTier::helpRead8);
+        break;
+      case 2:
+        callHelper(a, &JitTier::helpRead16);
+        break;
+      case 4:
+        callHelper(a, &JitTier::helpRead32);
+        break;
+      default:
+        callHelper(a, &JitTier::helpRead64);
+        break;
+    }
+    a.bind(done);
+}
+
+void
+BlockCompiler::emitStore(X64Emitter &a, const TSlot &ts, unsigned width,
+                         bool fp, size_t p)
+{
+    loadX(a, rdi, ts.rs1);
+    if (ts.imm != 0)
+        a.aluRI(Alu::Add, rdi, int32_t(ts.imm));
+    if (fp)
+        a.load(rdx, fReg(ts.rs2), 8, false);
+    else
+        loadX(a, rdx, ts.rs2);
+    Label slow, done;
+    a.movRR(rcx, rdi);
+    a.shiftRI(Shift::Shr, rcx, mem::GuestMemory::kPageBits);
+    a.movRR(rsi, rcx);
+    a.aluRI(Alu::And, rsi, 63);
+    a.aluMR(Alu::Cmp, mem(r14, rsi, 3), rcx);
+    a.jcc(Cond::NE, slow);
+    a.movzxRR(rax, rdi, 2);
+    if (width > 1) {
+        a.aluRI(Alu::Cmp, rax, int32_t(mem::GuestMemory::kPageSize - width));
+        a.jcc(Cond::A, slow);
+    }
+    a.load(rcx, mem(r15, rsi, 3), 8, false);
+    a.store(mem(rcx, rax, 0), rdx, width);
+    a.jmp(done);
+
+    a.bind(slow);
+    a.movRR(rsi, rdi);
+    a.load(rdi, frameField(offMem), 8, false);
+    switch (width) {
+      case 1:
+        callHelper(a, &JitTier::helpWrite8);
+        break;
+      case 2:
+        callHelper(a, &JitTier::helpWrite16);
+        break;
+      case 4:
+        callHelper(a, &JitTier::helpWrite32);
+        break;
+      default:
+        callHelper(a, &JitTier::helpWrite64);
+        break;
+    }
+    a.bind(done);
+
+    // Inline noteIfTextWrite's fringe reject (one sub + compare on the
+    // fast path); on a hit, report the write and side-exit when it
+    // dirtied text, so the run loop retranslates and this block (now
+    // possibly invalidated) is never resumed mid-trace.
+    Label noText, clean;
+    loadX(a, rax, ts.rs1);
+    if (ts.imm != 0)
+        a.aluRI(Alu::Add, rax, int32_t(ts.imm));
+    a.movImm(rdx, env_.fringeBase);
+    a.aluRR(Alu::Sub, rax, rdx);
+    a.movImm(rdx, env_.fringeLimit);
+    a.aluRR(Alu::Cmp, rax, rdx);
+    a.jcc(Cond::AE, noText);
+    a.load(rdi, frameField(offCore), 8, false);
+    loadX(a, rsi, ts.rs1);
+    if (ts.imm != 0)
+        a.aluRI(Alu::Add, rsi, int32_t(ts.imm));
+    a.movImm(rdx, uint64_t(width));
+    callHelper(a, &JitTier::helpTextWritten);
+    a.movImm(rax, env_.dirtyAddr);
+    a.load(rax, mem(rax), 1, false);
+    a.testRR(rax, rax);
+    a.jcc(Cond::E, clean);
+    // The store retired; resume the threaded tier at the next slot.
+    emitAccount(a);
+    emitExit(a, JitTier::ExitRetranslate, int32_t(p + 1));
+    a.bind(clean);
+    a.bind(noText);
+}
+
+void
+BlockCompiler::emitIntResult(X64Emitter &a, const TSlot &ts)
+{
+    if (ts.rd != 0)
+        a.store(xReg(ts.rd), rax, 8);
+}
+
+void
+BlockCompiler::emitSlot(X64Emitter &a, size_t p)
+{
+    const size_t idx = trace_[p];
+    const TSlot &ts = slots_[idx];
+    const uint64_t pc = pcOf(idx);
+    const HOp hop = HOp(ts.hop);
+
+    switch (hop) {
+      // ---- register-register ALU ---------------------------------------
+      case HOp::ADD:
+      case HOp::SUB:
+      case HOp::AND:
+      case HOp::OR:
+      case HOp::XOR: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        static constexpr Alu kOps[] = {Alu::Add, Alu::Sub, Alu::And, Alu::Or,
+                                       Alu::Xor};
+        loadX(a, rax, ts.rs1);
+        a.aluRM(kOps[size_t(hop) - size_t(HOp::ADD)], rax, xReg(ts.rs2));
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::SLL:
+      case HOp::SRL:
+      case HOp::SRA: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        loadX(a, rax, ts.rs1);
+        loadX(a, rcx, ts.rs2);
+        // Hardware masks the count to 6 bits for 64-bit shifts, which is
+        // exactly the handlers' "& 63".
+        a.shiftRC(hop == HOp::SLL   ? Shift::Shl
+                  : hop == HOp::SRL ? Shift::Shr
+                                    : Shift::Sar,
+                  rax);
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::SLT:
+      case HOp::SLTU: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        loadX(a, rax, ts.rs1);
+        a.aluRM(Alu::Cmp, rax, xReg(ts.rs2));
+        a.setcc(hop == HOp::SLT ? Cond::L : Cond::B, rax);
+        a.movzxRR(rax, rax, 1);
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::MUL: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        loadX(a, rax, ts.rs1);
+        loadX(a, rcx, ts.rs2);
+        a.imulRR(rax, rcx);
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::MULH: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        loadX(a, rax, ts.rs1);
+        loadX(a, rcx, ts.rs2);
+        a.imul1(rcx);
+        a.movRR(rax, rdx);
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::DIV:
+      case HOp::DIVU:
+      case HOp::REM:
+      case HOp::REMU: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        // SRV64's corner cases (x/0, INT64_MIN/-1) live in sdivVal & co;
+        // call out rather than re-encode them around a raw idiv.
+        loadX(a, rdi, ts.rs1);
+        loadX(a, rsi, ts.rs2);
+        callHelper(a, hop == HOp::DIV    ? &JitTier::helpSdiv
+                      : hop == HOp::DIVU ? &JitTier::helpUdiv
+                      : hop == HOp::REM  ? &JitTier::helpSrem
+                                         : &JitTier::helpUrem);
+        emitIntResult(a, ts);
+        break;
+      }
+
+      // ---- register-immediate ALU --------------------------------------
+      case HOp::ADDI:
+      case HOp::ANDI:
+      case HOp::ORI:
+      case HOp::XORI: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        static constexpr Alu kOps[] = {Alu::Add, Alu::And, Alu::Or, Alu::Xor};
+        loadX(a, rax, ts.rs1);
+        a.aluRI(kOps[size_t(hop) - size_t(HOp::ADDI)], rax, int32_t(ts.imm));
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::SLLI:
+      case HOp::SRLI:
+      case HOp::SRAI: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        loadX(a, rax, ts.rs1);
+        a.shiftRI(hop == HOp::SLLI   ? Shift::Shl
+                  : hop == HOp::SRLI ? Shift::Shr
+                                     : Shift::Sar,
+                  rax, uint8_t(ts.imm & 63));
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::SLTI:
+      case HOp::SLTIU: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        loadX(a, rax, ts.rs1);
+        a.aluRI(Alu::Cmp, rax, int32_t(ts.imm));
+        a.setcc(hop == HOp::SLTI ? Cond::L : Cond::B, rax);
+        a.movzxRR(rax, rax, 1);
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::LUI: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        a.movImm(rax, uint64_t(ts.imm) << 13);
+        emitIntResult(a, ts);
+        break;
+      }
+
+      // ---- loads ---------------------------------------------------------
+      // The access itself always runs (a slow-path read can allocate a
+      // page, which pageCount() reports); only the writeback is gated.
+      case HOp::LB:
+      case HOp::LH:
+      case HOp::LW: {
+        unsigned w = hop == HOp::LB ? 1 : hop == HOp::LH ? 2 : 4;
+        retireOne(ts);
+        emitLoadValue(a, ts, w);
+        if (ts.rd != 0) {
+            a.movsxRR(rax, rax, w);
+            emitIntResult(a, ts);
+        }
+        break;
+      }
+      case HOp::LBU:
+      case HOp::LHU:
+      case HOp::LWU:
+      case HOp::LD: {
+        unsigned w = hop == HOp::LBU   ? 1
+                     : hop == HOp::LHU ? 2
+                     : hop == HOp::LWU ? 4
+                                       : 8;
+        retireOne(ts);
+        emitLoadValue(a, ts, w);
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::FLD: {
+        retireOne(ts);
+        emitLoadValue(a, ts, 8);
+        a.store(fReg(ts.rd), rax, 8);
+        break;
+      }
+      case HOp::LBU_OP:
+      case HOp::LHU_OP:
+      case HOp::LW_OP:
+      case HOp::LD_OP: {
+        unsigned w = hop == HOp::LBU_OP   ? 1
+                     : hop == HOp::LHU_OP ? 2
+                     : hop == HOp::LW_OP  ? 4
+                                          : 8;
+        retireOne(ts);
+        emitLoadValue(a, ts, w);
+        // Latch Rop: ropData = val & rmask, ropValid = true,
+        // ropWriteIndex = the pre-retire count (frame.retired + p).
+        uint64_t bank = env_.bankBase + ts.bank * env_.bankStride;
+        a.movImm(rcx, bank);
+        a.load(rdx, mem(rcx, env_.bankOffRmask), 8, false);
+        a.aluRR(Alu::And, rdx, rax);
+        a.store(mem(rcx, env_.bankOffRopData), rdx, 8);
+        a.movImm(rsi, 1);
+        a.store(mem(rcx, env_.bankOffRopValid), rsi, 1);
+        a.load(rdx, frameField(offRetired), 8, false);
+        if (p != 0)
+            a.aluRI(Alu::Add, rdx, int32_t(p));
+        a.store(mem(rcx, env_.bankOffRopWriteIndex), rdx, 8);
+        emitIntResult(a, ts);
+        break;
+      }
+
+      // ---- stores --------------------------------------------------------
+      case HOp::SB:
+      case HOp::SH:
+      case HOp::SW:
+      case HOp::SD:
+      case HOp::FSD: {
+        unsigned w = hop == HOp::SB   ? 1
+                     : hop == HOp::SH ? 2
+                     : hop == HOp::SW ? 4
+                                      : 8;
+        retireOne(ts);
+        emitStore(a, ts, w, hop == HOp::FSD, p);
+        break;
+      }
+
+      // ---- conditional branches -----------------------------------------
+      case HOp::BEQ:
+      case HOp::BNE:
+      case HOp::BLT:
+      case HOp::BGE:
+      case HOp::BLTU:
+      case HOp::BGEU: {
+        BranchClass cls = BranchClass::Conditional;
+        retireOne(ts, &cls);
+        static constexpr Cond kCond[] = {Cond::E, Cond::NE, Cond::L,
+                                         Cond::GE, Cond::B,  Cond::AE};
+        Cond taken = kCond[size_t(hop) - size_t(HOp::BEQ)];
+        // x86 condition codes pair by the low bit, so ^1 inverts.
+        Cond skip = Cond(uint8_t(taken) ^ 1);
+        loadX(a, rax, ts.rs1);
+        a.aluRM(Alu::Cmp, rax, xReg(ts.rs2));
+        Label notTaken;
+        a.jcc(skip, notTaken);
+        uint64_t takenPc = pc + uint64_t(ts.imm);
+        if (env_.shadowActive) {
+            a.load(rdi, frameField(offCore), 8, false);
+            a.movImm(rsi, pc);
+            a.movImm(rdx, takenPc);
+            callHelper(a, &JitTier::helpShadowB);
+        }
+        if (ts.aux != kNoTarget) {
+            emitStaticTransfer(a, ts.aux);
+        } else {
+            a.movImm(rax, takenPc);
+            emitBadPcExit(a);
+        }
+        a.bind(notTaken);
+        break;
+      }
+
+      // ---- direct jumps --------------------------------------------------
+      case HOp::JAL: {
+        BranchClass cls = BranchClass::DirectJump;
+        retireOne(ts, &cls);
+        uint64_t target = pc + uint64_t(ts.imm);
+        if (env_.shadowActive) {
+            a.load(rdi, frameField(offCore), 8, false);
+            a.movImm(rsi, pc);
+            a.movImm(rdx, target);
+            callHelper(a, &JitTier::helpShadowB);
+        }
+        if (ts.rd != 0) {
+            a.movImm(rcx, pc + 4);
+            a.store(xReg(ts.rd), rcx, 8);
+        }
+        bool followed = p + 1 < trace_.size() && ts.aux != kNoTarget &&
+                        trace_[p + 1] == ts.aux;
+        if (followed)
+            break; // fused into the trace: no transfer code at all
+        if (ts.aux != kNoTarget) {
+            emitStaticTransfer(a, ts.aux);
+        } else {
+            a.movImm(rax, target);
+            emitBadPcExit(a);
+        }
+        break;
+      }
+
+      // ---- computed transfers (terminators) -----------------------------
+      case HOp::JALR: {
+        bool isRet = ts.rd == 0 && ts.rs1 == isa::reg::ra;
+        BranchClass cls =
+            isRet ? BranchClass::Return
+            : (ts.flags & FunctionalCore::PcFlagDispatchJump)
+                ? BranchClass::IndirectDispatch
+                : BranchClass::IndirectOther;
+        retireOne(ts, &cls);
+        int16_t hintReg =
+            isRet ? int16_t(-1)
+                  : int16_t(int(ts.flags >> FunctionalCore::kVbbiHintShift) -
+                            1);
+        loadX(a, rax, ts.rs1);
+        if (ts.imm != 0)
+            a.aluRI(Alu::Add, rax, int32_t(ts.imm));
+        if (!isRet && env_.shadowActive) {
+            // Operand order matches the handler: the hint register is
+            // read before the link write (rs1 == rd / hint == rd cases).
+            a.movRR(rdx, rax);
+            a.load(rdi, frameField(offCore), 8, false);
+            a.movImm(rsi, pc);
+            if (hintReg >= 0)
+                loadX(a, rcx, unsigned(hintReg));
+            else
+                a.movImm(rcx, 0);
+            a.movImm(r8, uint64_t(int64_t(hintReg)));
+            callHelper(a, &JitTier::helpJalr); // returns target in rax
+        }
+        if (ts.rd != 0) {
+            a.movImm(rcx, pc + 4);
+            a.store(xReg(ts.rd), rcx, 8);
+        }
+        emitComputedTransfer(a);
+        break;
+      }
+      case HOp::JRU: {
+        BranchClass cls = BranchClass::IndirectDispatch;
+        retireOne(ts, &cls);
+        // Always out-of-line: jruConsume mutates the bank and counters
+        // whether or not any shadow structure exists.
+        a.load(rdi, frameField(offCore), 8, false);
+        a.movImm(rsi, pc);
+        loadX(a, rdx, ts.rs1);
+        a.movImm(rcx, uint64_t(ts.bank));
+        callHelper(a, &JitTier::helpJru); // returns target in rax
+        emitComputedTransfer(a);
+        break;
+      }
+
+      // ---- SCD dispatch --------------------------------------------------
+      case HOp::BOP: {
+        BranchClass cls = BranchClass::Bop;
+        retireOne(ts, &cls);
+        a.load(rdi, frameField(offCore), 8, false);
+        a.movImm(rsi, uint64_t(ts.bank));
+        a.movImm(rdx, pc);
+        a.load(rcx, frameField(offRetired), 8, false);
+        if (p != 0)
+            a.aluRI(Alu::Add, rcx, int32_t(p));
+        callHelper(a, &JitTier::helpBop); // target, or pc+4 = fell through
+        a.movImm(rcx, pc + 4);
+        a.aluRR(Alu::Cmp, rax, rcx);
+        Label fellThrough;
+        a.jcc(Cond::E, fellThrough);
+        emitComputedTransfer(a);
+        a.bind(fellThrough);
+        break;
+      }
+      case HOp::SETMASK: {
+        retireOne(ts);
+        loadX(a, rax, ts.rs1);
+        a.movImm(rcx, env_.bankBase + ts.bank * env_.bankStride +
+                          uint64_t(env_.bankOffRmask));
+        a.store(mem(rcx), rax, 8);
+        break;
+      }
+      case HOp::JTE_FLUSH: {
+        retireOne(ts);
+        a.load(rdi, frameField(offCore), 8, false);
+        callHelper(a, &JitTier::helpJteFlush);
+        break;
+      }
+
+      // ---- floating point ------------------------------------------------
+      case HOp::FADD:
+      case HOp::FSUB:
+      case HOp::FMUL:
+      case HOp::FDIV: {
+        retireOne(ts);
+        static constexpr SseOp kOps[] = {SseOp::Add, SseOp::Sub, SseOp::Mul,
+                                         SseOp::Div};
+        a.movsdLoad(xmm0, fReg(ts.rs1));
+        a.movsdLoad(xmm1, fReg(ts.rs2));
+        a.sse(kOps[size_t(hop) - size_t(HOp::FADD)], xmm0, xmm1);
+        a.movsdStore(fReg(ts.rd), xmm0);
+        break;
+      }
+      case HOp::FSQRT: {
+        retireOne(ts);
+        a.movsdLoad(xmm0, fReg(ts.rs1));
+        a.sse(SseOp::Sqrt, xmm0, xmm0);
+        a.movsdStore(fReg(ts.rd), xmm0);
+        break;
+      }
+      case HOp::FMIN:
+      case HOp::FMAX: {
+        retireOne(ts);
+        // std::fmin/fmax NaN semantics differ from minsd/maxsd.
+        a.movsdLoad(xmm0, fReg(ts.rs1));
+        a.movsdLoad(xmm1, fReg(ts.rs2));
+        callHelper(a, hop == HOp::FMIN ? &JitTier::helpFmin
+                                       : &JitTier::helpFmax);
+        a.movsdStore(fReg(ts.rd), xmm0);
+        break;
+      }
+      case HOp::FNEG:
+      case HOp::FABS: {
+        retireOne(ts);
+        a.load(rax, fReg(ts.rs1), 8, false);
+        if (hop == HOp::FNEG)
+            a.btcRI(rax, 63);
+        else
+            a.btrRI(rax, 63);
+        a.store(fReg(ts.rd), rax, 8);
+        break;
+      }
+      case HOp::FEQ: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        a.movsdLoad(xmm0, fReg(ts.rs1));
+        a.movsdLoad(xmm1, fReg(ts.rs2));
+        a.ucomisd(xmm0, xmm1);
+        a.setcc(Cond::E, rax);
+        a.setcc(Cond::NP, rcx); // unordered sets PF: NaN != NaN
+        a.movzxRR(rax, rax, 1);
+        a.movzxRR(rcx, rcx, 1);
+        a.aluRR(Alu::And, rax, rcx);
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::FLT:
+      case HOp::FLE: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        // Swap operands so CF answers "a < b" / "a <= b" with unordered
+        // (CF = 1) rejected by the above/above-equal conditions.
+        a.movsdLoad(xmm0, fReg(ts.rs2));
+        a.movsdLoad(xmm1, fReg(ts.rs1));
+        a.ucomisd(xmm0, xmm1);
+        a.setcc(hop == HOp::FLT ? Cond::A : Cond::AE, rax);
+        a.movzxRR(rax, rax, 1);
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::FCVT_D_L: {
+        retireOne(ts);
+        loadX(a, rax, ts.rs1);
+        a.cvtsi2sd(xmm0, rax);
+        a.movsdStore(fReg(ts.rd), xmm0);
+        break;
+      }
+      case HOp::FCVT_L_D: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        a.movsdLoad(xmm0, fReg(ts.rs1));
+        a.cvttsd2si(rax, xmm0);
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::FMV_X_D: {
+        retireOne(ts);
+        if (ts.rd == 0)
+            break;
+        a.load(rax, fReg(ts.rs1), 8, false);
+        emitIntResult(a, ts);
+        break;
+      }
+      case HOp::FMV_D_X: {
+        retireOne(ts);
+        loadX(a, rax, ts.rs1);
+        a.store(fReg(ts.rd), rax, 8);
+        break;
+      }
+
+      case HOp::ECALL:
+      case HOp::EBREAK:
+      case HOp::EndOfText:
+      case HOp::BadPc:
+      case HOp::NumHops:
+        // Unreachable: the former never admits these.
+        break;
+    }
+}
+
+void
+BlockCompiler::emit(X64Emitter &a)
+{
+    // Head label first: back-edges re-enter here so every loop iteration
+    // re-checks the budget. The prologue only admits a pass when the
+    // budget covers the longest path, which is what lets side exits use
+    // path-constant accounting and the run loop honour exact limits.
+    a.bind(headLabel_);
+    a.load(rax, frameField(offBudget), 8, false);
+    a.aluRI(Alu::Cmp, rax, int32_t(trace_.size()));
+    Label budgetOk;
+    a.jcc(Cond::AE, budgetOk);
+    a.movMI(frameField(offExitKind), int32_t(JitTier::ExitBudget));
+    a.movMI(frameField(offNextIdx), int32_t(head_));
+    emitEpilogueJump(a);
+    a.bind(budgetOk);
+
+    a.movImm(rax, env_.execsAddr);
+    a.aluMI(Alu::Add, mem(rax), 1);
+
+    acc_ = Account{};
+    for (size_t p = 0; p < trace_.size(); ++p)
+        emitSlot(a, p);
+
+    if (!endsWithTerminator_)
+        emitStaticTransfer(a, fallIdx_);
+}
+
+bool
+BlockCompiler::compile(size_t head, X64Emitter &a)
+{
+    if (!formTrace(head))
+        return false;
+    emit(a);
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Stubs and tier plumbing.
+// ---------------------------------------------------------------------------
+
+JitTier::JitTier(FunctionalCore &core) : core_(core)
+{
+    ThreadedTier &tt = core_.ensureThreaded();
+    if (tt.dirtyPending_)
+        tt.applyDirty();
+    const TProgram &p = tt.prog();
+    nReal_ = p.nReal;
+    textBase_ = p.textBase;
+    entries_.assign(nReal_ + 2, nullptr);
+    counts_.assign(nReal_ + 2, 0);
+    minBudget_.assign(nReal_ + 2, 0);
+    threshold_ = std::max<uint32_t>(1, jitThreshold());
+    shadowActive_ = core_.shadowBtb_ != nullptr ||
+                    core_.shadowVbbi_ != nullptr ||
+                    core_.shadowJtes_ != nullptr;
+    // Slot indices are baked as imm32 in exits; a text segment anywhere
+    // near that bound is outside the tier's design envelope.
+    if (nReal_ >= size_t(1) << 28) {
+        disableJit("text segment too large for superblock translation");
+        return;
+    }
+    tt.jitEntries_ = entries_.data();
+    tt.jitCounts_ = counts_.data();
+    tt.jitThreshold_ = threshold_;
+    emitStubs();
+}
+
+JitTier::~JitTier()
+{
+    foldExecs();
+    // The threaded substrate outlives nothing here by contract (the core
+    // destroys jit_ first), but detach defensively in case the tier is
+    // dropped while its substrate lives on.
+    if (core_.threaded_) {
+        core_.threaded_->jitEntries_ = nullptr;
+        core_.threaded_->jitCounts_ = nullptr;
+        core_.threaded_->jitThreshold_ = 0;
+    }
+}
+
+ThreadedTier &
+JitTier::substrate()
+{
+    return core_.ensureThreaded();
+}
+
+void
+JitTier::foldExecs()
+{
+    uint64_t total = 0;
+    for (const Block &b : blocks_)
+        total += b.execs;
+    gBlockExecutions.fetch_add(total - foldedExecs_,
+                               std::memory_order_relaxed);
+    foldedExecs_ = total;
+}
+
+void
+JitTier::disableJit(const char *why)
+{
+    if (!broken_)
+        warn("jit tier: ", why, "; falling back to threaded dispatch");
+    broken_ = true;
+}
+
+void
+JitTier::emitStubs()
+{
+    X64Emitter a;
+    // Epilogue: unwind the entry stub's frame. Exits reach it through an
+    // absolute movabs+jmp, so it can live in any chunk.
+    a.aluRI(Alu::Add, rsp, 8);
+    a.popR(r15);
+    a.popR(r14);
+    a.popR(r13);
+    a.popR(r12);
+    a.popR(rbp);
+    a.popR(rbx);
+    a.ret();
+    epilogue_ = cache_.install(a.data(), a.size());
+    if (epilogue_ == nullptr) {
+        disableJit("executable code pages unavailable");
+        return;
+    }
+
+    // Entry: void enter(JitFrame *rdi, const void *rsi). Pins the frame
+    // and the four hot base pointers, aligns rsp so in-block helper
+    // calls are ABI-legal, and jumps into the block.
+    a.clear();
+    a.pushR(rbx);
+    a.pushR(rbp);
+    a.pushR(r12);
+    a.pushR(r13);
+    a.pushR(r14);
+    a.pushR(r15);
+    a.aluRI(Alu::Sub, rsp, 8);
+    a.movRR(rbx, rdi);
+    a.load(r12, mem(rbx, int32_t(offsetof(JitFrame, x))), 8, false);
+    a.load(r13, mem(rbx, int32_t(offsetof(JitFrame, f))), 8, false);
+    a.load(r14, mem(rbx, int32_t(offsetof(JitFrame, memTags))), 8, false);
+    a.load(r15, mem(rbx, int32_t(offsetof(JitFrame, memPages))), 8, false);
+    a.jmpR(rsi);
+    void *entry = cache_.install(a.data(), a.size());
+    if (entry == nullptr) {
+        disableJit("executable code pages unavailable");
+        return;
+    }
+    enterFn_ = reinterpret_cast<EnterFn>(entry);
+}
+
+void
+JitTier::profileEdge(size_t idx)
+{
+    // Mirrors ThreadedTier::jitEdgeHot for edges taken by compiled code
+    // (NotCompiled chain exits land here): banned heads sit at INT32_MIN
+    // and can never climb back to the threshold.
+    if (++counts_[idx] >= int32_t(threshold_))
+        compileBlock(idx);
+}
+
+void
+JitTier::compileBlock(size_t head)
+{
+    if (broken_ || entries_[head] != nullptr)
+        return;
+    ThreadedTier &tt = substrate();
+    const TProgram &p = tt.prog();
+
+    blocks_.emplace_back();
+    Block &blk = blocks_.back();
+    blk.head = head;
+    blk.execs = 0;
+    blk.entry = nullptr;
+    blk.live = false;
+
+    JitEnv env;
+    env.textBase = textBase_;
+    env.limitBytes = uint64_t(nReal_) * 4;
+    env.fringeBase = textBase_ - 8;
+    env.fringeLimit = env.limitBytes + 16;
+    env.entriesBase = uint64_t(reinterpret_cast<uintptr_t>(entries_.data()));
+    env.dirtyAddr = uint64_t(reinterpret_cast<uintptr_t>(&dirty_));
+    env.branchCountBase =
+        uint64_t(reinterpret_cast<uintptr_t>(&core_.branchCount_[0]));
+    env.bankBase = uint64_t(reinterpret_cast<uintptr_t>(&core_.banks_[0]));
+    env.bankStride = sizeof(FunctionalCore::ScdBank);
+    env.bankOffRmask = int32_t(offsetof(FunctionalCore::ScdBank, rmask));
+    env.bankOffRopData = int32_t(offsetof(FunctionalCore::ScdBank, ropData));
+    env.bankOffRopValid =
+        int32_t(offsetof(FunctionalCore::ScdBank, ropValid));
+    env.bankOffRopWriteIndex =
+        int32_t(offsetof(FunctionalCore::ScdBank, ropWriteIndex));
+    env.epilogue = uint64_t(reinterpret_cast<uintptr_t>(epilogue_));
+    env.execsAddr = uint64_t(reinterpret_cast<uintptr_t>(&blk.execs));
+    env.shadowActive = shadowActive_;
+
+    BlockCompiler bc(env, p.slots.data(), p.nReal);
+    X64Emitter a;
+    if (!bc.compile(head, a)) {
+        counts_[head] = INT32_MIN; // ban: jitEdgeHot never re-fires
+        blocks_.pop_back();
+        return;
+    }
+    void *code = cache_.install(a.data(), a.size());
+    if (code == nullptr) {
+        blocks_.pop_back();
+        disableJit("executable code pages unavailable");
+        return;
+    }
+    blk.minIdx = bc.minIdx();
+    blk.maxIdx = bc.maxIdx();
+    blk.entry = code;
+    blk.live = true;
+    minBudget_[head] = bc.traceLen();
+    entries_[head] = code;
+    gBlocksCompiled.fetch_add(1, std::memory_order_relaxed);
+    SCD_TRACE_HOOK(gJitTrace, obs::TraceEventKind::JitCompile, pcOfHead(head),
+                   a.size());
+}
+
+uint64_t
+JitTier::pcOfHead(size_t head) const
+{
+    return textBase_ + uint64_t(head) * 4;
+}
+
+void
+JitTier::noteTextWrite(size_t first, size_t last)
+{
+    // Conservative: any text write makes the executing block side-exit
+    // (ExitRetranslate) even when no compiled block overlaps — the
+    // threaded substrate needs its applyDirty() pause anyway.
+    dirty_ = 1;
+    for (Block &b : blocks_) {
+        if (!b.live || b.maxIdx < first || b.minIdx >= last)
+            continue;
+        entries_[b.head] = nullptr;
+        b.live = false;
+        counts_[b.head] = 0; // must re-earn hotness after retranslation
+        gBlocksInvalidated.fetch_add(1, std::memory_order_relaxed);
+        SCD_TRACE_HOOK(gJitTrace, obs::TraceEventKind::JitInvalidate,
+                       pcOfHead(b.head), 0);
+    }
+    // Code-cache space of dead blocks is not reclaimed until the tier is
+    // destroyed: reuse would need a fence against frames still on the
+    // way out, and guest self-modification is rare enough not to care.
+}
+
+JitTier::ExitKind
+JitTier::enterCompiled(void *entry, ThreadedTier::Cursor &cur,
+                       uint64_t remaining)
+{
+    mem::GuestMemory::CacheView view = core_.mem_.cacheView();
+    JitFrame fr;
+    fr.x = core_.x_;
+    fr.f = core_.f_;
+    fr.memTags = view.tags;
+    fr.memPages = view.pages;
+    fr.core = &core_;
+    fr.mem = &core_.mem_;
+    fr.retired = cur.retired;
+    fr.dispatch = cur.dispatch;
+    // Cap bursts at the watchdog check interval when armed so compiled
+    // loops cannot outrun the timeout check.
+    uint64_t cap = core_.watchdog_.armed() ? Watchdog::kCheckInterval
+                                           : uint64_t(1) << 62;
+    fr.budget = std::min(remaining, cap);
+    fr.pendingBadPc = 0;
+    fr.nextIdx = cur.idx;
+    fr.exitKind = ExitBudget;
+    enterFn_(&fr, entry);
+    cur.retired = fr.retired;
+    cur.dispatch = fr.dispatch;
+    ExitKind k = ExitKind(fr.exitKind);
+    if (k == ExitBadPc) {
+        // Route through the BadPc sentinel: the threaded substrate
+        // faults at the next fetch, exactly like SCD_GOTO_PC.
+        cur.idx = nReal_ + 1;
+        cur.pendingBadPc = fr.pendingBadPc;
+    } else {
+        cur.idx = size_t(fr.nextIdx);
+    }
+    return k;
+}
+
+void
+JitTier::runFunctional(uint64_t maxInstructions)
+{
+    ThreadedTier &tt = substrate();
+    if (broken_ || enterFn_ == nullptr) {
+        tt.runFunctional(maxInstructions);
+        return;
+    }
+    // A dirty range can be pending from a run on another tier; start
+    // from a clean translation so compiled blocks match the slots.
+    if (tt.dirtyPending_)
+        tt.applyDirty();
+    dirty_ = 0;
+    ThreadedTier::Cursor cur = tt.makeCursor();
+    bool delegate = false;
+    try {
+        for (;;) {
+            if (broken_) {
+                // Exec pages ran out mid-run: finish on the substrate.
+                delegate = true;
+                break;
+            }
+            if (maxInstructions != 0 && cur.retired >= maxInstructions)
+                break;
+            uint64_t remaining = maxInstructions != 0
+                                     ? maxInstructions - cur.retired
+                                     : UINT64_MAX;
+            void *entry = entries_[cur.idx];
+            if (entry != nullptr && dirty_ == 0 &&
+                remaining >= minBudget_[cur.idx]) {
+                ExitKind k = enterCompiled(entry, cur, remaining);
+                if (k == ExitRetranslate) {
+                    tt.applyDirty();
+                    dirty_ = 0;
+                } else if (k == ExitNotCompiled &&
+                           entries_[cur.idx] == nullptr) {
+                    profileEdge(cur.idx);
+                }
+                core_.watchdog_.expire();
+                continue;
+            }
+            uint64_t burst =
+                std::min<uint64_t>(Watchdog::kCheckInterval, remaining);
+            ThreadedTier::ExecStatus st = tt.runJitBurst(cur, burst);
+            if (st == ThreadedTier::ExecStatus::Exited)
+                break;
+            if (st == ThreadedTier::ExecStatus::Retranslate) {
+                tt.applyDirty();
+                dirty_ = 0;
+            } else if (st == ThreadedTier::ExecStatus::JitPause) {
+                if (entries_[cur.idx] == nullptr)
+                    compileBlock(cur.idx);
+            }
+            core_.watchdog_.expire();
+        }
+    } catch (...) {
+        tt.syncCore(cur);
+        foldExecs();
+        throw;
+    }
+    tt.syncCore(cur);
+    foldExecs();
+    if (delegate)
+        tt.runFunctional(maxInstructions);
+}
+
+#else // !SCD_JIT_BACKEND
+
+// ---------------------------------------------------------------------------
+// Graceful-degrade stubs: a JitTier on a host without the backend is a
+// thin shell over its threaded substrate. FunctionalCore normally avoids
+// constructing one at all (jitTierAvailable() gate), so these exist only
+// as belt-and-suspenders.
+// ---------------------------------------------------------------------------
+
+JitTier::JitTier(FunctionalCore &core) : core_(core)
+{
+    broken_ = true;
+}
+
+JitTier::~JitTier() = default;
+
+void
+JitTier::runFunctional(uint64_t maxInstructions)
+{
+    core_.ensureThreaded().runFunctional(maxInstructions);
+}
+
+void
+JitTier::noteTextWrite(size_t, size_t)
+{
+}
+
+#endif // SCD_JIT_BACKEND
+
+} // namespace scd::cpu

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * The JIT execution tier of the FunctionalCore — the top rung of the
+ * interpreter-to-JIT ladder the repo climbs (switch → threaded →
+ * compiled), applied to the simulator's own hot loop just as the paper's
+ * short-circuit dispatch is applied to guest interpreters.
+ *
+ * The tier adopts the threaded tier as its warmup and fallback substrate:
+ * execution starts in profiled threaded bursts (ThreadedTier::runJitBurst)
+ * whose control-transfer edges count per-slot head executions. A head
+ * crossing the compile threshold (jitThreshold()) has a *superblock*
+ * formed over the pre-decoded TSlot array — a single-entry multi-exit
+ * trace that follows direct jumps inline and stops at computed transfers,
+ * traps, syscalls, and already-visited slots — which is translated to
+ * host x86-64 by the small emitter in x64_emitter.hh and installed in an
+ * mmap'd W^X code cache (pages are writable *or* executable, flipped with
+ * mprotect, never both). Compiled blocks chain to each other natively
+ * through a per-slot entry table and fall back to threaded slots at every
+ * side exit: not-yet-compiled targets, out-of-text targets, instruction
+ * budget boundaries, and guest text stores (which also invalidate every
+ * overlapping compiled block, riding the threaded tier's copy-on-write
+ * machinery).
+ *
+ * Tier contract (same as the threaded tier's): bit-identical architectural
+ * effects, traps, SCD-bank and shadow-BTB updates, and stats counters as
+ * the reference interpreter. The JIT compiles only the *functional* mode
+ * (no RetireInfo consumer): a recorded run on the jit tier executes on the
+ * threaded substrate, so RetireInfo streams — and everything downstream:
+ * timing, replay, journals, golden figures — are bit-identical by
+ * construction. The tier lives outside every grouping/replay/journal key,
+ * like DispatchTier itself.
+ *
+ * Availability: the backend exists only on x86-64 hosts (and not under
+ * -DSCD_PORTABLE_DISPATCH=ON); elsewhere jitTierAvailable() is false and
+ * a jit-tier run degrades gracefully to threaded with a one-line notice.
+ * A host that *builds* the backend but denies executable pages at run
+ * time also degrades gracefully (the tier permanently falls back to its
+ * threaded substrate); the "jit-codecache" fault-injection site turns the
+ * allocation into a structured FatalError for the recovery tests.
+ */
+
+#ifndef SCD_CPU_JIT_TIER_HH
+#define SCD_CPU_JIT_TIER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "threaded_tier.hh"
+
+namespace scd::mem
+{
+class GuestMemory;
+}
+
+namespace scd::obs
+{
+class TraceBuffer;
+}
+
+namespace scd::cpu
+{
+
+class FunctionalCore;
+class X64Emitter;
+struct TSlot;
+
+/**
+ * Process-global counters of the JIT tier, aggregated across all tiers
+ * that have run (live per-block execution counts fold in when a tier is
+ * destroyed). Deliberately NOT part of FunctionalCore::exportStats —
+ * the tier must not perturb golden stats outputs — they surface through
+ * the bench harness's optional "jit" stats section instead.
+ */
+struct JitStats
+{
+    uint64_t blocksCompiled = 0;    ///< superblocks translated
+    uint64_t blocksInvalidated = 0; ///< dropped by guest text writes
+    uint64_t blockExecutions = 0;   ///< compiled-block entries (head runs)
+    uint64_t codeBytes = 0;         ///< bytes of live translated code
+};
+
+JitStats jitStatsSnapshot();
+void resetJitStats();
+
+/**
+ * Attach a TraceBuffer that receives JitCompile/JitInvalidate events from
+ * every JitTier in the process (null detaches). Like all trace hooks the
+ * record sites are compiled in only under SCD_TRACE (obs/trace.hh), so
+ * the default build pays nothing.
+ */
+void setJitTraceBuffer(obs::TraceBuffer *buffer);
+
+/**
+ * Per-core JIT engine. Built lazily by FunctionalCore::ensureJit() for
+ * functional jit-tier runs; owns the per-slot profile/entry arrays it
+ * installs into the ThreadedTier substrate and the W^X code cache its
+ * superblocks execute from. Discarded (with the threaded tier) on
+ * loadProgram()/setDispatchMeta().
+ */
+class JitTier
+{
+  public:
+    explicit JitTier(FunctionalCore &core);
+    ~JitTier();
+    JitTier(const JitTier &) = delete;
+    JitTier &operator=(const JitTier &) = delete;
+
+    /**
+     * Tier-equivalent of FunctionalCore::runFunctional(): alternates
+     * profiled threaded bursts with compiled-superblock execution.
+     * Retirement, traps, and instruction-limit semantics are exact: a
+     * compiled block is only entered when the remaining budget covers its
+     * longest path, so limits landing mid-superblock run the tail on the
+     * threaded substrate instead.
+     */
+    void runFunctional(uint64_t maxInstructions);
+
+    /**
+     * Invalidate every compiled block overlapping slots [first, last)
+     * after a guest text write (called by FunctionalCore::textWritten,
+     * alongside the threaded tier's noteTextWrite). Safe from inside
+     * compiled code: entries are detached immediately (all cross-block
+     * transfers re-probe the entry table) and the executing block side-
+     * exits at the store via the dirty flag the emitted fringe check
+     * polls.
+     */
+    void noteTextWrite(size_t first, size_t last);
+
+  private:
+    /** Why compiled code returned to the run loop (JitFrame::exitKind). */
+    enum ExitKind : uint64_t
+    {
+        ExitNotCompiled = 0, ///< transfer to a slot with no compiled block
+        ExitBudget = 1,      ///< remaining budget below the block's need
+        ExitRetranslate = 2, ///< a store dirtied text; invalidate + resume
+        ExitBadPc = 3,       ///< computed target outside text
+    };
+
+    /**
+     * The register frame compiled code runs against: filled from the
+     * core before entry, folded back after exit. Pointer fields load the
+     * pinned host registers in the entry stub; counter fields are
+     * updated with per-exit-path constants. Standard layout — emitted
+     * code addresses fields by offsetof.
+     */
+    struct JitFrame
+    {
+        uint64_t *x;                 ///< core x_[32]          (r12)
+        double *f;                   ///< core f_[32]          (r13)
+        const uint64_t *memTags;     ///< page-cache tags      (r14)
+        uint8_t *const *memPages;    ///< page-cache pages     (r15)
+        FunctionalCore *core;        ///< helper-call context
+        mem::GuestMemory *mem;       ///< slow-path memory accessors
+        uint64_t retired;
+        uint64_t dispatch;
+        uint64_t budget;             ///< remaining instructions allowed
+        uint64_t pendingBadPc;
+        uint64_t nextIdx;            ///< resume slot index
+        uint64_t exitKind;
+    };
+
+    /** One compiled superblock. Lives in a deque so &execs is stable. */
+    struct Block
+    {
+        size_t head;    ///< entry slot index
+        size_t minIdx;  ///< lowest covered slot index
+        size_t maxIdx;  ///< highest covered slot index (inclusive)
+        uint64_t execs; ///< bumped from compiled code (movabs &execs)
+        void *entry;    ///< code-cache address of the block prologue
+        bool live;
+    };
+
+    /** mmap'd W^X code pages: write, then flip to exec, never both. */
+    class CodeCache
+    {
+      public:
+        ~CodeCache();
+        /**
+         * Copy @p n bytes of code into executable memory and return the
+         * (now RX) address, or null when the host denies the pages —
+         * the tier then degrades to its threaded substrate for good.
+         * Fault site "jit-codecache" fires here.
+         */
+        void *install(const uint8_t *code, size_t n);
+        size_t bytes() const { return bytes_; }
+
+      private:
+        struct Chunk
+        {
+            uint8_t *base;
+            size_t cap;
+            size_t used;
+        };
+        std::vector<Chunk> chunks_;
+        size_t bytes_ = 0;
+    };
+
+    using EnterFn = void (*)(JitFrame *, const void *);
+
+    ThreadedTier &substrate();
+    void emitStubs();
+    void disableJit(const char *why);
+    /** Compile the superblock at @p head (or ban an uncompilable head). */
+    void compileBlock(size_t head);
+    /** Count an edge into @p idx like the profiled executor would. */
+    void profileEdge(size_t idx);
+    ExitKind enterCompiled(void *entry, ThreadedTier::Cursor &cur,
+                           uint64_t remaining);
+    /** Fold per-block execution counts into the process-global stats. */
+    void foldExecs();
+    /** Guest pc of the slot at @p head (for trace events). */
+    uint64_t pcOfHead(size_t head) const;
+
+    // ---- out-of-line helpers called from compiled code ------------------
+    // Static members so they get friend access to FunctionalCore; every
+    // helper either returns the value the block needs next (computed
+    // targets survive the call in rax) or has effects only.
+    static uint64_t helpRead8(mem::GuestMemory *m, uint64_t addr);
+    static uint64_t helpRead16(mem::GuestMemory *m, uint64_t addr);
+    static uint64_t helpRead32(mem::GuestMemory *m, uint64_t addr);
+    static uint64_t helpRead64(mem::GuestMemory *m, uint64_t addr);
+    static void helpWrite8(mem::GuestMemory *m, uint64_t addr, uint64_t v);
+    static void helpWrite16(mem::GuestMemory *m, uint64_t addr, uint64_t v);
+    static void helpWrite32(mem::GuestMemory *m, uint64_t addr, uint64_t v);
+    static void helpWrite64(mem::GuestMemory *m, uint64_t addr, uint64_t v);
+    static uint64_t helpSdiv(uint64_t a, uint64_t b);
+    static uint64_t helpUdiv(uint64_t a, uint64_t b);
+    static uint64_t helpSrem(uint64_t a, uint64_t b);
+    static uint64_t helpUrem(uint64_t a, uint64_t b);
+    static double helpFmin(double a, double b);
+    static double helpFmax(double a, double b);
+    static void helpShadowB(FunctionalCore *c, uint64_t pc, uint64_t target);
+    static uint64_t helpJalr(FunctionalCore *c, uint64_t pc, uint64_t target,
+                             uint64_t hintValue, int64_t hintReg);
+    static uint64_t helpJru(FunctionalCore *c, uint64_t pc, uint64_t target,
+                            uint64_t bank);
+    static uint64_t helpBop(FunctionalCore *c, uint64_t bank, uint64_t pc,
+                            uint64_t retiredIdx);
+    static void helpJteFlush(FunctionalCore *c);
+    static void helpTextWritten(FunctionalCore *c, uint64_t addr,
+                                uint64_t width);
+
+    /** Per-superblock code generator; defined in jit_tier.cc. */
+    friend class BlockCompiler;
+
+    FunctionalCore &core_;
+    size_t nReal_ = 0;
+    uint64_t textBase_ = 0;
+
+    // Per-slot arrays, sized nReal + 2 to match the slot array; entries_
+    // and counts_ are the profiling hook installed into the substrate
+    // (threaded_tier.hh) and are also read by compiled code through baked
+    // absolute addresses, so the vectors are never resized after
+    // construction.
+    std::vector<void *> entries_;
+    std::vector<int32_t> counts_;
+    std::vector<uint32_t> minBudget_; ///< longest path through the block
+    uint32_t threshold_ = 256;       ///< jitThreshold() at construction
+
+    std::deque<Block> blocks_;
+    CodeCache cache_;
+    EnterFn enterFn_ = nullptr;
+    const void *epilogue_ = nullptr;
+    uint8_t dirty_ = 0;   ///< polled by emitted post-store fringe checks
+    bool broken_ = false; ///< exec pages denied: threaded substrate only
+    bool shadowActive_ = false;
+    uint64_t foldedExecs_ = 0; ///< executions already folded to globals
+};
+
+} // namespace scd::cpu
+
+#endif // SCD_CPU_JIT_TIER_HH

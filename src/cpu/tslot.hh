@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The threaded tier's lowered slot representation, shared with the JIT
+ * tier. A TProgram is the unit both tiers execute over: the threaded
+ * executor chains handler labels through TSlot::fh, and the JIT tier
+ * forms superblocks over the same pre-decoded slots (so the two tiers
+ * agree byte-for-byte on what each guest instruction is). Also hosts the
+ * exact-semantics value helpers (sdivVal & co) that both the threaded
+ * handlers and the JIT's out-of-line helpers call, so SRV64 corner cases
+ * (division by zero, INT64_MIN/-1) are defined in exactly one place.
+ */
+
+#ifndef SCD_CPU_TSLOT_HH
+#define SCD_CPU_TSLOT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace scd::cpu
+{
+
+/**
+ * Handler index of a translated slot. Real opcodes map by identity (the
+ * list below reuses SCD_OPCODE_LIST, so the enum values coincide with
+ * isa::Opcode); the two extras are the sentinel slots appended past the
+ * translated text: EndOfText faults a fall-through off the last
+ * instruction, BadPc faults a computed transfer whose target was outside
+ * text — one instruction *after* the transfer retired, exactly when the
+ * reference interpreter's next fetch would have faulted.
+ */
+enum class HOp : uint8_t
+{
+#define SCD_HOP_ENUM(name, mnem, fmt, flags) name,
+    SCD_OPCODE_LIST(SCD_HOP_ENUM)
+#undef SCD_HOP_ENUM
+    EndOfText,
+    BadPc,
+    NumHops
+};
+
+static_assert(size_t(HOp::EndOfText) == isa::kNumOpcodes,
+              "HOp must mirror the opcode list");
+
+/** TSlot::aux value meaning "taken target is outside text". */
+constexpr uint32_t kNoTarget = UINT32_MAX;
+
+/**
+ * One translated instruction: the handler address for its opcode plus the
+ * operands pre-decoded so no handler ever touches the original text. aux
+ * pre-resolves the taken-successor *slot index* of direct branches and
+ * jal, turning a taken transfer into one pointer assignment. 32 bytes so
+ * slot indexing is a shift.
+ */
+struct TSlot
+{
+    const void *fh = nullptr; ///< direct-threaded handler label (or null)
+    int64_t imm = 0;          ///< sign-extended immediate
+    uint32_t aux = kNoTarget; ///< taken-target slot index (direct only)
+    uint32_t flags = 0;       ///< FunctionalCore's cached flag word
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    uint8_t bank = 0;
+    uint8_t hop = 0;          ///< HOp handler index
+    uint8_t op = 0;           ///< original isa::Opcode (RetireInfo::op)
+};
+static_assert(sizeof(TSlot) == 32, "TSlot indexing wants a power of two");
+
+/** A translated text segment: nReal lowered slots + the two sentinels. */
+struct TProgram
+{
+    uint64_t textBase = 0;
+    size_t nReal = 0;
+    std::vector<TSlot> slots; ///< size nReal + 2
+};
+
+/** SRV64 division/multiply corner-case semantics, shared by all tiers. */
+inline uint64_t
+sdivVal(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return ~uint64_t(0);
+    if (a == INT64_MIN && b == -1)
+        return uint64_t(INT64_MIN);
+    return uint64_t(a / b);
+}
+
+inline uint64_t
+sremVal(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return uint64_t(a);
+    if (a == INT64_MIN && b == -1)
+        return 0;
+    return uint64_t(a % b);
+}
+
+inline uint64_t
+mulhVal(int64_t a, int64_t b)
+{
+    return uint64_t((static_cast<__int128>(a) * static_cast<__int128>(b)) >>
+                    64);
+}
+
+} // namespace scd::cpu
+
+#endif // SCD_CPU_TSLOT_HH

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Encoding bodies for the JIT tier's x86-64 emitter. This file is
+ * host-independent (it only appends bytes to a vector), so it compiles
+ * unconditionally; whether anything ever *executes* the bytes is decided
+ * by jit_tier.cc's SCD_JIT_X64 gate.
+ */
+
+#include "x64_emitter.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace scd::cpu
+{
+
+void
+X64Emitter::u32(uint32_t v)
+{
+    uint8_t b[4];
+    std::memcpy(b, &v, 4);
+    code_.insert(code_.end(), b, b + 4);
+}
+
+void
+X64Emitter::u64(uint64_t v)
+{
+    uint8_t b[8];
+    std::memcpy(b, &v, 8);
+    code_.insert(code_.end(), b, b + 8);
+}
+
+void
+X64Emitter::rexRR(bool w, unsigned reg, unsigned rm, bool force)
+{
+    uint8_t rex = uint8_t(0x40 | (w << 3) | (((reg >> 3) & 1) << 2) |
+                          ((rm >> 3) & 1));
+    if (rex != 0x40 || force)
+        byte(rex);
+}
+
+void
+X64Emitter::rexRM(bool w, unsigned reg, const Mem &m, bool force)
+{
+    unsigned x = m.index >= 0 ? (unsigned(m.index) >> 3) & 1 : 0;
+    uint8_t rex = uint8_t(0x40 | (w << 3) | (((reg >> 3) & 1) << 2) |
+                          (x << 1) | ((unsigned(m.base) >> 3) & 1));
+    if (rex != 0x40 || force)
+        byte(rex);
+}
+
+void
+X64Emitter::modRR(unsigned reg, unsigned rm)
+{
+    byte(uint8_t(0xc0 | ((reg & 7) << 3) | (rm & 7)));
+}
+
+void
+X64Emitter::modRM(unsigned reg, const Mem &m)
+{
+    assert(m.index != int8_t(rsp) && "rsp cannot index");
+    // rsp/r12 as base always need a SIB byte; any index does too.
+    bool needSib = m.index >= 0 || (m.base & 7) == 4;
+    // mod=00 with rm/base = rbp/r13 means RIP-relative (or no-base), so
+    // those bases always carry at least a disp8.
+    unsigned mod;
+    if (m.disp == 0 && (m.base & 7) != 5)
+        mod = 0;
+    else if (m.disp >= -128 && m.disp <= 127)
+        mod = 1;
+    else
+        mod = 2;
+    byte(uint8_t((mod << 6) | ((reg & 7) << 3) | (needSib ? 4 : m.base & 7)));
+    if (needSib) {
+        unsigned idx = m.index >= 0 ? unsigned(m.index) & 7 : 4;
+        byte(uint8_t((m.scale << 6) | (idx << 3) | (m.base & 7)));
+    }
+    if (mod == 1)
+        byte(uint8_t(int8_t(m.disp)));
+    else if (mod == 2)
+        u32(uint32_t(m.disp));
+}
+
+// --- moves ---------------------------------------------------------------
+
+void
+X64Emitter::movImm(Reg dst, uint64_t v)
+{
+    if (v <= UINT32_MAX) {
+        // mov r32, imm32 zero-extends.
+        rexRR(false, 0, dst);
+        byte(uint8_t(0xb8 | (dst & 7)));
+        u32(uint32_t(v));
+    } else if (int64_t(v) == int64_t(int32_t(v))) {
+        rexRR(true, 0, dst);
+        byte(0xc7);
+        modRR(0, dst);
+        u32(uint32_t(v));
+    } else {
+        rexRR(true, 0, dst);
+        byte(uint8_t(0xb8 | (dst & 7)));
+        u64(v);
+    }
+}
+
+void
+X64Emitter::movRR(Reg dst, Reg src)
+{
+    rexRR(true, src, dst);
+    byte(0x89);
+    modRR(src, dst);
+}
+
+void
+X64Emitter::mov32RR(Reg dst, Reg src)
+{
+    rexRR(false, src, dst);
+    byte(0x89);
+    modRR(src, dst);
+}
+
+void
+X64Emitter::load(Reg dst, const Mem &src, unsigned width, bool signExtend)
+{
+    switch (width) {
+      case 1:
+        rexRM(signExtend, dst, src);
+        byte(0x0f);
+        byte(signExtend ? 0xbe : 0xb6);
+        break;
+      case 2:
+        rexRM(signExtend, dst, src);
+        byte(0x0f);
+        byte(signExtend ? 0xbf : 0xb7);
+        break;
+      case 4:
+        if (signExtend) {
+            rexRM(true, dst, src);
+            byte(0x63); // movsxd
+        } else {
+            rexRM(false, dst, src);
+            byte(0x8b); // 32-bit mov zero-extends
+        }
+        break;
+      default:
+        assert(width == 8);
+        rexRM(true, dst, src);
+        byte(0x8b);
+        break;
+    }
+    modRM(dst, src);
+}
+
+void
+X64Emitter::store(const Mem &dst, Reg src, unsigned width)
+{
+    switch (width) {
+      case 1:
+        // Byte stores of sil/dil/spl/bpl need a REX to not mean ah..dh.
+        rexRM(false, src, dst, src >= 4);
+        byte(0x88);
+        break;
+      case 2:
+        byte(0x66);
+        rexRM(false, src, dst);
+        byte(0x89);
+        break;
+      case 4:
+        rexRM(false, src, dst);
+        byte(0x89);
+        break;
+      default:
+        assert(width == 8);
+        rexRM(true, src, dst);
+        byte(0x89);
+        break;
+    }
+    modRM(src, dst);
+}
+
+void
+X64Emitter::movMI(const Mem &dst, int32_t imm)
+{
+    rexRM(true, 0, dst);
+    byte(0xc7);
+    modRM(0, dst);
+    u32(uint32_t(imm));
+}
+
+void
+X64Emitter::lea(Reg dst, const Mem &src)
+{
+    rexRM(true, dst, src);
+    byte(0x8d);
+    modRM(dst, src);
+}
+
+void
+X64Emitter::movzxRR(Reg dst, Reg src, unsigned srcWidth)
+{
+    assert(srcWidth == 1 || srcWidth == 2);
+    rexRR(false, dst, src, srcWidth == 1 && src >= 4);
+    byte(0x0f);
+    byte(srcWidth == 1 ? 0xb6 : 0xb7);
+    modRR(dst, src);
+}
+
+void
+X64Emitter::movsxRR(Reg dst, Reg src, unsigned srcWidth)
+{
+    if (srcWidth == 4) {
+        rexRR(true, dst, src);
+        byte(0x63);
+    } else {
+        assert(srcWidth == 1 || srcWidth == 2);
+        rexRR(true, dst, src, srcWidth == 1 && src >= 4);
+        byte(0x0f);
+        byte(srcWidth == 1 ? 0xbe : 0xbf);
+    }
+    modRR(dst, src);
+}
+
+// --- integer ALU ---------------------------------------------------------
+
+void
+X64Emitter::aluRR(Alu op, Reg dst, Reg src)
+{
+    rexRR(true, src, dst);
+    byte(uint8_t(unsigned(op) * 8 + 0x01)); // op r/m64, r64
+    modRR(src, dst);
+}
+
+void
+X64Emitter::aluRM(Alu op, Reg dst, const Mem &src)
+{
+    rexRM(true, dst, src);
+    byte(uint8_t(unsigned(op) * 8 + 0x03)); // op r64, r/m64
+    modRM(dst, src);
+}
+
+void
+X64Emitter::aluMR(Alu op, const Mem &dst, Reg src)
+{
+    rexRM(true, src, dst);
+    byte(uint8_t(unsigned(op) * 8 + 0x01));
+    modRM(src, dst);
+}
+
+void
+X64Emitter::aluRI(Alu op, Reg dst, int32_t imm)
+{
+    rexRR(true, 0, dst);
+    if (imm >= -128 && imm <= 127) {
+        byte(0x83);
+        modRR(unsigned(op), dst);
+        byte(uint8_t(int8_t(imm)));
+    } else {
+        byte(0x81);
+        modRR(unsigned(op), dst);
+        u32(uint32_t(imm));
+    }
+}
+
+void
+X64Emitter::aluMI(Alu op, const Mem &dst, int32_t imm)
+{
+    rexRM(true, 0, dst);
+    if (imm >= -128 && imm <= 127) {
+        byte(0x83);
+        modRM(unsigned(op), dst);
+        byte(uint8_t(int8_t(imm)));
+    } else {
+        byte(0x81);
+        modRM(unsigned(op), dst);
+        u32(uint32_t(imm));
+    }
+}
+
+void
+X64Emitter::testRR(Reg a, Reg b)
+{
+    rexRR(true, b, a);
+    byte(0x85);
+    modRR(b, a);
+}
+
+void
+X64Emitter::negR(Reg r)
+{
+    rexRR(true, 0, r);
+    byte(0xf7);
+    modRR(3, r);
+}
+
+void
+X64Emitter::imulRR(Reg dst, Reg src)
+{
+    rexRR(true, dst, src);
+    byte(0x0f);
+    byte(0xaf);
+    modRR(dst, src);
+}
+
+void
+X64Emitter::imul1(Reg src)
+{
+    rexRR(true, 0, src);
+    byte(0xf7);
+    modRR(5, src);
+}
+
+void
+X64Emitter::shiftRC(Shift op, Reg r)
+{
+    rexRR(true, 0, r);
+    byte(0xd3);
+    modRR(unsigned(op), r);
+}
+
+void
+X64Emitter::shiftRI(Shift op, Reg r, uint8_t imm)
+{
+    rexRR(true, 0, r);
+    byte(0xc1);
+    modRR(unsigned(op), r);
+    byte(imm);
+}
+
+void
+X64Emitter::btcRI(Reg r, uint8_t bit)
+{
+    rexRR(true, 0, r);
+    byte(0x0f);
+    byte(0xba);
+    modRR(7, r);
+    byte(bit);
+}
+
+void
+X64Emitter::btrRI(Reg r, uint8_t bit)
+{
+    rexRR(true, 0, r);
+    byte(0x0f);
+    byte(0xba);
+    modRR(6, r);
+    byte(bit);
+}
+
+void
+X64Emitter::setcc(Cond c, Reg dst8)
+{
+    rexRR(false, 0, dst8, dst8 >= 4);
+    byte(0x0f);
+    byte(uint8_t(0x90 | unsigned(c)));
+    modRR(0, dst8);
+}
+
+// --- control flow --------------------------------------------------------
+
+void
+X64Emitter::pushR(Reg r)
+{
+    rexRR(false, 0, r);
+    byte(uint8_t(0x50 | (r & 7)));
+}
+
+void
+X64Emitter::popR(Reg r)
+{
+    rexRR(false, 0, r);
+    byte(uint8_t(0x58 | (r & 7)));
+}
+
+void
+X64Emitter::ret()
+{
+    byte(0xc3);
+}
+
+void
+X64Emitter::callR(Reg r)
+{
+    rexRR(false, 0, r);
+    byte(0xff);
+    modRR(2, r);
+}
+
+void
+X64Emitter::jmpR(Reg r)
+{
+    rexRR(false, 0, r);
+    byte(0xff);
+    modRR(4, r);
+}
+
+void
+X64Emitter::rel32To(Label &l)
+{
+    if (l.pos_ >= 0) {
+        u32(uint32_t(int32_t(l.pos_ - ptrdiff_t(code_.size()) - 4)));
+    } else {
+        l.fixups_.push_back(code_.size());
+        u32(0);
+    }
+}
+
+void
+X64Emitter::jmp(Label &l)
+{
+    byte(0xe9);
+    rel32To(l);
+}
+
+void
+X64Emitter::jcc(Cond c, Label &l)
+{
+    byte(0x0f);
+    byte(uint8_t(0x80 | unsigned(c)));
+    rel32To(l);
+}
+
+void
+X64Emitter::bind(Label &l)
+{
+    assert(l.pos_ < 0 && "label bound twice");
+    l.pos_ = ptrdiff_t(code_.size());
+    for (size_t at : l.fixups_) {
+        int32_t rel = int32_t(l.pos_ - ptrdiff_t(at) - 4);
+        std::memcpy(code_.data() + at, &rel, 4);
+    }
+    l.fixups_.clear();
+}
+
+// --- SSE2 scalar double --------------------------------------------------
+
+void
+X64Emitter::movsdLoad(Xmm dst, const Mem &src)
+{
+    byte(0xf2);
+    rexRM(false, dst, src);
+    byte(0x0f);
+    byte(0x10);
+    modRM(dst, src);
+}
+
+void
+X64Emitter::movsdStore(const Mem &dst, Xmm src)
+{
+    byte(0xf2);
+    rexRM(false, src, dst);
+    byte(0x0f);
+    byte(0x11);
+    modRM(src, dst);
+}
+
+void
+X64Emitter::sse(SseOp op, Xmm dst, Xmm src)
+{
+    byte(0xf2);
+    rexRR(false, dst, src);
+    byte(0x0f);
+    byte(uint8_t(op));
+    modRR(dst, src);
+}
+
+void
+X64Emitter::ucomisd(Xmm a, Xmm b)
+{
+    byte(0x66);
+    rexRR(false, a, b);
+    byte(0x0f);
+    byte(0x2e);
+    modRR(a, b);
+}
+
+void
+X64Emitter::cvtsi2sd(Xmm dst, Reg src)
+{
+    byte(0xf2);
+    rexRR(true, dst, src);
+    byte(0x0f);
+    byte(0x2a);
+    modRR(dst, src);
+}
+
+void
+X64Emitter::cvttsd2si(Reg dst, Xmm src)
+{
+    byte(0xf2);
+    rexRR(true, dst, src);
+    byte(0x0f);
+    byte(0x2c);
+    modRR(dst, src);
+}
+
+void
+X64Emitter::movqXR(Xmm dst, Reg src)
+{
+    byte(0x66);
+    rexRR(true, dst, src);
+    byte(0x0f);
+    byte(0x6e);
+    modRR(dst, src);
+}
+
+void
+X64Emitter::movqRX(Reg dst, Xmm src)
+{
+    byte(0x66);
+    rexRR(true, src, dst);
+    byte(0x0f);
+    byte(0x7e);
+    modRR(src, dst);
+}
+
+} // namespace scd::cpu

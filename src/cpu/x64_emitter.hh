@@ -1,0 +1,177 @@
+/**
+ * @file
+ * A deliberately small x86-64 instruction emitter for the JIT tier
+ * (src/cpu/jit_tier.hh). It assembles into a plain byte vector that the
+ * code cache later copies into executable pages; all intra-block control
+ * flow uses rel32 displacements (position independent under whole-block
+ * relocation) and all cross-block / helper control flow is emitted by the
+ * tier as absolute `movabs reg, imm64; jmp/call reg` pairs, so the buffer
+ * can land anywhere.
+ *
+ * Displacements are sized conservatively: rel32 branches and disp8/disp32
+ * memory operands only. Squeezing rel8 forms needs the iterated
+ * relaxation pass described by Dickson, "A new crop of JIT compilers"
+ * (2008 era literature on baseline JIT displacement sizing) and buys
+ * nothing here — superblocks are tiny and the cache is not size-bound.
+ *
+ * Only the instruction subset the tier emits is implemented; growing it
+ * is a matter of adding one short method per encoding family below.
+ */
+
+#ifndef SCD_CPU_X64_EMITTER_HH
+#define SCD_CPU_X64_EMITTER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scd::cpu
+{
+
+/** General-purpose registers, hardware encoding order. */
+enum Reg : uint8_t
+{
+    rax = 0, rcx, rdx, rbx, rsp, rbp, rsi, rdi,
+    r8, r9, r10, r11, r12, r13, r14, r15,
+};
+
+/** SSE registers. */
+enum Xmm : uint8_t
+{
+    xmm0 = 0, xmm1, xmm2, xmm3, xmm4, xmm5, xmm6, xmm7,
+    xmm8, xmm9, xmm10, xmm11, xmm12, xmm13, xmm14, xmm15,
+};
+
+/** Condition codes (the low nibble of the 0F 8x / 0F 9x opcodes). */
+enum class Cond : uint8_t
+{
+    O = 0x0, NO = 0x1, B = 0x2, AE = 0x3, E = 0x4, NE = 0x5,
+    BE = 0x6, A = 0x7, S = 0x8, NS = 0x9, P = 0xa, NP = 0xb,
+    L = 0xc, GE = 0xd, LE = 0xe, G = 0xf,
+};
+
+/** Two-operand ALU families that share the classic 8-column encoding. */
+enum class Alu : uint8_t
+{
+    Add = 0, Or = 1, And = 4, Sub = 5, Xor = 6, Cmp = 7,
+};
+
+/** Shift families (the /r column of group 2). */
+enum class Shift : uint8_t
+{
+    Shl = 4, Shr = 5, Sar = 7,
+};
+
+/** SSE2 scalar-double arithmetic (the second opcode byte after F2 0F). */
+enum class SseOp : uint8_t
+{
+    Sqrt = 0x51, Add = 0x58, Mul = 0x59, Sub = 0x5c, Div = 0x5e,
+};
+
+/** A [base + index*2^scale + disp32] memory operand (index optional). */
+struct Mem
+{
+    Reg base;
+    int32_t disp = 0;
+    int8_t index = -1; ///< -1: none; else a Reg (never rsp)
+    uint8_t scale = 0; ///< log2 of the index scale
+};
+
+inline Mem
+mem(Reg base, int32_t disp = 0)
+{
+    return {base, disp, -1, 0};
+}
+
+inline Mem
+mem(Reg base, Reg index, uint8_t scaleLog2, int32_t disp = 0)
+{
+    return {base, disp, int8_t(index), scaleLog2};
+}
+
+/**
+ * An intra-buffer branch target. Forward references record fixup sites
+ * and are patched when the label binds; rel32 only.
+ */
+class Label
+{
+    friend class X64Emitter;
+    ptrdiff_t pos_ = -1;          ///< bound offset, or -1
+    std::vector<size_t> fixups_;  ///< offsets of unpatched rel32 fields
+};
+
+class X64Emitter
+{
+  public:
+    const uint8_t *data() const { return code_.data(); }
+    size_t size() const { return code_.size(); }
+    void clear() { code_.clear(); }
+
+    // --- moves -----------------------------------------------------------
+    void movImm(Reg dst, uint64_t v);        ///< movabs (shortened if it fits)
+    void movRR(Reg dst, Reg src);            ///< 64-bit reg-reg
+    void mov32RR(Reg dst, Reg src);          ///< 32-bit (zero-extends)
+    /** Load @p width bytes (1/2/4/8); 1/2/4 zero- or sign-extend to 64. */
+    void load(Reg dst, const Mem &src, unsigned width, bool signExtend);
+    /** Store the low @p width bytes (1/2/4/8) of @p src. */
+    void store(const Mem &dst, Reg src, unsigned width);
+    void movMI(const Mem &dst, int32_t imm); ///< qword store, sign-extended
+    void lea(Reg dst, const Mem &src);
+    void movzxRR(Reg dst, Reg src, unsigned srcWidth); ///< 1 or 2 bytes
+    void movsxRR(Reg dst, Reg src, unsigned srcWidth); ///< 1, 2, or 4 bytes
+
+    // --- integer ALU (64-bit unless noted) -------------------------------
+    void aluRR(Alu op, Reg dst, Reg src);
+    void aluRM(Alu op, Reg dst, const Mem &src);
+    void aluMR(Alu op, const Mem &dst, Reg src);
+    void aluRI(Alu op, Reg dst, int32_t imm);
+    void aluMI(Alu op, const Mem &dst, int32_t imm); ///< qword operand
+    void testRR(Reg a, Reg b);
+    void negR(Reg r);
+    void imulRR(Reg dst, Reg src);  ///< two-operand signed multiply
+    void imul1(Reg src);            ///< one-operand: rdx:rax = rax * src
+    void shiftRC(Shift op, Reg r);  ///< by cl
+    void shiftRI(Shift op, Reg r, uint8_t imm);
+    void btcRI(Reg r, uint8_t bit);
+    void btrRI(Reg r, uint8_t bit);
+    void setcc(Cond c, Reg dst8);   ///< low byte only; movzx to widen
+
+    // --- control flow ----------------------------------------------------
+    void pushR(Reg r);
+    void popR(Reg r);
+    void ret();
+    void callR(Reg r);
+    void jmpR(Reg r);
+    void jmp(Label &l);
+    void jcc(Cond c, Label &l);
+    void bind(Label &l);
+
+    // --- SSE2 scalar double ----------------------------------------------
+    void movsdLoad(Xmm dst, const Mem &src);
+    void movsdStore(const Mem &dst, Xmm src);
+    void sse(SseOp op, Xmm dst, Xmm src);
+    void ucomisd(Xmm a, Xmm b);
+    void cvtsi2sd(Xmm dst, Reg src); ///< int64 -> double
+    void cvttsd2si(Reg dst, Xmm src); ///< double -> int64, truncating
+    void movqXR(Xmm dst, Reg src);
+    void movqRX(Reg dst, Xmm src);
+
+  private:
+    void byte(uint8_t b) { code_.push_back(b); }
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+
+    /** REX prefix for a reg, r/m-reg pair (skipped when all-zero). */
+    void rexRR(bool w, unsigned reg, unsigned rm, bool force = false);
+    /** REX prefix for a reg, memory-operand pair. */
+    void rexRM(bool w, unsigned reg, const Mem &m, bool force = false);
+    void modRR(unsigned reg, unsigned rm);
+    void modRM(unsigned reg, const Mem &m);
+    void rel32To(Label &l);
+
+    std::vector<uint8_t> code_;
+};
+
+} // namespace scd::cpu
+
+#endif // SCD_CPU_X64_EMITTER_HH

@@ -150,9 +150,11 @@ TEST(DispatchTier, ParseAndName)
 {
     EXPECT_EQ(cpu::parseDispatchTier("switch"), DispatchTier::Switch);
     EXPECT_EQ(cpu::parseDispatchTier("threaded"), DispatchTier::Threaded);
-    EXPECT_FALSE(cpu::parseDispatchTier("jit").has_value());
+    EXPECT_EQ(cpu::parseDispatchTier("jit"), DispatchTier::Jit);
+    EXPECT_FALSE(cpu::parseDispatchTier("compiled").has_value());
     EXPECT_STREQ(cpu::dispatchTierName(DispatchTier::Switch), "switch");
     EXPECT_STREQ(cpu::dispatchTierName(DispatchTier::Threaded), "threaded");
+    EXPECT_STREQ(cpu::dispatchTierName(DispatchTier::Jit), "jit");
 }
 
 TEST(DispatchTier, LockstepStreamsMatchAcrossVmsSchemesAndWorkloads)

@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Differential tests for the JIT dispatch tier (src/cpu/jit_tier.hh)
+ * against the reference switch interpreter and the threaded tier. The
+ * tier contract is bit-identical retirement: the same RetireInfo stream
+ * on the recorded path (which the jit tier delegates to its threaded
+ * substrate by construction), the same architectural end state, traps,
+ * and exported statistics on the compiled functional path — across both
+ * guest VMs, the four dispatch schemes, every Table III workload, and
+ * the fuzz-corpus seed scripts. Plus the tier-specific machinery:
+ * instruction limits landing mid-superblock, guest text stores that
+ * invalidate compiled blocks, the structured failure when executable
+ * code pages are denied (the "jit-codecache" fault site), and graceful
+ * degradation on hosts without the backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_inject.hh"
+#include "common/logging.hh"
+#include "core/scheme.hh"
+#include "cpu/core.hh"
+#include "cpu/dispatch_tier.hh"
+#include "cpu/functional_core.hh"
+#include "cpu/jit_tier.hh"
+#include "cpu/retire_stream.hh"
+#include "harness/experiment.hh"
+#include "harness/json_export.hh"
+#include "harness/machines.hh"
+#include "harness/runner.hh"
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+#include "isa/text_assembler.hh"
+#include "mem/memory.hh"
+#include "obs/stats_sink.hh"
+
+namespace
+{
+
+using namespace scd;
+using namespace scd::harness;
+using cpu::DispatchTier;
+
+const std::vector<core::Scheme> kSchemes = {
+    core::Scheme::Baseline, core::Scheme::JumpThreading,
+    core::Scheme::Vbbi, core::Scheme::Scd};
+
+/**
+ * All jit-tier tests run with a low compile threshold so even the small
+ * test-size guests spend most of their retirement inside compiled
+ * superblocks; the process-wide knob is restored afterwards.
+ */
+class JitTier : public ::testing::Test
+{
+  protected:
+    void SetUp() override { cpu::setJitThreshold(16); }
+    void TearDown() override { cpu::setJitThreshold(0); }
+};
+
+cpu::CoreConfig
+functionalConfig()
+{
+    cpu::CoreConfig cfg = minorConfig();
+    cfg.timingKind = cpu::TimingKind::Null;
+    return cfg;
+}
+
+/** One VM guest on one tier: a FunctionalCore with a recording port. */
+struct TierRun
+{
+    cpu::CoreConfig cfg;
+    mem::GuestMemory memory;
+    cpu::RecorderTiming recorder;
+    std::unique_ptr<cpu::FunctionalCore> core;
+
+    TierRun(const guest::GuestProgram &program,
+            const cpu::CoreConfig &machine, DispatchTier tier)
+        : cfg(machine)
+    {
+        program.loadInto(memory);
+        core = std::make_unique<cpu::FunctionalCore>(cfg, memory, recorder);
+        core->loadProgram(program.text);
+        core->setDispatchMeta(program.meta);
+        core->setDispatchTier(tier);
+    }
+};
+
+void
+expectSameRetire(const cpu::RetireInfo &a, const cpu::RetireInfo &b)
+{
+    EXPECT_EQ(a.pc, b.pc);
+    EXPECT_EQ(a.nextPc, b.nextPc);
+    EXPECT_EQ(a.flags, b.flags);
+    EXPECT_EQ(a.rd, b.rd);
+    EXPECT_EQ(a.rs1, b.rs1);
+    EXPECT_EQ(a.rs2, b.rs2);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(int(a.ctrl), int(b.ctrl));
+    EXPECT_EQ(int(a.lat), int(b.lat));
+    EXPECT_EQ(int(a.cls), int(b.cls));
+    EXPECT_EQ(a.taken, b.taken);
+    EXPECT_EQ(a.isReturn, b.isReturn);
+    EXPECT_EQ(a.writesInt, b.writesInt);
+    EXPECT_EQ(a.writesFp, b.writesFp);
+    EXPECT_EQ(a.hasMem, b.hasMem);
+    EXPECT_EQ(a.memIsStore, b.memIsStore);
+    EXPECT_EQ(a.memAddr, b.memAddr);
+    EXPECT_EQ(a.hintReg, b.hintReg);
+    EXPECT_EQ(a.hintValue, b.hintValue);
+    EXPECT_EQ(a.ropStall, b.ropStall);
+    EXPECT_EQ(a.bopProbed, b.bopProbed);
+    EXPECT_EQ(a.bopHit, b.bopHit);
+    EXPECT_EQ(a.jteInsert, b.jteInsert);
+    EXPECT_EQ(a.jteOpcode, b.jteOpcode);
+    EXPECT_EQ(a.jteTarget, b.jteTarget);
+}
+
+/**
+ * Run @p program on the reference interpreter and the jit tier in
+ * recorded-chunk lockstep and compare the streams entry by entry. On
+ * the jit tier the recorded path executes on the threaded substrate by
+ * design (the JIT compiles only the functional mode), so this pins the
+ * guarantee that selecting the jit tier never perturbs RetireInfo.
+ */
+void
+lockstepCompare(const guest::GuestProgram &program,
+                const cpu::CoreConfig &machine)
+{
+    TierRun ref(program, machine, DispatchTier::Switch);
+    TierRun fast(program, machine, DispatchTier::Jit);
+
+    constexpr size_t kCap = 509;
+    std::vector<cpu::RetireInfo> a(kCap), b(kCap);
+    for (;;) {
+        size_t na = ref.core->runRecorded(a.data(), kCap);
+        size_t nb = fast.core->runRecorded(b.data(), kCap);
+        ASSERT_EQ(na, nb) << "tiers disagree on chunk length at retire "
+                          << ref.core->retired();
+        for (size_t i = 0; i < na; ++i) {
+            SCOPED_TRACE("entry " + std::to_string(i) + " of chunk at " +
+                         std::to_string(ref.core->retired() - na));
+            expectSameRetire(a[i], b[i]);
+            if (::testing::Test::HasFailure())
+                return; // one divergence floods thousands; stop early
+        }
+        if (ref.core->exited() || na == 0)
+            break;
+    }
+
+    EXPECT_EQ(fast.core->exited(), ref.core->exited());
+    EXPECT_EQ(fast.core->exitCode(), ref.core->exitCode());
+    EXPECT_EQ(fast.core->retired(), ref.core->retired());
+    EXPECT_EQ(fast.core->output(), ref.core->output());
+    for (unsigned r = 0; r < 32; ++r) {
+        EXPECT_EQ(fast.core->readReg(r), ref.core->readReg(r)) << "x" << r;
+        EXPECT_EQ(fast.core->readFreg(r), ref.core->readFreg(r))
+            << "f" << r;
+    }
+    StatGroup refStats, fastStats;
+    ref.core->exportStats(refStats);
+    fast.core->exportStats(fastStats);
+    EXPECT_EQ(refStats.all(), fastStats.all());
+}
+
+TEST_F(JitTier, LockstepStreamsMatchAcrossVmsSchemesAndWorkloads)
+{
+    for (const Workload &w : workloads()) {
+        for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
+            for (core::Scheme scheme : kSchemes) {
+                SCOPED_TRACE(std::string(vmName(vm)) + "/" + w.name + "/" +
+                             core::schemeName(scheme));
+                auto program = compileGuest(vm, w.text(InputSize::Test),
+                                            dispatchForScheme(scheme));
+                lockstepCompare(*program,
+                                core::withScheme(minorConfig(), scheme));
+                if (::testing::Test::HasFailure())
+                    return;
+            }
+        }
+    }
+}
+
+void
+expectSameFunctionalResult(const ExperimentResult &ref,
+                           const ExperimentResult &jit)
+{
+    EXPECT_EQ(ref.output, jit.output);
+    EXPECT_EQ(ref.run.instructions, jit.run.instructions);
+    EXPECT_EQ(ref.run.exited, jit.run.exited);
+    EXPECT_EQ(ref.stats.all(), jit.stats.all());
+}
+
+/**
+ * The core lockstep contract: functional runs on the jit tier retire the
+ * same count, produce the same output, and export the same statistics
+ * (branch-class counters, SCD counters, shadow-BTB-driven JTE stats) as
+ * the reference interpreter, for every VM × scheme × workload. On hosts
+ * without the backend this same test exercises the graceful threaded
+ * fallback path instead — either way the results must match.
+ */
+TEST_F(JitTier, FunctionalRunsMatchReferenceAcrossVmsSchemesAndWorkloads)
+{
+    cpu::CoreConfig cfg = functionalConfig();
+    for (const Workload &w : workloads()) {
+        for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
+            for (core::Scheme scheme : kSchemes) {
+                SCOPED_TRACE(std::string(vmName(vm)) + "/" + w.name + "/" +
+                             core::schemeName(scheme));
+                ExperimentResult ref =
+                    runWorkload(vm, w, InputSize::Test, scheme, cfg, 0,
+                                nullptr, 0.0, DispatchTier::Switch);
+                ExperimentResult jit =
+                    runWorkload(vm, w, InputSize::Test, scheme, cfg, 0,
+                                nullptr, 0.0, DispatchTier::Jit);
+                expectSameFunctionalResult(ref, jit);
+                if (::testing::Test::HasFailure())
+                    return;
+            }
+        }
+    }
+}
+
+/** Fuzz-corpus seed scripts replay identically on the jit tier. */
+TEST_F(JitTier, CorpusScriptsMatchOnBothVms)
+{
+    std::filesystem::path dir(SCD_CORPUS_DIR);
+    ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+    cpu::CoreConfig cfg = functionalConfig();
+
+    size_t scripts = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        std::ifstream f(entry.path());
+        ASSERT_TRUE(f.is_open()) << entry.path();
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        std::string source = ss.str();
+        ++scripts;
+
+        for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
+            for (core::Scheme scheme :
+                 {core::Scheme::Baseline, core::Scheme::Scd}) {
+                SCOPED_TRACE(entry.path().filename().string() + " on " +
+                             vmName(vm) + "/" + core::schemeName(scheme));
+                ExperimentResult ref = runExperiment(
+                    vm, source, scheme, cfg, 0, nullptr, 0.0,
+                    DispatchTier::Switch);
+                ExperimentResult jit = runExperiment(
+                    vm, source, scheme, cfg, 0, nullptr, 0.0,
+                    DispatchTier::Jit);
+                expectSameFunctionalResult(ref, jit);
+                if (::testing::Test::HasFailure())
+                    return;
+            }
+        }
+    }
+    EXPECT_GE(scripts, 5u);
+}
+
+/**
+ * Recorded runs on the jit tier execute on the threaded substrate (the
+ * JIT compiles only the functional mode), so the RetireInfo-derived
+ * timing results and rendered stats document must be byte-identical to
+ * the reference producer's.
+ */
+TEST_F(JitTier, ReplayProducerOnJitTierIsByteIdentical)
+{
+    ExperimentPlan plan;
+    for (VmKind vm : {VmKind::Rlua, VmKind::Sjs}) {
+        for (core::Scheme scheme : kSchemes) {
+            ExperimentPoint p;
+            p.vm = vm;
+            p.workload = &workload("fibo");
+            p.size = InputSize::Test;
+            p.scheme = scheme;
+            p.machine = minorConfig();
+            plan.add(std::move(p));
+        }
+    }
+    RunOptions ref;
+    ref.jobs = 2;
+    ref.dispatchTier = DispatchTier::Switch;
+    RunOptions fast = ref;
+    fast.dispatchTier = DispatchTier::Jit;
+    ExperimentSet a = runPlan(plan, ref);
+    ExperimentSet b = runPlan(plan, fast);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (size_t i = 0; i < a.points.size(); ++i) {
+        SCOPED_TRACE(a.points[i].label());
+        EXPECT_EQ(a.at(i).run.cycles, b.at(i).run.cycles);
+        EXPECT_EQ(a.at(i).run.instructions, b.at(i).run.instructions);
+        EXPECT_EQ(a.at(i).output, b.at(i).output);
+        EXPECT_EQ(a.at(i).stats.all(), b.at(i).stats.all());
+    }
+    obs::StatsSink refSink("jit_tier_test", "test");
+    obs::StatsSink fastSink("jit_tier_test", "test");
+    exportSet(refSink, "grid", a);
+    exportSet(fastSink, "grid", b);
+    EXPECT_EQ(refSink.render(), fastSink.render());
+}
+
+/**
+ * Instruction limits land mid-superblock: with threshold 1 the loop body
+ * is compiled almost immediately and covers several instructions per
+ * pass, so odd limits require the tier to refuse compiled entry (budget
+ * below the block's path length) and finish the tail on threaded slots.
+ */
+TEST_F(JitTier, InstructionLimitPausesAtIdenticalBoundaries)
+{
+    cpu::setJitThreshold(1);
+    const std::string text = R"(
+        li s0, 0
+    outer:
+        li t0, 0
+    inner:
+        addi t0, t0, 1
+        addi s0, s0, 3
+        blt t0, t1, inner
+        li t1, 97
+        j outer
+    )";
+    for (uint64_t limit : {1ull, 2ull, 7ull, 101ull, 4099ull, 70001ull}) {
+        SCOPED_TRACE("limit " + std::to_string(limit));
+        cpu::RunResult ref, fast;
+        uint64_t refReg = 0, fastReg = 0;
+        for (DispatchTier tier : {DispatchTier::Switch, DispatchTier::Jit}) {
+            mem::GuestMemory memory;
+            cpu::CoreConfig cfg;
+            cfg.name = "test";
+            cfg.timingKind = cpu::TimingKind::Null;
+            cpu::Core core(cfg, memory);
+            core.loadProgram(isa::assembleText(text));
+            core.setDispatchTier(tier);
+            cpu::RunResult r = core.run(limit);
+            uint64_t sum = 0;
+            for (unsigned reg = 0; reg < 32; ++reg)
+                sum = sum * 31 + core.readReg(reg);
+            if (tier == DispatchTier::Switch) {
+                ref = r;
+                refReg = sum;
+            } else {
+                fast = r;
+                fastReg = sum;
+            }
+        }
+        EXPECT_EQ(ref.instructions, fast.instructions);
+        EXPECT_EQ(ref.exited, fast.exited);
+        EXPECT_EQ(refReg, fastReg);
+    }
+}
+
+/**
+ * A loop hot enough to be compiled patches its own body, runs the
+ * patched code, and exits with a value that proves both phases executed
+ * the right instruction: 100 iterations of `addi a0, a0, 2`, then the
+ * store rewrites it to `addi a0, a0, 1` for 100 more — exit code 300.
+ */
+isa::Program
+selfPatchingLoop()
+{
+    using namespace isa;
+    Assembler as;
+    Label loop = as.newLabel("loop");
+    Label done = as.newLabel("done");
+    as.li(reg::s0, 0);
+    as.li(reg::s1, 100);
+    as.li(reg::s3, 0);
+    as.bind(loop);
+    as.addi(reg::a0, reg::a0, 2); // patched to +1 after the first phase
+    as.addi(reg::s0, reg::s0, 1);
+    as.blt(reg::s0, reg::s1, loop);
+    as.bne(reg::s3, reg::zero, done);
+    as.li(reg::s3, 1);
+    as.li(reg::t0, int64_t(encode({Opcode::ADDI, reg::a0, reg::a0, 0, 0,
+                                   1})));
+    as.la(reg::t1, loop);
+    as.sw(reg::t0, 0, reg::t1);
+    as.li(reg::s0, 0);
+    as.jal(reg::zero, loop);
+    as.bind(done);
+    as.li(reg::a7, 0);
+    as.ecall();
+    return as.finish();
+}
+
+TEST_F(JitTier, SelfModifyingTextInvalidatesCompiledBlocks)
+{
+    cpu::setJitThreshold(4);
+    isa::Program prog = selfPatchingLoop();
+    cpu::JitStats before = cpu::jitStatsSnapshot();
+    for (DispatchTier tier : {DispatchTier::Switch, DispatchTier::Jit}) {
+        SCOPED_TRACE(cpu::dispatchTierName(tier));
+        mem::GuestMemory memory;
+        cpu::CoreConfig cfg;
+        cfg.name = "test";
+        cfg.timingKind = cpu::TimingKind::Null;
+        cpu::Core core(cfg, memory);
+        core.loadProgram(prog);
+        core.setDispatchTier(tier);
+        cpu::RunResult r = core.run(10'000);
+        EXPECT_TRUE(r.exited);
+        EXPECT_EQ(r.exitCode, 300);
+    }
+    if (cpu::jitTierAvailable()) {
+        cpu::JitStats after = cpu::jitStatsSnapshot();
+        EXPECT_GT(after.blocksCompiled, before.blocksCompiled);
+        EXPECT_GT(after.blocksInvalidated, before.blocksInvalidated)
+            << "the patched loop head must drop its compiled block";
+    }
+}
+
+/** Guest faults surface with the same message as the reference tier. */
+TEST_F(JitTier, FaultsMatchTheReferenceTier)
+{
+    cpu::setJitThreshold(1);
+    auto fatalMessageOf = [](const std::string &text, DispatchTier tier) {
+        mem::GuestMemory memory;
+        cpu::CoreConfig cfg;
+        cfg.name = "test";
+        cfg.timingKind = cpu::TimingKind::Null;
+        cpu::Core core(cfg, memory);
+        core.loadProgram(isa::assembleText(text));
+        core.setDispatchTier(tier);
+        try {
+            core.run(10'000);
+        } catch (const FatalError &e) {
+            return std::string(e.what());
+        }
+        return std::string("<no fatal>");
+    };
+    // A hot loop ending in a computed jump out of text: the compiled
+    // block's side exit must route the bad target through the same
+    // next-fetch fault as the interpreter.
+    const std::vector<std::string> programs = {
+        "li t1, 20\nli t0, 0\nloop:\naddi t0, t0, 1\nblt t0, t1, loop\n"
+        "li t2, 0x999000\njr t2\n",
+        "li t1, 20\nli t0, 0\nloop:\naddi t0, t0, 1\nblt t0, t1, loop\n",
+    };
+    for (const std::string &text : programs) {
+        SCOPED_TRACE(text);
+        std::string ref = fatalMessageOf(text, DispatchTier::Switch);
+        std::string jit = fatalMessageOf(text, DispatchTier::Jit);
+        EXPECT_NE(ref, "<no fatal>");
+        EXPECT_EQ(ref, jit);
+    }
+}
+
+/** Compiled-block execution shows up in the process-global jit stats. */
+TEST_F(JitTier, StatsCountCompiledBlocks)
+{
+    if (!cpu::jitTierAvailable())
+        GTEST_SKIP() << "no jit backend in this build";
+    cpu::setJitThreshold(4);
+    cpu::resetJitStats();
+    {
+        mem::GuestMemory memory;
+        cpu::CoreConfig cfg;
+        cfg.name = "test";
+        cfg.timingKind = cpu::TimingKind::Null;
+        cpu::Core core(cfg, memory);
+        core.loadProgram(isa::assembleText(R"(
+            li t1, 5000
+            li t0, 0
+        loop:
+            addi t0, t0, 1
+            blt t0, t1, loop
+            li a0, 0
+            li a7, 0
+            ecall
+        )"));
+        core.setDispatchTier(DispatchTier::Jit);
+        cpu::RunResult r = core.run(0);
+        EXPECT_TRUE(r.exited);
+    }
+    cpu::JitStats stats = cpu::jitStatsSnapshot();
+    EXPECT_GT(stats.blocksCompiled, 0u);
+    EXPECT_GT(stats.blockExecutions, 0u);
+    EXPECT_GT(stats.codeBytes, 0u);
+    EXPECT_EQ(stats.blocksInvalidated, 0u);
+}
+
+/**
+ * The "jit-codecache" fault site models the host denying executable
+ * pages: the tier must surface a structured FatalError naming the site,
+ * never crash. (The real mprotect-failure path degrades to threaded
+ * instead; the fault site exists precisely to make the denial testable.)
+ */
+TEST_F(JitTier, CodeCacheDenialIsAStructuredError)
+{
+    if (!cpu::jitTierAvailable())
+        GTEST_SKIP() << "no jit backend in this build";
+    if (!faultinj::compiledIn())
+        GTEST_SKIP() << "built without SCD_FAULTINJ";
+    faultinj::disarm();
+    faultinj::arm("jit-codecache", 1);
+    try {
+        mem::GuestMemory memory;
+        cpu::CoreConfig cfg;
+        cfg.name = "test";
+        cfg.timingKind = cpu::TimingKind::Null;
+        cpu::Core core(cfg, memory);
+        core.loadProgram(isa::assembleText("li a0, 0\nli a7, 0\necall\n"));
+        core.setDispatchTier(DispatchTier::Jit);
+        core.run(1'000);
+        FAIL() << "armed jit-codecache fault never fired";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("jit-codecache"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_FALSE(faultinj::armed());
+    faultinj::disarm();
+}
+
+} // namespace
