@@ -12,14 +12,19 @@
  *       the --json output is byte-identical to the serial run
  *       (--manifest= and --log= record how the shards went)
  *
- *   scd_farm --serve=/tmp/scd-farm.sock [--farm=N]
+ *   scd_farm --serve=/tmp/scd-farm.sock [--farm=N] [--state-dir=DIR]
  *       daemon: accept submissions and status polls over a unix
- *       socket until a shutdown request (src/farm/service.hh)
+ *       socket until a shutdown request (src/farm/service.hh). With
+ *       --state-dir accepted jobs and completed points are journaled
+ *       durably; a restarted daemon resumes its queue (state.hh)
  *
  *   scd_farm --connect=/tmp/scd-farm.sock --request='{"op":"ping"}'
  *       client: send one request line, print the response line
  *
- * (--worker is the internal fifth mode: the coordinator re-executes
+ *   scd_farm --list-fault-sites
+ *       print the registered SCD_FAULT site names, one per line
+ *
+ * (--worker is the internal sixth mode: the coordinator re-executes
  * this binary with it; never invoked by hand.)
  */
 
@@ -32,6 +37,7 @@
 #include <unistd.h>
 
 #include "bench_util.hh"
+#include "common/fault_inject.hh"
 #include "common/logging.hh"
 #include "farm/coordinator.hh"
 #include "farm/protocol.hh"
@@ -111,6 +117,14 @@ main(int argc, char **argv)
     if (int rc = farm::maybeWorkerMain(argc, argv); rc >= 0)
         return rc;
 
+    for (int n = 1; n < argc; ++n) {
+        if (std::strcmp(argv[n], "--list-fault-sites") == 0) {
+            for (const std::string &site : faultinj::registeredSites())
+                std::printf("%s\n", site.c_str());
+            return 0;
+        }
+    }
+
     RunOptions options = bench::parseRunOptions(argc, argv);
     farm::FarmOptions farmOptions;
     farmOptions.workers = bench::parseFarm(argc, argv);
@@ -133,6 +147,8 @@ main(int argc, char **argv)
         service.farm = farmOptions;
         if (service.farm.workers == 0)
             service.farm.workers = 2;
+        if (const char *dir = flagValue(argc, argv, "--state-dir="))
+            service.stateDir = dir;
         return farm::serveFarm(service);
     }
 

@@ -1,5 +1,6 @@
 #include "fault_inject.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
@@ -61,6 +62,17 @@ registeredSites()
         // Fires in the JIT tier's code cache before the mmap; the tier
         // reports the FatalError instead of degrading (jit_tier.cc).
         "jit-codecache",
+        // Fires in the farm daemon's durable job journal just before
+        // the write; submit() answers a structured error instead of
+        // accepting a job it could not persist (src/farm/state.cc).
+        "farm-journal-append",
+        // Fires when the coordinator is about to split a dead shard's
+        // remainder; it falls back to a whole-shard retry
+        // (src/farm/coordinator.cc).
+        "farm-repartition",
+        // Fires when the coordinator is about to grant a steal; the
+        // thief gets an empty reassign instead (src/farm/coordinator.cc).
+        "farm-steal",
     };
     return sites;
 }
@@ -68,6 +80,17 @@ registeredSites()
 void
 arm(const std::string &site, unsigned nth)
 {
+    const std::vector<std::string> &sites = registeredSites();
+    if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+        std::string known;
+        for (const std::string &s : sites) {
+            if (!known.empty())
+                known += ", ";
+            known += s;
+        }
+        fatal("unknown fault site '", site, "' (registered sites: ",
+              known, ")");
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     armedSite_ = site;
     armedNth_ = nth == 0 ? 1 : nth;

@@ -30,6 +30,12 @@
  *                allocation failure inside one experiment point
  *   jit-codecache jit_tier.cc, CodeCache::install — simulates the host
  *                denying executable code pages (mmap/mprotect failure)
+ *   farm-journal-append  farm/state.cc, StateStore append — simulates
+ *                an I/O failure while journaling a daemon job record
+ *   farm-repartition  farm/coordinator.cc, remainder split — the
+ *                coordinator falls back to a whole-shard retry
+ *   farm-steal   farm/coordinator.cc, steal grant — the coordinator
+ *                denies the steal (empty reassign) instead
  */
 
 #ifndef SCD_COMMON_FAULT_INJECT_HH
@@ -46,8 +52,10 @@ const std::vector<std::string> &registeredSites();
 
 /**
  * Arm a one-shot fault at @p site, firing on the @p nth hit (1-based).
- * Unknown sites are accepted (and simply never fire) so stale
- * SCD_FAULT values fail loudly in tests rather than silently here.
+ * @p site must name a registered site: a typo'd SCD_FAULT used to be
+ * accepted and then silently never fire, so unknown names now throw a
+ * FatalError listing the registry (scd_farm --list-fault-sites prints
+ * the same list).
  */
 void arm(const std::string &site, unsigned nth);
 

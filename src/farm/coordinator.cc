@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <deque>
+#include <set>
 
 #include <fcntl.h>
 #include <poll.h>
@@ -13,6 +15,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/fault_inject.hh"
 #include "common/logging.hh"
 #include "cpu/dispatch_tier.hh"
 #include "harness/journal.hh"
@@ -44,23 +47,37 @@ struct Shard
         Pending, ///< waiting to (re)spawn, possibly backing off
         Running,
         Done,
-        Failed, ///< retry budget exhausted
+        Failed,        ///< retry budget exhausted
+        Repartitioned, ///< died with progress; remainder re-shared
     };
 
     unsigned id = 0;
     std::vector<size_t> indices;
     State state = State::Pending;
     unsigned attempts = 0; ///< worker processes started for this shard
+    /**
+     * Attempts consumed by this shard's ancestry: a sub-shard created
+     * by repartitioning inherits baseAttempt + attempts of its parent,
+     * so its workers see attempt > 0 on the wire and drop the
+     * SCD_FAULT / --die-after crash knobs exactly like a plain retry
+     * (src/farm/worker.cc).
+     */
+    unsigned baseAttempt = 0;
     pid_t pid = -1;
-    int outFd = -1;        ///< read end of the worker's stdout
+    int inFd = -1;  ///< write end of the worker's stdin (reassigns)
+    int outFd = -1; ///< read end of the worker's stdout
     LineBuffer buffer;
     double deadline = 0.0;  ///< heartbeat deadline (monotonic seconds)
     double respawnAt = 0.0; ///< earliest next spawn (backoff)
+    /** Indices already granted to a thief: never stolen twice, so the
+     *  same point duplicates at most once. */
+    std::set<size_t> stolenAway;
 
     bool
     finished() const
     {
-        return state == State::Done || state == State::Failed;
+        return state == State::Done || state == State::Failed ||
+               state == State::Repartitioned;
     }
 };
 
@@ -177,26 +194,34 @@ spawnWorker(Shard &shard, const std::vector<std::string> &argv,
     ::close(inPipe[0]);
     ::close(outPipe[1]);
 
-    // Hand over the assignment and close stdin: the worker reads
-    // exactly one line. A worker that died already (or never reads,
-    // like /bin/false) makes this write fail with EPIPE — harmless,
-    // the event loop sees the EOF and retries.
+    // Hand over the assignment; stdin stays open so the coordinator
+    // can answer later steal requests with reassign lines. A worker
+    // that died already (or never reads, like /bin/false) makes this
+    // write fail with EPIPE — harmless, the event loop sees the EOF
+    // and retries.
     std::string line = assign;
     line += '\n';
     writeAll(inPipe[1], line);
-    ::close(inPipe[1]);
 
     int flags = ::fcntl(outPipe[0], F_GETFL, 0);
     ::fcntl(outPipe[0], F_SETFL, flags | O_NONBLOCK);
 
     shard.pid = pid;
+    shard.inFd = inPipe[1];
     shard.outFd = outPipe[0];
+    // A respawn must never glue its predecessor's torn tail onto the
+    // fresh stream's first line.
+    shard.buffer.reset();
     return true;
 }
 
 void
 reapWorker(Shard &shard, int *exitStatus)
 {
+    if (shard.inFd >= 0) {
+        ::close(shard.inFd);
+        shard.inFd = -1;
+    }
     if (shard.outFd >= 0) {
         ::close(shard.outFd);
         shard.outFd = -1;
@@ -220,9 +245,24 @@ describeExit(int status)
     return "status " + std::to_string(status);
 }
 
+const char *
+shardStatusName(Shard::State state)
+{
+    switch (state) {
+      case Shard::State::Done:
+        return "done";
+      case Shard::State::Failed:
+        return "failed";
+      case Shard::State::Repartitioned:
+        return "repartitioned";
+      default:
+        return "pending";
+    }
+}
+
 void
 writeManifest(const std::string &path, const PlanRef &ref,
-              const FarmOptions &farm, const std::vector<Shard> &shards,
+              const FarmOptions &farm, const std::deque<Shard> &shards,
               const FarmStats &stats, size_t resumed)
 {
     obs::JsonWriter w;
@@ -239,14 +279,16 @@ writeManifest(const std::string &path, const PlanRef &ref,
         w.member("shard", s.id);
         w.member("points", uint64_t(s.indices.size()));
         w.member("attempts", s.attempts);
-        w.member("status",
-                 s.state == Shard::State::Done ? "done" : "failed");
+        w.member("status", shardStatusName(s.state));
         w.endObject();
     }
     w.endArray();
     w.member("spawns", stats.spawns);
     w.member("kills", stats.kills);
     w.member("retries", stats.retries);
+    w.member("repartitions", stats.repartitions);
+    w.member("steals", stats.steals);
+    w.member("straggled", stats.straggled);
     w.member("failedShards", stats.failedShards);
     w.member("merged", uint64_t(stats.merged));
     w.member("resumed", uint64_t(resumed));
@@ -395,11 +437,14 @@ runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
 
     harness::RunJournal journal;
     if (!runOpts.journalPath.empty())
-        journal.open(runOpts.journalPath, /*truncate=*/!runOpts.resume);
+        journal.open(runOpts.journalPath, /*truncate=*/!runOpts.resume,
+                     runOpts.journalDurable);
 
     std::vector<std::vector<size_t>> parts =
         partitionIndices(set.points, pending, farm.workers);
-    std::vector<Shard> shards(parts.size());
+    // Repartitioning appends sub-shards while the event loop holds
+    // references into the container: deque keeps them stable.
+    std::deque<Shard> shards(parts.size());
     for (size_t i = 0; i < parts.size(); ++i) {
         shards[i].id = unsigned(i);
         shards[i].indices = std::move(parts[i]);
@@ -426,7 +471,58 @@ runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
     FarmStats stats;
     const double startTime = monotonicSeconds();
 
-    auto retryOrFail = [&](Shard &shard, const std::string &why) {
+    // Recover a shard whose worker died (EOF without done, heartbeat
+    // kill, fork failure). Three outcomes, in preference order:
+    //   1. every point already delivered (by this worker before dying,
+    //      or by thieves) -> Done, nothing to re-run;
+    //   2. partial progress -> repartition only the undelivered
+    //      remainder (replay groups whole) into fresh sub-shards with
+    //      a fresh retry budget — delivered points are never re-run;
+    //   3. zero progress -> whole-shard retry with exponential
+    //      backoff, Failed once the budget is gone.
+    auto recoverShard = [&](Shard &shard, const std::string &why) {
+        std::vector<size_t> remainder;
+        for (size_t idx : shard.indices) {
+            if (!merger.filled(idx))
+                remainder.push_back(idx);
+        }
+        if (remainder.empty()) {
+            shard.state = Shard::State::Done;
+            log.line("shard ", shard.id, ": ", why,
+                     "; all points already delivered, marking done");
+            return;
+        }
+        if (farm.repartition && remainder.size() < shard.indices.size()) {
+            try {
+                SCD_FAULT_POINT("farm-repartition");
+                std::vector<std::vector<size_t>> subParts =
+                    partitionIndices(set.points, remainder, 2);
+                shard.state = Shard::State::Repartitioned;
+                ++stats.repartitions;
+                std::string ids;
+                for (std::vector<size_t> &part : subParts) {
+                    Shard sub;
+                    sub.id = unsigned(shards.size());
+                    sub.indices = std::move(part);
+                    sub.baseAttempt = shard.baseAttempt + shard.attempts;
+                    sub.respawnAt =
+                        monotonicSeconds() + farm.retryBackoff;
+                    if (!ids.empty())
+                        ids += ',';
+                    ids += std::to_string(sub.id);
+                    shards.push_back(std::move(sub));
+                }
+                log.line("shard ", shard.id, ": ", why,
+                         "; repartitioning remainder (", remainder.size(),
+                         " of ", shard.indices.size(), " points) into ",
+                         subParts.size(), " sub-shards [", ids, "]");
+                return;
+            } catch (const FatalError &e) {
+                log.line("shard ", shard.id,
+                         ": repartition failed (", e.what(),
+                         "); falling back to whole-shard retry");
+            }
+        }
         if (shard.attempts <= farm.maxRetries) {
             double backoff =
                 farm.retryBackoff *
@@ -443,6 +539,55 @@ runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
             log.line("shard ", shard.id, ": ", why, "; retry budget (",
                      farm.maxRetries, ") exhausted, giving up");
         }
+    };
+
+    // Pick a steal victim for an idle thief: the Running shard with
+    // the most stealable points (undelivered and not already granted
+    // to another thief), split at a replay-group boundary — the thief
+    // gets the tail half of the victim's stealable groups. The victim
+    // keeps running; its duplicate deliveries merge as no-ops.
+    auto chooseSteal = [&](const Shard &thief) {
+        std::vector<size_t> stolen;
+        Shard *victim = nullptr;
+        size_t victimCount = 0;
+        for (Shard &s : shards) {
+            if (s.state != Shard::State::Running || s.id == thief.id)
+                continue;
+            size_t count = 0;
+            for (size_t idx : s.indices) {
+                if (!merger.filled(idx) && !s.stolenAway.count(idx))
+                    ++count;
+            }
+            if (count > victimCount) {
+                victim = &s;
+                victimCount = count;
+            }
+        }
+        if (!victim)
+            return stolen;
+        std::vector<size_t> stealable;
+        for (size_t idx : victim->indices) {
+            if (!merger.filled(idx) && !victim->stolenAway.count(idx))
+                stealable.push_back(idx);
+        }
+        std::vector<GroupPart> groups =
+            replayGroups(set.points, stealable);
+        // The victim is presumed mid-way through its earliest group,
+        // so steal from the tail. With a single group left the whole
+        // of it goes — duplicating in-flight work is the only way to
+        // finish when the victim never will.
+        size_t take = std::max<size_t>(1, groups.size() / 2);
+        for (size_t g = groups.size() - take; g < groups.size(); ++g) {
+            for (size_t idx : groups[g].indices) {
+                stolen.push_back(idx);
+                victim->stolenAway.insert(idx);
+            }
+        }
+        std::sort(stolen.begin(), stolen.end());
+        log.line("shard ", thief.id, ": stealing ", stolen.size(),
+                 " points (", take, " replay groups) from shard ",
+                 victim->id);
+        return stolen;
     };
 
     auto handleLine = [&](Shard &shard, const std::string &text) {
@@ -466,30 +611,101 @@ runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
             log.line("shard ", shard.id, ": done (", msg.points,
                      " points, attempt ", shard.attempts, ")");
             break;
+          case LineKind::Steal: {
+            std::vector<size_t> stolen;
+            if (farm.workSteal) {
+                try {
+                    SCD_FAULT_POINT("farm-steal");
+                    stolen = chooseSteal(shard);
+                } catch (const FatalError &e) {
+                    log.line("shard ", shard.id, ": steal failed (",
+                             e.what(), "); denying");
+                    stolen.clear();
+                }
+            }
+            if (!stolen.empty()) {
+                shard.indices.insert(shard.indices.end(),
+                                     stolen.begin(), stolen.end());
+                std::sort(shard.indices.begin(), shard.indices.end());
+                ++stats.steals;
+            }
+            // An empty grant tells the worker to send done and exit.
+            writeAll(shard.inFd, reassignLine(shard.id, stolen) + "\n");
+            break;
+          }
           case LineKind::Heartbeat:
           case LineKind::Assign:
+          case LineKind::Reassign:
           case LineKind::Unknown:
             break; // liveness is tracked below for any traffic
         }
     };
 
-    size_t unfinished = shards.size();
-    while (unfinished > 0) {
+    // The loop iterates shards by index throughout: recoverShard can
+    // append sub-shards mid-pass, which deque tolerates for references
+    // but not for iterators.
+    for (;;) {
+        size_t unfinished = 0;
+        for (size_t i = 0; i < shards.size(); ++i) {
+            if (!shards[i].finished())
+                ++unfinished;
+        }
+        if (unfinished == 0)
+            break;
+
         double now = monotonicSeconds();
 
+        // Every point merged but shards still alive: stragglers whose
+        // tail a thief finished first (and sub-shards waiting on a
+        // backoff). Reap them — the sweep is complete; a wedged-but-
+        // heartbeating worker must not hold it open.
+        if (merger.remaining() == 0) {
+            for (size_t i = 0; i < shards.size(); ++i) {
+                Shard &shard = shards[i];
+                if (shard.state == Shard::State::Running) {
+                    log.line("shard ", shard.id,
+                             ": all points delivered; reaping straggler"
+                             " pid ", shard.pid);
+                    ::kill(shard.pid, SIGKILL);
+                    ++stats.straggled;
+                    reapWorker(shard, nullptr);
+                    shard.state = Shard::State::Done;
+                } else if (shard.state == Shard::State::Pending) {
+                    shard.state = Shard::State::Done;
+                }
+            }
+            break;
+        }
+
         // (Re)spawn pending shards whose backoff expired.
-        for (Shard &shard : shards) {
+        for (size_t i = 0; i < shards.size(); ++i) {
+            Shard &shard = shards[i];
             if (shard.state != Shard::State::Pending ||
                 now < shard.respawnAt) {
                 continue;
             }
+            // Thieves or the parent's straggler may have finished the
+            // shard's points while it waited out the backoff.
+            bool anyLeft = false;
+            for (size_t idx : shard.indices) {
+                if (!merger.filled(idx)) {
+                    anyLeft = true;
+                    break;
+                }
+            }
+            if (!anyLeft) {
+                shard.state = Shard::State::Done;
+                log.line("shard ", shard.id,
+                         ": points delivered elsewhere; nothing to"
+                         " spawn");
+                continue;
+            }
             ++shard.attempts;
             std::string assign = assignLine(
-                shard.id, shard.attempts - 1, shard.indices);
+                shard.id, shard.baseAttempt + shard.attempts - 1,
+                shard.indices);
             if (!spawnWorker(shard, argv, assign)) {
-                retryOrFail(shard, "fork failed");
-                if (shard.state == Shard::State::Failed)
-                    --unfinished;
+                recoverShard(shard, "fork failed");
                 continue;
             }
             ++stats.spawns;
@@ -544,6 +760,10 @@ runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
                                       [&](const std::string &text) {
                                           handleLine(shard, text);
                                       });
+                    if (size_t dropped = shard.buffer.takeOverflows()) {
+                        log.line("shard ", shard.id, ": protocol error: ",
+                                 dropped, " oversized line(s) dropped");
+                    }
                     continue;
                 }
                 if (got == 0) {
@@ -560,22 +780,20 @@ runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
 
             if (shard.state == Shard::State::Done) {
                 reapWorker(shard, nullptr);
-                --unfinished;
             } else if (eof) {
                 int status = 0;
                 reapWorker(shard, &status);
-                retryOrFail(shard, "worker died (" +
-                                       describeExit(status) +
-                                       ") before completing");
-                if (shard.state == Shard::State::Failed)
-                    --unfinished;
+                recoverShard(shard, "worker died (" +
+                                        describeExit(status) +
+                                        ") before completing");
             }
         }
 
         // Heartbeat silence: the worker process is wedged or frozen
         // (a hung point is the in-process watchdog's job; this guards
         // the process itself).
-        for (Shard &shard : shards) {
+        for (size_t i = 0; i < shards.size(); ++i) {
+            Shard &shard = shards[i];
             if (shard.state != Shard::State::Running ||
                 now < shard.deadline) {
                 continue;
@@ -585,16 +803,14 @@ runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
             ::kill(shard.pid, SIGKILL);
             ++stats.kills;
             reapWorker(shard, nullptr);
-            retryOrFail(shard, "heartbeat timeout");
-            if (shard.state == Shard::State::Failed)
-                --unfinished;
+            recoverShard(shard, "heartbeat timeout");
         }
     }
 
     // Surface what could not be recovered as Failed points with
     // deterministic text (no pids, no durations): the export and its
     // failure manifest stay reproducible.
-    for (Shard &shard : shards) {
+    for (const Shard &shard : shards) {
         if (shard.state != Shard::State::Failed)
             continue;
         for (size_t idx : shard.indices) {
@@ -608,6 +824,20 @@ runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
         }
     }
 
+    // Defensive net: a point that ended up in no Failed shard yet was
+    // never delivered (a lost protocol line) must not slip through as
+    // a default-constructed Ok run.
+    for (size_t idx = 0; idx < set.points.size(); ++idx) {
+        if (merger.filled(idx) ||
+            set.runs[idx].status == harness::PointStatus::Failed) {
+            continue;
+        }
+        harness::ExperimentRun &run = set.runs[idx];
+        run.status = harness::PointStatus::Failed;
+        run.error = "farm: point never delivered";
+        log.line("point ", idx, ": never delivered by any shard");
+    }
+
     set.executed = merger.mergedPoints();
     set.jobs = unsigned(shards.size());
     set.totalSeconds = monotonicSeconds() - startTime;
@@ -615,7 +845,8 @@ runPlanFarm(const harness::ExperimentPlan &plan, const PlanRef &ref,
 
     log.line("merge complete: ", stats.merged, " points from ",
              shards.size(), " shards, ", stats.retries, " retries, ",
-             stats.kills, " kills, ", stats.failedShards,
+             stats.repartitions, " repartitions, ", stats.steals,
+             " steals, ", stats.kills, " kills, ", stats.failedShards,
              " failed shards");
 
     if (!farm.manifestPath.empty())

@@ -14,13 +14,23 @@
  * in any order across shards.
  *
  * Fault handling: a worker that exits without its done line, or that
- * goes silent past the heartbeat timeout (SIGKILLed), has its whole
- * shard reassigned to a fresh worker after an exponential backoff, up
- * to maxRetries respawns. Points the dead worker already streamed are
- * kept (the merger fills each point once); a shard that exhausts its
- * budget surfaces its unfilled points as PointStatus::Failed with
- * deterministic diagnostic text — the plan still completes and the
- * driver exits kExitTroubled, never hangs.
+ * goes silent past the heartbeat timeout (SIGKILLed), is recovered by
+ * remainder repartitioning — the coordinator consults the merger for
+ * the points the dead worker already delivered and re-partitions only
+ * the unfinished remainder (replay groups kept whole) into fresh
+ * sub-shards. A shard that died without delivering anything is retried
+ * whole after an exponential backoff, up to maxRetries respawns; one
+ * that exhausts its budget surfaces its unfilled points as
+ * PointStatus::Failed with deterministic diagnostic text — the plan
+ * still completes and the driver exits kExitTroubled, never hangs.
+ *
+ * Stragglers: a worker that finishes its batch sends a steal request
+ * instead of exiting; the coordinator splits the undelivered tail of
+ * the in-flight shard with the most stealable work at a replay-group
+ * boundary and reassigns it. The victim is not interrupted — duplicate
+ * deliveries are absorbed by the fill-once merger — so a wedged-but-
+ * heartbeating straggler cannot hold the sweep hostage: once every
+ * point is merged the coordinator reaps whatever is still running.
  */
 
 #ifndef SCD_FARM_COORDINATOR_HH
@@ -43,7 +53,10 @@ struct FarmStats
 {
     unsigned spawns = 0;       ///< worker processes started
     unsigned kills = 0;        ///< workers SIGKILLed (heartbeat silence)
-    unsigned retries = 0;      ///< shard reassignments after a death
+    unsigned retries = 0;      ///< whole-shard respawns after a death
+    unsigned repartitions = 0; ///< dead-shard remainders split instead
+    unsigned steals = 0;       ///< stolen-work grants to idle workers
+    unsigned straggled = 0;    ///< stragglers reaped after full merge
     unsigned failedShards = 0; ///< shards that exhausted the budget
     size_t merged = 0;         ///< points filled from worker streams
 };
@@ -68,6 +81,18 @@ struct FarmOptions
 
     /** Backoff before respawn k is 'retryBackoff * 2^(k-1)' seconds. */
     double retryBackoff = 0.25;
+
+    /**
+     * Split a dead shard's undelivered remainder into fresh sub-shards
+     * instead of re-running it whole (only when the shard made
+     * progress; zero-progress deaths always go through the whole-shard
+     * retry). Off reproduces the pre-repartitioning behaviour.
+     */
+    bool repartition = true;
+
+    /** Grant steal requests from idle workers. Off makes every steal
+     *  answer an empty reassign (the worker then finishes up). */
+    bool workSteal = true;
 
     /**
      * argv prefix of the worker command. Empty: re-exec this binary

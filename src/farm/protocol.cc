@@ -41,6 +41,27 @@ doneLine(unsigned shard, size_t points)
            ",\"points\":" + std::to_string(points) + "}";
 }
 
+std::string
+stealLine(unsigned shard)
+{
+    return "{\"farm\":\"steal\",\"shard\":" + std::to_string(shard) + "}";
+}
+
+std::string
+reassignLine(unsigned shard, const std::vector<size_t> &indices)
+{
+    std::string line = "{\"farm\":\"reassign\",\"shard\":";
+    line += std::to_string(shard);
+    line += ",\"indices\":[";
+    for (size_t i = 0; i < indices.size(); ++i) {
+        if (i)
+            line += ',';
+        line += std::to_string(indices[i]);
+    }
+    line += "]}";
+    return line;
+}
+
 LineKind
 parseFarmLine(const std::string &line, FarmLine &out)
 {
@@ -71,6 +92,14 @@ parseFarmLine(const std::string &line, FarmLine &out)
         out.kind = LineKind::Assign;
         out.shard = unsigned(doc.numberOr("shard", 0));
         out.attempt = unsigned(doc.numberOr("attempt", 0));
+        for (const obs::JsonValue &v : doc.at("indices").elements())
+            out.indices.push_back(size_t(v.asUint()));
+    } else if (op == "steal") {
+        out.kind = LineKind::Steal;
+        out.shard = unsigned(doc.numberOr("shard", 0));
+    } else if (op == "reassign") {
+        out.kind = LineKind::Reassign;
+        out.shard = unsigned(doc.numberOr("shard", 0));
         for (const obs::JsonValue &v : doc.at("indices").elements())
             out.indices.push_back(size_t(v.asUint()));
     }

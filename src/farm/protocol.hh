@@ -4,9 +4,13 @@
  * delimited JSON, one self-contained object per line, in both
  * directions (docs/SIMULATOR.md, "Running sweeps as a service").
  *
- * Coordinator -> worker (stdin), exactly one line:
+ * Coordinator -> worker (stdin), the assignment first, then zero or
+ * more reassignments in response to steal requests:
  *
  *   {"farm":"assign","shard":K,"attempt":A,"indices":[...]}
+ *   {"farm":"reassign","shard":K,"indices":[...]}   stolen work; an
+ *                                   empty indices array means "no more
+ *                                   work, finish up"
  *
  * Worker -> coordinator (stdout), as the run progresses:
  *
@@ -16,6 +20,8 @@
  *                                   so the merge layer is the already-
  *                                   proven journal parser
  *   {"farm":"heartbeat","shard":K}  periodic liveness beacon
+ *   {"farm":"steal","shard":K}      batch finished; idle worker asks
+ *                                   for more work before its done line
  *   {"farm":"done","shard":K,"points":N}   normal completion, last line
  *
  * Anything else on the stream (a crash backtrace, a stray print) is
@@ -30,6 +36,7 @@
 #define SCD_FARM_PROTOCOL_HH
 
 #include <cstddef>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -49,6 +56,8 @@ enum class LineKind
     Heartbeat, ///< worker liveness beacon
     Done,      ///< worker finished its shard cleanly
     Assign,    ///< coordinator -> worker shard assignment
+    Steal,     ///< worker -> coordinator: idle, wants more work
+    Reassign,  ///< coordinator -> worker: stolen indices (empty = none)
     Unknown,   ///< not protocol (ignored)
 };
 
@@ -56,9 +65,9 @@ enum class LineKind
 struct FarmLine
 {
     LineKind kind = LineKind::Unknown;
-    unsigned shard = 0;             ///< Assign / Heartbeat / Done
+    unsigned shard = 0;             ///< Assign/Heartbeat/Done/Steal/Reassign
     unsigned attempt = 0;           ///< Assign
-    std::vector<size_t> indices;    ///< Assign: plan indices of the shard
+    std::vector<size_t> indices;    ///< Assign / Reassign: plan indices
     size_t points = 0;              ///< Done: points the worker ran
     std::string key;                ///< Point: journal key
     harness::ExperimentRun run;     ///< Point: the completed run
@@ -73,6 +82,14 @@ std::string heartbeatLine(unsigned shard);
 
 /** Serialize a completion notice (no trailing newline). */
 std::string doneLine(unsigned shard, size_t points);
+
+/** Serialize an idle worker's request for more work (no newline). */
+std::string stealLine(unsigned shard);
+
+/** Serialize a stolen-work grant; empty @p indices means "no work
+ *  left, send your done line" (no trailing newline). */
+std::string reassignLine(unsigned shard,
+                         const std::vector<size_t> &indices);
 
 /**
  * Classify and parse one line. Returns the kind (also stored in
@@ -112,30 +129,89 @@ class LineWriter
 /**
  * Reassemble lines from arbitrary read(2) chunks. feed() buffers
  * partial data and invokes the callback once per complete line
- * (without the newline).
+ * (without the newline). Reassembly is pure byte concatenation, so a
+ * multi-byte UTF-8 sequence torn across writes comes back whole.
+ *
+ * Lines longer than the cap are dropped rather than buffered without
+ * bound: the overflowing line (including any bytes still to arrive
+ * before its newline) is discarded and counted, and reassembly resumes
+ * at the next newline. Callers turn the count into a structured
+ * protocol error (the daemon answers {"ok":false,...}; the coordinator
+ * logs the event) instead of letting a byte-spraying peer exhaust
+ * memory.
  */
 class LineBuffer
 {
   public:
+    /** Generous default: well above any journal point line, small
+     *  enough that a runaway peer cannot balloon the process. */
+    static constexpr size_t kDefaultMaxLine = 16u << 20;
+
+    explicit LineBuffer(size_t maxLine = kDefaultMaxLine)
+        : maxLine_(maxLine)
+    {
+    }
+
     template <typename Callback>
     void
     feed(const char *data, size_t n, Callback &&onLine)
     {
-        pending_.append(data, n);
-        size_t start = 0;
-        size_t nl;
-        while ((nl = pending_.find('\n', start)) != std::string::npos) {
-            onLine(pending_.substr(start, nl - start));
-            start = nl + 1;
+        size_t pos = 0;
+        while (pos < n) {
+            const char *nl = static_cast<const char *>(
+                std::memchr(data + pos, '\n', n - pos));
+            size_t end = nl ? size_t(nl - data) : n;
+            if (discarding_) {
+                if (nl)
+                    discarding_ = false;
+                pos = nl ? end + 1 : n;
+                continue;
+            }
+            pending_.append(data + pos, end - pos);
+            if (!nl) {
+                pos = n;
+                if (pending_.size() > maxLine_) {
+                    ++overflows_;
+                    pending_.clear();
+                    discarding_ = true;
+                }
+                break;
+            }
+            if (pending_.size() > maxLine_)
+                ++overflows_;
+            else
+                onLine(pending_);
+            pending_.clear();
+            pos = end + 1;
         }
-        pending_.erase(0, start);
     }
 
     /** Unterminated tail (a torn final line after EOF). */
     const std::string &remainder() const { return pending_; }
 
+    /** Oversized lines dropped since the last takeOverflows(). */
+    size_t takeOverflows()
+    {
+        size_t n = overflows_;
+        overflows_ = 0;
+        return n;
+    }
+
+    /** Drop buffered state (a respawned worker starts a fresh stream,
+     *  never glued to its predecessor's torn tail). */
+    void
+    reset()
+    {
+        pending_.clear();
+        discarding_ = false;
+        overflows_ = 0;
+    }
+
   private:
     std::string pending_;
+    size_t maxLine_;
+    size_t overflows_ = 0;
+    bool discarding_ = false;
 };
 
 } // namespace scd::farm

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "common/logging.hh"
 #include "obs/json.hh"
 #include "protocol.hh"
+#include "state.hh"
 
 namespace scd::farm
 {
@@ -34,6 +36,9 @@ struct Job
     size_t total = 0;
     int exitCode = -1;
     std::string error;
+    /** True when this job was re-submitted from the state dir after a
+     *  restart (surfaced in status so clients can tell). */
+    bool resumed = false;
 };
 
 std::string
@@ -52,6 +57,39 @@ class Daemon
     run()
     {
         ::signal(SIGPIPE, SIG_IGN);
+
+        // Recover durable state before accepting clients: a wait
+        // client reconnecting right after the restart must already
+        // find its job (finished jobs answer immediately, unfinished
+        // ones are re-running seeded from their point journals).
+        if (!options_.stateDir.empty()) {
+            try {
+                store_.reset(new StateStore(options_.stateDir));
+            } catch (const FatalError &e) {
+                warn("farm: ", e.what());
+                return harness::kExitExportFailure;
+            }
+            for (const JobRecord &rec : store_->load()) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    nextJob_ = std::max(nextJob_, rec.id + 1);
+                }
+                if (rec.finished) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    Job &job = jobs_[rec.id];
+                    job.id = rec.id;
+                    job.plan = rec.plan;
+                    job.state = rec.state;
+                    job.exitCode = rec.exitCode;
+                    job.completed = job.total = rec.points;
+                    job.error = rec.error;
+                } else {
+                    inform("farm: re-submitting unfinished job ",
+                           rec.id, " (plan ", rec.plan, ")");
+                    startJob(rec, /*resumed=*/true);
+                }
+            }
+        }
 
         listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
         if (listenFd_ < 0) {
@@ -126,6 +164,16 @@ class Daemon
                 if (!writeAll(fd, out))
                     closed = true;
             });
+            // A request line past the cap is dropped, not buffered:
+            // answer with a structured error instead of going quiet.
+            if (buffer.takeOverflows() && !closed) {
+                std::string out =
+                    errorResponse("protocol error: request line too"
+                                  " long") +
+                    "\n";
+                if (!writeAll(fd, out))
+                    closed = true;
+            }
             if (closed)
                 break;
         }
@@ -168,72 +216,109 @@ class Daemon
     std::string
     submit(const obs::JsonValue &doc)
     {
-        PlanRef ref;
-        ref.name = doc.stringOr("plan", "");
-        if (!havePlan(ref.name))
-            return errorResponse("unknown plan '" + ref.name + "'");
-        std::string sizeName = doc.stringOr("size", "test");
-        if (!harness::parseInputSize(sizeName, ref.params.size))
-            return errorResponse("unknown size '" + sizeName + "'");
-        ref.params.frontend = doc.stringOr("frontend", "");
+        JobRecord rec;
+        rec.plan = doc.stringOr("plan", "");
+        if (!havePlan(rec.plan))
+            return errorResponse("unknown plan '" + rec.plan + "'");
+        rec.size = doc.stringOr("size", "test");
+        harness::InputSize size;
+        if (!harness::parseInputSize(rec.size, size))
+            return errorResponse("unknown size '" + rec.size + "'");
+        rec.frontend = doc.stringOr("frontend", "");
+        rec.workers = unsigned(doc.numberOr("farm", 0));
+        rec.jsonPath = doc.stringOr("json", "");
+        rec.manifestPath = doc.stringOr("manifest", "");
+        rec.logPath = doc.stringOr("log", "");
 
-        FarmOptions farm = options_.farm;
-        unsigned workers = unsigned(doc.numberOr("farm", farm.workers));
-        if (workers > 0)
-            farm.workers = workers;
-        farm.manifestPath = doc.stringOr("manifest", "");
-        farm.logPath = doc.stringOr("log", "");
-        std::string jsonPath = doc.stringOr("json", "");
-
-        unsigned id;
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            id = nextJob_++;
-            Job &job = jobs_[id];
-            job.id = id;
-            job.plan = ref.name;
-            ++runningJobs_;
-            jobThreads_.emplace_back([this, id, ref, farm, jsonPath] {
-                runJob(id, ref, farm, jsonPath);
-            });
+            rec.id = nextJob_++;
         }
-        return "{\"ok\":true,\"job\":" + std::to_string(id) + "}";
+        // Persist before acknowledging: an {"ok":true} the client saw
+        // must survive a daemon SIGKILL. A journal that cannot take
+        // the record refuses the job instead.
+        if (store_) {
+            try {
+                store_->recordAccept(rec);
+            } catch (const FatalError &e) {
+                return errorResponse(
+                    std::string("cannot persist job: ") + e.what());
+            }
+        }
+        startJob(rec, /*resumed=*/false);
+        return "{\"ok\":true,\"job\":" + std::to_string(rec.id) + "}";
+    }
+
+    /** Register @p rec in the job table and launch its sweep thread.
+     *  Shared by submit() and the restart recovery path. */
+    void
+    startJob(const JobRecord &rec, bool resumed)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Job &job = jobs_[rec.id];
+        job.id = rec.id;
+        job.plan = rec.plan;
+        job.resumed = resumed;
+        ++runningJobs_;
+        jobThreads_.emplace_back(
+            [this, rec, resumed] { runJob(rec, resumed); });
     }
 
     void
-    runJob(unsigned id, PlanRef ref, FarmOptions farm,
-           std::string jsonPath)
+    runJob(JobRecord rec, bool resumed)
     {
+        PlanRef ref;
+        ref.name = rec.plan;
+        harness::parseInputSize(rec.size, ref.params.size);
+        ref.params.frontend = rec.frontend;
+
         harness::ExperimentPlan plan;
         try {
             plan = buildPlan(ref);
         } catch (const FatalError &e) {
-            finishJob(id, "failed", harness::kExitExportFailure,
+            finishJob(rec.id, "failed", harness::kExitExportFailure,
                       e.what());
             return;
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            Job &job = jobs_[id];
+            Job &job = jobs_[rec.id];
             job.state = "running";
             job.total = plan.size();
         }
-        farm.onMerged = [this, id](size_t done, size_t total) {
+
+        FarmOptions farm = options_.farm;
+        if (rec.workers > 0)
+            farm.workers = rec.workers;
+        farm.manifestPath = rec.manifestPath;
+        farm.logPath = rec.logPath;
+        farm.onMerged = [this, id = rec.id](size_t done, size_t total) {
             std::lock_guard<std::mutex> lock(mutex_);
             Job &job = jobs_[id];
             job.completed = done;
             job.total = total;
         };
 
-        harness::ExperimentSet set =
-            runPlanFarm(plan, ref, options_.run, farm);
+        harness::RunOptions run = options_.run;
+        if (store_) {
+            // Every point lands durably in the per-job journal the
+            // moment it completes; a restarted daemon re-runs only
+            // the remainder (resume restores the rest verbatim, so
+            // the merged export stays byte-identical).
+            run.journalPath = store_->pointJournalPath(rec.id);
+            run.resume = resumed;
+            run.journalDurable = true;
+        }
+
+        harness::ExperimentSet set = runPlanFarm(plan, ref, run, farm);
         int exitCode = harness::reportTroubledPoints({&set});
         std::string error;
-        if (!jsonPath.empty() && !writeStatsExport(ref, set, jsonPath)) {
+        if (!rec.jsonPath.empty() &&
+            !writeStatsExport(ref, set, rec.jsonPath)) {
             exitCode = harness::kExitExportFailure;
-            error = "cannot write stats export " + jsonPath;
+            error = "cannot write stats export " + rec.jsonPath;
         }
-        finishJob(id, exitCode == harness::kExitOk ? "done" : "failed",
+        finishJob(rec.id, exitCode == harness::kExitOk ? "done" : "failed",
                   exitCode, error);
     }
 
@@ -241,13 +326,24 @@ class Daemon
     finishJob(unsigned id, const std::string &state, int exitCode,
               const std::string &error)
     {
+        size_t points = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            Job &job = jobs_[id];
+            if (job.total == 0)
+                job.total = job.completed;
+            points = job.total;
+        }
+        // Journal the finish before wait clients unblock: once a
+        // client saw "done", a restarted daemon must answer the same,
+        // not re-run the job.
+        if (store_)
+            store_->recordFinish(id, state, exitCode, points, error);
         std::lock_guard<std::mutex> lock(mutex_);
         Job &job = jobs_[id];
         job.state = state;
         job.exitCode = exitCode;
         job.error = error;
-        if (job.total == 0)
-            job.total = job.completed;
         --runningJobs_;
         cv_.notify_all();
     }
@@ -276,6 +372,8 @@ class Daemon
                           ",\"total\":" + std::to_string(job.total);
         if (job.exitCode >= 0)
             out += ",\"exit\":" + std::to_string(job.exitCode);
+        if (job.resumed)
+            out += ",\"resumed\":true";
         if (!job.error.empty())
             out += ",\"error\":" + obs::JsonWriter::quote(job.error);
         return out + "}";
@@ -293,6 +391,7 @@ class Daemon
     ServiceOptions options_;
     int listenFd_ = -1;
     std::atomic<bool> stopping_{false};
+    std::unique_ptr<StateStore> store_;
 
     std::mutex mutex_;
     std::condition_variable cv_;

@@ -25,6 +25,14 @@
  * its own worker fleet; its stats export lands at the submitted
  * "json" path via writeStatsExport(), byte-identical to what the
  * one-shot scd_farm driver writes for the same plan.
+ *
+ * Persistence: with stateDir set, every accepted job is durably
+ * journaled (state.hh) before the submit is acknowledged, and every
+ * job runs with a durable per-job point journal. A daemon restarted
+ * on the same state dir re-answers finished jobs immediately and
+ * re-submits unfinished ones seeded from their point journals — only
+ * the undelivered remainder re-runs, and a wait client reconnecting
+ * by job id gets the byte-identical merged stats document.
  */
 
 #ifndef SCD_FARM_SERVICE_HH
@@ -43,6 +51,13 @@ struct ServiceOptions
     std::string socketPath; ///< unix socket to bind (unlinked first)
     harness::RunOptions run;    ///< base run options for every job
     FarmOptions farm;           ///< base farm options (workers etc.)
+
+    /**
+     * Directory for the durable job journal and the per-job point
+     * journals (state.hh). Empty: in-memory only — a killed daemon
+     * forgets its queue, exactly the pre-persistence behaviour.
+     */
+    std::string stateDir;
 };
 
 /**

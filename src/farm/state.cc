@@ -1,0 +1,204 @@
+#include "state.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/fault_inject.hh"
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "protocol.hh"
+
+namespace scd::farm
+{
+
+namespace
+{
+
+// Records are built by hand like the wire protocol's lines
+// (protocol.cc): JsonWriter pretty-prints across lines, and the journal
+// needs exactly one object per line.
+
+std::string
+serializeAccept(const JobRecord &job)
+{
+    using obs::JsonWriter;
+    std::string line = "{\"schema\":";
+    line += JsonWriter::quote(kJobSchema);
+    line += ",\"event\":\"accept\",\"job\":";
+    line += std::to_string(job.id);
+    line += ",\"plan\":";
+    line += JsonWriter::quote(job.plan);
+    line += ",\"size\":";
+    line += JsonWriter::quote(job.size);
+    if (!job.frontend.empty()) {
+        line += ",\"frontend\":";
+        line += JsonWriter::quote(job.frontend);
+    }
+    if (job.workers > 0) {
+        line += ",\"workers\":";
+        line += std::to_string(job.workers);
+    }
+    if (!job.jsonPath.empty()) {
+        line += ",\"json\":";
+        line += JsonWriter::quote(job.jsonPath);
+    }
+    if (!job.manifestPath.empty()) {
+        line += ",\"manifest\":";
+        line += JsonWriter::quote(job.manifestPath);
+    }
+    if (!job.logPath.empty()) {
+        line += ",\"log\":";
+        line += JsonWriter::quote(job.logPath);
+    }
+    line += "}";
+    return line;
+}
+
+std::string
+serializeFinish(unsigned job, const std::string &state, int exitCode,
+                size_t points, const std::string &error)
+{
+    using obs::JsonWriter;
+    std::string line = "{\"schema\":";
+    line += JsonWriter::quote(kJobSchema);
+    line += ",\"event\":\"finish\",\"job\":";
+    line += std::to_string(job);
+    line += ",\"state\":";
+    line += JsonWriter::quote(state);
+    line += ",\"exit\":";
+    line += std::to_string(exitCode);
+    line += ",\"points\":";
+    line += std::to_string(points);
+    if (!error.empty()) {
+        line += ",\"error\":";
+        line += JsonWriter::quote(error);
+    }
+    line += "}";
+    return line;
+}
+
+} // namespace
+
+StateStore::StateStore(const std::string &dir)
+    : dir_(dir), jobsPath_(dir + "/jobs.scdjsonl")
+{
+    if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST)
+        fatal("farm: cannot create state dir ", dir_, ": ",
+              std::strerror(errno));
+    fd_ = ::open(jobsPath_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
+    if (fd_ < 0)
+        fatal("farm: cannot open job journal ", jobsPath_, ": ",
+              std::strerror(errno));
+}
+
+StateStore::~StateStore()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+StateStore::pointJournalPath(unsigned job) const
+{
+    return dir_ + "/job-" + std::to_string(job) + ".journal";
+}
+
+std::vector<JobRecord>
+StateStore::load() const
+{
+    std::vector<JobRecord> jobs;
+    std::ifstream in(jobsPath_, std::ios::binary);
+    if (!in)
+        return jobs; // a fresh state dir: nothing to replay
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        obs::JsonValue doc = obs::JsonValue::parse(line);
+        if (!doc.isObject() || doc.stringOr("schema", "") != kJobSchema) {
+            // The torn trailing line of a crashed append, or stray
+            // bytes: skip, keep replaying (a torn line can only be the
+            // last one, but being lenient everywhere costs nothing).
+            warn("farm: job journal ", jobsPath_, " line ", lineNo,
+                 ": malformed record ignored");
+            continue;
+        }
+        std::string event = doc.stringOr("event", "");
+        unsigned id = unsigned(doc.numberOr("job", 0));
+        if (event == "accept") {
+            JobRecord rec;
+            rec.id = id;
+            rec.plan = doc.stringOr("plan", "");
+            rec.size = doc.stringOr("size", "test");
+            rec.frontend = doc.stringOr("frontend", "");
+            rec.workers = unsigned(doc.numberOr("workers", 0));
+            rec.jsonPath = doc.stringOr("json", "");
+            rec.manifestPath = doc.stringOr("manifest", "");
+            rec.logPath = doc.stringOr("log", "");
+            jobs.push_back(std::move(rec));
+        } else if (event == "finish") {
+            bool known = false;
+            for (JobRecord &rec : jobs) {
+                if (rec.id != id)
+                    continue;
+                rec.finished = true;
+                rec.state = doc.stringOr("state", "done");
+                rec.exitCode = int(doc.numberOr("exit", -1));
+                rec.points = size_t(doc.numberOr("points", 0));
+                rec.error = doc.stringOr("error", "");
+                known = true;
+                break;
+            }
+            if (!known) {
+                warn("farm: job journal ", jobsPath_, " line ", lineNo,
+                     ": finish for unknown job ", id, " ignored");
+            }
+        } else {
+            warn("farm: job journal ", jobsPath_, " line ", lineNo,
+                 ": unknown event '", event, "' ignored");
+        }
+    }
+    return jobs;
+}
+
+void
+StateStore::append(const std::string &line)
+{
+    // Fires before any byte goes out so the injected failure leaves
+    // the journal exactly as it was (tests/farm_test.cc).
+    SCD_FAULT_POINT("farm-journal-append");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!writeAll(fd_, line + "\n"))
+        fatal("farm: cannot append to job journal ", jobsPath_, ": ",
+              std::strerror(errno));
+    if (::fsync(fd_) != 0)
+        fatal("farm: cannot fsync job journal ", jobsPath_, ": ",
+              std::strerror(errno));
+}
+
+void
+StateStore::recordAccept(const JobRecord &job)
+{
+    append(serializeAccept(job));
+}
+
+void
+StateStore::recordFinish(unsigned job, const std::string &state,
+                         int exitCode, size_t points,
+                         const std::string &error)
+{
+    try {
+        append(serializeFinish(job, state, exitCode, points, error));
+    } catch (const FatalError &e) {
+        warn("farm: finish record for job ", job, " lost: ", e.what());
+    }
+}
+
+} // namespace scd::farm

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Durable state of the farm daemon: the job journal that makes
+ * `scd_farm --serve --state-dir=<dir>` survive a SIGKILL without
+ * losing accepted work (docs/SIMULATOR.md, "Running sweeps as a
+ * service").
+ *
+ * Layout of the state directory:
+ *
+ *   jobs.scdjsonl        scd-farm-job-v1 records, append-only
+ *   job-<id>.journal     per-job scd-journal-v1 point journal
+ *                        (harness/journal.hh), appended durably as the
+ *                        job's points complete
+ *
+ * The job journal carries two record kinds, one JSON object per line:
+ *
+ *   {"schema":"scd-farm-job-v1","event":"accept","job":N,
+ *    "plan":...,"size":...,"frontend":...,"workers":W,
+ *    "json":...,"manifest":...,"log":...}
+ *   {"schema":"scd-farm-job-v1","event":"finish","job":N,
+ *    "state":"done"|"failed","exit":E,"points":P,"error":...}
+ *
+ * Every append is one write(2) followed by fsync(2): the daemon only
+ * answers {"ok":true,"job":N} after the accept record is on disk, so a
+ * submission the client saw acknowledged is never forgotten. On
+ * restart, load() replays the journal — accepts seeded, finishes
+ * applied, a torn trailing line (the crash window) skipped with a
+ * warn() — and the daemon re-submits every unfinished job seeded from
+ * its point journal; already-delivered points are restored, only the
+ * remainder re-runs, and the merged export stays byte-identical.
+ */
+
+#ifndef SCD_FARM_STATE_HH
+#define SCD_FARM_STATE_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace scd::farm
+{
+
+/** Schema tag of the daemon's job journal records. */
+inline constexpr const char *kJobSchema = "scd-farm-job-v1";
+
+/** One job as the journal knows it: the accept fields, plus the finish
+ *  fields once a finish record was applied. */
+struct JobRecord
+{
+    unsigned id = 0;
+    std::string plan;
+    std::string size = "test";
+    std::string frontend;
+    unsigned workers = 0; ///< 0 = use the daemon's default fleet size
+    std::string jsonPath;
+    std::string manifestPath;
+    std::string logPath;
+
+    bool finished = false;
+    std::string state; ///< "done" or "failed" once finished
+    int exitCode = -1;
+    size_t points = 0; ///< total points of the finished job
+    std::string error;
+};
+
+/**
+ * The append side plus the replay side of the job journal. Thread-safe:
+ * submit threads record accepts while job threads record finishes.
+ */
+class StateStore
+{
+  public:
+    /**
+     * Open (creating the directory and the journal as needed) for
+     * appending. Throws FatalError when the directory cannot be made
+     * or the journal cannot be opened.
+     */
+    explicit StateStore(const std::string &dir);
+    ~StateStore();
+
+    StateStore(const StateStore &) = delete;
+    StateStore &operator=(const StateStore &) = delete;
+
+    /** The per-job point journal path inside the state directory. */
+    std::string pointJournalPath(unsigned job) const;
+
+    /**
+     * Replay the journal: jobs in accept order, finish records folded
+     * in, malformed or torn lines skipped with a warn(). A finish for
+     * an unknown job id is ignored.
+     */
+    std::vector<JobRecord> load() const;
+
+    /**
+     * Durably append an accept record. Throws FatalError when the
+     * record could not be persisted (disk error, or the armed
+     * "farm-journal-append" fault) — the caller must then refuse the
+     * submission rather than accept work that would vanish on restart.
+     */
+    void recordAccept(const JobRecord &job);
+
+    /**
+     * Durably append a finish record. Best effort: a write failure is
+     * warn()ed, not thrown — the job's results are already exported;
+     * the worst case is a redundant (journal-seeded, hence cheap)
+     * re-run after a restart.
+     */
+    void recordFinish(unsigned job, const std::string &state,
+                      int exitCode, size_t points,
+                      const std::string &error);
+
+  private:
+    void append(const std::string &line);
+
+    std::string dir_;
+    std::string jobsPath_;
+    int fd_ = -1;
+    std::mutex mutex_;
+};
+
+} // namespace scd::farm
+
+#endif // SCD_FARM_STATE_HH

@@ -9,7 +9,11 @@
 #include <mutex>
 #include <thread>
 
+#include <signal.h>
 #include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
 
 #include "common/fault_inject.hh"
 #include "common/logging.hh"
@@ -38,6 +42,17 @@ struct WorkerConfig
      * injection build (tests/farm_test.cc). 0 = never.
      */
     unsigned dieAfter = 0;
+    /**
+     * Straggler-simulation knobs: when this worker holds shard
+     * wedgeShard (first attempt only), it streams wedgeAfter points
+     * and then stalls forever. With wedgeSilent the heartbeat thread
+     * stops too (a frozen process, recovered by the heartbeat kill);
+     * without it the worker keeps beaconing (a live straggler,
+     * recovered by work stealing). wedgeShard < 0 = knob inactive.
+     */
+    long wedgeShard = -1;
+    unsigned wedgeAfter = 0;
+    bool wedgeSilent = false;
 };
 
 bool
@@ -84,6 +99,14 @@ parseWorkerFlags(int argc, char **argv)
             long death = std::strtol(v, nullptr, 10);
             if (death > 0)
                 cfg.dieAfter = unsigned(death);
+        } else if (flagValue(argv[n], "--wedge-shard=", &v)) {
+            cfg.wedgeShard = std::strtol(v, nullptr, 10);
+        } else if (flagValue(argv[n], "--wedge-after=", &v)) {
+            long wedge = std::strtol(v, nullptr, 10);
+            if (wedge > 0)
+                cfg.wedgeAfter = unsigned(wedge);
+        } else if (std::strcmp(argv[n], "--wedge-silent") == 0) {
+            cfg.wedgeSilent = true;
         }
     }
     if (cfg.ref.name.empty())
@@ -91,20 +114,39 @@ parseWorkerFlags(int argc, char **argv)
     return cfg;
 }
 
-/** Periodic heartbeat until stopped; shares the point-line writer. */
+/** Worker exit code when it finds itself orphaned (coordinator gone
+ *  without the PDEATHSIG having fired). */
+constexpr int kOrphanExit = 71;
+
+/**
+ * Periodic heartbeat until stopped; shares the point-line writer. The
+ * beacon loop doubles as the orphan fallback poll: each tick compares
+ * getppid() against the parent recorded at startup — PR_SET_PDEATHSIG
+ * covers the common case, but it is armed per thread and unavailable
+ * off Linux, so a reparented worker exits here instead of leaking.
+ */
 class HeartbeatThread
 {
   public:
-    HeartbeatThread(LineWriter &writer, unsigned shard, double interval)
-        : writer_(writer), shard_(shard), interval_(interval)
+    HeartbeatThread(LineWriter &writer, unsigned shard, double interval,
+                    pid_t parent)
+        : writer_(writer), shard_(shard), interval_(interval),
+          parent_(parent)
     {
         thread_ = std::thread([this] { loop(); });
     }
 
-    ~HeartbeatThread()
+    ~HeartbeatThread() { stop(); }
+
+    /** Idempotent; callable from any thread (the wedge knob silences
+     *  the beacon mid-run to simulate a frozen process). */
+    void
+    stop()
     {
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (stop_)
+                return;
             stop_ = true;
         }
         cv_.notify_all();
@@ -117,27 +159,53 @@ class HeartbeatThread
     {
         std::unique_lock<std::mutex> lock(mutex_);
         auto period = std::chrono::duration<double>(interval_);
-        while (!cv_.wait_for(lock, period, [this] { return stop_; }))
+        while (!cv_.wait_for(lock, period, [this] { return stop_; })) {
+            if (::getppid() != parent_)
+                std::_Exit(kOrphanExit); // orphaned: coordinator died
             writer_.line(heartbeatLine(shard_));
+        }
     }
 
     LineWriter &writer_;
     unsigned shard_;
     double interval_;
+    pid_t parent_;
     std::thread thread_;
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stop_ = false;
 };
 
+/**
+ * Die with the coordinator: ask the kernel to SIGKILL this process the
+ * moment the parent (the coordinator's spawning thread, which outlives
+ * every worker) exits. SCD_NO_PDEATHSIG=1 skips the prctl so tests can
+ * prove the getppid() fallback alone reaps orphans.
+ */
+void
+armParentDeathSignal()
+{
+#ifdef __linux__
+    if (!std::getenv("SCD_NO_PDEATHSIG"))
+        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+}
+
 } // namespace
 
 int
 workerMain(int argc, char **argv)
 {
+    // The coordinator's pipes may vanish at any instant (it was
+    // SIGKILLed, or it reaped this shard as a straggler): that must
+    // surface as a failed write, not a SIGPIPE death.
+    ::signal(SIGPIPE, SIG_IGN);
+    pid_t parent = ::getppid();
+    armParentDeathSignal();
+
     WorkerConfig cfg = parseWorkerFlags(argc, argv);
 
-    // The single assignment line the coordinator sends on stdin.
+    // The assignment line the coordinator sends on stdin first.
     std::string line;
     if (!std::getline(std::cin, line))
         fatal("worker: no assignment on stdin");
@@ -146,46 +214,84 @@ workerMain(int argc, char **argv)
         fatal("worker: expected an assign line, got: ", line);
 
     // A retry attempt must not re-inherit the coordinator's armed
-    // fault or the crash-test knob: the first attempt proves the death
-    // path, the retry proves recovery.
+    // fault or the crash-test knobs: the first attempt proves the
+    // death path, the retry proves recovery.
     if (assign.attempt > 0) {
         ::unsetenv("SCD_FAULT");
         cfg.dieAfter = 0;
+        cfg.wedgeAfter = 0;
     }
+    const bool wedgeHere =
+        cfg.wedgeAfter > 0 && cfg.wedgeShard >= 0 &&
+        unsigned(cfg.wedgeShard) == assign.shard;
 
     harness::ExperimentPlan full = buildPlan(cfg.ref);
-    harness::ExperimentPlan sub;
-    for (size_t idx : assign.indices) {
-        if (idx >= full.size()) {
-            fatal("worker: assigned index ", idx, " out of range (plan '",
-                  cfg.ref.name, "' has ", full.size(), " points)");
-        }
-        sub.add(full.points()[idx]);
-    }
 
     LineWriter writer(STDOUT_FILENO);
+    HeartbeatThread heartbeat(writer, assign.shard, cfg.heartbeat,
+                              parent);
     std::atomic<unsigned> completed{0};
     const unsigned dieAfter = cfg.dieAfter;
-    cfg.run.onPoint = [&](size_t i, const harness::ExperimentRun &run) {
-        // Deterministic crash sites, checked before the line goes out
-        // so the coordinator must recover the point from the retry.
-        try {
-            SCD_FAULT_POINT("farm-worker");
-        } catch (const FatalError &) {
-            std::_Exit(70); // hard death: no done line, EOF mid-stream
-        }
-        unsigned soFar = completed.fetch_add(1) + 1;
-        if (dieAfter && soFar >= dieAfter)
-            std::_Exit(70);
-        writer.line(
-            harness::journalLine(harness::pointKey(sub.points()[i]), run));
-    };
 
-    {
-        HeartbeatThread heartbeat(writer, assign.shard, cfg.heartbeat);
+    // Run the assigned batch, then keep asking for stolen work until
+    // the coordinator's grant comes back empty (or it goes away).
+    size_t totalPoints = 0;
+    std::vector<size_t> batch = assign.indices;
+    for (;;) {
+        harness::ExperimentPlan sub;
+        for (size_t idx : batch) {
+            if (idx >= full.size()) {
+                fatal("worker: assigned index ", idx,
+                      " out of range (plan '", cfg.ref.name, "' has ",
+                      full.size(), " points)");
+            }
+            sub.add(full.points()[idx]);
+        }
+
+        cfg.run.onPoint = [&](size_t i,
+                              const harness::ExperimentRun &run) {
+            // Deterministic crash sites, checked before the line goes
+            // out so the coordinator must recover the point itself.
+            try {
+                SCD_FAULT_POINT("farm-worker");
+            } catch (const FatalError &) {
+                std::_Exit(70); // hard death: no done line, EOF
+            }
+            unsigned soFar = completed.fetch_add(1) + 1;
+            if (dieAfter && soFar >= dieAfter)
+                std::_Exit(70);
+            writer.line(harness::journalLine(
+                harness::pointKey(sub.points()[i]), run));
+            if (wedgeHere && soFar >= cfg.wedgeAfter) {
+                // Straggler simulation: this point went out, the rest
+                // of the batch never will.
+                if (cfg.wedgeSilent)
+                    heartbeat.stop();
+                for (;;)
+                    ::pause();
+            }
+        };
         harness::runPlan(sub, cfg.run);
+        totalPoints += sub.size();
+
+        // Idle: request more work. EOF or a non-reassign (coordinator
+        // gone or shutting this shard down) ends the loop; so does an
+        // empty grant.
+        if (!writer.line(stealLine(assign.shard)))
+            break;
+        std::string reply;
+        if (!std::getline(std::cin, reply))
+            break;
+        FarmLine more;
+        if (parseFarmLine(reply, more) != LineKind::Reassign ||
+            more.indices.empty()) {
+            break;
+        }
+        batch = more.indices;
     }
-    writer.line(doneLine(assign.shard, sub.size()));
+
+    heartbeat.stop();
+    writer.line(doneLine(assign.shard, totalPoints));
     return writer.failed() ? 1 : harness::kExitOk;
 }
 

@@ -7,8 +7,15 @@
  * the ordinary in-process runPlan() — replay sharing, containment and
  * watchdog included — and streams every completed point back over
  * stdout as an scd-journal-v1 line, interleaved with heartbeats from a
- * background thread. stderr stays the worker's own (progress, warns)
- * and is inherited from the coordinator.
+ * background thread. An idle worker then asks the coordinator for
+ * stolen work (a steal line) and keeps running reassigned batches
+ * until the grant comes back empty. stderr stays the worker's own
+ * (progress, warns) and is inherited from the coordinator.
+ *
+ * Orphan safety: the worker arms PR_SET_PDEATHSIG(SIGKILL) so a
+ * SIGKILLed coordinator takes its fleet with it, with a getppid() poll
+ * in the heartbeat thread as the fallback (SCD_NO_PDEATHSIG=1 forces
+ * the fallback path for tests).
  *
  * Drivers call maybeWorkerMain() first thing in main(), after
  * registering their plans: when --worker is present the process never

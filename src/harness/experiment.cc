@@ -146,7 +146,8 @@ runPlan(const ExperimentPlan &plan, const RunOptions &options)
             pending.push_back(i);
     }
     if (!opts.journalPath.empty())
-        journal.open(opts.journalPath, /*truncate=*/!opts.resume);
+        journal.open(opts.journalPath, /*truncate=*/!opts.resume,
+                     opts.journalDurable);
 
     auto planStart = clock::now();
     if (replayEnabled(opts))

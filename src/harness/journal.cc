@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "obs/json.hh"
 #include "replay.hh"
@@ -34,7 +36,7 @@ RunJournal::~RunJournal()
 }
 
 void
-RunJournal::open(const std::string &path, bool truncate)
+RunJournal::open(const std::string &path, bool truncate, bool durable)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     if (file_)
@@ -43,6 +45,7 @@ RunJournal::open(const std::string &path, bool truncate)
     if (!file_) {
         fatal("cannot open journal ", path, ": ", std::strerror(errno));
     }
+    durable_ = durable;
 }
 
 void
@@ -55,8 +58,12 @@ RunJournal::append(const std::string &key, const ExperimentRun &run)
     std::lock_guard<std::mutex> lock(mutex_);
     std::fwrite(line.data(), 1, line.size(), file_);
     // One flush per point: the line reaches the OS before the next
-    // point starts, so kill -9 loses only in-flight work.
+    // point starts, so kill -9 loses only in-flight work. Durable
+    // journals push it through to the device too, surviving a host
+    // crash, not just a process death.
     std::fflush(file_);
+    if (durable_)
+        ::fsync(fileno(file_));
 }
 
 std::string

@@ -45,10 +45,14 @@ class RunJournal
 
     /**
      * Open @p path for appending; with @p truncate the file is emptied
-     * first (a fresh --journal run). Throws FatalError when the file
-     * cannot be opened.
+     * first (a fresh --journal run). With @p durable every append is
+     * additionally fsync(2)'d — the farm daemon's per-job journals need
+     * the record on disk, not just in the page cache, before the point
+     * counts as persisted (src/farm/service.cc). Throws FatalError when
+     * the file cannot be opened.
      */
-    void open(const std::string &path, bool truncate);
+    void open(const std::string &path, bool truncate,
+              bool durable = false);
 
     bool active() const { return file_ != nullptr; }
 
@@ -61,6 +65,7 @@ class RunJournal
 
   private:
     std::FILE *file_ = nullptr;
+    bool durable_ = false;
     std::mutex mutex_;
 };
 

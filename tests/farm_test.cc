@@ -16,20 +16,27 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
 
 #include "common/fault_inject.hh"
 #include "farm/coordinator.hh"
 #include "farm/plans.hh"
 #include "farm/protocol.hh"
 #include "farm/service.hh"
+#include "farm/state.hh"
 #include "farm/worker.hh"
 #include "harness/journal.hh"
 #include "harness/json_export.hh"
@@ -49,6 +56,45 @@ tempPath(const char *name)
     std::string path = ::testing::TempDir() + name;
     std::remove(path.c_str());
     return path;
+}
+
+/** A state-dir path scrubbed of the files a previous run's StateStore
+ *  may have left (the store appends, so leftovers would leak in). */
+std::string
+tempDir(const char *name)
+{
+    std::string dir = ::testing::TempDir() + name;
+    std::remove((dir + "/jobs.scdjsonl").c_str());
+    for (unsigned id = 1; id <= 8; ++id) {
+        std::remove(
+            (dir + "/job-" + std::to_string(id) + ".journal").c_str());
+    }
+    return dir;
+}
+
+void
+appendRaw(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr) << path;
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+}
+
+std::string
+slurpFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string text;
+    if (f) {
+        char buf[4096];
+        size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, got);
+        std::fclose(f);
+    }
+    return text;
 }
 
 /**
@@ -228,6 +274,21 @@ TEST(FarmProtocol, ControlLinesRoundTrip)
               farm::LineKind::Done);
     EXPECT_EQ(line.points, 44u);
 
+    ASSERT_EQ(farm::parseFarmLine(farm::stealLine(4), line),
+              farm::LineKind::Steal);
+    EXPECT_EQ(line.shard, 4u);
+
+    ASSERT_EQ(farm::parseFarmLine(farm::reassignLine(2, {1, 3, 6}),
+                                  line),
+              farm::LineKind::Reassign);
+    EXPECT_EQ(line.shard, 2u);
+    EXPECT_EQ(line.indices, (std::vector<size_t>{1, 3, 6}));
+
+    // The empty grant ("no work left, finish up") round-trips too.
+    ASSERT_EQ(farm::parseFarmLine(farm::reassignLine(2, {}), line),
+              farm::LineKind::Reassign);
+    EXPECT_TRUE(line.indices.empty());
+
     // Garbage and non-protocol JSON are classified Unknown, never throw.
     EXPECT_EQ(farm::parseFarmLine("not json at all", line),
               farm::LineKind::Unknown);
@@ -249,6 +310,69 @@ TEST(FarmProtocol, PointLinesAreJournalLines)
     EXPECT_EQ(line.key, "some|key");
     EXPECT_EQ(line.run.result.run.instructions, 123u);
     EXPECT_EQ(line.run.result.stats.counter("cycles.total"), 9u);
+}
+
+/** Reassembly is pure byte concatenation: a UTF-8 sequence torn
+ *  across arbitrary write boundaries must come back whole. */
+TEST(FarmProtocol, LineBufferReassemblesTornMultibyteWrites)
+{
+    farm::LineBuffer buffer;
+    std::vector<std::string> lines;
+    auto onLine = [&](const std::string &l) { lines.push_back(l); };
+
+    const std::string line = "{\"text\":\"héllo — ünïcode\"}";
+    std::string stream = line + "\n" + line + "\n";
+    // Feed one byte at a time: every multi-byte sequence is torn.
+    for (size_t i = 0; i < stream.size(); ++i)
+        buffer.feed(stream.data() + i, 1, onLine);
+
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], line);
+    EXPECT_EQ(lines[1], line);
+    EXPECT_EQ(buffer.takeOverflows(), 0u);
+    EXPECT_TRUE(buffer.remainder().empty());
+}
+
+/** Oversized lines are dropped and counted — whether they arrive in
+ *  one chunk or stream in without a newline — and reassembly resumes
+ *  at the next line boundary. */
+TEST(FarmProtocol, LineBufferCapsOversizedLines)
+{
+    farm::LineBuffer buffer(16);
+    std::vector<std::string> lines;
+    auto onLine = [&](const std::string &l) { lines.push_back(l); };
+
+    // Complete-but-huge line followed by a normal one.
+    std::string stream = std::string(64, 'x') + "\nok\n";
+    buffer.feed(stream.data(), stream.size(), onLine);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "ok");
+    EXPECT_EQ(buffer.takeOverflows(), 1u);
+    EXPECT_EQ(buffer.takeOverflows(), 0u) << "count is take-once";
+
+    // An unterminated line crossing the cap is dropped while still
+    // streaming in (no unbounded buffering), including the bytes that
+    // arrive before its eventual newline.
+    std::string chunk(10, 'y');
+    for (int n = 0; n < 5; ++n)
+        buffer.feed(chunk.data(), chunk.size(), onLine);
+    EXPECT_EQ(buffer.takeOverflows(), 1u);
+    std::string tail = "tail\nafter\n";
+    buffer.feed(tail.data(), tail.size(), onLine);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[1], "after") << "resume at the next newline";
+
+    // reset() drops a torn tail: a respawned worker's stream must
+    // never be glued to its dead predecessor's partial line.
+    std::string torn = "torn";
+    buffer.feed(torn.data(), torn.size(), onLine);
+    EXPECT_EQ(buffer.remainder(), "torn");
+    buffer.reset();
+    EXPECT_TRUE(buffer.remainder().empty());
+    std::string fresh = "fresh\n";
+    buffer.feed(fresh.data(), fresh.size(), onLine);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[2], "fresh");
 }
 
 /** The tentpole guarantee: a 3-worker farm merges byte-identical to a
@@ -294,6 +418,172 @@ TEST(FarmRun, WorkerCrashRetriesToByteIdentical)
 
     EXPECT_GT(stats.retries, 0u);
     EXPECT_EQ(stats.failedShards, 0u);
+    EXPECT_EQ(farmed.troubled(), 0u);
+    EXPECT_EQ(exportDoc(farmed), exportDoc(serial));
+}
+
+/**
+ * A shard that dies with partial progress is not re-run whole: the
+ * coordinator consults the merger and re-partitions only the
+ * undelivered remainder into fresh sub-shards. Asserted through the
+ * coordinator event log — the repartition line names the remainder
+ * size, and no whole-shard retry happens at all.
+ */
+TEST(FarmRun, RepartitionCompletesWithoutRerunningDeliveredPoints)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 1;
+    ExperimentSet serial = runPlan(plan, options);
+
+    farm::FarmStats stats;
+    farm::FarmOptions farmOptions = quickFarm(1);
+    // The single worker delivers exactly one point, then exits hard
+    // before streaming the second: partial progress, then death.
+    farmOptions.workerArgs = {"--die-after=2"};
+    farmOptions.statsOut = &stats;
+    std::vector<std::string> log;
+    farmOptions.onProgress = [&](const std::string &l) {
+        log.push_back(l);
+    };
+    ExperimentSet farmed =
+        farm::runPlanFarm(plan, testRef(), options, farmOptions);
+
+    EXPECT_GE(stats.repartitions, 1u);
+    EXPECT_EQ(stats.retries, 0u)
+        << "partial progress must repartition, not re-run the shard";
+    EXPECT_EQ(stats.failedShards, 0u);
+    EXPECT_EQ(farmed.troubled(), 0u);
+
+    bool sawRepartition = false;
+    for (const std::string &l : log) {
+        if (l.find("repartitioning remainder (7 of 8 points)") !=
+            std::string::npos) {
+            sawRepartition = true;
+        }
+        EXPECT_EQ(l.find("; retry "), std::string::npos)
+            << "unexpected whole-shard retry: " << l;
+    }
+    EXPECT_TRUE(sawRepartition) << "no repartition line in the log";
+    EXPECT_EQ(exportDoc(farmed), exportDoc(serial));
+}
+
+/**
+ * A live straggler — wedged mid-batch but still heartbeating — must
+ * not hold the sweep hostage: the idle worker steals its undelivered
+ * tail at replay-group boundaries, and once every point is merged the
+ * coordinator reaps the straggler. The merged export stays
+ * byte-identical to serial.
+ */
+TEST(FarmRun, StragglerWorkStolenToByteIdentical)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 1;
+    ExperimentSet serial = runPlan(plan, options);
+
+    farm::FarmStats stats;
+    farm::FarmOptions farmOptions = quickFarm(2);
+    // Shard 0's worker streams one point and then stalls forever with
+    // its heartbeat alive: the timeout never fires, only stealing can
+    // finish the sweep.
+    farmOptions.workerArgs = {"--wedge-shard=0", "--wedge-after=1"};
+    farmOptions.statsOut = &stats;
+    std::vector<std::string> log;
+    farmOptions.onProgress = [&](const std::string &l) {
+        log.push_back(l);
+    };
+    ExperimentSet farmed =
+        farm::runPlanFarm(plan, testRef(), options, farmOptions);
+
+    EXPECT_GE(stats.steals, 1u);
+    EXPECT_GE(stats.straggled, 1u) << "the wedged worker must be reaped";
+    EXPECT_EQ(stats.failedShards, 0u);
+    EXPECT_EQ(stats.kills, 0u)
+        << "a heartbeating straggler is stolen from, not killed";
+    EXPECT_EQ(farmed.troubled(), 0u);
+
+    bool sawSteal = false;
+    for (const std::string &l : log) {
+        if (l.find("stealing") != std::string::npos &&
+            l.find("replay group") != std::string::npos) {
+            sawSteal = true;
+        }
+    }
+    EXPECT_TRUE(sawSteal) << "no steal line in the log";
+    EXPECT_EQ(exportDoc(farmed), exportDoc(serial));
+}
+
+/**
+ * Composition: a denied steal (injected fault) plus a silent wedge.
+ * The thief is turned away, the frozen worker is heartbeat-killed, and
+ * its remainder is repartitioned — the run still completes
+ * byte-identical.
+ */
+TEST(FarmRun, StealDenialFallsBackToRepartition)
+{
+    if (!faultinj::compiledIn())
+        GTEST_SKIP() << "built without SCD_FAULTINJ";
+    faultinj::disarm();
+
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 1;
+    ExperimentSet serial = runPlan(plan, options);
+
+    farm::FarmStats stats;
+    farm::FarmOptions farmOptions = quickFarm(2);
+    // Silent wedge: shard 0 stops heartbeating after its first point,
+    // so the (shortened) heartbeat timeout can recover it once the
+    // steal path has been denied.
+    farmOptions.workerArgs = {"--wedge-shard=0", "--wedge-after=1",
+                              "--wedge-silent"};
+    farmOptions.heartbeatTimeout = 0.5;
+    farmOptions.statsOut = &stats;
+    std::vector<std::string> log;
+    farmOptions.onProgress = [&](const std::string &l) {
+        log.push_back(l);
+    };
+    faultinj::arm("farm-steal", 1);
+    ExperimentSet farmed =
+        farm::runPlanFarm(plan, testRef(), options, farmOptions);
+    faultinj::disarm();
+
+    bool sawDenial = false;
+    for (const std::string &l : log) {
+        if (l.find("steal failed") != std::string::npos &&
+            l.find("denying") != std::string::npos) {
+            sawDenial = true;
+        }
+    }
+    EXPECT_TRUE(sawDenial) << "armed farm-steal fault never denied";
+    EXPECT_GE(stats.kills, 1u) << "silent wedge must be heartbeat-killed";
+    EXPECT_GE(stats.repartitions, 1u);
+    EXPECT_EQ(stats.failedShards, 0u);
+    EXPECT_EQ(farmed.troubled(), 0u);
+    EXPECT_EQ(exportDoc(farmed), exportDoc(serial));
+}
+
+/** With repartitioning disabled the legacy whole-shard retry recovers
+ *  a partial-progress death (the pre-repartitioning behaviour). */
+TEST(FarmRun, RepartitionOffFallsBackToWholeShardRetry)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 1;
+    ExperimentSet serial = runPlan(plan, options);
+
+    farm::FarmStats stats;
+    farm::FarmOptions farmOptions = quickFarm(1);
+    farmOptions.repartition = false;
+    farmOptions.maxRetries = 3;
+    farmOptions.workerArgs = {"--die-after=2"};
+    farmOptions.statsOut = &stats;
+    ExperimentSet farmed =
+        farm::runPlanFarm(plan, testRef(), options, farmOptions);
+
+    EXPECT_EQ(stats.repartitions, 0u);
+    EXPECT_GT(stats.retries, 0u);
     EXPECT_EQ(farmed.troubled(), 0u);
     EXPECT_EQ(exportDoc(farmed), exportDoc(serial));
 }
@@ -374,6 +664,143 @@ TEST(FarmRun, ResumeRestoresJournaledPoints)
                                              resumeOptions, quickFarm(2));
     EXPECT_EQ(farmed.resumed, serial.points.size() / 2);
     EXPECT_EQ(exportDoc(farmed), exportDoc(serial));
+}
+
+#ifdef __linux__
+
+/**
+ * Orphan safety: SIGKILLing the coordinator must take the worker fleet
+ * with it — via PR_SET_PDEATHSIG normally, via the heartbeat thread's
+ * getppid() poll when the prctl is suppressed (SCD_NO_PDEATHSIG=1).
+ *
+ * The test forks a fake coordinator (this binary with --orphan-parent,
+ * see main below) that spawns one wedged worker, reports its pid, and
+ * blocks. The test makes itself a subreaper so the orphaned worker
+ * reparents here and its exit status can be collected deterministically.
+ */
+void
+expectOrphanReaped(bool forceFallback)
+{
+    ASSERT_EQ(::prctl(PR_SET_CHILD_SUBREAPER, 1), 0);
+
+    int out[2];
+    ASSERT_EQ(::pipe(out), 0);
+    pid_t coordinator = ::fork();
+    ASSERT_GE(coordinator, 0);
+    if (coordinator == 0) {
+        if (forceFallback)
+            ::setenv("SCD_NO_PDEATHSIG", "1", 1);
+        ::dup2(out[1], STDOUT_FILENO);
+        ::close(out[0]);
+        ::close(out[1]);
+        ::execl("/proc/self/exe", "/proc/self/exe", "--orphan-parent",
+                static_cast<char *>(nullptr));
+        std::_Exit(127);
+    }
+    ::close(out[1]);
+
+    // "worker <pid>" arrives only after the worker streamed its first
+    // point — it is fully up, prctl armed, heartbeat polling.
+    std::string text;
+    char buf[128];
+    ssize_t got;
+    while (text.find('\n') == std::string::npos &&
+           (got = ::read(out[0], buf, sizeof(buf))) > 0) {
+        text.append(buf, size_t(got));
+    }
+    ::close(out[0]);
+    ASSERT_EQ(text.rfind("worker ", 0), 0u) << "unexpected: " << text;
+    pid_t workerPid =
+        pid_t(std::strtol(text.c_str() + std::strlen("worker "),
+                          nullptr, 10));
+    ASSERT_GT(workerPid, 0);
+    EXPECT_EQ(::kill(workerPid, 0), 0) << "worker should be alive";
+
+    ASSERT_EQ(::kill(coordinator, SIGKILL), 0);
+    ::waitpid(coordinator, nullptr, 0);
+
+    // The orphan reparents to this (subreaper) process; collect it.
+    int status = 0;
+    pid_t reaped = -1;
+    for (int tries = 0; tries < 200 && reaped != workerPid; ++tries) {
+        reaped = ::waitpid(workerPid, &status, WNOHANG);
+        if (reaped != workerPid)
+            ::usleep(50 * 1000);
+    }
+    ::prctl(PR_SET_CHILD_SUBREAPER, 0);
+    ASSERT_EQ(reaped, workerPid)
+        << "orphaned worker outlived its dead coordinator";
+    if (forceFallback) {
+        // kOrphanExit in src/farm/worker.cc: the getppid() poll, not a
+        // signal, ended the worker.
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 71);
+    } else {
+        EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+            << "PR_SET_PDEATHSIG should have SIGKILLed the orphan";
+    }
+}
+
+TEST(FarmOrphan, ParentDeathSignalKillsWorker)
+{
+    expectOrphanReaped(/*forceFallback=*/false);
+}
+
+TEST(FarmOrphan, GetppidFallbackReapsWorkerWithoutPdeathsig)
+{
+    expectOrphanReaped(/*forceFallback=*/true);
+}
+
+#endif // __linux__
+
+/** The job journal round-trips accept and finish records and skips a
+ *  torn trailing line (the crash window) on load. */
+TEST(FarmState, JobJournalRoundTripsAndSkipsTornTail)
+{
+    std::string dir = tempDir("farm_state_rt");
+    farm::StateStore store(dir);
+
+    farm::JobRecord a;
+    a.id = 1;
+    a.plan = "farmtest";
+    a.size = "test";
+    a.workers = 3;
+    a.jsonPath = "/tmp/a.json";
+    a.logPath = "/tmp/a.log";
+    store.recordAccept(a);
+    farm::JobRecord b;
+    b.id = 2;
+    b.plan = "farmtest";
+    b.size = "test";
+    store.recordAccept(b);
+    store.recordFinish(1, "done", 0, 8, "");
+
+    std::vector<farm::JobRecord> jobs = store.load();
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].id, 1u);
+    EXPECT_EQ(jobs[0].plan, "farmtest");
+    EXPECT_EQ(jobs[0].workers, 3u);
+    EXPECT_EQ(jobs[0].jsonPath, "/tmp/a.json");
+    EXPECT_EQ(jobs[0].logPath, "/tmp/a.log");
+    EXPECT_TRUE(jobs[0].finished);
+    EXPECT_EQ(jobs[0].state, "done");
+    EXPECT_EQ(jobs[0].exitCode, 0);
+    EXPECT_EQ(jobs[0].points, 8u);
+    EXPECT_FALSE(jobs[1].finished);
+    EXPECT_EQ(jobs[1].workers, 0u) << "0 = daemon default fleet";
+
+    // A record torn mid-write (no newline, half a JSON object) is the
+    // crash window; replay must skip it and keep everything before it.
+    appendRaw(dir + "/jobs.scdjsonl",
+              "{\"schema\":\"scd-farm-job-v1\",\"event\":\"accept\","
+              "\"job\":3,\"pl");
+    jobs = store.load();
+    ASSERT_EQ(jobs.size(), 2u) << "torn tail must not become a job";
+
+    // A finish for an unknown job id is ignored, not fatal.
+    store.recordFinish(99, "done", 0, 1, "");
+    jobs = store.load();
+    ASSERT_EQ(jobs.size(), 2u);
 }
 
 /** The daemon serves two clients submitting concurrently; both sweeps
@@ -476,22 +903,157 @@ TEST_F(FarmServiceTest, DaemonAcceptsTwoConcurrentSubmissions)
     daemon.join();
 
     // Both daemon exports match the serial document byte for byte.
-    auto slurp = [](const std::string &path) {
-        std::FILE *f = std::fopen(path.c_str(), "rb");
-        EXPECT_NE(f, nullptr) << path;
-        std::string text;
-        if (f) {
-            char buf[4096];
-            size_t got;
-            while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
-                text.append(buf, got);
-            std::fclose(f);
-        }
-        return text;
-    };
-    std::string reference = slurp(serialPath);
-    EXPECT_EQ(slurp(out1), reference);
-    EXPECT_EQ(slurp(out2), reference);
+    std::string reference = slurpFile(serialPath);
+    EXPECT_EQ(slurpFile(out1), reference);
+    EXPECT_EQ(slurpFile(out2), reference);
+}
+
+/**
+ * The crash-durable daemon: a state dir seeded exactly as a SIGKILLed
+ * daemon leaves it — job 1 accepted with half its points journaled
+ * (plus a record torn mid-write), job 2 accepted and finished — must
+ * come back serving. wait on the finished id answers immediately from
+ * the journal; wait on the in-flight id blocks until the re-submitted
+ * sweep (seeded from its point journal) completes byte-identical; an
+ * unknown id stays an error; fresh ids continue past the journal's
+ * highest.
+ */
+TEST_F(FarmServiceTest, RestartedDaemonResumesAndReanswers)
+{
+    ExperimentPlan plan = farmTestPlan(InputSize::Test);
+    RunOptions options;
+    options.jobs = 1;
+    ExperimentSet serial = runPlan(plan, options);
+    std::string serialPath = tempPath("farm_restart_serial.json");
+    ASSERT_TRUE(farm::writeStatsExport(testRef(), serial, serialPath));
+
+    std::string dir = tempDir("farm_restart_state");
+    std::string out1 = tempPath("farm_restart_job1.json");
+    {
+        farm::StateStore store(dir);
+        farm::JobRecord rec;
+        rec.id = 1;
+        rec.plan = "farmtest";
+        rec.size = "test";
+        rec.jsonPath = out1;
+        store.recordAccept(rec);
+        farm::JobRecord done;
+        done.id = 2;
+        done.plan = "farmtest";
+        done.size = "test";
+        store.recordAccept(done);
+        store.recordFinish(2, "done", 0, 8, "");
+
+        RunJournal journal;
+        journal.open(store.pointJournalPath(1), /*truncate=*/true);
+        for (size_t i = 0; i < serial.points.size(); i += 2)
+            journal.append(pointKey(serial.points[i]), serial.runs[i]);
+    }
+    // The crash window: a point record torn mid-write, no newline.
+    appendRaw(dir + "/job-1.journal",
+              "{\"schema\":\"scd-journal-v1\",\"key\":\"torn");
+
+    farm::ServiceOptions service;
+    service.socketPath = tempPath("farm_restart.sock");
+    service.run = options;
+    service.farm = quickFarm(2);
+    service.stateDir = dir;
+    std::thread daemon([&] { farm::serveFarm(service); });
+
+    int fd = connectTo(service.socketPath);
+    ASSERT_GE(fd, 0);
+
+    // Finished job: answered from the journal, no re-run, no blocking.
+    std::string w2 = request(fd, "{\"op\":\"wait\",\"job\":2}");
+    EXPECT_NE(w2.find("\"state\":\"done\""), std::string::npos) << w2;
+    EXPECT_NE(w2.find("\"exit\":0"), std::string::npos) << w2;
+    EXPECT_NE(w2.find("\"total\":8"), std::string::npos) << w2;
+
+    // Unknown job ids survive the restart as errors, not hangs.
+    EXPECT_NE(request(fd, "{\"op\":\"wait\",\"job\":99}")
+                  .find("\"ok\":false"),
+              std::string::npos);
+
+    // In-flight job: blocks until the resumed sweep finishes.
+    std::string w1 = request(fd, "{\"op\":\"wait\",\"job\":1}");
+    EXPECT_NE(w1.find("\"state\":\"done\""), std::string::npos) << w1;
+    EXPECT_NE(w1.find("\"resumed\":true"), std::string::npos) << w1;
+
+    // New submissions continue the id sequence past the journal.
+    std::string r3 = request(
+        fd, "{\"op\":\"submit\",\"plan\":\"farmtest\",\"size\":\"test\"}");
+    EXPECT_NE(r3.find("\"job\":3"), std::string::npos) << r3;
+    std::string w3 = request(fd, "{\"op\":\"wait\",\"job\":3}");
+    EXPECT_NE(w3.find("\"state\":\"done\""), std::string::npos) << w3;
+
+    EXPECT_NE(request(fd, "{\"op\":\"shutdown\"}").find("\"ok\":true"),
+              std::string::npos);
+    ::close(fd);
+    daemon.join();
+
+    // The reconnecting client's document: byte-identical to serial —
+    // restored points were not re-run, the remainder merged in place.
+    EXPECT_EQ(slurpFile(out1), slurpFile(serialPath));
+
+    // The journal now also remembers jobs 1 and 3 as finished: a
+    // second restart would have nothing to re-run.
+    farm::StateStore store(dir);
+    std::vector<farm::JobRecord> jobs = store.load();
+    ASSERT_EQ(jobs.size(), 3u);
+    for (const farm::JobRecord &rec : jobs)
+        EXPECT_TRUE(rec.finished) << "job " << rec.id;
+}
+
+/**
+ * A job journal that cannot take the accept record (injected
+ * farm-journal-append fault) must refuse the submission with a
+ * structured error — never acknowledge work that would vanish on
+ * restart — and keep serving afterwards.
+ */
+TEST_F(FarmServiceTest, JournalAppendFaultRefusesSubmission)
+{
+    if (!faultinj::compiledIn())
+        GTEST_SKIP() << "built without SCD_FAULTINJ";
+    faultinj::disarm();
+
+    std::string dir = tempDir("farm_faultsubmit_state");
+    farm::ServiceOptions service;
+    service.socketPath = tempPath("farm_faultsubmit.sock");
+    service.run.jobs = 1;
+    service.farm = quickFarm(2);
+    service.stateDir = dir;
+    std::thread daemon([&] { farm::serveFarm(service); });
+
+    int fd = connectTo(service.socketPath);
+    ASSERT_GE(fd, 0);
+
+    faultinj::arm("farm-journal-append", 1);
+    std::string refused = request(
+        fd, "{\"op\":\"submit\",\"plan\":\"farmtest\",\"size\":\"test\"}");
+    EXPECT_NE(refused.find("\"ok\":false"), std::string::npos) << refused;
+    EXPECT_NE(refused.find("cannot persist job"), std::string::npos)
+        << refused;
+
+    // The fault is one-shot: the next submission lands durably.
+    std::string accepted = request(
+        fd, "{\"op\":\"submit\",\"plan\":\"farmtest\",\"size\":\"test\"}");
+    EXPECT_NE(accepted.find("\"ok\":true"), std::string::npos) << accepted;
+    EXPECT_NE(request(fd, "{\"op\":\"wait\",\"job\":2}")
+                  .find("\"state\":\"done\""),
+              std::string::npos);
+
+    EXPECT_NE(request(fd, "{\"op\":\"shutdown\"}").find("\"ok\":true"),
+              std::string::npos);
+    ::close(fd);
+    daemon.join();
+    faultinj::disarm();
+
+    // Only the accepted job ever reached the journal.
+    farm::StateStore store(dir);
+    std::vector<farm::JobRecord> jobs = store.load();
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].id, 2u);
+    EXPECT_TRUE(jobs[0].finished);
 }
 
 /** The exit-code contract finishRun() implements: export failure (1)
@@ -531,12 +1093,67 @@ TEST(FarmExitCodes, FinishRunPrecedence)
     EXPECT_EQ(finishRun(sink, "", {&clean}), kExitOk);
 }
 
-/** The farm-worker fault site is registered for CI's kill leg. */
+/** The farm fault sites are registered for CI's chaos legs. */
 TEST(FarmFaultSite, Registered)
 {
     const std::vector<std::string> &sites = faultinj::registeredSites();
-    EXPECT_NE(std::find(sites.begin(), sites.end(), "farm-worker"),
-              sites.end());
+    for (const char *site : {"farm-worker", "farm-journal-append",
+                             "farm-repartition", "farm-steal"}) {
+        EXPECT_NE(std::find(sites.begin(), sites.end(), site),
+                  sites.end())
+            << site;
+    }
+}
+
+/**
+ * Test-only fake coordinator for the orphan tests: spawn one wedged
+ * worker exactly like the real coordinator would, report its pid on
+ * stdout once the worker has produced output (so it is fully up, with
+ * PR_SET_PDEATHSIG armed and the heartbeat poll running), then block
+ * forever waiting to be SIGKILLed.
+ */
+int
+orphanParentMain()
+{
+    int inPipe[2], outPipe[2];
+    if (::pipe(inPipe) != 0 || ::pipe(outPipe) != 0)
+        return 1;
+    pid_t pid = ::fork();
+    if (pid < 0)
+        return 1;
+    if (pid == 0) {
+        ::dup2(inPipe[0], STDIN_FILENO);
+        ::dup2(outPipe[1], STDOUT_FILENO);
+        for (int fd : {inPipe[0], inPipe[1], outPipe[0], outPipe[1]})
+            ::close(fd);
+        ::execl("/proc/self/exe", "/proc/self/exe", "--worker",
+                "--plan=farmtest", "--size=test", "--jobs=1",
+                "--heartbeat=0.05", "--wedge-shard=0", "--wedge-after=1",
+                static_cast<char *>(nullptr));
+        std::_Exit(127);
+    }
+    ::close(inPipe[0]);
+    ::close(outPipe[1]);
+
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < 8; ++i)
+        indices.push_back(i);
+    scd::farm::writeAll(inPipe[1],
+                        scd::farm::assignLine(0, 0, indices) + "\n");
+
+    // Any output line (first point or heartbeat) proves the worker is
+    // past startup; only then is the pid reported.
+    char buf[256];
+    std::string seen;
+    ssize_t got;
+    while (seen.find('\n') == std::string::npos &&
+           (got = ::read(outPipe[0], buf, sizeof(buf))) > 0) {
+        seen.append(buf, size_t(got));
+    }
+    std::printf("worker %d\n", int(pid));
+    std::fflush(stdout);
+    for (;;)
+        ::pause();
 }
 
 } // namespace
@@ -551,6 +1168,8 @@ main(int argc, char **argv)
             for (;;)
                 ::pause();
         }
+        if (std::strcmp(argv[n], "--orphan-parent") == 0)
+            return orphanParentMain();
     }
 
     scd::farm::registerPlan("farmtest",

@@ -202,13 +202,16 @@ class FaultInjection : public ::testing::Test
  * farm-worker site only fires inside a farm worker subprocess
  * (tests/farm_test.cc covers the kill-and-retry path it exists for);
  * the jit-codecache site only fires on the jit dispatch tier
- * (tests/jit_tier_test.cc covers the structured failure it exists for).
+ * (tests/jit_tier_test.cc covers the structured failure it exists for);
+ * the farm-journal-append, farm-repartition and farm-steal sites only
+ * fire inside the farm daemon/coordinator (tests/farm_test.cc).
  */
 TEST_F(FaultInjection, EveryPlanSiteFiresAndIsContained)
 {
     for (const std::string &site : faultinj::registeredSites()) {
         if (site == "json-write" || site == "farm-worker" ||
-            site == "jit-codecache")
+            site == "jit-codecache" || site == "farm-journal-append" ||
+            site == "farm-repartition" || site == "farm-steal")
             continue;
         SCOPED_TRACE(site);
         faultinj::arm(site, 1);
@@ -276,6 +279,22 @@ TEST_F(FaultInjection, JsonWriteFaultFailsTheExport)
     EXPECT_FALSE(sink.writeTo(path));
     EXPECT_FALSE(faultinj::armed());
     EXPECT_TRUE(sink.writeTo(path)) << "disarmed write should succeed";
+}
+
+/** arm() validates the site name against the registry: a typo in
+ *  SCD_FAULT must fail loudly at arm time, not silently never fire. */
+TEST_F(FaultInjection, UnknownSiteRejectedAtArmTime)
+{
+    try {
+        faultinj::arm("no-such-site", 1);
+        FAIL() << "arm should have thrown";
+    } catch (const FatalError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("unknown fault site"), std::string::npos);
+        EXPECT_NE(what.find("farm-repartition"), std::string::npos)
+            << "the error should list the registered sites";
+    }
+    EXPECT_FALSE(faultinj::armed());
 }
 
 /** SCD_FAULT parsing: site and nth round-trip through the armed state. */
